@@ -1,0 +1,185 @@
+// Package cachegen is the public API of the CacheGen reproduction: fast
+// context loading for LLM serving by compressing KV caches into compact
+// bitstreams and streaming them with per-chunk quality adaptation
+// (Liu et al., "CacheGen: KV Cache Compression and Streaming for Fast
+// Large Language Model Serving", SIGCOMM 2024).
+//
+// The typical flow mirrors the paper's interfaces (§6):
+//
+//	model := cachegen.MustNewModel(cachegen.Mistral7B())
+//	codec, _ := cachegen.TrainCodec(cachegen.DefaultCodecConfig(), model, trainingContexts)
+//	// Offline, once per context (store_kv):
+//	cachegen.Publish(ctx, store, codec, model, "doc-1", tokens)
+//	// Online, per request (get_kv + generate_with_kv):
+//	kv, report, _ := fetcher.Fetch(ctx, "doc-1")
+//	answer, _ := model.GenerateWithKV(tokens, kv, prompt, cachegen.DefaultQualityParams())
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the stable surface a downstream application needs: the
+// simulated LLM substrate, the codec, the storage interfaces, the
+// transport server/client, and the streaming fetcher with its adaptation
+// planner.
+package cachegen
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/storage"
+	"repro/internal/streamer"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation.
+type (
+	// Model is the (simulated) LLM: calculate_kv / generate_with_kv.
+	Model = llm.Model
+	// ModelConfig describes an LLM's architecture and KV statistics.
+	ModelConfig = llm.Config
+	// Token is a vocabulary id.
+	Token = llm.Token
+	// Device models serving-hardware throughput.
+	Device = llm.Device
+	// QualityParams are the KV-error → task-quality constants.
+	QualityParams = llm.QualityParams
+	// GenerateResult is the outcome of answering against a KV cache.
+	GenerateResult = llm.GenerateResult
+
+	// KV is a key/value cache tensor.
+	KV = tensor.KV
+
+	// Codec is the CacheGen encoder/decoder.
+	Codec = core.Codec
+	// CodecConfig holds codec parameters (group size, bins, levels...).
+	CodecConfig = core.Config
+	// Level is an encoding (quantization) level; 0 is highest quality.
+	Level = core.Level
+	// ModelBank is the offline-profiled codec state for one LLM.
+	ModelBank = core.ModelBank
+	// Chunk is a decoded context chunk.
+	Chunk = core.Chunk
+
+	// Store is the KV cache chunk registry (store_kv / get_kv).
+	Store = storage.Store
+	// ChunkKey addresses one stored chunk payload.
+	ChunkKey = storage.ChunkKey
+	// ContextMeta describes a stored context's chunk/level layout.
+	ContextMeta = storage.ContextMeta
+
+	// Server serves chunks over the wire; Client fetches them.
+	Server = transport.Server
+	// Client is the transport client.
+	Client = transport.Client
+	// ServerOption configures a Server.
+	ServerOption = transport.ServerOption
+
+	// Planner implements the per-chunk adaptation logic (Algorithm 1).
+	Planner = streamer.Planner
+	// Choice is a per-chunk streaming configuration.
+	Choice = streamer.Choice
+	// Fetcher streams and reassembles a context's KV cache.
+	Fetcher = streamer.Fetcher
+	// FetchReport describes how a live fetch went.
+	FetchReport = streamer.FetchReport
+	// PublishOptions tune Publish.
+	PublishOptions = streamer.PublishOptions
+)
+
+// TextLevel is the pseudo-level under which chunk token text is stored.
+const TextLevel = storage.TextLevel
+
+// ConcatKV concatenates KV caches along the token dimension (the inverse
+// of chunking).
+var ConcatKV = tensor.ConcatTokens
+
+// Model constructors.
+var (
+	// NewModel builds a simulated LLM from a configuration.
+	NewModel = llm.New
+	// MustNewModel is NewModel for known-valid configs; panics on error.
+	MustNewModel = llm.MustNew
+	// Predefined model configurations (§7.1).
+	Mistral7B = llm.Mistral7B
+	Llama34B  = llm.Llama34B
+	Llama70B  = llm.Llama70B
+	Llama7B   = llm.Llama7B
+	Llama13B  = llm.Llama13B
+	// A40x4 is the paper's testbed device.
+	A40x4 = llm.A40x4
+	// DefaultQualityParams returns the calibrated quality constants.
+	DefaultQualityParams = llm.DefaultQualityParams
+)
+
+// ModelByName returns a predefined model configuration by its name
+// (e.g. "Mistral-7B", case-insensitive).
+func ModelByName(name string) (ModelConfig, error) {
+	for _, cfg := range llm.AllModels() {
+		if strings.EqualFold(cfg.Name, name) {
+			return cfg, nil
+		}
+	}
+	return ModelConfig{}, fmt.Errorf("cachegen: unknown model %q", name)
+}
+
+// DefaultCodecConfig returns the paper's codec parameters (§5.2, §C.2).
+func DefaultCodecConfig() CodecConfig { return core.DefaultConfig() }
+
+// NewCodec wraps a trained model bank in a codec.
+func NewCodec(bank *ModelBank) *Codec { return core.NewCodec(bank) }
+
+// UnmarshalBank restores a serialised model bank.
+func UnmarshalBank(data []byte) (*ModelBank, error) { return core.UnmarshalBank(data) }
+
+// TrainCodec profiles a codec for a model from training contexts: it
+// computes their KV caches and trains the arithmetic-coding model bank
+// (§5.2, offline, once per LLM).
+func TrainCodec(cfg CodecConfig, model *Model, contexts [][]Token) (*Codec, error) {
+	if len(contexts) == 0 {
+		return nil, fmt.Errorf("cachegen: TrainCodec needs at least one training context")
+	}
+	samples := make([]*KV, 0, len(contexts))
+	for _, toks := range contexts {
+		samples = append(samples, model.CalculateKV(toks))
+	}
+	bank, err := core.Train(cfg, samples)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCodec(bank), nil
+}
+
+// Publish encodes a context at every level and stores bitstreams, text
+// fallback and metadata — the paper's store_kv (§6).
+func Publish(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token) (ContextMeta, error) {
+	return streamer.Publish(ctx, st, codec, model, contextID, tokens, PublishOptions{})
+}
+
+// PublishIncremental is Publish plus refinement bitstreams for the given
+// target levels, enabling Fetcher.FetchIncremental's coarse-then-upgrade
+// loading (the SVC-style extension of §9).
+func PublishIncremental(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token, targets ...Level) (ContextMeta, error) {
+	return streamer.Publish(ctx, st, codec, model, contextID, tokens, PublishOptions{RefineTargets: targets})
+}
+
+// NewMemStore returns an in-memory chunk store.
+func NewMemStore() Store { return storage.NewMemStore() }
+
+// NewFileStore returns a filesystem-backed chunk store rooted at dir.
+func NewFileStore(dir string) (Store, error) { return storage.NewFileStore(dir) }
+
+// NewServer serves a store over the frame protocol.
+func NewServer(st Store, opts ...ServerOption) *Server { return transport.NewServer(st, opts...) }
+
+// WithEgressRate shapes server sends to bps bits/second.
+func WithEgressRate(bps float64) ServerOption { return transport.WithEgressRate(bps) }
+
+// WithBank makes the server distribute the codec's model bank to clients.
+func WithBank(bank []byte) ServerOption { return transport.WithBank(bank) }
+
+// Dial connects a transport client to a server address.
+func Dial(addr string) (*Client, error) { return transport.Dial(addr) }

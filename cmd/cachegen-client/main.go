@@ -1,0 +1,113 @@
+// Command cachegen-client is the inference-server side of CacheGen: it
+// connects to a cachegen-server, bootstraps the decoder from the served
+// model bank, streams a context's KV cache chunk by chunk with the
+// adaptation policy, reassembles it, and answers a query against it
+// (get_kv + generate_with_kv, §6).
+//
+// Usage:
+//
+//	cachegen-client -addr 127.0.0.1:9099 -context demo-0000 \
+//	    -model Mistral-7B -channels 32 -slo 2s
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"time"
+
+	cachegen "repro"
+	"repro/internal/llm"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9099", "server address")
+	contextID := flag.String("context", "demo-0000", "context id to load")
+	modelName := flag.String("model", "Mistral-7B", "model name (must match the encoder)")
+	channels := flag.Int("channels", 32, "synthesised KV channels (must match the encoder)")
+	slo := flag.Duration("slo", 0, "TTFT SLO enabling adaptation (0 = fixed default level)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall request timeout")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cachegen-client: ")
+
+	cfg, err := cachegen.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *channels > 0 && *channels < cfg.KVChannels {
+		cfg = cfg.WithChannels(*channels)
+	}
+	model, err := cachegen.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := cachegen.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	bankBytes, err := client.GetBank(ctx)
+	if err != nil {
+		log.Fatalf("fetching model bank: %v", err)
+	}
+	bank, err := cachegen.UnmarshalBank(bankBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec := cachegen.NewCodec(bank)
+
+	planner := cachegen.Planner{Adapt: *slo > 0, SLO: *slo, DefaultLevel: 1}
+	fetcher := &cachegen.Fetcher{
+		Client:  client,
+		Codec:   codec,
+		Model:   model,
+		Device:  cachegen.A40x4(),
+		Planner: planner,
+	}
+	kv, report, err := fetcher.Fetch(ctx, *contextID)
+	if err != nil {
+		log.Fatalf("fetching %s: %v", *contextID, err)
+	}
+	log.Printf("loaded %s: %d tokens in %v (%.1f MB on the wire)",
+		*contextID, kv.Tokens, report.LoadTime.Round(time.Millisecond),
+		float64(report.BytesReceived)/1e6)
+	for _, d := range report.Decisions {
+		log.Printf("  chunk %d: %s, %7d bytes, %v", d.Chunk, d.Choice, d.Bytes,
+			d.Transfer.Round(time.Millisecond))
+	}
+
+	// Answer a query against the loaded cache. The context's token text is
+	// stored alongside the bitstreams (the recompute fallback), so fetch
+	// it to score the generation.
+	meta, err := client.GetMeta(ctx, *contextID)
+	if err != nil {
+		log.Fatalf("fetching meta: %v", err)
+	}
+	var tokens []cachegen.Token
+	for c := 0; c < meta.NumChunks(); c++ {
+		payload, err := client.GetChunk(ctx, *contextID, c, cachegen.TextLevel)
+		if err != nil {
+			log.Fatalf("fetching text chunk %d: %v", c, err)
+		}
+		part, err := llm.DecodeTokens(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tokens = append(tokens, part...)
+	}
+	res, err := model.GenerateWithKV(tokens, kv, "What is the first topic we discussed?", cachegen.DefaultQualityParams())
+	if err != nil {
+		log.Fatalf("generation: %v", err)
+	}
+	verdict := "correct"
+	if !res.Correct {
+		verdict = "wrong"
+	}
+	log.Printf("generation quality %.3f (KV error %.4f): answer %s", res.Quality, res.Error, verdict)
+}

@@ -1,0 +1,50 @@
+// Command cachegen-server serves encoded KV caches from a filesystem store
+// over the CacheGen frame protocol — the storage-server side of get_kv
+// (§6). Optional egress shaping emulates a constrained storage-to-GPU
+// link so the client's adaptation logic has something to adapt to.
+//
+// Usage:
+//
+//	cachegen-server -dir ./kvstore -addr :9099 -egress-gbps 1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+
+	cachegen "repro"
+	"repro/internal/netsim"
+)
+
+func main() {
+	dir := flag.String("dir", "./kvstore", "store directory (written by cachegen-encode)")
+	addr := flag.String("addr", "127.0.0.1:9099", "listen address")
+	egress := flag.Float64("egress-gbps", 0, "per-connection egress shaping in Gbps (0 = unlimited)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cachegen-server: ")
+
+	store, err := cachegen.NewFileStore(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []cachegen.ServerOption{}
+	if *egress > 0 {
+		opts = append(opts, cachegen.WithEgressRate(netsim.Gbps(*egress)))
+		log.Printf("shaping egress to %.2f Gbps", *egress)
+	}
+	if bank, err := os.ReadFile(filepath.Join(*dir, "bank.bin")); err == nil {
+		opts = append(opts, cachegen.WithBank(bank))
+		log.Printf("serving model bank (%.1f MB)", float64(len(bank))/1e6)
+	} else {
+		log.Printf("no bank.bin in %s; clients must bring their own codec", *dir)
+	}
+
+	srv := cachegen.NewServer(store, opts...)
+	log.Printf("listening on %s, store %s", *addr, *dir)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package ac
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FreqTable is a static probability model over the symbol alphabet
+// [0, N). CacheGen trains one table per (layer, channel-group) combination
+// offline by counting quantized symbol frequencies (§5.2) and reuses the
+// same tables for every KV cache produced by the same LLM.
+//
+// Internally the table stores cumulative frequencies normalised so the
+// total stays ≤ MaxTotal while every symbol keeps a nonzero frequency
+// (Laplace smoothing), which guarantees any in-range symbol is encodable.
+type FreqTable struct {
+	cum   []uint32 // len N+1; cum[0]=0, cum[N]=total
+	total uint32
+}
+
+// NewFreqTable builds a model from raw (unnormalised) symbol counts.
+// Symbols with zero observed count receive frequency 1 so they remain
+// encodable. counts must be non-empty.
+func NewFreqTable(counts []uint64) (*FreqTable, error) {
+	n := len(counts)
+	if n == 0 {
+		return nil, fmt.Errorf("ac: empty alphabet")
+	}
+	if n >= MaxTotal {
+		return nil, fmt.Errorf("ac: alphabet size %d exceeds max %d", n, MaxTotal-1)
+	}
+
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+
+	// Scale counts into the budget left after giving every symbol 1.
+	budget := uint64(MaxTotal - n)
+	freqs := make([]uint32, n)
+	var total uint32
+	for i, c := range counts {
+		f := uint64(1)
+		if sum > 0 {
+			f += c * budget / sum
+		}
+		if f > math.MaxUint32 {
+			f = math.MaxUint32
+		}
+		freqs[i] = uint32(f)
+		total += uint32(f)
+	}
+	// Rounding can only undershoot MaxTotal, never overshoot, because
+	// Σ floor(c*budget/sum) ≤ budget.
+	if total > MaxTotal {
+		return nil, fmt.Errorf("ac: internal normalisation overflow (total %d)", total)
+	}
+
+	cum := make([]uint32, n+1)
+	for i, f := range freqs {
+		cum[i+1] = cum[i] + f
+	}
+	return &FreqTable{cum: cum, total: cum[n]}, nil
+}
+
+// UniformTable returns a model assigning equal probability to n symbols.
+func UniformTable(n int) (*FreqTable, error) {
+	return NewFreqTable(make([]uint64, n))
+}
+
+// N returns the alphabet size.
+func (m *FreqTable) N() int { return len(m.cum) - 1 }
+
+// Total returns the normalised total frequency.
+func (m *FreqTable) Total() uint32 { return m.total }
+
+// Prob returns the modelled probability of sym.
+func (m *FreqTable) Prob(sym int) float64 {
+	if sym < 0 || sym >= m.N() {
+		return 0
+	}
+	return float64(m.cum[sym+1]-m.cum[sym]) / float64(m.total)
+}
+
+// Bits returns the ideal code length of sym in bits under this model.
+func (m *FreqTable) Bits(sym int) float64 {
+	p := m.Prob(sym)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(p)
+}
+
+// rangeFor returns the cumulative interval of sym.
+func (m *FreqTable) rangeFor(sym int) (start, size uint32, err error) {
+	if sym < 0 || sym >= m.N() {
+		return 0, 0, fmt.Errorf("ac: symbol %d outside alphabet [0,%d)", sym, m.N())
+	}
+	return m.cum[sym], m.cum[sym+1] - m.cum[sym], nil
+}
+
+// symbolFor locates the symbol whose cumulative interval contains f.
+func (m *FreqTable) symbolFor(f uint32) (sym int, start, size uint32) {
+	// cum is sorted; find first index with cum[i+1] > f.
+	i := sort.Search(m.N(), func(i int) bool { return m.cum[i+1] > f })
+	if i >= m.N() {
+		return 0, 0, 0
+	}
+	return i, m.cum[i], m.cum[i+1] - m.cum[i]
+}
+
+// Entropy returns the entropy of the model in bits per symbol.
+func (m *FreqTable) Entropy() float64 {
+	var h float64
+	for i := 0; i < m.N(); i++ {
+		p := m.Prob(i)
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// MarshalBinary serialises the table (alphabet size + cumulative counts as
+// delta-encoded uvarints). It implements encoding.BinaryMarshaler.
+func (m *FreqTable) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 2+m.N())
+	buf = binary.AppendUvarint(buf, uint64(m.N()))
+	for i := 0; i < m.N(); i++ {
+		buf = binary.AppendUvarint(buf, uint64(m.cum[i+1]-m.cum[i]))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a table serialised by MarshalBinary.
+// It implements encoding.BinaryUnmarshaler.
+func (m *FreqTable) UnmarshalBinary(data []byte) error {
+	n, k := binary.Uvarint(data)
+	if k <= 0 || n == 0 || n >= MaxTotal {
+		return fmt.Errorf("%w: bad alphabet size", ErrCorrupt)
+	}
+	data = data[k:]
+	cum := make([]uint32, n+1)
+	for i := 0; i < int(n); i++ {
+		f, k := binary.Uvarint(data)
+		if k <= 0 {
+			return fmt.Errorf("%w: truncated frequency table", ErrCorrupt)
+		}
+		data = data[k:]
+		if f == 0 || f > MaxTotal {
+			return fmt.Errorf("%w: invalid frequency %d", ErrCorrupt, f)
+		}
+		cum[i+1] = cum[i] + uint32(f)
+	}
+	if cum[n] > MaxTotal {
+		return fmt.Errorf("%w: total frequency %d exceeds max", ErrCorrupt, cum[n])
+	}
+	m.cum = cum
+	m.total = cum[n]
+	return nil
+}
+
+// Histogram accumulates symbol counts during offline profiling and
+// converts them into a FreqTable.
+type Histogram struct {
+	counts []uint64
+	n      uint64
+}
+
+// NewHistogram returns a histogram over the alphabet [0, n).
+func NewHistogram(n int) *Histogram {
+	return &Histogram{counts: make([]uint64, n)}
+}
+
+// Observe records one occurrence of sym. Out-of-range symbols are clamped
+// to the alphabet edge, mirroring the codec's clamping quantizer.
+func (h *Histogram) Observe(sym int) {
+	if sym < 0 {
+		sym = 0
+	}
+	if sym >= len(h.counts) {
+		sym = len(h.counts) - 1
+	}
+	h.counts[sym]++
+	h.n++
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Counts returns the raw per-symbol counts. The returned slice is the
+// histogram's backing store; callers must not mutate it.
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
+// Table converts the histogram into a normalised FreqTable.
+func (h *Histogram) Table() (*FreqTable, error) {
+	return NewFreqTable(h.counts)
+}
+
+// Entropy returns the empirical entropy of the observations in bits per
+// symbol (zero if nothing was observed). Used to report Figure 5.
+func (h *Histogram) Entropy() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var e float64
+	n := float64(h.n)
+	for _, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		e -= p * math.Log2(p)
+	}
+	return e
+}

@@ -1,0 +1,54 @@
+package ac
+
+import "testing"
+
+// FuzzFreqTableUnmarshal: arbitrary bytes must never panic the table
+// decoder.
+func FuzzFreqTableUnmarshal(f *testing.F) {
+	m, err := NewFreqTable([]uint64{10, 5, 1, 0, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := m.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tb FreqTable
+		if err := tb.UnmarshalBinary(data); err == nil {
+			// A table that unmarshals must be internally consistent.
+			if tb.N() <= 0 || tb.Total() == 0 || tb.Total() > MaxTotal {
+				t.Fatalf("inconsistent table: n=%d total=%d", tb.N(), tb.Total())
+			}
+		}
+	})
+}
+
+// FuzzDecoder: decoding arbitrary bytes against a fixed model must never
+// panic and must terminate.
+func FuzzDecoder(f *testing.F) {
+	m, err := NewFreqTable([]uint64{100, 20, 5, 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := NewEncoder()
+	for _, s := range []int{0, 1, 2, 3, 0, 0, 1} {
+		if err := enc.Encode(s, m); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(enc.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(data)
+		for i := 0; i < 64; i++ {
+			if _, err := dec.Decode(m); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package ac implements the arithmetic (range) coding layer of the CacheGen
+// codec (§5.2, "Arithmetic coding"). Like other entropy coders it assigns
+// fewer bits to frequent symbols; CacheGen feeds it quantized KV deltas and
+// anchors, with a separate probability model per (layer, channel-group)
+// combination profiled offline (§5.1.3).
+//
+// The coder is a carry-aware byte-oriented range coder (the construction
+// used by LZMA): a 32-bit range register, a 64-bit low accumulator with
+// deferred carry propagation, and renormalisation in byte steps. Encoding
+// and decoding are exact inverses for any sequence of symbols drawn from
+// any FreqTable whose total stays below MaxTotal.
+package ac
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	topValue = 1 << 24 // renormalisation threshold
+	// MaxTotal is the maximum admissible total frequency of a model.
+	// Keeping totals ≤ 2^16 guarantees range/total never truncates to zero
+	// (range ≥ 2^24 after renormalisation).
+	MaxTotal = 1 << 16
+)
+
+// ErrCorrupt is returned when a bitstream cannot be decoded.
+var ErrCorrupt = errors.New("ac: corrupt bitstream")
+
+// Encoder is a range encoder writing to an in-memory buffer.
+// The zero value is not usable; call NewEncoder.
+type Encoder struct {
+	low      uint64
+	rng      uint32
+	cache    byte
+	cacheLen int64
+	out      []byte
+}
+
+// NewEncoder returns an encoder ready to accept symbols.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheLen: 1}
+}
+
+// encodeRange narrows the coding interval to [start, start+size) out of
+// total. All arguments must satisfy 0 ≤ start < start+size ≤ total ≤ MaxTotal.
+func (e *Encoder) encodeRange(start, size, total uint32) {
+	r := e.rng / total
+	e.low += uint64(r) * uint64(start)
+	e.rng = r * size
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		carry := byte(e.low >> 32)
+		if e.cacheLen > 0 {
+			e.out = append(e.out, e.cache+carry)
+			for i := int64(1); i < e.cacheLen; i++ {
+				e.out = append(e.out, 0xFF+carry)
+			}
+		}
+		e.cache = byte(e.low >> 24)
+		e.cacheLen = 0
+	}
+	e.cacheLen++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// Encode appends one symbol drawn from the given model.
+func (e *Encoder) Encode(sym int, m *FreqTable) error {
+	start, size, err := m.rangeFor(sym)
+	if err != nil {
+		return err
+	}
+	e.encodeRange(start, size, m.total)
+	return nil
+}
+
+// Bytes flushes the encoder and returns the finished bitstream. The encoder
+// must not be used afterwards.
+func (e *Encoder) Bytes() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+// Decoder is a range decoder reading from a byte slice.
+type Decoder struct {
+	code uint32
+	rng  uint32
+	in   []byte
+	pos  int
+}
+
+// NewDecoder returns a decoder over data produced by Encoder.Bytes.
+func NewDecoder(data []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, in: data}
+	// The first emitted byte is the initial zero cache; consume five bytes
+	// to fill the code register, mirroring the encoder's five-byte flush.
+	for i := 0; i < 5; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+// nextByte returns the next input byte, or 0 past the end. Reading past the
+// end is legal for the final symbols of a well-formed stream; truncation of
+// a malformed stream surfaces as a symbol lookup failure or as a caller-side
+// count mismatch, both reported as ErrCorrupt by Decode.
+func (d *Decoder) nextByte() byte {
+	if d.pos >= len(d.in) {
+		d.pos++
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return b
+}
+
+// Decode extracts the next symbol according to the given model.
+func (d *Decoder) Decode(m *FreqTable) (int, error) {
+	total := m.total
+	r := d.rng / total
+	f := d.code / r
+	if f >= total {
+		f = total - 1
+	}
+	sym, start, size := m.symbolFor(f)
+	if size == 0 {
+		return 0, fmt.Errorf("%w: no symbol at cum frequency %d", ErrCorrupt, f)
+	}
+	d.code -= r * start
+	d.rng = r * size
+	for d.rng < topValue {
+		d.code = d.code<<8 | uint32(d.nextByte())
+		d.rng <<= 8
+	}
+	return sym, nil
+}

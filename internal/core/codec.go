@@ -1,0 +1,418 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"runtime"
+	"sync"
+
+	"repro/internal/ac"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// Codec encodes KV caches into CacheGen bitstreams and back, using the
+// probability models and anchor scales of a trained ModelBank. A Codec is
+// immutable and safe for concurrent use.
+type Codec struct {
+	bank *ModelBank
+	cfg  Config
+}
+
+// NewCodec returns a codec over the given trained bank.
+func NewCodec(bank *ModelBank) *Codec {
+	return &Codec{bank: bank, cfg: bank.Config()}
+}
+
+// Bank returns the codec's model bank.
+func (c *Codec) Bank() *ModelBank { return c.bank }
+
+// Config returns the codec's configuration.
+func (c *Codec) Config() Config { return c.cfg }
+
+// Chunk is a decoded context chunk: the KV tensor of a contiguous token
+// range plus its stream metadata.
+type Chunk struct {
+	Index       int   // chunk index within the context
+	TokenOffset int   // absolute position of the chunk's first token
+	Level       Level // encoding level the chunk was coded at
+	KV          *tensor.KV
+}
+
+// ErrCorruptChunk is returned when a chunk bitstream fails validation.
+var ErrCorruptChunk = errors.New("core: corrupt chunk bitstream")
+
+const (
+	chunkMagic   = "CGC1"
+	chunkVersion = 1
+)
+
+// EncodeChunk encodes one chunk's KV tensor (all layers and channels of a
+// contiguous token range, §5.3) at the given level. chunkIndex and
+// tokenOffset travel in the header so the receiver can reassemble and, for
+// text fallback, resume recomputation at the right position.
+func (c *Codec) EncodeChunk(kv *tensor.KV, chunkIndex, tokenOffset int, lv Level) ([]byte, error) {
+	if err := c.bank.CheckGeometry(kv); err != nil {
+		return nil, err
+	}
+	if !c.cfg.ValidLevel(lv) {
+		return nil, fmt.Errorf("core: invalid level %d (codec has %d)", lv, c.cfg.Levels())
+	}
+	if kv.Tokens == 0 {
+		return nil, errors.New("core: empty chunk")
+	}
+	if chunkIndex < 0 || tokenOffset < 0 {
+		return nil, fmt.Errorf("core: negative chunk index %d or offset %d", chunkIndex, tokenOffset)
+	}
+
+	g := c.cfg.GroupSize
+	numGroups := (kv.Tokens + g - 1) / g
+
+	// Encode token groups in parallel; each group is an independent
+	// arithmetic-coded stream (§5.2: the anchor referencing lets groups
+	// compress and decompress in parallel).
+	streams := make([][]byte, numGroups)
+	errs := make([]error, numGroups)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers())
+	for gi := 0; gi < numGroups; gi++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(gi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := gi * g
+			end := start + g
+			if end > kv.Tokens {
+				end = kv.Tokens
+			}
+			streams[gi], errs[gi] = c.encodeGroup(kv, start, end, lv)
+		}(gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Assemble the container.
+	out := make([]byte, 0, chunkHeaderSize(numGroups))
+	out = append(out, chunkMagic...)
+	out = append(out, chunkVersion, byte(lv))
+	out = binary.AppendUvarint(out, uint64(chunkIndex))
+	out = binary.AppendUvarint(out, uint64(tokenOffset))
+	out = binary.AppendUvarint(out, uint64(kv.Layers))
+	out = binary.AppendUvarint(out, uint64(kv.Tokens))
+	out = binary.AppendUvarint(out, uint64(kv.Channels))
+	out = binary.AppendUvarint(out, uint64(g))
+	out = binary.AppendUvarint(out, uint64(numGroups))
+	for _, s := range streams {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+	}
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(out))
+	return append(out, sum[:]...), nil
+}
+
+func chunkHeaderSize(groups int) int { return 64 + 4*groups }
+
+func (c *Codec) workers() int {
+	if c.cfg.Workers > 0 {
+		return c.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// encodeGroup encodes tokens [start, end) as one arithmetic-coded stream:
+// per (kind, layer), the anchor row (8-bit, static scales) followed by the
+// remaining tokens' delta rows quantized with the level's layer bins.
+func (c *Codec) encodeGroup(kv *tensor.KV, start, end int, lv Level) ([]byte, error) {
+	b := c.bank
+	vq, err := quant.NewVectorwise(c.cfg.AnchorBits)
+	if err != nil {
+		return nil, err
+	}
+	bins := c.cfg.binsFor(lv)
+	enc := ac.NewEncoder()
+	channels := kv.Channels
+	qrow := make([]int32, channels)
+	arow := make([]float32, channels)
+
+	for _, kind := range tensor.Kinds {
+		for l := 0; l < kv.Layers; l++ {
+			scales := b.anchorScales[kind][l*channels : (l+1)*channels]
+			u, err := quant.NewUniform(bins.BinFor(l, kv.Layers), c.cfg.DeltaClamp)
+			if err != nil {
+				return nil, err
+			}
+			deltaTabs := b.deltaTables[lv]
+
+			if c.cfg.DisableDelta {
+				// Ablation: raw uniform quantization of every token.
+				for t := start; t < end; t++ {
+					row := kv.Row(kind, l, t)
+					for ch := 0; ch < channels; ch++ {
+						mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
+						if err := enc.Encode(u.SymbolOf(u.Quantize(row[ch])), deltaTabs[mi]); err != nil {
+							return nil, err
+						}
+					}
+				}
+				continue
+			}
+
+			// Anchor row.
+			anchor := kv.Row(kind, l, start)
+			ai := b.anchorIndex(kind, l)
+			for ch := 0; ch < channels; ch++ {
+				vq.QuantizeWithScale(anchor[ch:ch+1], scales[ch], qrow[ch:ch+1])
+				arow[ch] = float32(qrow[ch]) * scales[ch]
+				if err := enc.Encode(vq.SymbolOf(qrow[ch]), b.anchorTables[ai]); err != nil {
+					return nil, err
+				}
+			}
+			// Delta rows against the dequantized anchor.
+			for t := start + 1; t < end; t++ {
+				row := kv.Row(kind, l, t)
+				for ch := 0; ch < channels; ch++ {
+					mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
+					if err := enc.Encode(u.SymbolOf(u.Quantize(row[ch]-arow[ch])), deltaTabs[mi]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return enc.Bytes(), nil
+}
+
+// DecodeChunk decodes a chunk bitstream produced by EncodeChunk, verifying
+// integrity and geometry against the codec's bank. Token groups decode in
+// parallel.
+func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
+	if len(data) < len(chunkMagic)+2+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptChunk, len(data))
+	}
+	body, sum := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(sum) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptChunk)
+	}
+	if string(body[:4]) != chunkMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptChunk, body[:4])
+	}
+	if body[4] != chunkVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptChunk, body[4])
+	}
+	lv := Level(body[5])
+	if !c.cfg.ValidLevel(lv) {
+		return nil, fmt.Errorf("%w: invalid level %d", ErrCorruptChunk, lv)
+	}
+	p := body[6:]
+	read := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated header", ErrCorruptChunk)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	vals := make([]uint64, 7)
+	for i := range vals {
+		v, err := read()
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	chunkIndex, tokenOffset := int(vals[0]), int(vals[1])
+	layers, tokens, channels := int(vals[2]), int(vals[3]), int(vals[4])
+	groupSize, numGroups := int(vals[5]), int(vals[6])
+
+	if layers != c.bank.layers || channels != c.bank.channels {
+		return nil, fmt.Errorf("%w (chunk %d,·,%d)", ErrGeometry, layers, channels)
+	}
+	if groupSize != c.cfg.GroupSize {
+		return nil, fmt.Errorf("%w: group size %d, codec uses %d", ErrCorruptChunk, groupSize, c.cfg.GroupSize)
+	}
+	if tokens <= 0 || numGroups != (tokens+groupSize-1)/groupSize {
+		return nil, fmt.Errorf("%w: %d tokens / %d groups inconsistent", ErrCorruptChunk, tokens, numGroups)
+	}
+	const maxChunkTokens = 1 << 22
+	if tokens > maxChunkTokens {
+		return nil, fmt.Errorf("%w: implausible chunk of %d tokens", ErrCorruptChunk, tokens)
+	}
+
+	lengths := make([]int, numGroups)
+	total := 0
+	for i := range lengths {
+		v, err := read()
+		if err != nil {
+			return nil, err
+		}
+		lengths[i] = int(v)
+		total += int(v)
+	}
+	if total != len(p) {
+		return nil, fmt.Errorf("%w: stream lengths sum to %d, have %d bytes", ErrCorruptChunk, total, len(p))
+	}
+
+	kv := tensor.New(layers, tokens, channels)
+	errs := make([]error, numGroups)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers())
+	off := 0
+	for gi := 0; gi < numGroups; gi++ {
+		stream := p[off : off+lengths[gi]]
+		off += lengths[gi]
+		start := gi * groupSize
+		end := start + groupSize
+		if end > tokens {
+			end = tokens
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(gi, start, end int, stream []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[gi] = c.decodeGroup(kv, start, end, lv, stream)
+		}(gi, start, end, stream)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Chunk{Index: chunkIndex, TokenOffset: tokenOffset, Level: lv, KV: kv}, nil
+}
+
+func (c *Codec) decodeGroup(kv *tensor.KV, start, end int, lv Level, stream []byte) error {
+	b := c.bank
+	vq, err := quant.NewVectorwise(c.cfg.AnchorBits)
+	if err != nil {
+		return err
+	}
+	bins := c.cfg.binsFor(lv)
+	dec := ac.NewDecoder(stream)
+	channels := kv.Channels
+
+	for _, kind := range tensor.Kinds {
+		for l := 0; l < kv.Layers; l++ {
+			scales := b.anchorScales[kind][l*channels : (l+1)*channels]
+			u, err := quant.NewUniform(bins.BinFor(l, kv.Layers), c.cfg.DeltaClamp)
+			if err != nil {
+				return err
+			}
+			deltaTabs := b.deltaTables[lv]
+
+			if c.cfg.DisableDelta {
+				for t := start; t < end; t++ {
+					row := kv.Row(kind, l, t)
+					for ch := 0; ch < channels; ch++ {
+						mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
+						sym, err := dec.Decode(deltaTabs[mi])
+						if err != nil {
+							return err
+						}
+						row[ch] = u.Dequantize(u.ValueOf(sym))
+					}
+				}
+				continue
+			}
+
+			anchorRow := kv.Row(kind, l, start)
+			ai := b.anchorIndex(kind, l)
+			for ch := 0; ch < channels; ch++ {
+				sym, err := dec.Decode(b.anchorTables[ai])
+				if err != nil {
+					return err
+				}
+				anchorRow[ch] = float32(vq.ValueOf(sym)) * scales[ch]
+			}
+			for t := start + 1; t < end; t++ {
+				row := kv.Row(kind, l, t)
+				for ch := 0; ch < channels; ch++ {
+					mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
+					sym, err := dec.Decode(deltaTabs[mi])
+					if err != nil {
+						return err
+					}
+					row[ch] = anchorRow[ch] + u.Dequantize(u.ValueOf(sym))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SplitOffsets returns the chunk boundaries for a context of the given
+// length under the codec's ChunkTokens: [0, ChunkTokens, …, tokens].
+func (c *Codec) SplitOffsets(tokens int) []int {
+	var offs []int
+	for t := 0; t < tokens; t += c.cfg.ChunkTokens {
+		offs = append(offs, t)
+	}
+	return append(offs, tokens)
+}
+
+// EncodeContext splits a full-context KV cache into chunks of ChunkTokens
+// and encodes each at level lv. The i-th bitstream decodes independently
+// to tokens [offsets[i], offsets[i+1]).
+func (c *Codec) EncodeContext(kv *tensor.KV, lv Level) ([][]byte, error) {
+	offs := c.SplitOffsets(kv.Tokens)
+	out := make([][]byte, 0, len(offs)-1)
+	for i := 0; i+1 < len(offs); i++ {
+		part, err := kv.SliceTokens(offs[i], offs[i+1])
+		if err != nil {
+			return nil, err
+		}
+		data, err := c.EncodeChunk(part, i, offs[i], lv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// EncodeAllLevels encodes every chunk of a context at every level —
+// the offline multi-version encoding the streamer adapts across (§5.3).
+// The result is indexed [level][chunk].
+func (c *Codec) EncodeAllLevels(kv *tensor.KV) ([][][]byte, error) {
+	out := make([][][]byte, c.cfg.Levels())
+	for lv := range out {
+		enc, err := c.EncodeContext(kv, Level(lv))
+		if err != nil {
+			return nil, err
+		}
+		out[lv] = enc
+	}
+	return out, nil
+}
+
+// DecodeContext decodes a sequence of chunk bitstreams (possibly at mixed
+// levels) and concatenates them into the full KV cache, verifying the
+// chunks are contiguous and start at token 0.
+func (c *Codec) DecodeContext(chunks [][]byte) (*tensor.KV, error) {
+	parts := make([]*tensor.KV, 0, len(chunks))
+	next := 0
+	for i, data := range chunks {
+		ch, err := c.DecodeChunk(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+		if ch.Index != i || ch.TokenOffset != next {
+			return nil, fmt.Errorf("core: chunk %d out of order (index %d, offset %d, want offset %d)",
+				i, ch.Index, ch.TokenOffset, next)
+		}
+		next += ch.KV.Tokens
+		parts = append(parts, ch.KV)
+	}
+	return tensor.ConcatTokens(parts...)
+}

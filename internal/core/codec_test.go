@@ -1,0 +1,494 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/tensor"
+)
+
+// testModel returns a small simulated LLM for codec tests.
+func testModel(t testing.TB) *llm.Model {
+	t.Helper()
+	m, err := llm.New(llm.Config{
+		Name: "codec-test", Layers: 6, KVChannels: 24, Channels: 24,
+		Hidden: 128, Params: 1e8, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testTokens(seed int64, n int) []llm.Token {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]llm.Token, n)
+	for i := range out {
+		out[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	return out
+}
+
+// testCodec trains a codec on sample contexts from the model.
+func testCodec(t testing.TB, cfg Config) (*Codec, *llm.Model) {
+	t.Helper()
+	m := testModel(t)
+	var samples []*tensor.KV
+	for s := int64(0); s < 3; s++ {
+		samples = append(samples, m.CalculateKV(testTokens(1000+s, 400)))
+	}
+	bank, err := Train(cfg, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCodec(bank), m
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ChunkTokens = 100 // multiple of GroupSize so chunking is exact
+	return cfg
+}
+
+func TestConfigNormalize(t *testing.T) {
+	cfg, err := (Config{}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GroupSize != 10 || cfg.AnchorBits != 8 || cfg.ChunkTokens != 1500 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	bad := []Config{
+		{GroupSize: 1},
+		{AnchorBits: 1},
+		{ChunkTokens: 5, GroupSize: 10},
+		{DeltaClamp: -1},
+		{LevelMultipliers: []float64{0}},
+	}
+	for i, c := range bad {
+		if _, err := c.Normalize(); err == nil {
+			t.Errorf("case %d: Normalize accepted invalid config", i)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(DefaultConfig(), nil); err == nil {
+		t.Error("Train accepted no samples")
+	}
+	a := tensor.New(2, 50, 4)
+	b := tensor.New(3, 50, 4)
+	if _, err := Train(DefaultConfig(), []*tensor.KV{a, b}); err == nil {
+		t.Error("Train accepted mismatched geometry")
+	}
+	tiny := tensor.New(2, 5, 4)
+	if _, err := Train(DefaultConfig(), []*tensor.KV{tiny}); err == nil {
+		t.Error("Train accepted sample below group size")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(7, 230)) // includes a partial final group
+
+	for lv := 0; lv < codec.Config().Levels(); lv++ {
+		data, err := codec.EncodeChunk(kv, 0, 0, Level(lv))
+		if err != nil {
+			t.Fatalf("level %d: %v", lv, err)
+		}
+		ch, err := codec.DecodeChunk(data)
+		if err != nil {
+			t.Fatalf("level %d decode: %v", lv, err)
+		}
+		if ch.Level != Level(lv) || ch.Index != 0 || ch.TokenOffset != 0 {
+			t.Errorf("level %d metadata: %+v", lv, ch)
+		}
+		if ch.KV.Tokens != kv.Tokens {
+			t.Fatalf("level %d tokens: got %d want %d", lv, ch.KV.Tokens, kv.Tokens)
+		}
+		// Reconstruction error bounded: ≤ half the coarsest bin plus
+		// anchor quantization error (clamping can add tail error, so allow
+		// a small margin).
+		bins := codec.Config().binsFor(Level(lv))
+		maxErr, err := kv.MaxAbsDiff(ch.KV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := bins.Bins[2]/2 + 0.5
+		if maxErr > bound {
+			t.Errorf("level %d max error %.3f exceeds bound %.3f", lv, maxErr, bound)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(8, 150))
+	a, err := codec.EncodeChunk(kv, 2, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := codec.EncodeChunk(kv, 2, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("parallel encoding is not deterministic")
+	}
+}
+
+func TestLevelsTradeOffSizeForError(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(9, 300))
+	var prevSize int
+	var prevErr float64
+	for lv := 0; lv < codec.Config().Levels(); lv++ {
+		data, err := codec.EncodeChunk(kv, 0, 0, Level(lv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := codec.DecodeChunk(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse, err := kv.LayerRMSE(ch.KV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, r := range rmse {
+			total += r
+		}
+		if lv > 0 {
+			if len(data) >= prevSize {
+				t.Errorf("level %d size %d not below level %d size %d", lv, len(data), lv-1, prevSize)
+			}
+			if total <= prevErr {
+				t.Errorf("level %d error %v not above level %d error %v", lv, total, lv-1, prevErr)
+			}
+		}
+		prevSize, prevErr = len(data), total
+	}
+}
+
+// TestCompressionRatioVs8Bit checks the headline claim: CacheGen's encoder
+// produces bitstreams 3.5–4.3× smaller than 8-bit quantization (§7.2).
+// The 8-bit baseline size is 1 byte/element plus scales.
+func TestCompressionRatioVs8Bit(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(10, 400))
+	data, err := codec.EncodeChunk(kv, 0, 0, 1) // default medium level
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline8 := 2 * kv.Elems() // bytes: K and V at 1 byte each
+	ratio := float64(baseline8) / float64(len(data))
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Errorf("compression vs 8-bit = %.2fx, want ≈3.5–4.3x (paper §7.2)", ratio)
+	}
+}
+
+// TestPerChannelModelsBeatGlobal reproduces the §5.2 claim that
+// per-(layer,channel) AC models reduce bitstream size versus one global
+// distribution (up to 53%).
+func TestPerChannelModelsBeatGlobal(t *testing.T) {
+	perChan, m := testCodec(t, smallConfig())
+	globalCfg := smallConfig()
+	globalCfg.GlobalACModel = true
+	global, _ := testCodec(t, globalCfg)
+
+	kv := m.CalculateKV(testTokens(11, 400))
+	a, err := perChan.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := global.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 1 - float64(len(a))/float64(len(b))
+	if saving < 0.10 {
+		t.Errorf("per-channel models save only %.1f%% vs global (want >10%%, paper: up to 53%%)", 100*saving)
+	}
+}
+
+// TestAblationOrdering reproduces Figure 15's ordering at matched level:
+// raw-quantized+AC > +delta (change-based) ≥ full CacheGen in size.
+func TestAblationOrdering(t *testing.T) {
+	base := smallConfig()
+
+	noDelta := base
+	noDelta.DisableDelta = true
+	noDelta.DisableLayerwise = true
+
+	deltaOnly := base
+	deltaOnly.DisableLayerwise = true
+
+	full := base
+
+	sizes := map[string]int{}
+	var m *llm.Model
+	for name, cfg := range map[string]Config{"quantAC": noDelta, "deltaAC": deltaOnly, "full": full} {
+		codec, model := testCodec(t, cfg)
+		m = model
+		kv := m.CalculateKV(testTokens(12, 400))
+		data, err := codec.EncodeChunk(kv, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[name] = len(data)
+	}
+	if !(sizes["quantAC"] > sizes["deltaAC"]) {
+		t.Errorf("delta encoding did not shrink bitstream: %v", sizes)
+	}
+	if sizes["full"] > sizes["quantAC"] {
+		t.Errorf("full CacheGen larger than quant+AC: %v", sizes)
+	}
+}
+
+func TestEncodeChunkValidation(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(13, 50))
+	if _, err := codec.EncodeChunk(kv, 0, 0, Level(99)); err == nil {
+		t.Error("accepted invalid level")
+	}
+	if _, err := codec.EncodeChunk(kv, -1, 0, 0); err == nil {
+		t.Error("accepted negative chunk index")
+	}
+	empty := tensor.New(6, 0, 24)
+	if _, err := codec.EncodeChunk(empty, 0, 0, 0); err == nil {
+		t.Error("accepted empty chunk")
+	}
+	wrong := tensor.New(2, 50, 8)
+	if _, err := codec.EncodeChunk(wrong, 0, 0, 0); err == nil {
+		t.Error("accepted wrong geometry")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(14, 120))
+	data, err := codec.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flips anywhere must be caught by the checksum.
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 20; trial++ {
+		bad := append([]byte{}, data...)
+		bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+		if _, err := codec.DecodeChunk(bad); err == nil {
+			t.Fatal("DecodeChunk accepted corrupted data")
+		}
+	}
+	// Truncations.
+	for _, n := range []int{0, 3, 10, len(data) / 2, len(data) - 1} {
+		if _, err := codec.DecodeChunk(data[:n]); err == nil {
+			t.Errorf("DecodeChunk accepted truncation to %d bytes", n)
+		}
+	}
+	// Garbage of plausible length must error, never panic.
+	garbage := make([]byte, len(data))
+	rng.Read(garbage)
+	if _, err := codec.DecodeChunk(garbage); err == nil {
+		t.Error("DecodeChunk accepted garbage")
+	}
+}
+
+func TestDecodeWrongBank(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(16, 60))
+	data, err := codec.EncodeChunk(kv, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A codec trained for different geometry must reject the chunk.
+	other := tensor.New(3, 60, 8)
+	rng := rand.New(rand.NewSource(17))
+	for i := range other.K {
+		other.K[i] = float32(rng.NormFloat64())
+		other.V[i] = float32(rng.NormFloat64())
+	}
+	bank2, err := Train(smallConfig(), []*tensor.KV{other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodec(bank2).DecodeChunk(data); err == nil {
+		t.Error("decode with mismatched bank geometry succeeded")
+	}
+}
+
+func TestChunkedContextRoundTrip(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(18, 350)) // 4 chunks: 100+100+100+50
+
+	offs := codec.SplitOffsets(kv.Tokens)
+	want := []int{0, 100, 200, 300, 350}
+	if len(offs) != len(want) {
+		t.Fatalf("SplitOffsets = %v", offs)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("SplitOffsets = %v, want %v", offs, want)
+		}
+	}
+
+	chunks, err := codec.EncodeContext(kv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(chunks))
+	}
+	got, err := codec.DecodeContext(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tokens != kv.Tokens {
+		t.Fatalf("reassembled %d tokens, want %d", got.Tokens, kv.Tokens)
+	}
+
+	// Chunked encoding must equal whole-context encoding element-wise
+	// (chunks are independent because boundaries align with token groups).
+	whole, err := codec.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeDec, err := codec.DecodeChunk(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := got.MaxAbsDiff(wholeDec.KV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("chunked and whole decodes differ by %v", d)
+	}
+}
+
+func TestDecodeContextMixedLevels(t *testing.T) {
+	// Chunks sent at different levels decode and concatenate (§5.3).
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(19, 300))
+	offs := codec.SplitOffsets(kv.Tokens)
+	var chunks [][]byte
+	for i := 0; i+1 < len(offs); i++ {
+		part, err := kv.SliceTokens(offs[i], offs[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lv := Level(i % codec.Config().Levels())
+		data, err := codec.EncodeChunk(part, i, offs[i], lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, data)
+	}
+	got, err := codec.DecodeContext(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tokens != kv.Tokens {
+		t.Errorf("mixed-level reassembly has %d tokens, want %d", got.Tokens, kv.Tokens)
+	}
+}
+
+func TestDecodeContextRejectsDisorder(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(20, 200))
+	chunks, err := codec.EncodeContext(kv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := [][]byte{chunks[1], chunks[0]}
+	if _, err := codec.DecodeContext(swapped); err == nil {
+		t.Error("DecodeContext accepted out-of-order chunks")
+	}
+}
+
+func TestEncodeAllLevels(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(21, 200))
+	all, err := codec.EncodeAllLevels(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != codec.Config().Levels() {
+		t.Fatalf("got %d levels", len(all))
+	}
+	for lv, chunks := range all {
+		if len(chunks) != 2 {
+			t.Errorf("level %d: %d chunks, want 2", lv, len(chunks))
+		}
+	}
+}
+
+func TestBankSerializationRoundTrip(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(22, 150))
+	want, err := codec.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := codec.Bank().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank2, err := UnmarshalBank(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewCodec(bank2).EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Error("restored bank produces different bitstreams")
+	}
+
+	// Corruption detection.
+	bad := append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := UnmarshalBank(bad); err == nil {
+		t.Error("UnmarshalBank accepted corruption")
+	}
+	if _, err := UnmarshalBank(data[:10]); err == nil {
+		t.Error("UnmarshalBank accepted truncation")
+	}
+}
+
+func BenchmarkEncodeChunk(b *testing.B) {
+	codec, m := testCodec(b, smallConfig())
+	kv := m.CalculateKV(testTokens(30, 300))
+	data, _ := codec.EncodeChunk(kv, 0, 0, 1)
+	b.SetBytes(int64(kv.Elems() * 2 * 4))
+	b.ReportMetric(float64(len(data)*8)/float64(kv.Elems()*2), "bits/elem")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.EncodeChunk(kv, 0, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeChunk(b *testing.B) {
+	codec, m := testCodec(b, smallConfig())
+	kv := m.CalculateKV(testTokens(31, 300))
+	data, err := codec.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(kv.Elems() * 2 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.DecodeChunk(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements the paper's primary contribution: the CacheGen
+// KV cache encoder and decoder (§5.2). The codec turns KV tensors into
+// compact bitstreams and back, combining:
+//
+//   - change-based encoding: tokens are partitioned into groups of ten;
+//     the first token of each group (the anchor) is encoded with 8-bit
+//     vectorwise quantization and every other token as a delta against the
+//     anchor, exploiting token-wise locality (§5.1.1);
+//   - layer-wise quantization: delta bin sizes {0.5, 1.0, 1.5} for the
+//     shallow/middle/deep thirds of the model (§5.1.2, §C.2), scaled by
+//     the encoding level's multiplier (§5.3);
+//   - arithmetic coding with a separate probability model per
+//     (layer, channel-group) combination, profiled offline per LLM and
+//     reused for every context (§5.1.3).
+//
+// Token groups are independently decodable, so encoding and decoding
+// parallelise across groups (the Go worker pool standing in for the
+// paper's CUDA one-thread-per-token kernels, §6), and a context chunk of
+// any whole number of groups is independently decodable — the property the
+// streamer's per-chunk adaptation relies on (§5.3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/quant"
+)
+
+// Level selects one of the codec's encoding (quantization) levels.
+// Level 0 is the highest quality (smallest bins, largest bitstream);
+// higher levels trade quality for size. The streamer additionally knows a
+// "text" configuration, which is not a codec level (§5.3).
+type Level int
+
+// Config holds the codec parameters. DefaultConfig returns the paper's
+// values; zero-value fields in a custom Config are filled with defaults by
+// Normalize.
+type Config struct {
+	// GroupSize is the token-group length (anchor + deltas). Paper: 10.
+	GroupSize int
+	// AnchorBits is the anchor tokens' quantization width. Paper: 8.
+	AnchorBits int
+	// BaseBins are the per-layer-third delta bin sizes. Paper: 0.5/1.0/1.5.
+	BaseBins quant.LayerGroupBins
+	// LevelMultipliers scale BaseBins per encoding level; index = Level.
+	LevelMultipliers []float64
+	// ChunkTokens is the default context-chunk length. Paper: 1500.
+	ChunkTokens int
+	// ChannelBuckets bounds the number of per-layer channel groups that
+	// get their own arithmetic-coding model. When the tensor has no more
+	// channels than buckets this is exactly the paper's per-channel
+	// modelling; beyond that, adjacent channels share a model to bound
+	// table memory.
+	ChannelBuckets int
+	// DeltaClamp bounds quantized delta magnitudes; the delta alphabet is
+	// 2·DeltaClamp+1 symbols.
+	DeltaClamp int32
+	// Workers caps encode/decode parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	// Ablation switches (Figure 15). Production use leaves them false.
+	//
+	// DisableDelta encodes raw values (uniform-quantized) instead of
+	// anchor+delta ("Quant. + AC" in Fig 15).
+	DisableDelta bool
+	// DisableLayerwise uses the middle bin size for every layer
+	// ("Quant. + AC + Change" in Fig 15).
+	DisableLayerwise bool
+	// GlobalACModel trains a single symbol distribution shared by all
+	// layers and channels (the strawman of §5.2, up to 53% larger).
+	GlobalACModel bool
+}
+
+// DefaultConfig returns the paper's codec parameters.
+func DefaultConfig() Config {
+	return Config{
+		GroupSize:        10,
+		AnchorBits:       8,
+		BaseBins:         quant.DefaultLayerBins(),
+		LevelMultipliers: []float64{0.75, 1.0, 1.5, 2.25},
+		ChunkTokens:      1500,
+		ChannelBuckets:   128,
+		DeltaClamp:       127,
+	}
+}
+
+// Normalize fills zero-valued fields with defaults and validates the
+// result.
+func (c Config) Normalize() (Config, error) {
+	d := DefaultConfig()
+	if c.GroupSize == 0 {
+		c.GroupSize = d.GroupSize
+	}
+	if c.AnchorBits == 0 {
+		c.AnchorBits = d.AnchorBits
+	}
+	if c.BaseBins == (quant.LayerGroupBins{}) {
+		c.BaseBins = d.BaseBins
+	}
+	if len(c.LevelMultipliers) == 0 {
+		c.LevelMultipliers = d.LevelMultipliers
+	}
+	if c.ChunkTokens == 0 {
+		c.ChunkTokens = d.ChunkTokens
+	}
+	if c.ChannelBuckets == 0 {
+		c.ChannelBuckets = d.ChannelBuckets
+	}
+	if c.DeltaClamp == 0 {
+		c.DeltaClamp = d.DeltaClamp
+	}
+	switch {
+	case c.GroupSize < 2:
+		return c, fmt.Errorf("core: group size %d < 2", c.GroupSize)
+	case c.AnchorBits < 2 || c.AnchorBits > 16:
+		return c, fmt.Errorf("core: anchor bits %d outside [2,16]", c.AnchorBits)
+	case c.ChunkTokens < c.GroupSize:
+		return c, fmt.Errorf("core: chunk tokens %d below group size %d (a chunk must be at least one token group, §5.3)",
+			c.ChunkTokens, c.GroupSize)
+	case c.ChannelBuckets < 1:
+		return c, fmt.Errorf("core: channel buckets %d < 1", c.ChannelBuckets)
+	case c.DeltaClamp < 1:
+		return c, fmt.Errorf("core: delta clamp %d < 1", c.DeltaClamp)
+	}
+	for i, m := range c.LevelMultipliers {
+		if m <= 0 {
+			return c, fmt.Errorf("core: level %d multiplier %v must be positive", i, m)
+		}
+	}
+	for _, b := range c.BaseBins.Bins {
+		if b <= 0 {
+			return c, fmt.Errorf("core: bin sizes must be positive, got %v", c.BaseBins.Bins)
+		}
+	}
+	return c, nil
+}
+
+// Levels returns the number of encoding levels.
+func (c Config) Levels() int { return len(c.LevelMultipliers) }
+
+// ValidLevel reports whether lv is a defined encoding level.
+func (c Config) ValidLevel(lv Level) bool { return lv >= 0 && int(lv) < c.Levels() }
+
+// binsFor returns the per-layer bins for level lv, honouring the ablation
+// switches.
+func (c Config) binsFor(lv Level) quant.LayerGroupBins {
+	b := c.BaseBins
+	if c.DisableLayerwise {
+		mid := b.Bins[1]
+		b = quant.LayerGroupBins{Bins: [3]float64{mid, mid, mid}}
+	}
+	return b.Scaled(c.LevelMultipliers[lv])
+}
+
+// bucketOf maps a channel index to its AC-model bucket.
+func (c Config) bucketOf(channel, channels int) int {
+	if c.GlobalACModel {
+		return 0
+	}
+	buckets := c.ChannelBuckets
+	if buckets > channels {
+		buckets = channels
+	}
+	return channel * buckets / channels
+}
+
+// numBuckets returns how many channel buckets the codec uses for a tensor
+// with the given channel count.
+func (c Config) numBuckets(channels int) int {
+	if c.GlobalACModel {
+		return 1
+	}
+	if c.ChannelBuckets > channels {
+		return channels
+	}
+	return c.ChannelBuckets
+}
+
+// modelIndex maps (layer, bucket) to a flat model-bank index. Under
+// GlobalACModel everything maps to 0.
+func (c Config) modelIndex(layer, bucket, channels int) int {
+	if c.GlobalACModel {
+		return 0
+	}
+	return layer*c.numBuckets(channels) + bucket
+}
+
+// numModels returns the model-bank size for the given geometry.
+func (c Config) numModels(layers, channels int) int {
+	if c.GlobalACModel {
+		return 1
+	}
+	return layers * c.numBuckets(channels)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Shared fuzz fixture: building a codec is too slow to do per input.
+var (
+	fuzzOnce  sync.Once
+	fuzzCodec *Codec
+	fuzzSeeds [][]byte
+)
+
+func fuzzSetup(t testing.TB) *Codec {
+	fuzzOnce.Do(func() {
+		codec, m := testCodec(t, smallConfig())
+		fuzzCodec = codec
+		kv := m.CalculateKV(testTokens(1000, 120))
+		chunk, err := codec.EncodeChunk(kv, 0, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refine, err := codec.EncodeRefinement(kv, 0, 0, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bank, err := codec.Bank().MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSeeds = [][]byte{chunk, refine, bank}
+	})
+	return fuzzCodec
+}
+
+// FuzzDecodeChunk: arbitrary bytes must never panic the chunk decoder —
+// they either decode (valid stream) or error.
+func FuzzDecodeChunk(f *testing.F) {
+	codec := fuzzSetup(f)
+	f.Add(fuzzSeeds[0])
+	f.Add([]byte{})
+	f.Add([]byte("CGC1garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = codec.DecodeChunk(data)
+	})
+}
+
+// FuzzApplyRefinement: arbitrary refinement bytes must never panic.
+func FuzzApplyRefinement(f *testing.F) {
+	codec := fuzzSetup(f)
+	base, err := codec.DecodeChunk(fuzzSeeds[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fuzzSeeds[1])
+	f.Add([]byte{})
+	f.Add([]byte("CGR1junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = codec.ApplyRefinement(base, data)
+	})
+}
+
+// FuzzUnmarshalBank: arbitrary bank bytes must never panic.
+func FuzzUnmarshalBank(f *testing.F) {
+	fuzzSetup(f)
+	f.Add(fuzzSeeds[2])
+	f.Add([]byte{})
+	f.Add([]byte("CGBKxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = UnmarshalBank(data)
+	})
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRefinementReachesTargetQuality(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(40, 230))
+
+	// Base at the coarsest level.
+	from := Level(codec.Config().Levels() - 1)
+	baseData, err := codec.EncodeChunk(kv, 0, 0, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := codec.DecodeChunk(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseErr, err := kv.MaxAbsDiff(base.KV)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for to := from - 1; to >= 0; to-- {
+		ref, err := codec.EncodeRefinement(kv, 0, 0, from, to)
+		if err != nil {
+			t.Fatalf("refine ->%d: %v", to, err)
+		}
+		up, err := codec.ApplyRefinement(base, ref)
+		if err != nil {
+			t.Fatalf("apply ->%d: %v", to, err)
+		}
+		if up.Level != to {
+			t.Errorf("upgraded chunk level %d, want %d", up.Level, to)
+		}
+
+		// The refined cache must be at least as accurate as a direct
+		// decode at the target level's error bound.
+		direct, err := codec.EncodeChunk(kv, 0, 0, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd, err := codec.DecodeChunk(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directErr, err := kv.MaxAbsDiff(dd.KV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refinedErr, err := kv.MaxAbsDiff(up.KV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refinedErr > directErr*1.2+0.05 {
+			t.Errorf("refined to L%d: max error %.4f, direct %.4f", to, refinedErr, directErr)
+		}
+		if refinedErr >= baseErr {
+			t.Errorf("refinement to L%d did not improve on base error %.4f (got %.4f)", to, baseErr, refinedErr)
+		}
+	}
+}
+
+func TestRefinementLayeringOverheadIsModest(t *testing.T) {
+	// SVC-style layering should cost only modestly more total bytes than
+	// sending the fine level directly (the residual coder is uniform, not
+	// trained). This is the X1 experiment's core claim.
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(41, 400))
+
+	from, to := Level(3), Level(1)
+	baseData, err := codec.EncodeChunk(kv, 0, 0, from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refData, err := codec.EncodeRefinement(kv, 0, 0, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directData, err := codec.EncodeChunk(kv, 0, 0, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layered := len(baseData) + len(refData)
+	overhead := float64(layered)/float64(len(directData)) - 1
+	if overhead > 0.8 {
+		t.Errorf("layered %d bytes vs direct %d (overhead %.0f%%) — too costly", layered, len(directData), 100*overhead)
+	}
+	if overhead < 0 {
+		t.Logf("layered coding even beat direct (%.0f%%)", 100*overhead)
+	}
+}
+
+func TestRefinementValidation(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(42, 60))
+
+	if _, err := codec.EncodeRefinement(kv, 0, 0, 1, 1); err == nil {
+		t.Error("accepted equal levels")
+	}
+	if _, err := codec.EncodeRefinement(kv, 0, 0, 1, 2); err == nil {
+		t.Error("accepted coarsening refinement")
+	}
+	if _, err := codec.EncodeRefinement(kv, 0, 0, Level(9), 0); err == nil {
+		t.Error("accepted invalid source level")
+	}
+	empty := tensor.New(kv.Layers, 0, kv.Channels)
+	if _, err := codec.EncodeRefinement(empty, 0, 0, 2, 1); err == nil {
+		t.Error("accepted empty chunk")
+	}
+	wrong := tensor.New(1, 10, 2)
+	if _, err := codec.EncodeRefinement(wrong, 0, 0, 2, 1); err == nil {
+		t.Error("accepted wrong geometry")
+	}
+}
+
+func TestApplyRefinementValidation(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(43, 90))
+
+	baseData, err := codec.EncodeChunk(kv, 2, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := codec.DecodeChunk(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := codec.EncodeRefinement(kv, 2, 200, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := codec.ApplyRefinement(nil, ref); err == nil {
+		t.Error("accepted nil base")
+	}
+	// Base at the wrong level.
+	wrongData, err := codec.EncodeChunk(kv, 2, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongBase, err := codec.DecodeChunk(wrongData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.ApplyRefinement(wrongBase, ref); err == nil {
+		t.Error("accepted base at wrong level")
+	}
+	// Mismatched chunk position.
+	otherData, err := codec.EncodeChunk(kv, 3, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBase, err := codec.DecodeChunk(otherData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.ApplyRefinement(otherBase, ref); err == nil {
+		t.Error("accepted mismatched chunk position")
+	}
+
+	// Corruption.
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		bad := append([]byte{}, ref...)
+		bad[rng.Intn(len(bad))] ^= 0xFF
+		if _, err := codec.ApplyRefinement(base, bad); err == nil {
+			t.Fatal("accepted corrupted refinement")
+		}
+	}
+	for _, n := range []int{0, 5, len(ref) / 2} {
+		if _, err := codec.ApplyRefinement(base, ref[:n]); err == nil {
+			t.Errorf("accepted truncation to %d bytes", n)
+		}
+	}
+}
+
+func TestApplyRefinementDoesNotMutateBase(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(45, 70))
+	baseData, err := codec.EncodeChunk(kv, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := codec.DecodeChunk(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := base.KV.Clone()
+	ref, err := codec.EncodeRefinement(kv, 0, 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.ApplyRefinement(base, ref); err != nil {
+		t.Fatal(err)
+	}
+	d, err := snapshot.MaxAbsDiff(base.KV)
+	if err != nil || d != 0 {
+		t.Errorf("ApplyRefinement mutated the base chunk (diff %v, err %v)", d, err)
+	}
+}
+
+func TestRefinementWithDisableDelta(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DisableDelta = true
+	cfg.DisableLayerwise = true
+	codec, m := testCodec(t, cfg)
+	kv := m.CalculateKV(testTokens(46, 120))
+
+	baseData, err := codec.EncodeChunk(kv, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := codec.DecodeChunk(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := codec.EncodeRefinement(kv, 0, 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := codec.ApplyRefinement(base, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseErr, _ := kv.MaxAbsDiff(base.KV)
+	upErr, _ := kv.MaxAbsDiff(up.KV)
+	if upErr >= baseErr {
+		t.Errorf("raw-value refinement did not improve error: %v -> %v", baseErr, upErr)
+	}
+}
+
+func BenchmarkEncodeRefinement(b *testing.B) {
+	codec, m := testCodec(b, smallConfig())
+	kv := m.CalculateKV(testTokens(47, 300))
+	b.SetBytes(int64(kv.Elems() * 2 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.EncodeRefinement(kv, 0, 0, 3, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

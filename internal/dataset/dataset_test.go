@@ -1,0 +1,173 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/llm"
+)
+
+func TestAllDatasetsPresent(t *testing.T) {
+	ds := All()
+	if len(ds) != 4 {
+		t.Fatalf("got %d datasets, want 4", len(ds))
+	}
+	names := map[string]bool{}
+	total := 0
+	for _, d := range ds {
+		names[d.Name] = true
+		total += d.Size
+	}
+	for _, want := range []string{"LongChat", "TriviaQA", "NarrativeQA", "WikiText"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+	// Table 2: 662 contexts in total.
+	if total != 662 {
+		t.Errorf("total contexts = %d, want 662", total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("LongChat")
+	if err != nil || d.Name != "LongChat" {
+		t.Errorf("ByName(LongChat) = %v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown dataset")
+	}
+}
+
+func TestContextsDeterministic(t *testing.T) {
+	d := LongChat()
+	a := d.Contexts(3, 0.01)
+	b := d.Contexts(3, 0.01)
+	for i := range a {
+		if a[i].ID != b[i].ID || len(a[i].Tokens) != len(b[i].Tokens) {
+			t.Fatal("contexts not deterministic")
+		}
+		for j := range a[i].Tokens {
+			if a[i].Tokens[j] != b[i].Tokens[j] {
+				t.Fatal("token content not deterministic")
+			}
+		}
+	}
+}
+
+func TestContextsDiffer(t *testing.T) {
+	d := TriviaQA()
+	cs := d.Contexts(2, 0.01)
+	if len(cs[0].Tokens) == len(cs[1].Tokens) {
+		same := true
+		for j := range cs[0].Tokens {
+			if cs[0].Tokens[j] != cs[1].Tokens[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("distinct contexts have identical tokens")
+		}
+	}
+}
+
+func TestLengthScale(t *testing.T) {
+	d := LongChat()
+	full := d.Contexts(1, 1.0)[0]
+	tenth := d.Contexts(1, 0.1)[0]
+	ratio := float64(full.Len()) / float64(tenth.Len())
+	if ratio < 9 || ratio > 11 {
+		t.Errorf("length scale 0.1 gave ratio %.2f, want ≈10", ratio)
+	}
+	tiny := d.Contexts(1, 1e-9)[0]
+	if tiny.Len() < 16 {
+		t.Error("length floor not applied")
+	}
+	neg := d.Contexts(1, -1)[0]
+	if neg.Len() != full.Len() {
+		t.Error("non-positive scale should mean full scale")
+	}
+}
+
+// TestTable2LengthDistributions checks each dataset's sampled length
+// statistics against Table 2 (tolerances are loose: the paper reports a
+// single realized sample).
+func TestTable2LengthDistributions(t *testing.T) {
+	want := map[string]struct{ med, p95 float64 }{
+		"LongChat":    {9400, 9600},
+		"TriviaQA":    {9300, 15000},
+		"NarrativeQA": {14000, 15000},
+		"WikiText":    {5900, 14800},
+	}
+	for _, d := range All() {
+		med, std, p95 := d.LengthStats(500)
+		w := want[d.Name]
+		if med < w.med*0.85 || med > w.med*1.15 {
+			t.Errorf("%s median = %.0f, want ≈%.0f", d.Name, med, w.med)
+		}
+		if p95 > w.p95*1.15 {
+			t.Errorf("%s p95 = %.0f, want ≤≈%.0f", d.Name, p95, w.p95)
+		}
+		if std < 0 {
+			t.Errorf("%s std = %.0f", d.Name, std)
+		}
+	}
+}
+
+func TestTasksMatchPaperMetrics(t *testing.T) {
+	metrics := map[string]llm.Metric{
+		"LongChat":    llm.MetricAccuracy,
+		"TriviaQA":    llm.MetricF1,
+		"NarrativeQA": llm.MetricF1,
+		"WikiText":    llm.MetricPerplexity,
+	}
+	for _, d := range All() {
+		if d.Task.Metric != metrics[d.Name] {
+			t.Errorf("%s task metric = %v, want %v", d.Name, d.Task.Metric, metrics[d.Name])
+		}
+		if d.Task.Baseline <= 0 {
+			t.Errorf("%s baseline = %v", d.Name, d.Task.Baseline)
+		}
+	}
+}
+
+func TestTokensInVocabulary(t *testing.T) {
+	for _, d := range All() {
+		for _, c := range d.Contexts(2, 0.02) {
+			if c.Query == "" {
+				t.Errorf("%s context has empty query", d.Name)
+			}
+			for _, tok := range c.Tokens {
+				if tok < 0 || tok >= llm.VocabSize {
+					t.Fatalf("%s token %d outside vocabulary", d.Name, tok)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfianTokenSkew(t *testing.T) {
+	// Natural-text-like token distribution: the most common token should
+	// appear far more often than the median token.
+	c := LongChat().Contexts(1, 1.0)[0]
+	counts := map[llm.Token]int{}
+	for _, tok := range c.Tokens {
+		counts[tok]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < c.Len()/100 {
+		t.Errorf("token distribution too flat: max count %d of %d", max, c.Len())
+	}
+}
+
+func TestLengthStatsDefaultSamples(t *testing.T) {
+	med, _, _ := WikiText().LengthStats(0)
+	if med <= 0 {
+		t.Error("LengthStats with default samples returned nothing")
+	}
+}

@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/streamer"
+)
+
+func init() {
+	register("F8", "Figure 8: TTFT vs quality across models and datasets", runFigure8)
+	register("F9", "Figure 9: KV cache size vs quality across models and datasets", runFigure9)
+	register("F10", "Figure 10: CacheGen on top of H2O and LLMLingua", runFigure10)
+}
+
+// evalModels are the three serving models of §7.1.
+func evalModels() []llm.Config { return []llm.Config{llm.Mistral7B(), llm.Llama34B(), llm.Llama70B()} }
+
+// figure8Bandwidth is the link speed of the headline TTFT comparison.
+var figure8Bandwidth = netsim.Gbps(3)
+
+// datasetLengths returns the context lengths an experiment uses for one
+// dataset (full-scale lengths; sizes are analytic).
+func datasetLengths(d *dataset.Dataset, n int) []int {
+	ctxs := d.Contexts(n, 1.0)
+	out := make([]int, len(ctxs))
+	for i, c := range ctxs {
+		out[i] = c.Len()
+	}
+	return out
+}
+
+func runFigure8(f *Fixture) ([]*Report, error) {
+	var reports []*Report
+	for _, cfg := range evalModels() {
+		rig, err := f.Rig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep := &Report{
+			ID:      "F8",
+			Title:   fmt.Sprintf("TTFT and quality at 3 Gbps (%s)", cfg.Name),
+			Columns: []string{"Dataset", "Method", "TTFT", "Quality"},
+		}
+		for _, d := range dataset.All() {
+			lengths := datasetLengths(d, f.Scale.ContextsPerDataset)
+			var textT, quantT, cgT []float64
+			for _, n := range lengths {
+				tt, err := rig.TextTTFT(n, netsim.Constant(figure8Bandwidth), 1)
+				if err != nil {
+					return nil, err
+				}
+				qt, _, err := rig.QuantTTFT(n, 8, netsim.Constant(figure8Bandwidth), 1)
+				if err != nil {
+					return nil, err
+				}
+				res, err := rig.CacheGenTTFT(n, netsim.Constant(figure8Bandwidth),
+					streamer.Planner{Adapt: false, DefaultLevel: defaultLevel}, 1)
+				if err != nil {
+					return nil, err
+				}
+				textT = append(textT, tt.Seconds())
+				quantT = append(quantT, qt.Seconds())
+				cgT = append(cgT, res.TTFT.Seconds())
+			}
+			qp := rig.QP
+			rows := []struct {
+				method  string
+				ttft    float64
+				quality float64
+			}{
+				{"Text context", metrics.Summarize(textT).Mean, d.Task.Score(0, 0, qp)},
+				{"Quantization (8-bit)", metrics.Summarize(quantT).Mean, d.Task.Score(rig.QuantErr[8], 0, qp)},
+				{"CacheGen", metrics.Summarize(cgT).Mean, d.Task.Score(rig.LevelErr[defaultLevel], 0, qp)},
+			}
+			for _, row := range rows {
+				rep.AddRow(d.Name, row.method,
+					fmt.Sprintf("%.2fs", row.ttft),
+					fmt.Sprintf("%.2f", row.quality))
+			}
+			textMean := metrics.Summarize(textT).Mean
+			quantMean := metrics.Summarize(quantT).Mean
+			cgMean := metrics.Summarize(cgT).Mean
+			rep.AddNote("%s: CacheGen %.1fx faster than text, %.1fx faster than 8-bit quantization (paper: 3.1-4.7x / >=1.67x)",
+				d.Name, textMean/cgMean, quantMean/cgMean)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+func runFigure9(f *Fixture) ([]*Report, error) {
+	var reports []*Report
+	for _, cfg := range evalModels() {
+		rig, err := f.Rig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep := &Report{
+			ID:      "F9",
+			Title:   fmt.Sprintf("KV size vs quality (%s, per-dataset median context)", cfg.Name),
+			Columns: []string{"Dataset", "Method", "Size", "Quality"},
+		}
+		for _, d := range dataset.All() {
+			med, _, _ := d.LengthStats(200)
+			tokens := int(med)
+			type pt struct {
+				method  string
+				bytes   int64
+				quality float64
+			}
+			var pts []pt
+			for _, bits := range []int{3, 4, 8} {
+				pts = append(pts, pt{
+					method:  fmt.Sprintf("Quant %d-bit", bits),
+					bytes:   rig.QuantBytes(tokens, bits),
+					quality: d.Task.Score(rig.QuantErr[bits], 0, rig.QP),
+				})
+			}
+			for lv := range rig.LevelBPE {
+				pts = append(pts, pt{
+					method:  fmt.Sprintf("CacheGen L%d", lv),
+					bytes:   rig.CacheGenBytes(tokens, core.Level(lv)),
+					quality: d.Task.Score(rig.LevelErr[lv], 0, rig.QP),
+				})
+			}
+			for _, p := range pts {
+				rep.AddRow(d.Name, p.method, metrics.FormatBytes(p.bytes), fmt.Sprintf("%.2f", p.quality))
+			}
+		}
+		rep.AddNote("paper: CacheGen reaches the quantization baseline's quality at 3.5-4.3x smaller sizes")
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+func runFigure10(f *Fixture) ([]*Report, error) {
+	rep := &Report{
+		ID:      "F10",
+		Title:   "CacheGen on top of context-compression baselines (LongChat)",
+		Columns: []string{"Model", "Method", "Size", "Quality (norm.)"},
+	}
+	task := dataset.LongChat().Task
+	const fullTokens = 9400
+	for _, cfg := range []llm.Config{llm.Mistral7B(), llm.Llama70B()} {
+		rig, err := f.Rig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		imp := rig.Model.Importance(rig.RefTokens)
+
+		h2oKeep, err := baselines.H2OMask(imp, h2oKeepFrac, len(imp)/20)
+		if err != nil {
+			return nil, err
+		}
+		h2o, err := rig.maskedCompression("H2O", h2oKeep, 1, rig.RefKV, imp, task, fullTokens)
+		if err != nil {
+			return nil, err
+		}
+		linguaKeep, err := baselines.LLMLinguaMask(imp, linguaKeepFrac)
+		if err != nil {
+			return nil, err
+		}
+		lingua, err := rig.maskedCompression("LLMLingua", linguaKeep, linguaCoherence, rig.RefKV, imp, task, fullTokens)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range []compressorResult{h2o[0], h2o[1], lingua[0], lingua[1]} {
+			rep.AddRow(cfg.Name, row.name, metrics.FormatBytes(row.bytes), fmt.Sprintf("%.2f", row.relScore))
+		}
+		rep.AddNote("%s: CacheGen shrinks H2O's cache %.1fx and LLMLingua's %.1fx (paper: 3.5-4x / 3.3-4.2x)",
+			cfg.Name,
+			float64(h2o[0].bytes)/float64(h2o[1].bytes),
+			float64(lingua[0].bytes)/float64(lingua[1].bytes))
+	}
+	return []*Report{rep}, nil
+}
+
+// ttftSeconds is a small helper for sweep experiments.
+func ttftSeconds(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }

@@ -1,0 +1,101 @@
+package llm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Device models the serving hardware's effective throughput. It stands in
+// for the paper's 4×A40 testbed running vLLM with xFormers kernels (§7.1):
+// what matters to every experiment is the ratio between network transfer
+// time and compute time, which these three constants capture.
+type Device struct {
+	Name string
+	// FLOPS is the effective prefill compute throughput (FLOP/s).
+	FLOPS float64
+	// MemBW is the memory bandwidth (bytes/s) governing dequantisation and
+	// host-to-device KV loading.
+	MemBW float64
+	// DecodeBW is the throughput (bytes of encoded bitstream per second)
+	// of the GPU arithmetic-decoding kernels (§6 "Speed optimization").
+	DecodeBW float64
+}
+
+// A40x4 returns the paper's testbed: four NVIDIA A40s. The effective
+// prefill FLOPS is calibrated so Mistral-7B prefill of a ~9.4K-token
+// context takes ≈2 s, matching Figure 8c's text baseline.
+func A40x4() Device {
+	return Device{Name: "4xA40", FLOPS: 8e13, MemBW: 2.6e12, DecodeBW: 8e9}
+}
+
+// Validate reports whether the device constants are usable.
+func (d Device) Validate() error {
+	if d.FLOPS <= 0 || d.MemBW <= 0 || d.DecodeBW <= 0 {
+		return fmt.Errorf("llm: device %q has non-positive throughput", d.Name)
+	}
+	return nil
+}
+
+// TextBytesPerToken is the average transmission size of one token of text
+// context (tokens average ~4 characters in English).
+const TextBytesPerToken = 4
+
+// PrefillFLOPs returns the compute cost of prefilling a context of the
+// given length: the 2·N·T GEMM term plus the quadratic attention term
+// 4·L·H·T². The quadratic term is what makes context processing grow
+// super-linearly with length (§2.1).
+func (c Config) PrefillFLOPs(tokens int) float64 {
+	t := float64(tokens)
+	return 2*c.Params*t + 4*float64(c.Layers)*float64(c.Hidden)*t*t
+}
+
+// PrefillTime returns the wall-clock prefill time of a context on dev when
+// the request receives the fraction share ∈ (0, 1] of the device
+// (share = 1/n under n concurrent requests, §7.3).
+func (c Config) PrefillTime(tokens int, dev Device, share float64) time.Duration {
+	if tokens <= 0 {
+		return 0
+	}
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	return secs(c.PrefillFLOPs(tokens) / (dev.FLOPS * share))
+}
+
+// MarginalPrefillTime returns the time to prefill newTokens given that a
+// prefix of prefixTokens already has its KV cache in GPU memory — the cost
+// of the text-recompute fallback for one chunk (§5.3) and of processing
+// the user's prompt suffix after the context KV is loaded.
+func (c Config) MarginalPrefillTime(prefixTokens, newTokens int, dev Device, share float64) time.Duration {
+	if newTokens <= 0 {
+		return 0
+	}
+	if share <= 0 || share > 1 {
+		share = 1
+	}
+	fl := c.PrefillFLOPs(prefixTokens+newTokens) - c.PrefillFLOPs(prefixTokens)
+	return secs(fl / (dev.FLOPS * share))
+}
+
+// DequantTime returns the time to dequantise and load a KV cache of the
+// given transmission size into GPU memory (memory-bound).
+func (d Device) DequantTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return secs(float64(bytes) / d.MemBW)
+}
+
+// DecodeTime returns the modelled GPU arithmetic-decode time for an
+// encoded bitstream of the given size. CacheGen pipelines this with
+// transmission, so it contributes only when it exceeds transfer time.
+func (d Device) DecodeTime(encodedBytes int64) time.Duration {
+	if encodedBytes <= 0 {
+		return 0
+	}
+	return secs(float64(encodedBytes) / d.DecodeBW)
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,28 @@
+package llm
+
+import "testing"
+
+// FuzzDecodeTokens: arbitrary token payloads must never panic, and
+// payloads that decode must re-encode to the same bytes.
+func FuzzDecodeTokens(f *testing.F) {
+	f.Add(EncodeTokens([]Token{1, 2, 3, 31999}))
+	f.Add(EncodeTokens(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		toks, err := DecodeTokens(data)
+		if err != nil {
+			return
+		}
+		for _, tok := range toks {
+			if tok < 0 || tok >= VocabSize {
+				t.Fatalf("decoded out-of-vocabulary token %d", tok)
+			}
+		}
+		again := EncodeTokens(toks)
+		got, err := DecodeTokens(again)
+		if err != nil || len(got) != len(toks) {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package llm
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// GenerateResult is the outcome of answering a query against a (possibly
+// lossily reconstructed) KV cache.
+type GenerateResult struct {
+	// Quality is the relative answer quality retained, in (0, 1]; 1 means
+	// indistinguishable from generating with the exact KV cache.
+	Quality float64
+	// Correct reports whether this particular generation produced the
+	// ground-truth answer. It is a deterministic Bernoulli draw with
+	// success probability Quality, keyed by (model, prompt), so repeated
+	// runs are reproducible — the mechanism behind the Figure 17 example
+	// where the quantization baseline answers wrongly and CacheGen
+	// correctly on the same prompt.
+	Correct bool
+	// Error is the layer-weighted KV reconstruction error that produced
+	// Quality.
+	Error float64
+}
+
+// GenerateWithKV is the generate_with_kv(KVCache) interface of §6: it lets
+// the model generate against a supplied KV cache, skipping context prefill.
+// The simulated generation recomputes the exact cache for the context,
+// measures the supplied cache's reconstruction error, and converts it to
+// answer quality via the quality model.
+//
+// kv must cover exactly the given context tokens. Use CalculateKV first
+// (the calculate_kv path) when no cache exists.
+func (m *Model) GenerateWithKV(contextTokens []Token, kv *tensor.KV, prompt string, qp QualityParams) (GenerateResult, error) {
+	if kv == nil {
+		return GenerateResult{}, fmt.Errorf("llm: GenerateWithKV: nil KV cache")
+	}
+	if kv.Tokens != len(contextTokens) {
+		return GenerateResult{}, fmt.Errorf("llm: GenerateWithKV: cache covers %d tokens, context has %d",
+			kv.Tokens, len(contextTokens))
+	}
+	exact := m.CalculateKV(contextTokens)
+	e, err := m.KVError(exact, kv, qp)
+	if err != nil {
+		return GenerateResult{}, err
+	}
+	q := qp.relQuality(e, 0)
+	draw := hashUniform(m.cfg.Seed, 0xF6, hashString(prompt))
+	return GenerateResult{Quality: q, Correct: draw < q, Error: e}, nil
+}
+
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

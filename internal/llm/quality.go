@@ -1,0 +1,154 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Metric identifies which task metric a dataset reports (§7.1).
+type Metric int
+
+const (
+	// MetricAccuracy is exact-answer accuracy in [0,1] (LongChat).
+	MetricAccuracy Metric = iota
+	// MetricF1 is the QA F1 score in percent (TriviaQA, NarrativeQA).
+	MetricF1
+	// MetricPerplexity is language-modelling perplexity; lower is better
+	// (WikiText).
+	MetricPerplexity
+)
+
+// String names the metric as the paper's figures label it.
+func (m Metric) String() string {
+	switch m {
+	case MetricAccuracy:
+		return "Accuracy"
+	case MetricF1:
+		return "F1 score (%)"
+	case MetricPerplexity:
+		return "Perplexity"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// LowerIsBetter reports whether smaller metric values are better.
+func (m Metric) LowerIsBetter() bool { return m == MetricPerplexity }
+
+// Task couples a metric with the lossless baseline value the model
+// achieves on a dataset (the quality with an exact KV cache).
+type Task struct {
+	Name     string
+	Metric   Metric
+	Baseline float64
+}
+
+// QualityParams are the constants of the degradation model mapping KV
+// reconstruction error to task quality. They are calibrated (see
+// calibration_test.go) so the anchor points of Table 1 hold: 8-bit
+// quantization is near-lossless, CacheGen's default level loses ≤2%
+// accuracy, and layer-local losses reproduce Figure 4's shallow-layer
+// sensitivity.
+type QualityParams struct {
+	// LayerBeta is the exponential decay of loss sensitivity with depth:
+	// weight(l) ∝ exp(−LayerBeta·l/(L−1)). Positive values make shallow
+	// layers more sensitive (§5.1.2).
+	LayerBeta float64
+	// Gamma is the concentration exponent of the per-layer aggregation:
+	// E = (Σ w·ε^Gamma / Σ w)^(1/Gamma). Gamma > 1 makes losses
+	// concentrated in a few layers (the Fig 4 rounding experiment) hurt
+	// much more than the same average loss spread evenly (quantization) —
+	// the behaviour the paper measures.
+	Gamma float64
+	// E0 and P shape the error response: relative quality is
+	// 1/(1+(E/E0)^P).
+	E0, P float64
+	// Drop0 and DropP shape the response to dropped-token importance mass
+	// (token-dropping baselines): 1/(1+(mass/Drop0)^DropP).
+	Drop0, DropP float64
+	// PplGain scales how strongly perplexity inflates with degradation.
+	PplGain float64
+}
+
+// DefaultQualityParams returns the calibrated constants.
+func DefaultQualityParams() QualityParams {
+	return QualityParams{LayerBeta: 2.2, Gamma: 2, E0: 0.48, P: 3, Drop0: 0.45, DropP: 3, PplGain: 1.0}
+}
+
+// KVError computes the layer-weighted normalised reconstruction error of
+// recon against orig: per layer, RMSE divided by that layer's value std,
+// combined with shallow-biased weights. This single scalar drives the
+// quality model; Figure 4 falls out of the weighting.
+func (m *Model) KVError(orig, recon *tensor.KV, qp QualityParams) (float64, error) {
+	rmse, err := orig.LayerRMSE(recon)
+	if err != nil {
+		return 0, fmt.Errorf("llm: KVError: %w", err)
+	}
+	stds := orig.LayerStd()
+	L := len(rmse)
+	gamma := qp.Gamma
+	if gamma <= 0 {
+		gamma = 1
+	}
+	var num, den float64
+	for l := 0; l < L; l++ {
+		frac := 0.0
+		if L > 1 {
+			frac = float64(l) / float64(L-1)
+		}
+		w := math.Exp(-qp.LayerBeta * frac)
+		s := stds[l]
+		if s < 1e-9 {
+			s = m.layerScale[l] // degenerate slice; fall back to nominal scale
+		}
+		num += w * math.Pow(rmse[l]/s, gamma)
+		den += w
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return math.Pow(num/den, 1/gamma), nil
+}
+
+// relQuality is the relative quality retained at error E with dropped
+// importance mass dm, in (0, 1].
+func (qp QualityParams) relQuality(e, dropMass float64) float64 {
+	r := 1 / (1 + math.Pow(math.Max(0, e)/qp.E0, qp.P))
+	if dropMass > 0 {
+		r *= 1 / (1 + math.Pow(dropMass/qp.Drop0, qp.DropP))
+	}
+	return r
+}
+
+// Score maps a reconstruction error and dropped-importance mass to the
+// task's metric value. For accuracy/F1 the baseline is scaled down; for
+// perplexity it is scaled up.
+func (t Task) Score(e, dropMass float64, qp QualityParams) float64 {
+	r := qp.relQuality(e, dropMass)
+	if t.Metric == MetricPerplexity {
+		return t.Baseline * (1 + qp.PplGain*(1/r-1))
+	}
+	return t.Baseline * r
+}
+
+// DropMass returns the fraction of total importance carried by dropped
+// tokens, the penalty input for token-dropping compressors. keep[i]
+// reports whether token i was retained.
+func DropMass(importance []float64, keep []bool) (float64, error) {
+	if len(importance) != len(keep) {
+		return 0, fmt.Errorf("llm: DropMass: %d importances vs %d keeps", len(importance), len(keep))
+	}
+	var total, dropped float64
+	for i, imp := range importance {
+		total += imp
+		if !keep[i] {
+			dropped += imp
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return dropped / total, nil
+}

@@ -1,0 +1,49 @@
+package llm
+
+import "math"
+
+// Deterministic hash-based noise. All synthetic KV values are pure
+// functions of (model seed, layer, channel, kind, token, position), so the
+// same context always yields bit-identical KV caches — the property that
+// makes KV reuse meaningful — without storing any state.
+
+// splitmix64 is the SplitMix64 finalizer, a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// mix folds a sequence of keys into one hash.
+func mix(keys ...uint64) uint64 {
+	h := uint64(0x8A5CD789635D2DFF)
+	for _, k := range keys {
+		h = splitmix64(h ^ k)
+	}
+	return h
+}
+
+// hashUniform returns a uniform float64 in [0, 1) derived from the keys.
+func hashUniform(keys ...uint64) float64 {
+	return float64(mix(keys...)>>11) / float64(1<<53)
+}
+
+// hashNormal returns an approximately standard-normal variate derived from
+// the keys. It sums four independent 32-bit uniforms (Irwin–Hall, n=4) and
+// rescales; the result matches a Gaussian to well under the modelling
+// error of the synthetic KV process while costing only two hashes.
+func hashNormal(keys ...uint64) float64 {
+	h1 := mix(keys...)
+	h2 := splitmix64(h1 ^ 0xD1B54A32D192ED03)
+	const inv32 = 1.0 / (1 << 32)
+	s := float64(uint32(h1))*inv32 + float64(h1>>32)*inv32 +
+		float64(uint32(h2))*inv32 + float64(h2>>32)*inv32
+	// Sum of 4 U(0,1): mean 2, variance 4/12 ⇒ std = 1/√3.
+	return (s - 2) * math.Sqrt(3)
+}
+
+// hashLogNormal returns exp(sigma·N(0,1)) derived from the keys.
+func hashLogNormal(sigma float64, keys ...uint64) float64 {
+	return math.Exp(sigma * hashNormal(keys...))
+}

@@ -1,0 +1,48 @@
+package llm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeTokens serialises a token sequence for storage or transmission
+// (the "text format" payload of a context chunk, §5.3). Tokens are packed
+// as 17-bit-max uvarints; typical natural-text ids compress to ~2 bytes,
+// matching the ~4 bytes/token of raw text closely enough for the
+// transfer-size accounting.
+func EncodeTokens(tokens []Token) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(tokens)))
+	for _, t := range tokens {
+		out = binary.AppendUvarint(out, uint64(uint32(t)))
+	}
+	return out
+}
+
+// DecodeTokens restores a sequence serialised by EncodeTokens.
+func DecodeTokens(data []byte) ([]Token, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("llm: truncated token payload")
+	}
+	data = data[k:]
+	const maxTokens = 1 << 24
+	if n > maxTokens {
+		return nil, fmt.Errorf("llm: implausible token count %d", n)
+	}
+	out := make([]Token, n)
+	for i := range out {
+		v, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("llm: truncated token payload at %d/%d", i, n)
+		}
+		if v >= VocabSize {
+			return nil, fmt.Errorf("llm: token %d outside vocabulary", v)
+		}
+		data = data[k:]
+		out[i] = Token(v)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("llm: %d trailing bytes after token payload", len(data))
+	}
+	return out, nil
+}

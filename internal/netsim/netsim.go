@@ -1,0 +1,199 @@
+// Package netsim is the virtual-time network simulator used by the
+// experiment harness. It models the link between the KV storage server and
+// the inference server as a time-varying bandwidth trace and answers one
+// question exactly: how long does it take to push N bytes through the link
+// starting at virtual time t? Virtual time makes the paper's experiments
+// (seconds to minutes of simulated transfer across hundreds of contexts)
+// run in milliseconds and deterministically.
+//
+// The real-socket path (internal/transport) exercises the same wire code
+// with real time; both consume the Trace types defined here.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Trace is a bandwidth profile: the available throughput of the link as a
+// function of time.
+type Trace interface {
+	// BandwidthAt returns the available bandwidth in bits per second at
+	// time t. Implementations must return positive, finite values.
+	BandwidthAt(t time.Duration) float64
+}
+
+// Gbps converts gigabits per second to bits per second.
+func Gbps(g float64) float64 { return g * 1e9 }
+
+// Constant is a fixed-bandwidth trace.
+type Constant float64
+
+// BandwidthAt implements Trace.
+func (c Constant) BandwidthAt(time.Duration) float64 { return float64(c) }
+
+// Step is a piecewise-constant trace: Times[i] is when segment i begins
+// (Times[0] must be 0) and BPS[i] its bandwidth. After the last point the
+// bandwidth stays at BPS[len-1].
+type Step struct {
+	Times []time.Duration
+	BPS   []float64
+}
+
+// NewStep validates and returns a step trace.
+func NewStep(times []time.Duration, bps []float64) (*Step, error) {
+	if len(times) == 0 || len(times) != len(bps) {
+		return nil, fmt.Errorf("netsim: step trace needs equal nonzero points, got %d/%d", len(times), len(bps))
+	}
+	if times[0] != 0 {
+		return nil, fmt.Errorf("netsim: step trace must start at t=0, got %v", times[0])
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("netsim: step times not increasing at %d", i)
+		}
+	}
+	for i, b := range bps {
+		if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("netsim: invalid bandwidth %v at point %d", b, i)
+		}
+	}
+	return &Step{Times: times, BPS: bps}, nil
+}
+
+// BandwidthAt implements Trace.
+func (s *Step) BandwidthAt(t time.Duration) float64 {
+	i := sort.Search(len(s.Times), func(i int) bool { return s.Times[i] > t })
+	if i == 0 {
+		return s.BPS[0]
+	}
+	return s.BPS[i-1]
+}
+
+// Figure7Trace returns the bandwidth pattern of the paper's adaptation
+// walkthrough (Fig 7): 2 Gbps for 2 s, a drop to 0.2 Gbps until 4 s, then
+// recovery to 1 Gbps.
+func Figure7Trace() Trace {
+	s, err := NewStep(
+		[]time.Duration{0, 2 * time.Second, 4 * time.Second},
+		[]float64{Gbps(2), Gbps(0.2), Gbps(1)},
+	)
+	if err != nil {
+		panic(err) // constants above are valid
+	}
+	return s
+}
+
+// Random is a trace whose bandwidth is re-sampled uniformly from
+// [MinBPS, MaxBPS] every Interval, as in the Fig 13 SLO experiments
+// ("each context chunk's bandwidth is sampled from a random distribution
+// of 0.1–10 Gbps"). Deterministic per Seed.
+type Random struct {
+	MinBPS, MaxBPS float64
+	Interval       time.Duration
+	Seed           int64
+}
+
+// NewRandom validates and returns a random trace.
+func NewRandom(minBPS, maxBPS float64, interval time.Duration, seed int64) (*Random, error) {
+	if minBPS <= 0 || maxBPS < minBPS {
+		return nil, fmt.Errorf("netsim: invalid random range [%g,%g]", minBPS, maxBPS)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("netsim: invalid interval %v", interval)
+	}
+	return &Random{MinBPS: minBPS, MaxBPS: maxBPS, Interval: interval, Seed: seed}, nil
+}
+
+// BandwidthAt implements Trace.
+func (r *Random) BandwidthAt(t time.Duration) float64 {
+	if t < 0 {
+		t = 0
+	}
+	slot := int64(t / r.Interval)
+	rng := rand.New(rand.NewSource(r.Seed ^ (slot+1)*0x9E3779B9))
+	return r.MinBPS + (r.MaxBPS-r.MinBPS)*rng.Float64()
+}
+
+// Link is a virtual-time link: a trace plus a clock. Transfer advances the
+// clock by exactly the time the trace needs to carry the payload. Link is
+// not safe for concurrent use; the streamer owns one per request.
+type Link struct {
+	trace Trace
+	now   time.Duration
+}
+
+// NewLink returns a link at virtual time zero.
+func NewLink(trace Trace) *Link { return &Link{trace: trace} }
+
+// Now returns the link's virtual clock.
+func (l *Link) Now() time.Duration { return l.now }
+
+// Advance moves the clock forward by d (modelling compute that overlaps no
+// transfer). Negative d is ignored.
+func (l *Link) Advance(d time.Duration) {
+	if d > 0 {
+		l.now += d
+	}
+}
+
+// integration step bounds: fine enough to track every step edge of
+// realistic traces, coarse enough to stay O(μs) per call.
+const maxSteps = 1 << 20
+
+// Transfer sends n bytes starting at the current clock, advancing the
+// clock to the completion time and returning the transfer duration. The
+// trace is integrated piecewise: within [t, t+ε) bandwidth is treated as
+// BandwidthAt(t) with ε = 1ms, which resolves every trace used in the
+// evaluation exactly (their segments are ≥ 100ms).
+func (l *Link) Transfer(n int64) (time.Duration, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("netsim: negative transfer size %d", n)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	remaining := float64(n) * 8 // bits
+	start := l.now
+	const tick = time.Millisecond
+	for step := 0; step < maxSteps; step++ {
+		bw := l.trace.BandwidthAt(l.now)
+		if bw <= 0 || math.IsNaN(bw) {
+			return 0, fmt.Errorf("netsim: trace returned invalid bandwidth %v at %v", bw, l.now)
+		}
+		carried := bw * tick.Seconds()
+		if carried >= remaining {
+			frac := remaining / carried
+			l.now += time.Duration(float64(tick) * frac)
+			return l.now - start, nil
+		}
+		remaining -= carried
+		l.now += tick
+	}
+	return 0, fmt.Errorf("netsim: transfer of %d bytes did not finish within %v (bandwidth too low)", n, l.now-start)
+}
+
+// Throughput returns the average throughput in bits per second that a
+// transfer of n bytes taking d achieved — what the streamer measures from
+// the previous chunk to predict the next (§5.3).
+func Throughput(n int64, d time.Duration) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) * 8 / d.Seconds()
+}
+
+// TransferTime returns how long n bytes take at a constant bandwidth,
+// without a link or clock — the streamer's expected-delay estimate.
+func TransferTime(n int64, bps float64) time.Duration {
+	if n <= 0 || math.IsInf(bps, 1) {
+		return 0
+	}
+	if bps <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(float64(n) * 8 / bps * float64(time.Second))
+}

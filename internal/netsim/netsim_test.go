@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstantTransfer(t *testing.T) {
+	l := NewLink(Constant(Gbps(1))) // 1 Gbps = 125 MB/s
+	d, err := l.Transfer(125_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-1.0) > 0.01 {
+		t.Errorf("125 MB at 1 Gbps took %v, want ≈1s", d)
+	}
+	if l.Now() != d {
+		t.Errorf("clock %v != duration %v", l.Now(), d)
+	}
+}
+
+func TestZeroAndNegativeTransfer(t *testing.T) {
+	l := NewLink(Constant(Gbps(1)))
+	d, err := l.Transfer(0)
+	if err != nil || d != 0 {
+		t.Errorf("zero transfer: %v, %v", d, err)
+	}
+	if _, err := l.Transfer(-1); err == nil {
+		t.Error("negative transfer accepted")
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	l := NewLink(Constant(Gbps(1)))
+	l.Advance(2 * time.Second)
+	if l.Now() != 2*time.Second {
+		t.Errorf("Now = %v", l.Now())
+	}
+	l.Advance(-time.Second)
+	if l.Now() != 2*time.Second {
+		t.Error("negative advance moved the clock")
+	}
+}
+
+func TestStepTraceValidation(t *testing.T) {
+	cases := []struct {
+		times []time.Duration
+		bps   []float64
+	}{
+		{nil, nil},
+		{[]time.Duration{0}, []float64{1, 2}},
+		{[]time.Duration{time.Second}, []float64{1}},
+		{[]time.Duration{0, 0}, []float64{1, 2}},
+		{[]time.Duration{0, time.Second}, []float64{1, -2}},
+		{[]time.Duration{0}, []float64{math.Inf(1)}},
+	}
+	for i, c := range cases {
+		if _, err := NewStep(c.times, c.bps); err == nil {
+			t.Errorf("case %d: NewStep accepted invalid trace", i)
+		}
+	}
+}
+
+func TestStepTraceLookup(t *testing.T) {
+	s, err := NewStep([]time.Duration{0, time.Second, 3 * time.Second}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 10}, {500 * time.Millisecond, 10}, {time.Second, 20},
+		{2 * time.Second, 20}, {3 * time.Second, 30}, {time.Hour, 30},
+	}
+	for _, c := range checks {
+		if got := s.BandwidthAt(c.t); got != c.want {
+			t.Errorf("BandwidthAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+// TestFigure7Scenario replays the paper's Fig 7 walkthrough: a 1 GB KV
+// stream that would meet a 4 s SLO at 2 Gbps overshoots to ≈7 s when the
+// bandwidth drops to 0.2 Gbps at t=2s and recovers to 1 Gbps at t=4s.
+func TestFigure7Scenario(t *testing.T) {
+	l := NewLink(Figure7Trace())
+	d, err := l.Transfer(1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2s at 2Gbps = 4Gb; 2s at 0.2Gbps = 0.4Gb; remaining 3.6Gb at 1Gbps
+	// = 3.6s ⇒ total ≈ 7.6s (the paper quotes ≈7s with its rounding).
+	if d < 7*time.Second || d > 8*time.Second {
+		t.Errorf("Fig 7 transfer took %v, want ≈7.6s", d)
+	}
+}
+
+func TestTransferAcrossStepBoundary(t *testing.T) {
+	s, err := NewStep([]time.Duration{0, time.Second}, []float64{8e6, 16e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLink(s)
+	// 1 MB at 8 Mbps = 1s exactly, then 1 MB at 16 Mbps = 0.5s.
+	d, err := l.Transfer(2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Seconds()-1.5) > 0.01 {
+		t.Errorf("split transfer took %v, want 1.5s", d)
+	}
+}
+
+func TestRandomTraceDeterministicAndBounded(t *testing.T) {
+	r, err := NewRandom(Gbps(0.1), Gbps(10), 100*time.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tt := time.Duration(i) * 37 * time.Millisecond
+		a := r.BandwidthAt(tt)
+		b := r.BandwidthAt(tt)
+		if a != b {
+			t.Fatal("random trace not deterministic")
+		}
+		if a < Gbps(0.1) || a > Gbps(10) {
+			t.Fatalf("bandwidth %v outside range", a)
+		}
+	}
+	if r.BandwidthAt(-time.Second) <= 0 {
+		t.Error("negative time should clamp")
+	}
+	r2, _ := NewRandom(Gbps(0.1), Gbps(10), 100*time.Millisecond, 8)
+	same := true
+	for i := 0; i < 20; i++ {
+		tt := time.Duration(i) * 100 * time.Millisecond
+		if r.BandwidthAt(tt) != r2.BandwidthAt(tt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestRandomTraceValidation(t *testing.T) {
+	if _, err := NewRandom(0, 1, time.Second, 1); err == nil {
+		t.Error("accepted zero min")
+	}
+	if _, err := NewRandom(2, 1, time.Second, 1); err == nil {
+		t.Error("accepted max < min")
+	}
+	if _, err := NewRandom(1, 2, 0, 1); err == nil {
+		t.Error("accepted zero interval")
+	}
+}
+
+func TestTransferInverseProperty(t *testing.T) {
+	// Property: at constant bandwidth, Throughput(n, Transfer(n)) ≈ bw.
+	f := func(seed int64) bool {
+		bw := Gbps(0.1 + float64(uint64(seed)%100)/10)
+		n := int64(1000 + uint64(seed)%10_000_000)
+		l := NewLink(Constant(bw))
+		d, err := l.Transfer(n)
+		if err != nil {
+			return false
+		}
+		got := Throughput(n, d)
+		return math.Abs(got-bw)/bw < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	d := TransferTime(125_000_000, Gbps(1))
+	if math.Abs(d.Seconds()-1) > 1e-9 {
+		t.Errorf("TransferTime = %v, want 1s", d)
+	}
+	if TransferTime(0, Gbps(1)) != 0 {
+		t.Error("zero bytes should take zero time")
+	}
+	if TransferTime(100, math.Inf(1)) != 0 {
+		t.Error("infinite bandwidth should take zero time")
+	}
+	if TransferTime(100, 0) <= 0 {
+		t.Error("zero bandwidth should be effectively infinite")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	got := Throughput(125_000_000, time.Second)
+	if math.Abs(got-Gbps(1)) > 1 {
+		t.Errorf("Throughput = %v, want 1 Gbps", got)
+	}
+	if !math.IsInf(Throughput(100, 0), 1) {
+		t.Error("zero duration should give infinite throughput")
+	}
+}
+
+func TestSequentialTransfersAdvanceThroughTrace(t *testing.T) {
+	// Two 0.5 GB transfers over the Fig 7 trace: the second starts in the
+	// degraded region and must be slower than the first.
+	l := NewLink(Figure7Trace())
+	d1, err := l.Transfer(500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := l.Transfer(500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Errorf("second transfer (%v) should be slower than first (%v)", d2, d1)
+	}
+}
+
+func BenchmarkTransfer(b *testing.B) {
+	r, _ := NewRandom(Gbps(0.1), Gbps(10), 100*time.Millisecond, 3)
+	l := NewLink(r)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Transfer(10_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package storage implements the KV cache store of §6: the component that
+// holds, per context, the encoded bitstreams of every chunk at every
+// encoding level (plus the token text for the recompute fallback), keyed
+// by chunk id. The paper's store_kv/get_kv interfaces map onto Put/Get
+// here; the streaming server (internal/transport) serves Get requests and
+// the streamer issues them chunk by chunk.
+//
+// Two backends are provided: an in-memory store (inference-server cache,
+// tests) and a filesystem store (the "dedicated storage server" of §3).
+// Both are safe for concurrent use.
+package storage
+
+import (
+	"context"
+	"encoding/base32"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TextLevel is the pseudo-level under which a chunk's token text is
+// stored, for the streamer's recompute fallback (§5.3).
+const TextLevel = -1
+
+// ChunkKey identifies one stored payload: a chunk of a context at an
+// encoding level (or TextLevel for the raw tokens).
+type ChunkKey struct {
+	ContextID string
+	Chunk     int
+	Level     int
+}
+
+func (k ChunkKey) validate() error {
+	if k.ContextID == "" {
+		return errors.New("storage: empty context id")
+	}
+	if k.Chunk < 0 {
+		return fmt.Errorf("storage: negative chunk index %d", k.Chunk)
+	}
+	if k.Level < TextLevel {
+		return fmt.Errorf("storage: invalid level %d", k.Level)
+	}
+	return nil
+}
+
+// ContextMeta describes one stored context: its chunk layout and the
+// payload sizes per level, which is what the streamer's adaptation logic
+// reads to estimate per-configuration transfer delays (§5.3) and what the
+// storage-cost accounting of Fig 14d sums.
+type ContextMeta struct {
+	ContextID   string    `json:"context_id"`
+	Model       string    `json:"model"`
+	TokenCount  int       `json:"token_count"`
+	ChunkTokens []int     `json:"chunk_tokens"`         // tokens per chunk
+	Levels      int       `json:"levels"`               // number of encoding levels
+	SizesBytes  [][]int64 `json:"sizes_bytes"`          // [level][chunk] payload sizes
+	TextBytes   []int64   `json:"text_bytes,omitempty"` // per-chunk text payload sizes
+
+	// Incremental-streaming extension (DESIGN.md §5b): refinement streams
+	// upgrading the coarsest level to RefineTargets[i], stored under
+	// RefineLevelKey(target). RefineBytes[i][chunk] are their sizes.
+	RefineTargets []int     `json:"refine_targets,omitempty"`
+	RefineBytes   [][]int64 `json:"refine_bytes,omitempty"`
+}
+
+// RefineLevelKey returns the pseudo-level under which the refinement
+// stream targeting encoding level `to` is stored.
+func RefineLevelKey(to int) int { return refineKeyBase + to }
+
+// refineKeyBase keeps refinement pseudo-levels clear of real levels.
+const refineKeyBase = 1000
+
+// NumChunks returns the number of chunks in the context.
+func (m ContextMeta) NumChunks() int { return len(m.ChunkTokens) }
+
+// Validate checks internal consistency.
+func (m ContextMeta) Validate() error {
+	if m.ContextID == "" {
+		return errors.New("storage: meta has empty context id")
+	}
+	if m.Levels <= 0 || len(m.SizesBytes) != m.Levels {
+		return fmt.Errorf("storage: meta has %d levels but %d size rows", m.Levels, len(m.SizesBytes))
+	}
+	total := 0
+	for _, n := range m.ChunkTokens {
+		if n <= 0 {
+			return fmt.Errorf("storage: meta has non-positive chunk length %d", n)
+		}
+		total += n
+	}
+	if total != m.TokenCount {
+		return fmt.Errorf("storage: chunk tokens sum to %d, meta says %d", total, m.TokenCount)
+	}
+	for lv, row := range m.SizesBytes {
+		if len(row) != m.NumChunks() {
+			return fmt.Errorf("storage: level %d has %d sizes for %d chunks", lv, len(row), m.NumChunks())
+		}
+	}
+	if len(m.TextBytes) != 0 && len(m.TextBytes) != m.NumChunks() {
+		return fmt.Errorf("storage: %d text sizes for %d chunks", len(m.TextBytes), m.NumChunks())
+	}
+	if len(m.RefineBytes) != len(m.RefineTargets) {
+		return fmt.Errorf("storage: %d refinement size rows for %d targets", len(m.RefineBytes), len(m.RefineTargets))
+	}
+	for i, row := range m.RefineBytes {
+		if len(row) != m.NumChunks() {
+			return fmt.Errorf("storage: refinement target %d has %d sizes for %d chunks", i, len(row), m.NumChunks())
+		}
+		if m.RefineTargets[i] < 0 || m.RefineTargets[i] >= m.Levels {
+			return fmt.Errorf("storage: refinement target %d outside levels [0,%d)", m.RefineTargets[i], m.Levels)
+		}
+	}
+	return nil
+}
+
+// TotalBytes returns the total storage footprint of the context across all
+// encoded versions and the text copies (Fig 14d).
+func (m ContextMeta) TotalBytes() int64 {
+	var total int64
+	for _, row := range m.SizesBytes {
+		for _, n := range row {
+			total += n
+		}
+	}
+	for _, n := range m.TextBytes {
+		total += n
+	}
+	for _, row := range m.RefineBytes {
+		for _, n := range row {
+			total += n
+		}
+	}
+	return total
+}
+
+// ErrNotFound is returned when a context or chunk is absent.
+var ErrNotFound = errors.New("storage: not found")
+
+// Store is the chunk registry interface shared by backends.
+type Store interface {
+	// Put stores one chunk payload.
+	Put(ctx context.Context, key ChunkKey, data []byte) error
+	// Get retrieves one chunk payload (the paper's get_kv).
+	Get(ctx context.Context, key ChunkKey) ([]byte, error)
+	// PutMeta stores a context's metadata, replacing any existing.
+	PutMeta(ctx context.Context, meta ContextMeta) error
+	// GetMeta retrieves a context's metadata.
+	GetMeta(ctx context.Context, contextID string) (ContextMeta, error)
+	// DeleteContext removes a context's metadata and all payloads.
+	DeleteContext(ctx context.Context, contextID string) error
+	// ListContexts returns the stored context ids, sorted.
+	ListContexts(ctx context.Context) ([]string, error)
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu     sync.RWMutex
+	chunks map[ChunkKey][]byte
+	metas  map[string]ContextMeta
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{chunks: map[ChunkKey][]byte{}, metas: map[string]ContextMeta{}}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(_ context.Context, key ChunkKey, data []byte) error {
+	if err := key.validate(); err != nil {
+		return err
+	}
+	cp := append([]byte{}, data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chunks[key] = cp
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(_ context.Context, key ChunkKey) ([]byte, error) {
+	if err := key.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.chunks[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: chunk %+v", ErrNotFound, key)
+	}
+	return append([]byte{}, data...), nil
+}
+
+// PutMeta implements Store.
+func (s *MemStore) PutMeta(_ context.Context, meta ContextMeta) error {
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metas[meta.ContextID] = meta
+	return nil
+}
+
+// GetMeta implements Store.
+func (s *MemStore) GetMeta(_ context.Context, contextID string) (ContextMeta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	meta, ok := s.metas[contextID]
+	if !ok {
+		return ContextMeta{}, fmt.Errorf("%w: context %q", ErrNotFound, contextID)
+	}
+	return meta, nil
+}
+
+// DeleteContext implements Store.
+func (s *MemStore) DeleteContext(_ context.Context, contextID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.metas[contextID]; !ok {
+		return fmt.Errorf("%w: context %q", ErrNotFound, contextID)
+	}
+	delete(s.metas, contextID)
+	for k := range s.chunks {
+		if k.ContextID == contextID {
+			delete(s.chunks, k)
+		}
+	}
+	return nil
+}
+
+// ListContexts implements Store.
+func (s *MemStore) ListContexts(_ context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.metas))
+	for id := range s.metas {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FileStore is a filesystem-backed Store: one directory per context
+// (name-encoded), holding meta.json and one file per (level, chunk).
+type FileStore struct {
+	root string
+	mu   sync.RWMutex
+}
+
+// NewFileStore creates (if needed) and opens a store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating root: %w", err)
+	}
+	return &FileStore{root: dir}, nil
+}
+
+var pathEnc = base32.StdEncoding.WithPadding(base32.NoPadding)
+
+func encodeID(id string) string { return pathEnc.EncodeToString([]byte(id)) }
+func decodeID(name string) (string, error) {
+	raw, err := pathEnc.DecodeString(strings.ToUpper(name))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (s *FileStore) contextDir(id string) string { return filepath.Join(s.root, encodeID(id)) }
+
+func (s *FileStore) chunkPath(key ChunkKey) string {
+	level := fmt.Sprintf("L%d", key.Level)
+	if key.Level == TextLevel {
+		level = "text"
+	}
+	return filepath.Join(s.contextDir(key.ContextID), fmt.Sprintf("%s-%06d.bin", level, key.Chunk))
+}
+
+// Put implements Store.
+func (s *FileStore) Put(_ context.Context, key ChunkKey, data []byte) error {
+	if err := key.validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.contextDir(key.ContextID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := s.chunkPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return os.Rename(tmp, s.chunkPath(key))
+}
+
+// Get implements Store.
+func (s *FileStore) Get(_ context.Context, key ChunkKey) ([]byte, error) {
+	if err := key.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(s.chunkPath(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: chunk %+v", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return data, nil
+}
+
+// PutMeta implements Store.
+func (s *FileStore) PutMeta(_ context.Context, meta ContextMeta) error {
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.contextDir(meta.ContextID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	tmp := filepath.Join(dir, "meta.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, "meta.json"))
+}
+
+// GetMeta implements Store.
+func (s *FileStore) GetMeta(_ context.Context, contextID string) (ContextMeta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(filepath.Join(s.contextDir(contextID), "meta.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return ContextMeta{}, fmt.Errorf("%w: context %q", ErrNotFound, contextID)
+	}
+	if err != nil {
+		return ContextMeta{}, fmt.Errorf("storage: %w", err)
+	}
+	var meta ContextMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return ContextMeta{}, fmt.Errorf("storage: corrupt meta for %q: %w", contextID, err)
+	}
+	return meta, nil
+}
+
+// DeleteContext implements Store.
+func (s *FileStore) DeleteContext(_ context.Context, contextID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.contextDir(contextID)
+	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: context %q", ErrNotFound, contextID)
+	}
+	return os.RemoveAll(dir)
+}
+
+// ListContexts implements Store.
+func (s *FileStore) ListContexts(_ context.Context) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id, err := decodeID(e.Name())
+		if err != nil {
+			continue // foreign directory; ignore
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}

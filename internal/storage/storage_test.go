@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+func testMeta(id string) ContextMeta {
+	return ContextMeta{
+		ContextID:   id,
+		Model:       "test",
+		TokenCount:  250,
+		ChunkTokens: []int{100, 100, 50},
+		Levels:      2,
+		SizesBytes:  [][]int64{{10, 10, 5}, {6, 6, 3}},
+		TextBytes:   []int64{400, 400, 200},
+	}
+}
+
+// storeTest exercises a Store implementation through its full lifecycle.
+func storeTest(t *testing.T, s Store) {
+	t.Helper()
+	ctx := context.Background()
+
+	// Missing things are ErrNotFound.
+	if _, err := s.Get(ctx, ChunkKey{"nope", 0, 0}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing: %v", err)
+	}
+	if _, err := s.GetMeta(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetMeta missing: %v", err)
+	}
+	if err := s.DeleteContext(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("DeleteContext missing: %v", err)
+	}
+
+	// Put/Get round trip, including the text pseudo-level.
+	payload := []byte{1, 2, 3, 4, 5}
+	keys := []ChunkKey{
+		{"ctx/a with spaces", 0, 0},
+		{"ctx/a with spaces", 1, 1},
+		{"ctx/a with spaces", 0, TextLevel},
+	}
+	for _, k := range keys {
+		if err := s.Put(ctx, k, payload); err != nil {
+			t.Fatalf("Put(%+v): %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		got, err := s.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("Get(%+v): %v", k, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("Get(%+v) = %v", k, got)
+		}
+	}
+
+	// Returned data must be a copy.
+	got, _ := s.Get(ctx, keys[0])
+	got[0] = 99
+	again, _ := s.Get(ctx, keys[0])
+	if again[0] == 99 {
+		t.Error("Get returns aliased data")
+	}
+
+	// Meta round trip.
+	meta := testMeta("ctx/a with spaces")
+	if err := s.PutMeta(ctx, meta); err != nil {
+		t.Fatalf("PutMeta: %v", err)
+	}
+	gotMeta, err := s.GetMeta(ctx, meta.ContextID)
+	if err != nil {
+		t.Fatalf("GetMeta: %v", err)
+	}
+	if gotMeta.TokenCount != 250 || gotMeta.NumChunks() != 3 || gotMeta.Levels != 2 {
+		t.Errorf("meta mismatch: %+v", gotMeta)
+	}
+
+	// Listing.
+	if err := s.PutMeta(ctx, testMeta("ctx/b")); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.ListContexts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "ctx/a with spaces" || ids[1] != "ctx/b" {
+		t.Errorf("ListContexts = %v", ids)
+	}
+
+	// Delete removes meta and chunks.
+	if err := s.DeleteContext(ctx, "ctx/a with spaces"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, keys[0]); !errors.Is(err, ErrNotFound) {
+		t.Error("chunk survived DeleteContext")
+	}
+	if _, err := s.GetMeta(ctx, "ctx/a with spaces"); !errors.Is(err, ErrNotFound) {
+		t.Error("meta survived DeleteContext")
+	}
+	ids, _ = s.ListContexts(ctx)
+	if len(ids) != 1 {
+		t.Errorf("after delete ListContexts = %v", ids)
+	}
+
+	// Validation.
+	if err := s.Put(ctx, ChunkKey{"", 0, 0}, payload); err == nil {
+		t.Error("Put accepted empty context id")
+	}
+	if err := s.Put(ctx, ChunkKey{"x", -1, 0}, payload); err == nil {
+		t.Error("Put accepted negative chunk")
+	}
+	if err := s.Put(ctx, ChunkKey{"x", 0, -2}, payload); err == nil {
+		t.Error("Put accepted invalid level")
+	}
+	bad := testMeta("bad")
+	bad.TokenCount = 1
+	if err := s.PutMeta(ctx, bad); err == nil {
+		t.Error("PutMeta accepted inconsistent token count")
+	}
+}
+
+func TestMemStore(t *testing.T) { storeTest(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeTest(t, s)
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ChunkKey{"persist", 0, 1}
+	if err := s1.Put(ctx, key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.PutMeta(ctx, ContextMeta{
+		ContextID: "persist", TokenCount: 10, ChunkTokens: []int{10},
+		Levels: 2, SizesBytes: [][]int64{{5}, {3}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s2.Get(ctx, key)
+	if err != nil || string(data) != "hello" {
+		t.Errorf("reopened Get = %q, %v", data, err)
+	}
+	ids, err := s2.ListContexts(ctx)
+	if err != nil || len(ids) != 1 || ids[0] != "persist" {
+		t.Errorf("reopened ListContexts = %v, %v", ids, err)
+	}
+}
+
+func TestMetaValidate(t *testing.T) {
+	good := testMeta("x")
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid meta rejected: %v", err)
+	}
+	cases := []func(*ContextMeta){
+		func(m *ContextMeta) { m.ContextID = "" },
+		func(m *ContextMeta) { m.Levels = 0 },
+		func(m *ContextMeta) { m.SizesBytes = m.SizesBytes[:1] },
+		func(m *ContextMeta) { m.ChunkTokens[0] = 0 },
+		func(m *ContextMeta) { m.SizesBytes[0] = m.SizesBytes[0][:1] },
+		func(m *ContextMeta) { m.TextBytes = m.TextBytes[:1] },
+	}
+	for i, mutate := range cases {
+		m := testMeta("x")
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid meta accepted", i)
+		}
+	}
+}
+
+func TestMetaTotalBytes(t *testing.T) {
+	m := testMeta("x")
+	// Sizes: (10+10+5)+(6+6+3) + text (400+400+200) = 25+15+1000 = 1040.
+	if got := m.TotalBytes(); got != 1040 {
+		t.Errorf("TotalBytes = %d, want 1040", got)
+	}
+}
+
+func TestEncodeDecodeID(t *testing.T) {
+	for _, id := range []string{"simple", "with/slash", "with space", "ünïcode-ctx", ".."} {
+		enc := encodeID(id)
+		got, err := decodeID(enc)
+		if err != nil || got != id {
+			t.Errorf("id %q: round trip %q, %v", id, got, err)
+		}
+		if got := enc; got != "" && (got[0] == '.' || got[0] == '/') {
+			t.Errorf("encoded id %q can escape directory", got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package streamer
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/netsim"
+)
+
+// Multi-request batching (§5.3): "When multiple requests arrive
+// concurrently within T seconds, CacheGen batches and streams them
+// together. … Each request is divided into chunks of the same size … For
+// each chunk index c, CacheGen determines the number of requests N_c that
+// include chunk c [and] calculates the expected delays for each
+// configuration by multiplying N_c by the delay for a single request."
+
+// BatchRequest is one request in a batched stream.
+type BatchRequest struct {
+	// Chunks is the request's per-chunk metadata.
+	Chunks []ChunkInfo
+	// TotalTokens is the request's context length.
+	TotalTokens int
+	// SuffixTokens is the prompt suffix (0 = 32).
+	SuffixTokens int
+}
+
+// BatchInput describes a batched streaming round.
+type BatchInput struct {
+	Requests []BatchRequest
+	// Link is the shared storage-to-GPU link.
+	Link *netsim.Link
+	// Planner is the per-request adaptation policy; its Concurrency field
+	// is overridden per chunk index with the live N_c.
+	Planner Planner
+	Model   llm.Config
+	Device  llm.Device
+	// MaxBatch is B, the most requests the GPU server can handle together
+	// (0 = unlimited). Extra requests are rejected, mirroring admission
+	// control.
+	MaxBatch int
+}
+
+// SimulateBatch streams a batch of requests over one shared link in
+// virtual time. Chunk indices advance in lockstep: at index c, every
+// request that still has a chunk picks its configuration (with N_c as the
+// batching factor) and the N_c transfers share the link back to back.
+// Decode/recompute remains per request and pipelines with the next
+// index's transfers. Requests' KV caches are padded and processed
+// together on the GPU (§5.3), so the per-request GPU share is 1/N_c.
+func SimulateBatch(in BatchInput) ([]*SimResult, error) {
+	if len(in.Requests) == 0 {
+		return nil, fmt.Errorf("streamer: empty batch")
+	}
+	if in.MaxBatch > 0 && len(in.Requests) > in.MaxBatch {
+		return nil, fmt.Errorf("streamer: batch of %d exceeds server capacity %d", len(in.Requests), in.MaxBatch)
+	}
+	if in.Link == nil {
+		return nil, fmt.Errorf("streamer: nil link")
+	}
+	maxChunks := 0
+	for i, r := range in.Requests {
+		if len(r.Chunks) == 0 {
+			return nil, fmt.Errorf("streamer: request %d has no chunks", i)
+		}
+		if len(r.Chunks) > maxChunks {
+			maxChunks = len(r.Chunks)
+		}
+	}
+
+	link := in.Link
+	start := link.Now()
+	results := make([]*SimResult, len(in.Requests))
+	ready := make([]time.Duration, len(in.Requests))
+	for i := range results {
+		results[i] = &SimResult{}
+		ready[i] = start
+	}
+	var throughput float64
+
+	for c := 0; c < maxChunks; c++ {
+		// N_c: how many requests still include chunk c.
+		nc := 0
+		for _, r := range in.Requests {
+			if c < len(r.Chunks) {
+				nc++
+			}
+		}
+		share := 1.0 / float64(nc)
+
+		for i, r := range in.Requests {
+			if c >= len(r.Chunks) {
+				continue
+			}
+			elapsed := link.Now() - start
+			p := in.Planner
+			p.Concurrency = nc
+			choice, err := p.Choose(c, elapsed, throughput, r.Chunks)
+			if err != nil {
+				return nil, fmt.Errorf("streamer: request %d: %w", i, err)
+			}
+			ch := r.Chunks[c]
+			var bytes int64
+			var compute time.Duration
+			if choice.Text {
+				bytes = ch.TextBytes
+				// Recompute estimates were built at full share; scale to
+				// the batched share.
+				compute = time.Duration(float64(ch.Recompute) / share)
+			} else {
+				bytes = ch.SizesByLevel[choice.Level]
+				compute = in.Device.DecodeTime(bytes)
+			}
+			link.Advance(in.Planner.RTT)
+			dur, err := link.Transfer(bytes)
+			if err != nil {
+				return nil, fmt.Errorf("streamer: request %d chunk %d: %w", i, c, err)
+			}
+			transferEnd := link.Now()
+			throughput = netsim.Throughput(bytes, dur)
+			ready[i] = maxTime(ready[i], transferEnd) + compute
+
+			results[i].Decisions = append(results[i].Decisions, ChunkDecision{
+				Chunk: c, Choice: choice, Bytes: bytes,
+				Transfer: dur, Compute: compute, Throughput: throughput,
+			})
+			results[i].BytesSent += bytes
+			results[i].NetworkTime += dur
+			results[i].ComputeTime += compute
+		}
+	}
+
+	for i, r := range in.Requests {
+		suffix := r.SuffixTokens
+		if suffix == 0 {
+			suffix = 32
+		}
+		// The final prompt prefills run batched across all B requests.
+		share := 1.0 / float64(len(in.Requests))
+		results[i].SuffixTime = in.Model.MarginalPrefillTime(r.TotalTokens, suffix, in.Device, share)
+		results[i].TTFT = maxTime(link.Now(), ready[i]) + results[i].SuffixTime - start
+		results[i].SLOMet = in.Planner.SLO <= 0 || results[i].TTFT <= in.Planner.SLO
+	}
+	return results, nil
+}

@@ -1,0 +1,175 @@
+package streamer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/netsim"
+)
+
+func batchInput(t *testing.T, n int, trace netsim.Trace, p Planner) BatchInput {
+	t.Helper()
+	model := llm.Mistral7B()
+	dev := llm.A40x4()
+	chunks, err := BuildChunkInfos(simMeta(), model, dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]BatchRequest, n)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Chunks: chunks, TotalTokens: 6000}
+	}
+	return BatchInput{
+		Requests: reqs,
+		Link:     netsim.NewLink(trace),
+		Planner:  p,
+		Model:    model,
+		Device:   dev,
+	}
+}
+
+func TestSimulateBatchValidation(t *testing.T) {
+	in := batchInput(t, 2, netsim.Constant(netsim.Gbps(3)), Planner{Adapt: false, DefaultLevel: 1})
+	in.Requests = nil
+	if _, err := SimulateBatch(in); err == nil {
+		t.Error("empty batch accepted")
+	}
+	in = batchInput(t, 2, netsim.Constant(netsim.Gbps(3)), Planner{Adapt: false, DefaultLevel: 1})
+	in.Link = nil
+	if _, err := SimulateBatch(in); err == nil {
+		t.Error("nil link accepted")
+	}
+	in = batchInput(t, 3, netsim.Constant(netsim.Gbps(3)), Planner{Adapt: false, DefaultLevel: 1})
+	in.MaxBatch = 2
+	if _, err := SimulateBatch(in); err == nil {
+		t.Error("over-capacity batch accepted")
+	}
+	in = batchInput(t, 2, netsim.Constant(netsim.Gbps(3)), Planner{Adapt: false, DefaultLevel: 1})
+	in.Requests[1].Chunks = nil
+	if _, err := SimulateBatch(in); err == nil {
+		t.Error("request without chunks accepted")
+	}
+}
+
+func TestSimulateBatchSharesBandwidth(t *testing.T) {
+	p := Planner{Adapt: false, DefaultLevel: 1}
+	solo, err := SimulateBatch(batchInput(t, 1, netsim.Constant(netsim.Gbps(3)), p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SimulateBatch(batchInput(t, 4, netsim.Constant(netsim.Gbps(3)), p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four identical requests over one link: the last request's TTFT
+	// should be roughly 4x the solo TTFT (transfer-dominated workload).
+	ratio := four[3].TTFT.Seconds() / solo[0].TTFT.Seconds()
+	if ratio < 2.5 || ratio > 5.5 {
+		t.Errorf("4-way batch TTFT ratio %.2f, want ≈4", ratio)
+	}
+	// All requests deliver all their chunks.
+	for i, r := range four {
+		if len(r.Decisions) != 4 {
+			t.Errorf("request %d delivered %d chunks", i, len(r.Decisions))
+		}
+	}
+}
+
+func TestSimulateBatchAdaptsToCrowding(t *testing.T) {
+	// Under an SLO, a crowded batch must pick lower-quality levels than a
+	// solo request (N_c multiplies the expected delays, §5.3).
+	p := Planner{Adapt: true, SLO: 2 * time.Second, DefaultLevel: 0, PriorBandwidth: netsim.Gbps(2)}
+	// Make text unattractive so the comparison stays within levels.
+	mkIn := func(n int) BatchInput {
+		in := batchInput(t, n, netsim.Constant(netsim.Gbps(2)), p)
+		for i := range in.Requests {
+			chunks := append([]ChunkInfo{}, in.Requests[i].Chunks...)
+			for j := range chunks {
+				chunks[j].Recompute = 10 * time.Second
+			}
+			in.Requests[i].Chunks = chunks
+		}
+		return in
+	}
+	solo, err := SimulateBatch(mkIn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := SimulateBatch(mkIn(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloLevel := solo[0].Decisions[0].Choice.Level
+	crowdLevel := crowd[0].Decisions[0].Choice.Level
+	if crowdLevel <= soloLevel {
+		t.Errorf("crowded batch picked level %d, solo picked %d — expected a downgrade", crowdLevel, soloLevel)
+	}
+}
+
+func TestSimulateBatchUnevenLengths(t *testing.T) {
+	model := llm.Mistral7B()
+	dev := llm.A40x4()
+	long, err := BuildChunkInfos(simMeta(), model, dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortMeta := simMeta()
+	shortMeta.TokenCount = 3000
+	shortMeta.ChunkTokens = []int{1500, 1500}
+	for lv := range shortMeta.SizesBytes {
+		shortMeta.SizesBytes[lv] = shortMeta.SizesBytes[lv][:2]
+	}
+	shortMeta.TextBytes = shortMeta.TextBytes[:2]
+	short, err := BuildChunkInfos(shortMeta, model, dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateBatch(BatchInput{
+		Requests: []BatchRequest{
+			{Chunks: long, TotalTokens: 6000},
+			{Chunks: short, TotalTokens: 3000},
+		},
+		Link:    netsim.NewLink(netsim.Constant(netsim.Gbps(3))),
+		Planner: Planner{Adapt: false, DefaultLevel: 1},
+		Model:   model,
+		Device:  dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Decisions) != 4 || len(res[1].Decisions) != 2 {
+		t.Errorf("decision counts %d/%d, want 4/2", len(res[0].Decisions), len(res[1].Decisions))
+	}
+	// N_c drops to 1 after the short request finishes; the long request's
+	// later chunks should transfer as fast as its early ones despite the
+	// earlier sharing.
+	if res[1].TTFT >= res[0].TTFT {
+		t.Errorf("short request (%v) should finish before long (%v)", res[1].TTFT, res[0].TTFT)
+	}
+}
+
+func BenchmarkSimulateBatch(b *testing.B) {
+	model := llm.Mistral7B()
+	dev := llm.A40x4()
+	chunks, err := BuildChunkInfos(simMeta(), model, dev, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]BatchRequest, 8)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Chunks: chunks, TotalTokens: 6000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateBatch(BatchInput{
+			Requests: reqs,
+			Link:     netsim.NewLink(netsim.Constant(netsim.Gbps(3))),
+			Planner:  Planner{Adapt: false, DefaultLevel: 1},
+			Model:    model,
+			Device:   dev,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package streamer
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Fetcher streams a context's KV cache from a live transport server:
+// chunk-by-chunk adaptive fetching, decoding pipelined with transmission
+// (§6), and text-fallback recompute through the model. It produces the
+// reassembled KV cache ready for generate_with_kv.
+type Fetcher struct {
+	// Client is the connection to the storage server.
+	Client *transport.Client
+	// Codec decodes chunk bitstreams (its bank must match the model).
+	Codec *core.Codec
+	// Model recomputes text-mode chunks and anchors cost estimates.
+	Model *llm.Model
+	// Device is used for the planner's recompute estimates.
+	Device llm.Device
+	// Planner holds the adaptation policy.
+	Planner Planner
+}
+
+// FetchReport describes how a live fetch went.
+type FetchReport struct {
+	// LoadTime is the wall-clock time from request to the full KV cache
+	// being assembled (TTFT minus the prompt prefill, which the caller
+	// performs).
+	LoadTime time.Duration
+	// Decisions records the per-chunk configuration choices.
+	Decisions []ChunkDecision
+	// BytesReceived is the total payload size fetched.
+	BytesReceived int64
+}
+
+type decodeJob struct {
+	idx     int
+	offset  int
+	tokens  int
+	choice  Choice
+	payload []byte
+}
+
+// Fetch retrieves and reassembles the KV cache of contextID. Decoding of
+// chunk i−1 overlaps the transfer of chunk i via a pipeline goroutine.
+func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *FetchReport, error) {
+	if f.Client == nil || f.Codec == nil || f.Model == nil {
+		return nil, nil, fmt.Errorf("streamer: Fetcher needs Client, Codec and Model")
+	}
+	start := time.Now()
+	meta, err := f.Client.GetMeta(ctx, contextID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("streamer: fetching meta: %w", err)
+	}
+	infos, err := BuildChunkInfos(meta, f.Model.Config(), f.Device, 1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("streamer: %w", err)
+	}
+
+	// Decode pipeline: a single worker consumes chunks in order (text
+	// recompute depends on the previous chunks' KV).
+	jobs := make(chan decodeJob, len(infos))
+	parts := make([]*tensor.KV, len(infos))
+	decodeErr := make(chan error, 1)
+	go func() {
+		defer close(decodeErr)
+		var assembled *tensor.KV // concatenation of parts decoded so far
+		var assembledTokens int
+		for job := range jobs {
+			part, err := f.decodeOne(job, assembled, assembledTokens)
+			if err != nil {
+				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", job.idx, err)
+				return
+			}
+			parts[job.idx] = part
+			if assembled == nil {
+				assembled = part
+			} else {
+				assembled, err = tensor.ConcatTokens(assembled, part)
+				if err != nil {
+					decodeErr <- fmt.Errorf("streamer: chunk %d: %w", job.idx, err)
+					return
+				}
+			}
+			assembledTokens += part.Tokens
+		}
+	}()
+
+	report := &FetchReport{}
+	var throughput float64
+	offset := 0
+	fetchFailed := func(err error) (*tensor.KV, *FetchReport, error) {
+		close(jobs)
+		<-decodeErr // drain the worker
+		return nil, nil, err
+	}
+	for i, info := range infos {
+		elapsed := time.Since(start)
+		choice, err := f.Planner.Choose(i, elapsed, throughput, infos)
+		if err != nil {
+			return fetchFailed(fmt.Errorf("streamer: %w", err))
+		}
+		level := int(choice.Level)
+		if choice.Text {
+			level = storage.TextLevel
+		}
+		reqStart := time.Now()
+		payload, err := f.Client.GetChunk(ctx, contextID, i, level)
+		if err != nil {
+			return fetchFailed(fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err))
+		}
+		dur := time.Since(reqStart)
+		throughput = netsim.Throughput(int64(len(payload)), dur)
+		report.Decisions = append(report.Decisions, ChunkDecision{
+			Chunk: i, Choice: choice, Bytes: int64(len(payload)),
+			Transfer: dur, Throughput: throughput,
+		})
+		report.BytesReceived += int64(len(payload))
+		jobs <- decodeJob{idx: i, offset: offset, tokens: info.Tokens, choice: choice, payload: payload}
+		offset += info.Tokens
+	}
+	close(jobs)
+	if err := <-decodeErr; err != nil {
+		return nil, nil, err
+	}
+
+	kv, err := tensor.ConcatTokens(parts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("streamer: reassembling: %w", err)
+	}
+	if kv.Tokens != meta.TokenCount {
+		return nil, nil, fmt.Errorf("streamer: reassembled %d tokens, meta says %d", kv.Tokens, meta.TokenCount)
+	}
+	report.LoadTime = time.Since(start)
+	return kv, report, nil
+}
+
+// decodeOne turns one fetched payload into a KV part. prev is the
+// concatenation of all previously decoded parts (needed for text
+// recompute), covering prevTokens tokens.
+func (f *Fetcher) decodeOne(job decodeJob, prev *tensor.KV, prevTokens int) (*tensor.KV, error) {
+	if job.choice.Text {
+		tokens, err := llm.DecodeTokens(job.payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(tokens) != job.tokens {
+			return nil, fmt.Errorf("text payload has %d tokens, meta says %d", len(tokens), job.tokens)
+		}
+		return f.Model.ExtendKV(prev, prevTokens, tokens)
+	}
+	ch, err := f.Codec.DecodeChunk(job.payload)
+	if err != nil {
+		return nil, err
+	}
+	if ch.Index != job.idx || ch.TokenOffset != job.offset {
+		return nil, fmt.Errorf("chunk metadata mismatch: got (%d,%d), want (%d,%d)",
+			ch.Index, ch.TokenOffset, job.idx, job.offset)
+	}
+	if ch.KV.Tokens != job.tokens {
+		return nil, fmt.Errorf("chunk has %d tokens, meta says %d", ch.KV.Tokens, job.tokens)
+	}
+	return ch.KV, nil
+}

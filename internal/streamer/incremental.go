@@ -1,0 +1,131 @@
+package streamer
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// Incremental fetching — the live side of the SVC-style extension
+// (DESIGN.md §5b, paper §9): fetch every chunk at the coarsest level
+// first so generation can start as early as possible, then upgrade the
+// resident cache in place by fetching refinement bitstreams.
+
+// IncrementalFetch is the two-phase result of FetchIncremental.
+type IncrementalFetch struct {
+	// Base is the immediately usable KV cache, decoded at the coarsest
+	// encoding level.
+	Base *tensor.KV
+	// BaseReport describes the base phase (its LoadTime is the
+	// time-to-first-usable-cache).
+	BaseReport *FetchReport
+
+	fetcher   *Fetcher
+	contextID string
+	target    core.Level
+	chunks    []*core.Chunk
+}
+
+// Upgrade fetches the refinement streams and returns the cache upgraded
+// to the target level's quality. It can run after generation has already
+// started from Base.
+func (inc *IncrementalFetch) Upgrade(ctx context.Context) (*tensor.KV, *FetchReport, error) {
+	start := time.Now()
+	report := &FetchReport{}
+	parts := make([]*tensor.KV, len(inc.chunks))
+	for i, base := range inc.chunks {
+		reqStart := time.Now()
+		payload, err := inc.fetcher.Client.GetChunk(ctx, inc.contextID, i, storage.RefineLevelKey(int(inc.target)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("streamer: fetching refinement chunk %d: %w", i, err)
+		}
+		dur := time.Since(reqStart)
+		up, err := inc.fetcher.Codec.ApplyRefinement(base, payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("streamer: applying refinement chunk %d: %w", i, err)
+		}
+		parts[i] = up.KV
+		report.Decisions = append(report.Decisions, ChunkDecision{
+			Chunk: i, Choice: Choice{Level: inc.target}, Bytes: int64(len(payload)), Transfer: dur,
+		})
+		report.BytesReceived += int64(len(payload))
+	}
+	kv, err := tensor.ConcatTokens(parts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("streamer: reassembling upgraded cache: %w", err)
+	}
+	report.LoadTime = time.Since(start)
+	return kv, report, nil
+}
+
+// FetchIncremental retrieves a context in two phases: the coarsest-level
+// bitstreams now (smallest, fastest first token) and, via the returned
+// handle, refinement streams that upgrade the cache to `target`. The
+// context must have been published with the matching refinement target
+// (PublishOptions.RefineTargets).
+func (f *Fetcher) FetchIncremental(ctx context.Context, contextID string, target core.Level) (*IncrementalFetch, error) {
+	if f.Client == nil || f.Codec == nil {
+		return nil, fmt.Errorf("streamer: Fetcher needs Client and Codec")
+	}
+	start := time.Now()
+	meta, err := f.Client.GetMeta(ctx, contextID)
+	if err != nil {
+		return nil, fmt.Errorf("streamer: fetching meta: %w", err)
+	}
+	available := false
+	for _, t := range meta.RefineTargets {
+		if t == int(target) {
+			available = true
+			break
+		}
+	}
+	if !available {
+		return nil, fmt.Errorf("streamer: context %q has no refinement streams for level %d (published targets: %v)",
+			contextID, target, meta.RefineTargets)
+	}
+	coarsest := meta.Levels - 1
+
+	report := &FetchReport{}
+	chunks := make([]*core.Chunk, meta.NumChunks())
+	parts := make([]*tensor.KV, meta.NumChunks())
+	offset := 0
+	for i := 0; i < meta.NumChunks(); i++ {
+		reqStart := time.Now()
+		payload, err := f.Client.GetChunk(ctx, contextID, i, coarsest)
+		if err != nil {
+			return nil, fmt.Errorf("streamer: fetching base chunk %d: %w", i, err)
+		}
+		dur := time.Since(reqStart)
+		ch, err := f.Codec.DecodeChunk(payload)
+		if err != nil {
+			return nil, fmt.Errorf("streamer: decoding base chunk %d: %w", i, err)
+		}
+		if ch.Index != i || ch.TokenOffset != offset || ch.KV.Tokens != meta.ChunkTokens[i] {
+			return nil, fmt.Errorf("streamer: base chunk %d metadata mismatch", i)
+		}
+		chunks[i] = ch
+		parts[i] = ch.KV
+		offset += ch.KV.Tokens
+		report.Decisions = append(report.Decisions, ChunkDecision{
+			Chunk: i, Choice: Choice{Level: core.Level(coarsest)}, Bytes: int64(len(payload)), Transfer: dur,
+		})
+		report.BytesReceived += int64(len(payload))
+	}
+	base, err := tensor.ConcatTokens(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("streamer: reassembling base cache: %w", err)
+	}
+	report.LoadTime = time.Since(start)
+	return &IncrementalFetch{
+		Base:       base,
+		BaseReport: report,
+		fetcher:    f,
+		contextID:  contextID,
+		target:     target,
+		chunks:     chunks,
+	}, nil
+}

@@ -1,0 +1,313 @@
+package streamer
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// testStack builds a small end-to-end stack: model, trained codec, a
+// store with one published context, and a transport server over TCP.
+type testStack struct {
+	model  *llm.Model
+	codec  *core.Codec
+	store  *storage.MemStore
+	tokens []llm.Token
+	kv     *tensor.KV
+	meta   storage.ContextMeta
+	client *transport.Client
+}
+
+func newStack(t *testing.T) *testStack {
+	t.Helper()
+	model, err := llm.New(llm.Config{
+		Name: "itest", Layers: 6, KVChannels: 16, Channels: 16,
+		Hidden: 128, Params: 1e8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChunkTokens = 80
+
+	rng := rand.New(rand.NewSource(42))
+	sample := make([]llm.Token, 400)
+	for i := range sample {
+		sample[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	bank, err := core.Train(cfg, []*tensor.KV{model.CalculateKV(sample)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := core.NewCodec(bank)
+
+	tokens := make([]llm.Token, 250)
+	for i := range tokens {
+		tokens[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	kv := model.CalculateKV(tokens)
+
+	store := storage.NewMemStore()
+	meta, err := Publish(context.Background(), store, codec, model, "ctx-1", tokens, PublishOptions{KV: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := transport.NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	return &testStack{model: model, codec: codec, store: store, tokens: tokens, kv: kv, meta: meta, client: client}
+}
+
+func TestPublishStoresAllArtifacts(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	if s.meta.NumChunks() != 4 { // 250 tokens / 80 per chunk
+		t.Fatalf("published %d chunks, want 4", s.meta.NumChunks())
+	}
+	for c := 0; c < s.meta.NumChunks(); c++ {
+		for lv := 0; lv < s.meta.Levels; lv++ {
+			data, err := s.store.Get(ctx, storage.ChunkKey{ContextID: "ctx-1", Chunk: c, Level: lv})
+			if err != nil {
+				t.Fatalf("chunk %d level %d missing: %v", c, lv, err)
+			}
+			if int64(len(data)) != s.meta.SizesBytes[lv][c] {
+				t.Errorf("chunk %d level %d size %d != meta %d", c, lv, len(data), s.meta.SizesBytes[lv][c])
+			}
+		}
+		if _, err := s.store.Get(ctx, storage.ChunkKey{ContextID: "ctx-1", Chunk: c, Level: storage.TextLevel}); err != nil {
+			t.Errorf("text chunk %d missing: %v", c, err)
+		}
+	}
+	// Higher levels must be smaller overall.
+	for lv := 1; lv < s.meta.Levels; lv++ {
+		var prev, cur int64
+		for c := 0; c < s.meta.NumChunks(); c++ {
+			prev += s.meta.SizesBytes[lv-1][c]
+			cur += s.meta.SizesBytes[lv][c]
+		}
+		if cur >= prev {
+			t.Errorf("level %d total %d not below level %d total %d", lv, cur, lv-1, prev)
+		}
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	if _, err := Publish(ctx, s.store, s.codec, s.model, "empty", nil, PublishOptions{}); err == nil {
+		t.Error("published empty context")
+	}
+	short, _ := s.kv.SliceTokens(0, 10)
+	if _, err := Publish(ctx, s.store, s.codec, s.model, "bad", s.tokens, PublishOptions{KV: short}); err == nil {
+		t.Error("published mismatched KV")
+	}
+}
+
+func TestPublishSizeScale(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	meta, err := Publish(ctx, s.store, s.codec, s.model, "scaled", s.tokens, PublishOptions{KV: s.kv, SizeScale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < meta.NumChunks(); c++ {
+		real, err := s.store.Get(ctx, storage.ChunkKey{ContextID: "scaled", Chunk: c, Level: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(len(real)) * 16
+		if diff := meta.SizesBytes[0][c] - want; diff < -16 || diff > 16 {
+			t.Errorf("chunk %d scaled size %d, want ≈%d", c, meta.SizesBytes[0][c], want)
+		}
+		if meta.TextBytes[c] > int64(len(s.tokens))*4 {
+			t.Errorf("text size must not scale: %d", meta.TextBytes[c])
+		}
+	}
+}
+
+func TestFetchEndToEnd(t *testing.T) {
+	s := newStack(t)
+	f := &Fetcher{
+		Client:  s.client,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: Planner{Adapt: false, DefaultLevel: 0},
+	}
+	kv, report, err := f.Fetch(context.Background(), "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.Tokens != len(s.tokens) {
+		t.Fatalf("fetched %d tokens, want %d", kv.Tokens, len(s.tokens))
+	}
+	if len(report.Decisions) != s.meta.NumChunks() {
+		t.Errorf("report has %d decisions", len(report.Decisions))
+	}
+	if report.LoadTime <= 0 || report.BytesReceived <= 0 {
+		t.Errorf("report: %+v", report)
+	}
+
+	// The fetched cache must be close to the exact one (level-0 loss only)
+	// and good enough to answer with high quality.
+	res, err := s.model.GenerateWithKV(s.tokens, kv, "What was the first topic?", llm.DefaultQualityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality < 0.95 {
+		t.Errorf("fetched cache quality %.3f, want ≥0.95", res.Quality)
+	}
+}
+
+func TestFetchTextFallbackIsLossless(t *testing.T) {
+	s := newStack(t)
+	// A planner that always picks text: set an SLO so generous that text
+	// always fits (recompute estimates are microseconds at this scale).
+	f := &Fetcher{
+		Client: s.client,
+		Codec:  s.codec,
+		Model:  s.model,
+		Device: llm.A40x4(),
+		Planner: Planner{
+			Adapt: true, SLO: time.Hour, DefaultLevel: 1,
+			PriorBandwidth: 1e9,
+		},
+	}
+	kv, report, err := f.Fetch(context.Background(), "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range report.Decisions {
+		if !d.Choice.Text {
+			t.Fatalf("expected all-text decisions, got %+v", report.Decisions)
+		}
+	}
+	// Text recompute is exact: the result must equal the original cache.
+	diff, err := s.kv.MaxAbsDiff(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 0 {
+		t.Errorf("text-recomputed cache differs by %v", diff)
+	}
+}
+
+func TestFetchMixedLevelsStillAssembles(t *testing.T) {
+	s := newStack(t)
+	// Tight SLO with a slow prior forces lower levels after chunk one.
+	f := &Fetcher{
+		Client: s.client,
+		Codec:  s.codec,
+		Model:  s.model,
+		Device: llm.A40x4(),
+		Planner: Planner{
+			Adapt: true, SLO: 50 * time.Millisecond, DefaultLevel: 1,
+		},
+	}
+	kv, _, err := f.Fetch(context.Background(), "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.Tokens != len(s.tokens) {
+		t.Errorf("assembled %d tokens", kv.Tokens)
+	}
+}
+
+func TestFetchMissingContext(t *testing.T) {
+	s := newStack(t)
+	f := &Fetcher{
+		Client:  s.client,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: Planner{Adapt: false, DefaultLevel: 0},
+	}
+	if _, _, err := f.Fetch(context.Background(), "missing"); err == nil {
+		t.Error("fetching a missing context succeeded")
+	}
+}
+
+func TestFetchCancelledContext(t *testing.T) {
+	s := newStack(t)
+	f := &Fetcher{
+		Client:  s.client,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: Planner{Adapt: false, DefaultLevel: 0},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := f.Fetch(ctx, "ctx-1"); err == nil {
+		t.Error("fetch with cancelled context succeeded")
+	}
+}
+
+func TestFetchMisconfigured(t *testing.T) {
+	s := newStack(t)
+	f := &Fetcher{Client: s.client} // missing codec/model
+	if _, _, err := f.Fetch(context.Background(), "ctx-1"); err == nil {
+		t.Error("misconfigured fetcher succeeded")
+	}
+}
+
+func TestFetchOverShapedLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	s := newStack(t)
+	// Serve the same store over a heavily shaped link; the fetch must
+	// still succeed and take measurably longer.
+	srv := transport.NewServer(s.store, transport.WithEgressRate(8e6)) // 1 MB/s
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	client, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	f := &Fetcher{
+		Client:  client,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: Planner{Adapt: false, DefaultLevel: 3}, // smallest level
+	}
+	start := time.Now()
+	kv, report, err := f.Fetch(context.Background(), "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if kv.Tokens != len(s.tokens) {
+		t.Errorf("assembled %d tokens", kv.Tokens)
+	}
+	wantMin := time.Duration(float64(report.BytesReceived) / 1e6 * 0.5 * float64(time.Second))
+	if elapsed < wantMin {
+		t.Errorf("shaped fetch took %v for %d bytes, expected ≥%v", elapsed, report.BytesReceived, wantMin)
+	}
+}

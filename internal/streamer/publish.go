@@ -1,0 +1,119 @@
+package streamer
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// PublishOptions tune Publish.
+type PublishOptions struct {
+	// SizeScale multiplies the *reported* bitstream sizes in the stored
+	// metadata (not the payloads). Experiments that synthesise a channel
+	// subsample set this to Config.ChannelScale() so that transfer-time
+	// accounting reflects the full-size model; the live path leaves it 1.
+	// Text payload sizes are never scaled (tokens are tokens).
+	SizeScale float64
+	// KV, if non-nil, is the precomputed cache for the tokens (skips
+	// CalculateKV).
+	KV *tensor.KV
+	// RefineTargets additionally stores incremental-streaming refinement
+	// bitstreams (DESIGN.md §5b) that upgrade the coarsest level to each
+	// listed target level. FetchIncremental consumes them.
+	RefineTargets []core.Level
+}
+
+// Publish is the store_kv interface of §6: it computes (or accepts) the
+// context's KV cache, splits it into chunks, encodes every chunk at every
+// encoding level, stores the bitstreams plus the per-chunk token text
+// (for the recompute fallback) and the metadata the streamer adapts over.
+func Publish(ctx context.Context, st storage.Store, codec *core.Codec, model *llm.Model,
+	contextID string, tokens []llm.Token, opts PublishOptions) (storage.ContextMeta, error) {
+
+	if len(tokens) == 0 {
+		return storage.ContextMeta{}, fmt.Errorf("streamer: publishing empty context %q", contextID)
+	}
+	scale := opts.SizeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	kv := opts.KV
+	if kv == nil {
+		kv = model.CalculateKV(tokens)
+	}
+	if kv.Tokens != len(tokens) {
+		return storage.ContextMeta{}, fmt.Errorf("streamer: cache covers %d tokens, context has %d", kv.Tokens, len(tokens))
+	}
+
+	offs := codec.SplitOffsets(len(tokens))
+	nChunks := len(offs) - 1
+	cfg := codec.Config()
+	meta := storage.ContextMeta{
+		ContextID:   contextID,
+		Model:       model.Config().Name,
+		TokenCount:  len(tokens),
+		ChunkTokens: make([]int, nChunks),
+		Levels:      cfg.Levels(),
+		SizesBytes:  make([][]int64, cfg.Levels()),
+		TextBytes:   make([]int64, nChunks),
+	}
+	for lv := range meta.SizesBytes {
+		meta.SizesBytes[lv] = make([]int64, nChunks)
+	}
+	coarsest := core.Level(cfg.Levels() - 1)
+	for _, target := range opts.RefineTargets {
+		if target >= coarsest || target < 0 {
+			return storage.ContextMeta{}, fmt.Errorf("streamer: refinement target L%d must be finer than the coarsest level L%d", target, coarsest)
+		}
+		meta.RefineTargets = append(meta.RefineTargets, int(target))
+		meta.RefineBytes = append(meta.RefineBytes, make([]int64, nChunks))
+	}
+
+	for i := 0; i < nChunks; i++ {
+		lo, hi := offs[i], offs[i+1]
+		meta.ChunkTokens[i] = hi - lo
+		part, err := kv.SliceTokens(lo, hi)
+		if err != nil {
+			return storage.ContextMeta{}, fmt.Errorf("streamer: %w", err)
+		}
+		for lv := 0; lv < cfg.Levels(); lv++ {
+			data, err := codec.EncodeChunk(part, i, lo, core.Level(lv))
+			if err != nil {
+				return storage.ContextMeta{}, fmt.Errorf("streamer: encoding chunk %d level %d: %w", i, lv, err)
+			}
+			key := storage.ChunkKey{ContextID: contextID, Chunk: i, Level: lv}
+			if err := st.Put(ctx, key, data); err != nil {
+				return storage.ContextMeta{}, fmt.Errorf("streamer: storing chunk %d level %d: %w", i, lv, err)
+			}
+			meta.SizesBytes[lv][i] = int64(math.Round(float64(len(data)) * scale))
+		}
+		text := llm.EncodeTokens(tokens[lo:hi])
+		key := storage.ChunkKey{ContextID: contextID, Chunk: i, Level: storage.TextLevel}
+		if err := st.Put(ctx, key, text); err != nil {
+			return storage.ContextMeta{}, fmt.Errorf("streamer: storing text chunk %d: %w", i, err)
+		}
+		meta.TextBytes[i] = int64(len(text))
+
+		for ti, target := range opts.RefineTargets {
+			data, err := codec.EncodeRefinement(part, i, lo, coarsest, target)
+			if err != nil {
+				return storage.ContextMeta{}, fmt.Errorf("streamer: encoding refinement chunk %d -> L%d: %w", i, target, err)
+			}
+			key := storage.ChunkKey{ContextID: contextID, Chunk: i, Level: storage.RefineLevelKey(int(target))}
+			if err := st.Put(ctx, key, data); err != nil {
+				return storage.ContextMeta{}, fmt.Errorf("streamer: storing refinement chunk %d: %w", i, err)
+			}
+			meta.RefineBytes[ti][i] = int64(math.Round(float64(len(data)) * scale))
+		}
+	}
+
+	if err := st.PutMeta(ctx, meta); err != nil {
+		return storage.ContextMeta{}, fmt.Errorf("streamer: storing meta: %w", err)
+	}
+	return meta, nil
+}

@@ -1,0 +1,28 @@
+package tensor
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadKV: arbitrary serialized tensors must never panic the reader.
+func FuzzReadKV(f *testing.F) {
+	kv := New(2, 3, 4)
+	kv.Set(Key, 1, 2, 3, 1.5)
+	var buf bytes.Buffer
+	if _, err := kv.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("KVT1short"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadKV(bytes.NewReader(data))
+		if err == nil {
+			// A tensor that reads back must be internally consistent.
+			if got.Elems() != len(got.K) || got.Elems() != len(got.V) {
+				t.Fatal("inconsistent decoded tensor")
+			}
+		}
+	})
+}

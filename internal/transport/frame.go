@@ -1,0 +1,108 @@
+// Package transport implements the wire path between the KV storage
+// server and the inference server: a length-prefixed frame protocol over
+// any net.Conn, a token-bucket bandwidth shaper for emulating constrained
+// links on real sockets, and the server/client pair the streamer uses to
+// fetch context chunks (§4: "streaming the encoded KV bitstream through a
+// network connection of varying throughput").
+//
+// The virtual-time experiments (internal/netsim) bypass sockets entirely;
+// this package is the live path, exercised by the integration tests and
+// the cachegen-server / cachegen-client binaries.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// frame types.
+const (
+	typeReqMeta   byte = 0x01
+	typeRespMeta  byte = 0x02
+	typeReqChunk  byte = 0x03
+	typeRespChunk byte = 0x04
+	typeReqBank   byte = 0x05
+	typeRespBank  byte = 0x06
+	typeError     byte = 0x7F
+)
+
+// MaxFramePayload bounds a single frame. Chunk bitstreams are tens of MB
+// at most (1500 tokens × large models); 1 GiB leaves generous headroom
+// while rejecting nonsense lengths from corrupt peers.
+const MaxFramePayload = 1 << 30
+
+var frameMagic = [2]byte{'C', 'G'}
+
+// ErrProtocol reports a malformed frame or unexpected message.
+var ErrProtocol = errors.New("transport: protocol error")
+
+// writeFrame writes one frame: magic | type | len(u32) | payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("%w: payload of %d bytes exceeds limit", ErrProtocol, len(payload))
+	}
+	hdr := make([]byte, 7)
+	hdr[0], hdr[1] = frameMagic[0], frameMagic[1]
+	hdr[2] = typ
+	binary.BigEndian.PutUint32(hdr[3:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: writing frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame, enforcing the payload limit.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	hdr := make([]byte, 7)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] {
+		return 0, nil, fmt.Errorf("%w: bad magic %x", ErrProtocol, hdr[:2])
+	}
+	n := binary.BigEndian.Uint32(hdr[3:])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: reading frame payload: %w", err)
+	}
+	return hdr[2], payload, nil
+}
+
+// chunk request payload: uvarint id length | id | uvarint chunk |
+// zigzag-varint level (level −1 is the text pseudo-level).
+
+func encodeChunkReq(contextID string, chunk, level int) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(contextID)))
+	buf = append(buf, contextID...)
+	buf = binary.AppendUvarint(buf, uint64(chunk))
+	buf = binary.AppendVarint(buf, int64(level))
+	return buf
+}
+
+func decodeChunkReq(p []byte) (contextID string, chunk, level int, err error) {
+	n, k := binary.Uvarint(p)
+	if k <= 0 || n > uint64(len(p)-k) {
+		return "", 0, 0, fmt.Errorf("%w: bad chunk request id", ErrProtocol)
+	}
+	p = p[k:]
+	contextID = string(p[:n])
+	p = p[n:]
+	c, k := binary.Uvarint(p)
+	if k <= 0 {
+		return "", 0, 0, fmt.Errorf("%w: bad chunk index", ErrProtocol)
+	}
+	p = p[k:]
+	lv, k := binary.Varint(p)
+	if k <= 0 {
+		return "", 0, 0, fmt.Errorf("%w: bad level", ErrProtocol)
+	}
+	return contextID, int(c), int(lv), nil
+}

@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// FuzzReadFrame: arbitrary byte streams must never panic the frame reader.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typeReqMeta, []byte("doc-1")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CGxxxxxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = readFrame(bytes.NewReader(data))
+	})
+}
+
+// FuzzDecodeChunkReq: arbitrary request payloads must never panic.
+func FuzzDecodeChunkReq(f *testing.F) {
+	f.Add(encodeChunkReq("doc", 3, 1))
+	f.Add(encodeChunkReq("", 0, storage.TextLevel))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, chunk, level, err := decodeChunkReq(data)
+		if err == nil {
+			// A payload that decodes must round-trip.
+			again := encodeChunkReq(id, chunk, level)
+			id2, c2, l2, err2 := decodeChunkReq(again)
+			if err2 != nil || id2 != id || c2 != chunk || l2 != level {
+				t.Fatalf("re-encode mismatch: (%q,%d,%d) vs (%q,%d,%d), %v",
+					id, chunk, level, id2, c2, l2, err2)
+			}
+		}
+	})
+}

@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Server serves chunk and metadata requests from a storage.Store over the
+// frame protocol — the storage-server side of get_kv (§6). Each accepted
+// connection is handled on its own goroutine; requests within a
+// connection are processed sequentially (the streamer fetches chunks one
+// by one, §5.3).
+type Server struct {
+	store  storage.Store
+	egress float64 // per-connection egress shaping, bits/s (≤0 = unlimited)
+	bank   []byte  // serialised codec model bank served to clients
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithEgressRate shapes every connection's sends to bps bits per second,
+// emulating a constrained storage-to-GPU link.
+func WithEgressRate(bps float64) ServerOption {
+	return func(s *Server) { s.egress = bps }
+}
+
+// WithLogger sets a log function (default: log.Printf-compatible no-op).
+func WithLogger(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// WithBank serves the given serialised codec model bank to clients that
+// request it, so a fresh inference server can bootstrap the decoder for
+// this store's LLM without out-of-band files (§5.2: the bank is profiled
+// once per LLM, offline).
+func WithBank(bank []byte) ServerOption {
+	return func(s *Server) { s.bank = append([]byte{}, bank...) }
+}
+
+// NewServer returns a server over the given store.
+func NewServer(store storage.Store, opts ...ServerOption) *Server {
+	s := &Server{store: store, conns: map[net.Conn]struct{}{}, logf: func(string, ...any) {}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	return err
+}
+
+// HandleConn serves one pre-established connection (used with net.Pipe in
+// tests and by custom acceptors). It returns when the peer disconnects.
+func (s *Server) HandleConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.handle(conn)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	var w net.Conn = conn
+	if s.egress > 0 {
+		w = NewShaper(conn, s.egress)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(w, 64<<10)
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return // disconnect or garbage; drop the connection
+		}
+		if err := s.dispatch(bw, typ, payload); err != nil {
+			s.logf("transport: connection %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w *bufio.Writer, typ byte, payload []byte) error {
+	ctx := context.Background()
+	switch typ {
+	case typeReqMeta:
+		meta, err := s.store.GetMeta(ctx, string(payload))
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		data, err := json.Marshal(meta)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		return writeFrame(w, typeRespMeta, data)
+
+	case typeReqChunk:
+		id, chunk, level, err := decodeChunkReq(payload)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		data, err := s.store.Get(ctx, storage.ChunkKey{ContextID: id, Chunk: chunk, Level: level})
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		return writeFrame(w, typeRespChunk, data)
+
+	case typeReqBank:
+		if len(s.bank) == 0 {
+			return writeFrame(w, typeError, []byte("no model bank configured"))
+		}
+		return writeFrame(w, typeRespBank, s.bank)
+
+	default:
+		return writeFrame(w, typeError, []byte(fmt.Sprintf("unknown frame type 0x%02x", typ)))
+	}
+}
+
+// RemoteError is an error reported by the server.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// Client fetches metadata and chunks from a Server. It is safe for
+// concurrent use; requests are serialised over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Dial connects to a server at a TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request frame and reads one response frame, honoring
+// the context deadline via the connection deadline.
+func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	deadline, ok := ctx.Deadline()
+	if ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return 0, nil, fmt.Errorf("transport: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if err := writeFrame(c.bw, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, fmt.Errorf("transport: flush: %w", err)
+	}
+	rtyp, rpayload, err := readFrame(c.br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("transport: reading response: %w", err)
+	}
+	return rtyp, rpayload, nil
+}
+
+// GetMeta fetches a context's metadata.
+func (c *Client) GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqMeta, []byte(contextID))
+	if err != nil {
+		return storage.ContextMeta{}, err
+	}
+	switch typ {
+	case typeRespMeta:
+		var meta storage.ContextMeta
+		if err := json.Unmarshal(payload, &meta); err != nil {
+			return storage.ContextMeta{}, fmt.Errorf("%w: bad meta payload: %v", ErrProtocol, err)
+		}
+		return meta, nil
+	case typeError:
+		return storage.ContextMeta{}, &RemoteError{Msg: string(payload)}
+	default:
+		return storage.ContextMeta{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}
+
+// GetBank fetches the server's serialised codec model bank.
+func (c *Client) GetBank(ctx context.Context) ([]byte, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqBank, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case typeRespBank:
+		return payload, nil
+	case typeError:
+		return nil, &RemoteError{Msg: string(payload)}
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}
+
+// GetChunk fetches one chunk payload at the given level (storage.TextLevel
+// fetches the token text).
+func (c *Client) GetChunk(ctx context.Context, contextID string, chunk, level int) ([]byte, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqChunk, encodeChunkReq(contextID, chunk, level))
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case typeRespChunk:
+		return payload, nil
+	case typeError:
+		msg := string(payload)
+		// Re-wrap the server's not-found errors so callers can test with
+		// errors.Is(err, storage.ErrNotFound) across the wire.
+		if strings.Contains(msg, "not found") {
+			return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, msg)
+		}
+		return nil, &RemoteError{Msg: msg}
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}

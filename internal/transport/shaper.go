@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Shaper throttles writes through a net.Conn to a configurable bandwidth
+// using a token bucket, so the live socket path can emulate the
+// constrained links of the evaluation (0.4–400 Gbps in Fig 11) on
+// loopback. The rate may be changed while in use — that is how the demo
+// binaries replay bandwidth traces.
+type Shaper struct {
+	net.Conn
+
+	mu     sync.Mutex
+	bps    float64   // bits per second
+	tokens float64   // available bytes
+	burst  float64   // bucket depth in bytes
+	last   time.Time // last refill
+}
+
+// shaperSlice is the write granularity; small enough that rate changes
+// take effect quickly, large enough to keep syscall overhead low.
+const shaperSlice = 16 << 10
+
+// NewShaper wraps conn, limiting writes to bps bits per second. A zero or
+// negative bps means unlimited.
+func NewShaper(conn net.Conn, bps float64) *Shaper {
+	s := &Shaper{Conn: conn, last: time.Now()}
+	s.setRate(bps)
+	return s
+}
+
+// SetRate changes the target bandwidth (bits per second; ≤0 = unlimited).
+func (s *Shaper) SetRate(bps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refillLocked(time.Now())
+	s.setRate(bps)
+}
+
+func (s *Shaper) setRate(bps float64) {
+	s.bps = bps
+	if bps > 0 {
+		// A bucket of 50 ms worth of bytes keeps bursts short relative to
+		// the chunk transfer times being emulated.
+		s.burst = bps / 8 * 0.05
+		if s.burst < shaperSlice {
+			s.burst = shaperSlice
+		}
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+	}
+}
+
+// Rate returns the current target bandwidth in bits per second.
+func (s *Shaper) Rate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bps
+}
+
+func (s *Shaper) refillLocked(now time.Time) {
+	if s.bps <= 0 {
+		return
+	}
+	dt := now.Sub(s.last).Seconds()
+	if dt > 0 {
+		s.tokens += s.bps / 8 * dt
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+	}
+	s.last = now
+}
+
+// take blocks until n bytes of budget are available, then consumes them.
+func (s *Shaper) take(n int) error {
+	for {
+		s.mu.Lock()
+		if s.bps <= 0 {
+			s.mu.Unlock()
+			return nil
+		}
+		now := time.Now()
+		s.refillLocked(now)
+		if s.tokens >= float64(n) {
+			s.tokens -= float64(n)
+			s.mu.Unlock()
+			return nil
+		}
+		need := float64(n) - s.tokens
+		wait := time.Duration(need / (s.bps / 8) * float64(time.Second))
+		s.mu.Unlock()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Write implements net.Conn, pacing the payload through the token bucket
+// in slices.
+func (s *Shaper) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		n := len(p)
+		if n > shaperSlice {
+			n = shaperSlice
+		}
+		if err := s.take(n); err != nil {
+			return written, err
+		}
+		m, err := s.Conn.Write(p[:n])
+		written += m
+		if err != nil {
+			return written, fmt.Errorf("transport: shaped write: %w", err)
+		}
+		p = p[m:]
+	}
+	return written, nil
+}

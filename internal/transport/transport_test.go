@@ -1,0 +1,368 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func seededStore(t *testing.T) storage.Store {
+	t.Helper()
+	s := storage.NewMemStore()
+	ctx := context.Background()
+	meta := storage.ContextMeta{
+		ContextID:   "doc-1",
+		Model:       "Mistral-7B",
+		TokenCount:  300,
+		ChunkTokens: []int{150, 150},
+		Levels:      2,
+		SizesBytes:  [][]int64{{1000, 1000}, {600, 600}},
+		TextBytes:   []int64{600, 600},
+	}
+	if err := s.PutMeta(ctx, meta); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for lv := 0; lv < 2; lv++ {
+		for c := 0; c < 2; c++ {
+			data := make([]byte, 1000-400*lv)
+			rng.Read(data)
+			if err := s.Put(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: c, Level: lv}, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Put(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: 0, Level: storage.TextLevel}, []byte("tokens")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// pipeClient starts a server over net.Pipe and returns a connected client.
+func pipeClient(t *testing.T, store storage.Store, opts ...ServerOption) *Client {
+	t.Helper()
+	srv := NewServer(store, opts...)
+	cConn, sConn := net.Pipe()
+	go srv.HandleConn(sConn)
+	t.Cleanup(func() { srv.Close() })
+	client := NewClient(cConn)
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestGetMetaOverPipe(t *testing.T) {
+	client := pipeClient(t, seededStore(t))
+	meta, err := client.GetMeta(context.Background(), "doc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ContextID != "doc-1" || meta.NumChunks() != 2 || meta.Levels != 2 {
+		t.Errorf("meta = %+v", meta)
+	}
+}
+
+func TestGetChunkOverPipe(t *testing.T) {
+	store := seededStore(t)
+	client := pipeClient(t, store)
+	ctx := context.Background()
+
+	want, err := store.Get(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: 1, Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.GetChunk(ctx, "doc-1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("chunk payload mismatch")
+	}
+
+	// Text pseudo-level.
+	text, err := client.GetChunk(ctx, "doc-1", 0, storage.TextLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != "tokens" {
+		t.Errorf("text chunk = %q", text)
+	}
+}
+
+func TestNotFoundPropagates(t *testing.T) {
+	client := pipeClient(t, seededStore(t))
+	ctx := context.Background()
+	if _, err := client.GetMeta(ctx, "missing"); err == nil {
+		t.Error("GetMeta of missing context succeeded")
+	}
+	_, err := client.GetChunk(ctx, "doc-1", 99, 0)
+	if !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("missing chunk error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSequentialAndConcurrentRequests(t *testing.T) {
+	client := pipeClient(t, seededStore(t))
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := client.GetChunk(ctx, "doc-1", i%2, i%2); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestOverRealTCP(t *testing.T) {
+	store := seededStore(t)
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() { srv.Close(); <-done })
+
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	meta, err := client.GetMeta(ctx, "doc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < meta.NumChunks(); c++ {
+		if _, err := client.GetChunk(ctx, "doc-1", c, 1); err != nil {
+			t.Fatalf("chunk %d: %v", c, err)
+		}
+	}
+	if srv.Addr() == nil {
+		t.Error("server address nil while serving")
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	// A server that never responds: the client must honor the deadline.
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	client := NewClient(cConn)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.GetMeta(ctx, "doc-1")
+	if err == nil {
+		t.Fatal("GetMeta succeeded against a dead server")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline not honored: took %v", elapsed)
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	client := pipeClient(t, seededStore(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.GetMeta(ctx, "doc-1"); err == nil {
+		t.Error("request with cancelled context succeeded")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	store := seededStore(t)
+	srv := NewServer(store)
+	cConn, sConn := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); srv.HandleConn(sConn) }()
+	defer srv.Close()
+
+	// Write garbage; the server must drop the connection, not panic.
+	cConn.SetDeadline(time.Now().Add(time.Second))
+	cConn.Write([]byte("XXXXXXXXXXXXXXXXXX"))
+	buf := make([]byte, 16)
+	cConn.Read(buf) // either EOF or nothing
+	cConn.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Error("server did not drop garbage connection")
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, 8)
+	if err := writeFrame(&buf, typeReqMeta, big); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the length field to exceed the limit.
+	data := buf.Bytes()
+	data[3], data[4], data[5], data[6] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := readFrame(bytes.NewReader(data)); err == nil {
+		t.Error("readFrame accepted oversized frame")
+	}
+}
+
+func TestChunkReqCodec(t *testing.T) {
+	for _, c := range []struct {
+		id           string
+		chunk, level int
+	}{
+		{"a", 0, 0},
+		{"doc with spaces/and/slashes", 123, 3},
+		{"x", 7, storage.TextLevel},
+	} {
+		payload := encodeChunkReq(c.id, c.chunk, c.level)
+		id, chunk, level, err := decodeChunkReq(payload)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if id != c.id || chunk != c.chunk || level != c.level {
+			t.Errorf("round trip %+v -> (%q,%d,%d)", c, id, chunk, level)
+		}
+	}
+	if _, _, _, err := decodeChunkReq(nil); err == nil {
+		t.Error("decodeChunkReq accepted empty payload")
+	}
+	if _, _, _, err := decodeChunkReq([]byte{0xFF}); err == nil {
+		t.Error("decodeChunkReq accepted truncated payload")
+	}
+}
+
+func TestShaperRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+
+	const bps = 8e6 // 1 MB/s
+	shaped := NewShaper(cConn, bps)
+	if shaped.Rate() != bps {
+		t.Fatalf("Rate = %v", shaped.Rate())
+	}
+
+	const payload = 300_000 // 0.3 MB ⇒ ≈300 ms at 1 MB/s
+	go func() {
+		buf := make([]byte, 32<<10)
+		var total int
+		for total < payload {
+			n, err := sConn.Read(buf)
+			total += n
+			if err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := shaped.Write(make([]byte, payload)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 200*time.Millisecond || elapsed > 800*time.Millisecond {
+		t.Errorf("0.3 MB at 1 MB/s took %v, want ≈300ms", elapsed)
+	}
+}
+
+func TestShaperUnlimited(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	shaped := NewShaper(cConn, 0)
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := sConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := shaped.Write(make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("unlimited shaper throttled: %v", elapsed)
+	}
+}
+
+func TestShaperSetRate(t *testing.T) {
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	defer sConn.Close()
+	shaped := NewShaper(cConn, 1e6)
+	shaped.SetRate(5e8)
+	if shaped.Rate() != 5e8 {
+		t.Errorf("Rate after SetRate = %v", shaped.Rate())
+	}
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := sConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	if _, err := shaped.Write(make([]byte, 500_000)); err != nil { // 8ms at 62.5MB/s
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("SetRate did not take effect: %v", elapsed)
+	}
+}
+
+func TestServeAfterClose(t *testing.T) {
+	srv := NewServer(storage.NewMemStore())
+	srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := srv.Serve(ln); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("Serve after Close = %v", err)
+	}
+}
+
+func TestGetBank(t *testing.T) {
+	bank := []byte{1, 2, 3, 4, 5, 6}
+	client := pipeClient(t, seededStore(t), WithBank(bank))
+	got, err := client.GetBank(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bank) {
+		t.Errorf("GetBank = %v", got)
+	}
+
+	// A server without a bank reports an error.
+	noBank := pipeClient(t, seededStore(t))
+	if _, err := noBank.GetBank(context.Background()); err == nil {
+		t.Error("GetBank succeeded on a bank-less server")
+	}
+}
