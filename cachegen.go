@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/storage"
@@ -33,6 +34,10 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
+
+// Version identifies this build of the reproduction (reported by the
+// binaries' -version flags).
+const Version = "0.2.0"
 
 // Re-exported core types. See the internal packages for full
 // documentation.
@@ -78,6 +83,26 @@ type (
 	// ServerOption configures a Server.
 	ServerOption = transport.ServerOption
 
+	// CachingStore fronts a Store with a byte-budgeted LRU RAM tier.
+	CachingStore = storage.CachingStore
+	// CacheStats snapshots a CachingStore's hit/miss/eviction counters.
+	CacheStats = storage.CacheStats
+
+	// Ring is the consistent-hash ring placing chunks on storage nodes.
+	Ring = cluster.Ring
+	// Pool fetches chunks from a ring of servers with connection reuse,
+	// parallel fan-out and replica failover.
+	Pool = cluster.Pool
+	// PoolStats snapshots a Pool's dial/failover counters.
+	PoolStats = cluster.PoolStats
+	// PoolOption configures a Pool.
+	PoolOption = cluster.PoolOption
+	// ShardedStore is the publish-side Store routing writes across a ring.
+	ShardedStore = cluster.ShardedStore
+
+	// ChunkSource serves metadata and chunks to a Fetcher (a Client or a
+	// Pool).
+	ChunkSource = streamer.ChunkSource
 	// Planner implements the per-chunk adaptation logic (Algorithm 1).
 	Planner = streamer.Planner
 	// Choice is a per-chunk streaming configuration.
@@ -171,6 +196,25 @@ func NewMemStore() Store { return storage.NewMemStore() }
 
 // NewFileStore returns a filesystem-backed chunk store rooted at dir.
 func NewFileStore(dir string) (Store, error) { return storage.NewFileStore(dir) }
+
+// NewCachingStore fronts a store with a RAM tier of at most maxBytes.
+func NewCachingStore(inner Store, maxBytes int64) *CachingStore {
+	return storage.NewCachingStore(inner, maxBytes)
+}
+
+// NewRing returns a consistent-hash ring with the given replication
+// factor and virtual nodes per node (≤0 = default).
+func NewRing(replicas, vnodes int) *Ring { return cluster.NewRing(replicas, vnodes) }
+
+// NewPool returns a chunk-fetching pool over the ring's nodes (node ids
+// are dial addresses).
+func NewPool(ring *Ring, opts ...PoolOption) *Pool { return cluster.NewPool(ring, opts...) }
+
+// NewShardedStore returns a publish-side store sharding writes across
+// the ring's nodes (node id → backing store).
+func NewShardedStore(ring *Ring, stores map[string]Store) (*ShardedStore, error) {
+	return cluster.NewShardedStore(ring, stores)
+}
 
 // NewServer serves a store over the frame protocol.
 func NewServer(st Store, opts ...ServerOption) *Server { return transport.NewServer(st, opts...) }

@@ -87,7 +87,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	fetcher := &Fetcher{
-		Client:  client,
+		Source:  client,
 		Codec:   NewCodec(rb),
 		Model:   model,
 		Device:  A40x4(),
@@ -198,7 +198,7 @@ func TestIncrementalFacade(t *testing.T) {
 	}
 	defer client.Close()
 
-	f := &Fetcher{Client: client, Codec: codec, Model: model, Device: A40x4(),
+	f := &Fetcher{Source: client, Codec: codec, Model: model, Device: A40x4(),
 		Planner: Planner{Adapt: false, DefaultLevel: 0}}
 	inc, err := f.FetchIncremental(ctx, "inc", Level(0))
 	if err != nil {

@@ -64,7 +64,7 @@ func main() {
 
 	planner := cachegen.Planner{Adapt: *slo > 0, SLO: *slo, DefaultLevel: 1}
 	fetcher := &cachegen.Fetcher{
-		Client:  client,
+		Source:  client,
 		Codec:   codec,
 		Model:   model,
 		Device:  cachegen.A40x4(),

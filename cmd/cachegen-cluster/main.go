@@ -1,0 +1,253 @@
+// Command cachegen-cluster launches a local sharded KV-cache delivery
+// ring: N storage nodes (each a cachegen-server equivalent with an
+// optional RAM tier), a consistent-hash ring placing every context chunk
+// on a primary plus replicas, and demo contexts published across the
+// fleet. Without -demo it serves until SIGINT/SIGTERM; with -demo it
+// also exercises the client path — a parallel pool fetch, a mid-fleet
+// node kill with replica failover, and a warm refetch through the RAM
+// tier — then exits.
+//
+// Usage:
+//
+//	cachegen-cluster -nodes 3 -replicas 2 -ram-cache-mb 64 -demo
+//	cachegen-cluster -nodes 4 -port-base 9100 -dir ./kvcluster
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	cachegen "repro"
+	"repro/internal/dataset"
+	"repro/internal/netsim"
+)
+
+type node struct {
+	addr  string
+	cache *cachegen.CachingStore // nil when the RAM tier is disabled
+	srv   *cachegen.Server
+	ln    net.Listener
+}
+
+func main() {
+	nodes := flag.Int("nodes", 3, "number of storage nodes")
+	replicas := flag.Int("replicas", 2, "replication factor (copies per chunk)")
+	vnodes := flag.Int("vnodes", 0, "virtual ring points per node (0 = default)")
+	host := flag.String("host", "127.0.0.1", "listen host")
+	portBase := flag.Int("port-base", 9100, "first node's port; node i listens on port-base+i")
+	dir := flag.String("dir", "", "root directory for per-node file stores (empty = in-memory)")
+	ramMB := flag.Int("ram-cache-mb", 64, "per-node RAM tier budget in MB (0 = disabled)")
+	egress := flag.Float64("egress-gbps", 0, "per-connection egress shaping in Gbps (0 = unlimited)")
+	modelName := flag.String("model", "Mistral-7B", "model for the published demo contexts")
+	channels := flag.Int("channels", 32, "synthesised KV channels")
+	nContexts := flag.Int("contexts", 2, "demo contexts published across the ring")
+	tokens := flag.Int("tokens", 2000, "tokens per demo context")
+	demo := flag.Bool("demo", false, "run the client-path demo (parallel fetch, failover, warm refetch) and exit")
+	version := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cachegen-cluster: ")
+	if *version {
+		fmt.Println("cachegen-cluster " + cachegen.Version)
+		return
+	}
+	if *nodes < 1 {
+		log.Fatal("-nodes must be at least 1")
+	}
+	if *nContexts < 0 || (*demo && *nContexts == 0) {
+		log.Fatal("-contexts must be positive (the demo needs something to fetch)")
+	}
+	if *replicas > *nodes {
+		log.Printf("capping -replicas %d to fleet size %d", *replicas, *nodes)
+		*replicas = *nodes
+	}
+
+	// Model, codec and bank, shared by every node (§5.2: one bank per LLM).
+	cfg, err := cachegen.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *channels > 0 && *channels < cfg.KVChannels {
+		cfg = cfg.WithChannels(*channels)
+	}
+	model, err := cachegen.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lengthScale := float64(*tokens) / 9400.0
+	ctxs := dataset.LongChat().Contexts(2+*nContexts, lengthScale)
+	var trainToks [][]cachegen.Token
+	for _, c := range ctxs[:2] {
+		trainToks = append(trainToks, c.Tokens)
+	}
+	log.Printf("training codec bank for %s...", cfg.Name)
+	codec, err := cachegen.TrainCodec(cachegen.DefaultCodecConfig(), model, trainToks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := codec.Bank().MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Launch the fleet.
+	ring := cachegen.NewRing(*replicas, *vnodes)
+	stores := map[string]cachegen.Store{}
+	fleet := make([]*node, 0, *nodes)
+	var srvOpts []cachegen.ServerOption
+	srvOpts = append(srvOpts, cachegen.WithBank(bank))
+	if *egress > 0 {
+		srvOpts = append(srvOpts, cachegen.WithEgressRate(netsim.Gbps(*egress)))
+	}
+	for i := 0; i < *nodes; i++ {
+		var store cachegen.Store = cachegen.NewMemStore()
+		if *dir != "" {
+			store, err = cachegen.NewFileStore(filepath.Join(*dir, fmt.Sprintf("node-%02d", i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		n := &node{}
+		if *ramMB > 0 {
+			n.cache = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
+			store = n.cache
+		}
+		n.srv = cachegen.NewServer(store, srvOpts...)
+		addr := fmt.Sprintf("%s:%d", *host, *portBase+i)
+		n.ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatalf("node %d: %v", i, err)
+		}
+		n.addr = n.ln.Addr().String()
+		stores[n.addr] = store
+		fleet = append(fleet, n)
+	}
+	sharded, err := cachegen.NewShardedStore(ring, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, n := range fleet {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if err := n.srv.Serve(n.ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("node %s: %v", n.addr, err)
+			}
+		}(n)
+	}
+
+	// Publish demo contexts across the ring and report the shard layout.
+	bg := context.Background()
+	primaries := map[string]int{}
+	var ids []string
+	for i, c := range ctxs[2:] {
+		id := fmt.Sprintf("demo-%04d", i)
+		meta, err := cachegen.Publish(bg, sharded, codec, model, id, c.Tokens)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+		for ch := 0; ch < meta.NumChunks(); ch++ {
+			primaries[ring.ChunkNodes(id, ch)[0]]++
+		}
+		log.Printf("published %s: %d tokens, %d chunks across %d nodes (replication %d)",
+			id, meta.TokenCount, meta.NumChunks(), *nodes, *replicas)
+	}
+	for _, n := range fleet {
+		log.Printf("node %s: primary for %d chunks", n.addr, primaries[n.addr])
+	}
+
+	closeFleet := func() {
+		for _, n := range fleet {
+			n.srv.Close()
+		}
+		wg.Wait()
+		for _, n := range fleet {
+			if n.cache != nil {
+				st := n.cache.Stats()
+				log.Printf("node %s RAM tier: %d hits, %d misses (%.0f%% hit rate), %d evictions",
+					n.addr, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+			}
+		}
+	}
+
+	if *demo {
+		if err := runDemo(model, codec, ring, fleet, ids); err != nil {
+			closeFleet()
+			log.Fatal(err)
+		}
+		closeFleet()
+		return
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	log.Printf("serving; chunks are sharded, so fetch through a cachegen.Pool over all nodes " +
+		"(a plain cachegen-client sees only one node's shard), Ctrl-C to stop")
+	sig := <-sigCh
+	log.Printf("received %v, shutting down", sig)
+	closeFleet()
+	log.Printf("bye")
+}
+
+// runDemo drives the client path against the live fleet.
+func runDemo(model *cachegen.Model, codec *cachegen.Codec, ring *cachegen.Ring, fleet []*node, ids []string) error {
+	pool := cachegen.NewPool(ring)
+	defer pool.Close()
+	fetcher := &cachegen.Fetcher{
+		Source:  pool,
+		Codec:   codec,
+		Model:   model,
+		Device:  cachegen.A40x4(),
+		Planner: cachegen.Planner{Adapt: false, DefaultLevel: 0},
+	}
+	bg := context.Background()
+
+	fetchAll := func(label string) error {
+		for _, id := range ids {
+			kv, report, err := fetcher.Fetch(bg, id)
+			if err != nil {
+				return fmt.Errorf("%s fetch of %s: %w", label, id, err)
+			}
+			log.Printf("%s fetch %s: %d tokens in %v (%.1f MB, %d failovers so far)",
+				label, id, kv.Tokens, report.LoadTime.Round(time.Millisecond),
+				float64(report.BytesReceived)/1e6, pool.Stats().Failovers)
+		}
+		return nil
+	}
+	if err := fetchAll("cold"); err != nil {
+		return err
+	}
+	if err := fetchAll("warm"); err != nil {
+		return err
+	}
+
+	if len(fleet) > 1 && ring.Replicas() < 2 {
+		log.Printf("skipping the node-kill step: replication 1 keeps a single copy per chunk")
+	}
+	if len(fleet) > 1 && ring.Replicas() > 1 {
+		victim := ring.ChunkNodes(ids[0], 0)[0]
+		for _, n := range fleet {
+			if n.addr == victim {
+				log.Printf("killing node %s mid-demo...", victim)
+				n.srv.Close()
+			}
+		}
+		if err := fetchAll("degraded"); err != nil {
+			return err
+		}
+		log.Printf("fleet survived the node kill with %d replica failovers", pool.Stats().Failovers)
+	}
+	return nil
+}

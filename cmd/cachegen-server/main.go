@@ -1,18 +1,25 @@
 // Command cachegen-server serves encoded KV caches from a filesystem store
 // over the CacheGen frame protocol — the storage-server side of get_kv
 // (§6). Optional egress shaping emulates a constrained storage-to-GPU
-// link so the client's adaptation logic has something to adapt to.
+// link so the client's adaptation logic has something to adapt to, and an
+// optional RAM tier (-ram-cache-mb) serves the hot set without disk
+// reads. SIGINT/SIGTERM shut the server down cleanly.
 //
 // Usage:
 //
-//	cachegen-server -dir ./kvstore -addr :9099 -egress-gbps 1
+//	cachegen-server -dir ./kvstore -addr :9099 -egress-gbps 1 -ram-cache-mb 64
 package main
 
 import (
+	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	cachegen "repro"
 	"repro/internal/netsim"
@@ -22,13 +29,25 @@ func main() {
 	dir := flag.String("dir", "./kvstore", "store directory (written by cachegen-encode)")
 	addr := flag.String("addr", "127.0.0.1:9099", "listen address")
 	egress := flag.Float64("egress-gbps", 0, "per-connection egress shaping in Gbps (0 = unlimited)")
+	ramMB := flag.Int("ram-cache-mb", 0, "RAM tier budget in MB fronting the file store (0 = disabled)")
+	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("cachegen-server: ")
+	if *version {
+		fmt.Println("cachegen-server " + cachegen.Version)
+		return
+	}
 
 	store, err := cachegen.NewFileStore(*dir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var cache *cachegen.CachingStore
+	if *ramMB > 0 {
+		cache = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
+		store = cache
+		log.Printf("RAM tier enabled: %d MB", *ramMB)
 	}
 	opts := []cachegen.ServerOption{}
 	if *egress > 0 {
@@ -43,8 +62,23 @@ func main() {
 	}
 
 	srv := cachegen.NewServer(store, opts...)
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v, shutting down", sig)
+		srv.Close()
+	}()
+
 	log.Printf("listening on %s, store %s", *addr, *dir)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	err = srv.ListenAndServe(*addr)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
+	if cache != nil {
+		st := cache.Stats()
+		log.Printf("RAM tier: %d hits, %d misses (%.0f%% hit rate), %d evictions, %.1f MB resident",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Evictions, float64(st.Bytes)/1e6)
+	}
+	log.Printf("bye")
 }

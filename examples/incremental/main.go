@@ -64,7 +64,7 @@ func main() {
 	defer client.Close()
 
 	fetcher := &cachegen.Fetcher{
-		Client:  client,
+		Source:  client,
 		Codec:   codec,
 		Model:   model,
 		Device:  cachegen.A40x4(),

@@ -82,7 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fetcher := &cachegen.Fetcher{
-		Client:  client,
+		Source:  client,
 		Codec:   cachegen.NewCodec(rb),
 		Model:   model,
 		Device:  cachegen.A40x4(),

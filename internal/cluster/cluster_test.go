@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/storage"
+	"repro/internal/streamer"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// clusterNode is one in-process storage node: a RAM-tiered store served
+// over TCP.
+type clusterNode struct {
+	addr  string
+	cache *storage.CachingStore
+	srv   *transport.Server
+}
+
+// clusterStack is the acceptance-test rig: a published context on a
+// ≥3-node ring plus a single-store reference fetch path.
+type clusterStack struct {
+	model   *llm.Model
+	codec   *core.Codec
+	tokens  []llm.Token
+	kv      *tensor.KV
+	meta    storage.ContextMeta
+	nodes   []*clusterNode
+	ring    *Ring
+	sharded *ShardedStore
+	refKV   *tensor.KV // KV fetched through a single MemStore server
+}
+
+const testContextID = "ctx-cluster"
+
+func startNode(t *testing.T, cacheBytes int64) *clusterNode {
+	t.Helper()
+	cache := storage.NewCachingStore(storage.NewMemStore(), cacheBytes)
+	srv := transport.NewServer(cache)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return &clusterNode{addr: ln.Addr().String(), cache: cache, srv: srv}
+}
+
+func newClusterStack(t *testing.T, nodeCount, replicas int) *clusterStack {
+	t.Helper()
+	model, err := llm.New(llm.Config{
+		Name: "ctest", Layers: 6, KVChannels: 16, Channels: 16,
+		Hidden: 128, Params: 1e8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChunkTokens = 80
+
+	rng := rand.New(rand.NewSource(42))
+	sample := make([]llm.Token, 400)
+	for i := range sample {
+		sample[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	bank, err := core.Train(cfg, []*tensor.KV{model.CalculateKV(sample)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := core.NewCodec(bank)
+
+	tokens := make([]llm.Token, 400) // 5 chunks of 80
+	for i := range tokens {
+		tokens[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	kv := model.CalculateKV(tokens)
+	ctx := context.Background()
+
+	// Reference path: the same context through one MemStore and one
+	// server, as a pre-cluster deployment would fetch it.
+	single := storage.NewMemStore()
+	if _, err := streamer.Publish(ctx, single, codec, model, testContextID, tokens, streamer.PublishOptions{KV: kv}); err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(single)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	refKV, _, err := fetchThrough(t, model, codec, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cluster path: the ring of RAM-tiered nodes.
+	s := &clusterStack{model: model, codec: codec, tokens: tokens, kv: kv, refKV: refKV}
+	s.ring = NewRing(replicas, 0)
+	stores := map[string]storage.Store{}
+	for i := 0; i < nodeCount; i++ {
+		n := startNode(t, 1<<20)
+		s.nodes = append(s.nodes, n)
+		stores[n.addr] = n.cache
+	}
+	s.sharded, err = NewShardedStore(s.ring, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.meta, err = streamer.Publish(ctx, s.sharded, codec, model, testContextID, tokens, streamer.PublishOptions{KV: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fetchThrough(t *testing.T, model *llm.Model, codec *core.Codec, src streamer.ChunkSource) (*tensor.KV, *streamer.FetchReport, error) {
+	t.Helper()
+	f := &streamer.Fetcher{
+		Source:  src,
+		Codec:   codec,
+		Model:   model,
+		Device:  llm.A40x4(),
+		Planner: streamer.Planner{Adapt: false, DefaultLevel: 0},
+	}
+	return f.Fetch(context.Background(), testContextID)
+}
+
+func (s *clusterStack) node(addr string) *clusterNode {
+	for _, n := range s.nodes {
+		if n.addr == addr {
+			return n
+		}
+	}
+	return nil
+}
+
+// killAfterChunk passes fetches through to the pool and kills one node's
+// server as soon as the trigger chunk has been delivered — a node dying
+// mid-stream.
+type killAfterChunk struct {
+	src        streamer.ChunkSource
+	afterChunk int
+	kill       func()
+	once       sync.Once
+}
+
+func (k *killAfterChunk) GetMeta(ctx context.Context, id string) (storage.ContextMeta, error) {
+	return k.src.GetMeta(ctx, id)
+}
+
+func (k *killAfterChunk) GetChunk(ctx context.Context, id string, chunk, level int) ([]byte, error) {
+	data, err := k.src.GetChunk(ctx, id, chunk, level)
+	if chunk == k.afterChunk {
+		k.once.Do(k.kill)
+	}
+	return data, err
+}
+
+// TestClusterFailoverAndRAMTier is the acceptance scenario: a 4-node
+// ring with replication 2, one node killed mid-stream, the decoded KV
+// bit-for-bit equal to a single-store fetch, and a warm RAM tier on the
+// repeated fetch.
+func TestClusterFailoverAndRAMTier(t *testing.T) {
+	s := newClusterStack(t, 4, 2)
+
+	// The context must actually be sharded: more than one distinct
+	// primary across its chunks.
+	primaries := map[string]struct{}{}
+	for c := 0; c < s.meta.NumChunks(); c++ {
+		primaries[s.ring.ChunkNodes(testContextID, c)[0]] = struct{}{}
+	}
+	if len(primaries) < 2 {
+		t.Fatalf("all %d chunks share one primary; ring not sharding", s.meta.NumChunks())
+	}
+
+	pool := NewPool(s.ring)
+	defer pool.Close()
+
+	// Kill the primary of the last chunk right after chunk 1 arrives, so
+	// a later chunk must fail over to its replica mid-stream.
+	last := s.meta.NumChunks() - 1
+	victim := s.node(s.ring.ChunkNodes(testContextID, last)[0])
+	src := &killAfterChunk{src: pool, afterChunk: 1, kill: func() { victim.srv.Close() }}
+
+	kv, report, err := fetchThrough(t, s.model, s.codec, src)
+	if err != nil {
+		t.Fatalf("cluster fetch with mid-stream node kill: %v", err)
+	}
+	if kv.Tokens != len(s.tokens) {
+		t.Fatalf("assembled %d tokens, want %d", kv.Tokens, len(s.tokens))
+	}
+	if len(report.Decisions) != s.meta.NumChunks() {
+		t.Fatalf("fetched %d chunks, want %d", len(report.Decisions), s.meta.NumChunks())
+	}
+	if got := pool.Stats().Failovers; got == 0 {
+		t.Error("killed a primary mid-stream but the pool reports no failovers")
+	}
+
+	// Bit-for-bit match with the single-store fetch.
+	diff, err := kv.MaxAbsDiff(s.refKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 0 {
+		t.Errorf("cluster-fetched KV differs from single-store fetch by %v", diff)
+	}
+
+	// Repeat the fetch: the surviving nodes' RAM tiers must now serve
+	// hits.
+	if _, _, err := fetchThrough(t, s.model, s.codec, pool); err != nil {
+		t.Fatalf("repeated cluster fetch: %v", err)
+	}
+	var agg storage.CacheStats
+	for _, n := range s.nodes {
+		st := n.cache.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+	}
+	if agg.Hits == 0 {
+		t.Errorf("repeated fetch produced no RAM-tier hits (stats %+v)", agg)
+	}
+	if agg.HitRate() <= 0 {
+		t.Errorf("aggregate hit rate %.2f, want > 0", agg.HitRate())
+	}
+}
+
+func TestPoolBatchMatchesStore(t *testing.T) {
+	s := newClusterStack(t, 3, 2)
+	pool := NewPool(s.ring)
+	defer pool.Close()
+
+	chunks := make([]int, s.meta.NumChunks())
+	for i := range chunks {
+		chunks[i] = i
+	}
+	got, err := pool.GetChunkBatch(context.Background(), testContextID, 0, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range got {
+		want, err := s.sharded.Get(context.Background(), storage.ChunkKey{ContextID: testContextID, Chunk: i, Level: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Errorf("batch chunk %d differs from store payload (%d vs %d bytes)", i, len(data), len(want))
+		}
+	}
+	if st := pool.Stats(); st.OpenConns == 0 || st.Dials == 0 {
+		t.Errorf("pool opened no connections: %+v", st)
+	}
+}
+
+func TestPoolMetaAndBankFailover(t *testing.T) {
+	s := newClusterStack(t, 3, 2)
+	pool := NewPool(s.ring)
+	defer pool.Close()
+	ctx := context.Background()
+
+	// Kill the node that would answer the meta request first; a replica
+	// must answer instead (meta is on every node).
+	first := s.ring.Locate(metaRingKey(testContextID), s.ring.Len())[0]
+	s.node(first).srv.Close()
+	meta, err := pool.GetMeta(ctx, testContextID)
+	if err != nil {
+		t.Fatalf("meta fetch with dead first node: %v", err)
+	}
+	if meta.TokenCount != len(s.tokens) {
+		t.Errorf("meta says %d tokens, want %d", meta.TokenCount, len(s.tokens))
+	}
+	if pool.Stats().Failovers == 0 {
+		t.Error("meta fetch past a dead node reported no failover")
+	}
+
+	// No node serves a bank: the error must mention every replica tried.
+	if _, err := pool.GetBank(ctx); err == nil {
+		t.Error("GetBank succeeded with no bank configured")
+	}
+
+	// A missing context is authoritative from the first live node: typed
+	// not-found, no fleet-wide failover sweep.
+	failoversBefore := pool.Stats().Failovers
+	if _, err := pool.GetMeta(ctx, "missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("missing context error = %v, want storage.ErrNotFound", err)
+	}
+	// At most one failover (if the dead node from above is first in ring
+	// order for this key); a live node's answer must stop the sweep.
+	if d := pool.Stats().Failovers - failoversBefore; d > 1 {
+		t.Errorf("missing-context meta fetch swept %d failovers", d)
+	}
+}
+
+func TestPoolAllReplicasDead(t *testing.T) {
+	s := newClusterStack(t, 3, 1) // replication 1: the primary is the only copy
+	pool := NewPool(s.ring)
+	defer pool.Close()
+
+	victim := s.ring.ChunkNodes(testContextID, 0)[0]
+	s.node(victim).srv.Close()
+	if _, err := pool.GetChunk(context.Background(), testContextID, 0, 0); err == nil {
+		t.Error("fetch succeeded though the only replica is dead")
+	}
+}
+
+func TestShardedStoreRoundTrip(t *testing.T) {
+	s := newClusterStack(t, 3, 2)
+	ctx := context.Background()
+
+	ids, err := s.sharded.ListContexts(ctx)
+	if err != nil || len(ids) != 1 || ids[0] != testContextID {
+		t.Fatalf("ListContexts = %v, %v", ids, err)
+	}
+	// Every chunk must be resident on exactly its replica set.
+	for c := 0; c < s.meta.NumChunks(); c++ {
+		key := storage.ChunkKey{ContextID: testContextID, Chunk: c, Level: 0}
+		holders := 0
+		for _, n := range s.nodes {
+			if _, err := n.cache.Get(ctx, key); err == nil {
+				holders++
+			}
+		}
+		if holders != s.ring.Replicas() {
+			t.Errorf("chunk %d resident on %d nodes, want %d", c, holders, s.ring.Replicas())
+		}
+	}
+	if err := s.sharded.DeleteContext(ctx, testContextID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.sharded.GetMeta(ctx, testContextID); err == nil {
+		t.Error("meta survived DeleteContext")
+	}
+	if err := s.sharded.DeleteContext(ctx, testContextID); err == nil {
+		t.Error("double delete succeeded")
+	}
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// DialFunc opens a connection to a node (its ring id is its address).
+type DialFunc func(addr string) (*transport.Client, error)
+
+// dialTimeout bounds the default dialer: a node that silently drops
+// packets must not hold a fetch (and its failover to a live replica)
+// hostage to the OS connect timeout.
+const dialTimeout = 5 * time.Second
+
+// dialBackoff is the negative-cache window after a failed dial: within
+// it, requests fail over immediately instead of re-dialing the dead
+// node once per chunk.
+const dialBackoff = time.Second
+
+func defaultDial(addr string) (*transport.Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	return transport.NewClient(conn), nil
+}
+
+// Pool is the inference-server side of the cluster: it resolves chunks to
+// nodes through the ring, keeps one reused connection per node, fails
+// over to replicas when a node dies, and fans batch fetches out across
+// nodes in parallel. It satisfies streamer.ChunkSource, so a Fetcher
+// streams from a fleet exactly as it would from one server. Safe for
+// concurrent use.
+type Pool struct {
+	ring *Ring
+	dial DialFunc
+
+	// mu guards the node map and the closed flag only; dialing happens
+	// under the per-node lock, so a slow connect to one node never
+	// stalls fetches going to the rest of the fleet.
+	mu     sync.Mutex
+	nodes  map[string]*poolNode
+	closed bool
+
+	dials     atomic.Uint64
+	failovers atomic.Uint64
+}
+
+// poolNode is the per-node connection slot.
+type poolNode struct {
+	mu       sync.Mutex
+	client   *transport.Client
+	failedAt time.Time // last dial failure, for the negative cache
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*Pool)
+
+// WithDialFunc replaces the TCP dialer (tests use in-process pipes).
+func WithDialFunc(d DialFunc) PoolOption {
+	return func(p *Pool) { p.dial = d }
+}
+
+// NewPool returns a pool over the ring's nodes.
+func NewPool(ring *Ring, opts ...PoolOption) *Pool {
+	p := &Pool{ring: ring, dial: defaultDial, nodes: map[string]*poolNode{}}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// PoolStats snapshots the pool's counters.
+type PoolStats struct {
+	// Dials is the number of connections opened (reconnects included).
+	Dials uint64
+	// Failovers counts fetch attempts that moved past a failed node to a
+	// replica.
+	Failovers uint64
+	// OpenConns is the number of live per-node connections.
+	OpenConns int
+}
+
+// Stats returns the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	slots := make([]*poolNode, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		slots = append(slots, n)
+	}
+	p.mu.Unlock()
+	open := 0
+	for _, n := range slots {
+		n.mu.Lock()
+		if n.client != nil {
+			open++
+		}
+		n.mu.Unlock()
+	}
+	return PoolStats{Dials: p.dials.Load(), Failovers: p.failovers.Load(), OpenConns: open}
+}
+
+// Close closes every node connection. Subsequent fetches fail.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	slots := make([]*poolNode, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		slots = append(slots, n)
+	}
+	p.mu.Unlock()
+	var err error
+	for _, n := range slots {
+		n.mu.Lock()
+		if n.client != nil {
+			if e := n.client.Close(); e != nil && err == nil {
+				err = e
+			}
+			n.client = nil
+		}
+		n.mu.Unlock()
+	}
+	return err
+}
+
+// slot returns the per-node connection slot, creating it if needed.
+func (p *Pool) slot(node string) (*poolNode, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("cluster: pool is closed")
+	}
+	n, ok := p.nodes[node]
+	if !ok {
+		n = &poolNode{}
+		p.nodes[node] = n
+	}
+	return n, nil
+}
+
+// client returns the reused connection to a node, dialing if needed.
+// Dials run under the node's own lock, concurrently across nodes, and a
+// recent dial failure is returned from cache instead of re-dialed, so a
+// dead primary costs one connect attempt per backoff window rather than
+// one per chunk.
+func (p *Pool) client(node string) (*transport.Client, error) {
+	n, err := p.slot(node)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.client != nil {
+		return n.client, nil
+	}
+	if since := time.Since(n.failedAt); since < dialBackoff {
+		return nil, fmt.Errorf("cluster: node %s marked down %v ago", node, since.Round(time.Millisecond))
+	}
+	c, err := p.dial(node)
+	if err != nil {
+		n.failedAt = time.Now()
+		return nil, err
+	}
+	p.dials.Add(1)
+	n.client = c
+	return c, nil
+}
+
+// discard drops a node's cached connection after a transport failure so
+// the next request to that node redials instead of reusing a dead socket.
+func (p *Pool) discard(node string, c *transport.Client) {
+	p.mu.Lock()
+	n := p.nodes[node]
+	p.mu.Unlock()
+	if n != nil {
+		n.mu.Lock()
+		if n.client == c {
+			n.client = nil
+		}
+		n.mu.Unlock()
+	}
+	c.Close()
+}
+
+// keepConn reports whether the connection is still usable after err: the
+// server answered (a remote application error or a clean not-found), as
+// opposed to a dead or misbehaving transport.
+func keepConn(err error) bool {
+	var remote *transport.RemoteError
+	return errors.As(err, &remote) || errors.Is(err, storage.ErrNotFound)
+}
+
+// tryNodes runs op against each candidate node until one succeeds,
+// discarding dead connections and counting failovers past the primary.
+// When notFoundIsFinal is set, a clean storage.ErrNotFound from a live
+// node is treated as authoritative and returned immediately instead of
+// burning a round trip per replica (used for metadata, which is on
+// every node; chunk fetches do try replicas on not-found, since the
+// primary may have joined the ring after publish).
+func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFoundIsFinal bool, op func(c *transport.Client) error) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes in ring for %s", what)
+	}
+	var lastErr error
+	for i, node := range nodes {
+		if i > 0 {
+			p.failovers.Add(1)
+		}
+		c, err := p.client(node)
+		if err != nil {
+			lastErr = fmt.Errorf("node %s: %w", node, err)
+			continue
+		}
+		if err := op(c); err != nil {
+			if !keepConn(err) {
+				p.discard(node, c)
+			}
+			if notFoundIsFinal && errors.Is(err, storage.ErrNotFound) {
+				return fmt.Errorf("cluster: %s: %w", what, err)
+			}
+			lastErr = fmt.Errorf("node %s: %w", node, err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: %s failed on all %d replicas: %w", what, len(nodes), lastErr)
+}
+
+// GetMeta fetches a context's metadata. Metadata is replicated to every
+// node at publish time, so any node can answer; candidates are tried in
+// ring order from the context's hash, spreading metadata load.
+func (p *Pool) GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error) {
+	var meta storage.ContextMeta
+	nodes := p.ring.Locate(metaRingKey(contextID), p.ring.Len())
+	err := p.tryNodes(ctx, nodes, fmt.Sprintf("meta %q", contextID), true, func(c *transport.Client) error {
+		m, err := c.GetMeta(ctx, contextID)
+		if err == nil {
+			meta = m
+		}
+		return err
+	})
+	return meta, err
+}
+
+// GetChunk fetches one chunk payload, trying the chunk's primary node
+// first and failing over to its replicas. A replica is also tried on
+// not-found (the primary may have joined after publish).
+func (p *Pool) GetChunk(ctx context.Context, contextID string, chunk, level int) ([]byte, error) {
+	var data []byte
+	nodes := p.ring.ChunkNodes(contextID, chunk)
+	err := p.tryNodes(ctx, nodes, fmt.Sprintf("chunk %q/%d L%d", contextID, chunk, level), false, func(c *transport.Client) error {
+		d, err := c.GetChunk(ctx, contextID, chunk, level)
+		if err == nil {
+			data = d
+		}
+		return err
+	})
+	return data, err
+}
+
+// GetBank fetches the codec model bank from any node that serves one.
+func (p *Pool) GetBank(ctx context.Context) ([]byte, error) {
+	var bank []byte
+	err := p.tryNodes(ctx, p.ring.Nodes(), "model bank", false, func(c *transport.Client) error {
+		b, err := c.GetBank(ctx)
+		if err == nil {
+			bank = b
+		}
+		return err
+	})
+	return bank, err
+}
+
+// GetChunkBatch fetches many chunks of one context at one level, fanning
+// out across the fleet: chunks are grouped by primary node and each
+// group runs on its own goroutine over that node's reused connection, so
+// wall-clock approaches the slowest shard rather than the sum of all
+// transfers. Per-chunk replica failover still applies. The result is
+// indexed like chunks.
+func (p *Pool) GetChunkBatch(ctx context.Context, contextID string, level int, chunks []int) ([][]byte, error) {
+	byNode := map[string][]int{} // primary node → positions in chunks
+	for pos, c := range chunks {
+		nodes := p.ring.ChunkNodes(contextID, c)
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("cluster: no nodes in ring for chunk %d", c)
+		}
+		byNode[nodes[0]] = append(byNode[nodes[0]], pos)
+	}
+	// One shard failing dooms the whole batch, so cancel the siblings
+	// rather than letting them transfer payloads the caller will discard.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([][]byte, len(chunks))
+	errs := make(chan error, len(byNode))
+	var wg sync.WaitGroup
+	for _, positions := range byNode {
+		wg.Add(1)
+		go func(positions []int) {
+			defer wg.Done()
+			for _, pos := range positions {
+				if ctx.Err() != nil {
+					errs <- ctx.Err()
+					return
+				}
+				data, err := p.GetChunk(ctx, contextID, chunks[pos], level)
+				if err != nil {
+					errs <- err
+					cancel()
+					return
+				}
+				out[pos] = data
+			}
+		}(positions)
+	}
+	wg.Wait()
+	close(errs)
+	// Report the root-cause error, not a sibling's context.Canceled.
+	var firstErr error
+	for err := range errs {
+		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

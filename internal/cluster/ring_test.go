@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(replicas int, nodes ...string) *Ring {
+	r := NewRing(replicas, 0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func TestRingLocateDeterministicAndDistinct(t *testing.T) {
+	r := ringWith(3, "a", "b", "c", "d")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("ctx-%d", i)
+		first := r.Locate(key, 3)
+		if len(first) != 3 {
+			t.Fatalf("key %q: got %d nodes, want 3", key, len(first))
+		}
+		seen := map[string]struct{}{}
+		for _, n := range first {
+			if _, dup := seen[n]; dup {
+				t.Fatalf("key %q: duplicate node %q in %v", key, n, first)
+			}
+			seen[n] = struct{}{}
+		}
+		again := r.Locate(key, 3)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("key %q: placement not deterministic: %v vs %v", key, first, again)
+			}
+		}
+	}
+}
+
+func TestRingLocateMoreThanFleet(t *testing.T) {
+	r := ringWith(2, "a", "b")
+	if got := r.Locate("k", 10); len(got) != 2 {
+		t.Fatalf("got %v, want both nodes", got)
+	}
+	if got := NewRing(2, 0).Locate("k", 2); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := ringWith(1, "a", "b", "c", "d")
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Locate(fmt.Sprintf("ctx-%d/chunk-%d", i%100, i), 1)[0]]++
+	}
+	for node, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s holds %.0f%% of keys (counts %v)", node, 100*share, counts)
+		}
+	}
+}
+
+func TestRingAddRemapsBoundedFraction(t *testing.T) {
+	r := ringWith(1, "a", "b", "c", "d")
+	const keys = 2000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Locate(fmt.Sprintf("k%d", i), 1)[0]
+	}
+	r.Add("e")
+	moved := 0
+	for i := range before {
+		if r.Locate(fmt.Sprintf("k%d", i), 1)[0] != before[i] {
+			moved++
+		}
+	}
+	// Consistent hashing should move ~1/5 of keys; anything under half is
+	// clearly not a full reshuffle.
+	if frac := float64(moved) / keys; frac > 0.5 {
+		t.Errorf("adding one node to four remapped %.0f%% of keys", 100*frac)
+	}
+	if moved == 0 {
+		t.Error("adding a node remapped nothing; new node holds no keys")
+	}
+}
+
+func TestRingRemoveKeepsSurvivorPlacements(t *testing.T) {
+	r := ringWith(1, "a", "b", "c")
+	const keys = 500
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Locate(fmt.Sprintf("k%d", i), 1)[0]
+	}
+	r.Remove("b")
+	if r.Len() != 2 {
+		t.Fatalf("ring has %d nodes after remove", r.Len())
+	}
+	for i := range before {
+		now := r.Locate(fmt.Sprintf("k%d", i), 1)[0]
+		if before[i] != "b" && now != before[i] {
+			t.Fatalf("key k%d moved %s→%s though its node survived", i, before[i], now)
+		}
+		if now == "b" {
+			t.Fatalf("key k%d still maps to removed node", i)
+		}
+	}
+}
+
+func TestRingChunkNodesLevelIndependent(t *testing.T) {
+	r := ringWith(2, "a", "b", "c")
+	// ChunkNodes takes no level on purpose; assert replica count follows
+	// the ring's factor.
+	if got := r.ChunkNodes("ctx", 3); len(got) != 2 {
+		t.Fatalf("ChunkNodes returned %v, want 2 replicas", got)
+	}
+}

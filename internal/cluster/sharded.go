@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// ShardedStore is the publish side of the cluster: a storage.Store that
+// routes each chunk write to its ring-assigned primary and replicas, and
+// replicates context metadata to every node (metadata is a few KB; having
+// it everywhere lets any node answer a client's first request). It is
+// used wherever the node stores are reachable in-process — the
+// cachegen-cluster launcher, tests, and the harness — while remote
+// clients read through a Pool.
+//
+// store_kv (§6) is unchanged for callers: streamer.Publish writes through
+// a ShardedStore exactly as it would through one FileStore.
+type ShardedStore struct {
+	ring   *Ring
+	stores map[string]storage.Store
+}
+
+// NewShardedStore builds a store over the ring's nodes. Every node in
+// stores is added to the ring if not already present; every ring node
+// must have a backing store.
+func NewShardedStore(ring *Ring, stores map[string]storage.Store) (*ShardedStore, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("cluster: sharded store needs at least one node")
+	}
+	for node := range stores {
+		ring.Add(node)
+	}
+	for _, node := range ring.Nodes() {
+		if stores[node] == nil {
+			return nil, fmt.Errorf("cluster: ring node %q has no backing store", node)
+		}
+	}
+	return &ShardedStore{ring: ring, stores: stores}, nil
+}
+
+// Ring returns the placement ring (shared with the fetch-side Pool).
+func (s *ShardedStore) Ring() *Ring { return s.ring }
+
+// store returns the backing store of a ring node, erroring (rather than
+// panicking on the nil interface) when the shared ring has been grown
+// past the stores this ShardedStore was built with.
+func (s *ShardedStore) store(node string) (storage.Store, error) {
+	st := s.stores[node]
+	if st == nil {
+		return nil, fmt.Errorf("cluster: ring node %q has no backing store (added after NewShardedStore?)", node)
+	}
+	return st, nil
+}
+
+// NodeStore returns the backing store of one node (nil if unknown) —
+// used by the harness to read per-node cache statistics.
+func (s *ShardedStore) NodeStore(node string) storage.Store { return s.stores[node] }
+
+// Put implements storage.Store: the payload is written to the chunk's
+// primary and every replica, so any single node can die without losing
+// chunks.
+func (s *ShardedStore) Put(ctx context.Context, key storage.ChunkKey, data []byte) error {
+	nodes := s.ring.ChunkNodes(key.ContextID, key.Chunk)
+	if len(nodes) == 0 {
+		return errors.New("cluster: empty ring")
+	}
+	for _, node := range nodes {
+		st, err := s.store(node)
+		if err != nil {
+			return err
+		}
+		if err := st.Put(ctx, key, data); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// Get implements storage.Store, reading the primary and falling back to
+// replicas.
+func (s *ShardedStore) Get(ctx context.Context, key storage.ChunkKey) ([]byte, error) {
+	nodes := s.ring.ChunkNodes(key.ContextID, key.Chunk)
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: empty ring")
+	}
+	var lastErr error
+	for _, node := range nodes {
+		st, err := s.store(node)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := st.Get(ctx, key)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// PutMeta implements storage.Store, replicating to every node.
+func (s *ShardedStore) PutMeta(ctx context.Context, meta storage.ContextMeta) error {
+	for _, node := range s.ring.Nodes() {
+		st, err := s.store(node)
+		if err != nil {
+			return err
+		}
+		if err := st.PutMeta(ctx, meta); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// GetMeta implements storage.Store.
+func (s *ShardedStore) GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error) {
+	var lastErr error
+	for _, node := range s.ring.Locate(metaRingKey(contextID), s.ring.Len()) {
+		st, err := s.store(node)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		meta, err := st.GetMeta(ctx, contextID)
+		if err == nil {
+			return meta, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: empty ring")
+	}
+	return storage.ContextMeta{}, lastErr
+}
+
+// DeleteContext implements storage.Store, deleting from every node. It
+// succeeds if any node held the context.
+func (s *ShardedStore) DeleteContext(ctx context.Context, contextID string) error {
+	found := false
+	var lastErr error
+	for _, node := range s.ring.Nodes() {
+		st, err := s.store(node)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch err := st.DeleteContext(ctx, contextID); {
+		case err == nil:
+			found = true
+		case errors.Is(err, storage.ErrNotFound):
+		default:
+			lastErr = fmt.Errorf("cluster: node %s: %w", node, err)
+		}
+	}
+	if lastErr != nil {
+		return lastErr
+	}
+	if !found {
+		return fmt.Errorf("%w: context %q", storage.ErrNotFound, contextID)
+	}
+	return nil
+}
+
+// ListContexts implements storage.Store: the union across nodes, sorted.
+func (s *ShardedStore) ListContexts(ctx context.Context) ([]string, error) {
+	set := map[string]struct{}{}
+	for _, node := range s.ring.Nodes() {
+		st, err := s.store(node)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := st.ListContexts(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %w", node, err)
+		}
+		for _, id := range ids {
+			set[id] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/storage"
+	"repro/internal/streamer"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// The cluster scenario (ISSUE 1): the paper's single "dedicated storage
+// server" (§3) replaced by a consistent-hash ring of nodes, measured
+// over the live TCP path — TTFT-proxy load time vs node count, load time
+// under a mid-fleet node failure, and the effect of the per-node RAM
+// tier on a repeated fetch. Numbers come from loopback sockets, so they
+// show the delivery-path mechanics (parallel fan-out, failover cost,
+// cache hits), not WAN magnitudes.
+
+func init() {
+	register("X4", "Extension: sharded KV delivery cluster (ring + RAM tier)", runX4Cluster)
+}
+
+// x4Fleet is one live test fleet: n RAM-tiered nodes behind servers, a
+// ring, and the publish-side sharded store.
+type x4Fleet struct {
+	nodes   map[string]*storage.CachingStore // addr → RAM tier
+	servers map[string]*transport.Server
+	ring    *cluster.Ring
+	sharded *cluster.ShardedStore
+}
+
+func (fl *x4Fleet) close() {
+	for _, srv := range fl.servers {
+		srv.Close()
+	}
+}
+
+func (fl *x4Fleet) cacheStats() storage.CacheStats {
+	var agg storage.CacheStats
+	for _, c := range fl.nodes {
+		st := c.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Bytes += st.Bytes
+	}
+	return agg
+}
+
+func newX4Fleet(n, replicas int, cacheBytes int64) (*x4Fleet, error) {
+	fl := &x4Fleet{
+		nodes:   map[string]*storage.CachingStore{},
+		servers: map[string]*transport.Server{},
+		ring:    cluster.NewRing(replicas, 0),
+	}
+	stores := map[string]storage.Store{}
+	for i := 0; i < n; i++ {
+		cache := storage.NewCachingStore(storage.NewMemStore(), cacheBytes)
+		srv := transport.NewServer(cache)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fl.close()
+			return nil, err
+		}
+		go srv.Serve(ln)
+		addr := ln.Addr().String()
+		fl.nodes[addr] = cache
+		fl.servers[addr] = srv
+		stores[addr] = cache
+	}
+	var err error
+	fl.sharded, err = cluster.NewShardedStore(fl.ring, stores)
+	if err != nil {
+		fl.close()
+		return nil, err
+	}
+	return fl, nil
+}
+
+// x4Stack is the model/codec/context shared by every fleet size.
+type x4Stack struct {
+	model  *llm.Model
+	codec  *core.Codec
+	tokens []llm.Token
+	kv     *tensor.KV
+}
+
+func newX4Stack() (*x4Stack, error) {
+	model, err := llm.New(llm.Config{
+		Name: "cluster-x4", Layers: 6, KVChannels: 16, Channels: 16,
+		Hidden: 128, Params: 1e8, Seed: 11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChunkTokens = 64
+	rng := rand.New(rand.NewSource(4))
+	sample := make([]llm.Token, 320)
+	for i := range sample {
+		sample[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	bank, err := core.Train(cfg, []*tensor.KV{model.CalculateKV(sample)})
+	if err != nil {
+		return nil, err
+	}
+	tokens := make([]llm.Token, 512) // 8 chunks of 64
+	for i := range tokens {
+		tokens[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	return &x4Stack{
+		model:  model,
+		codec:  core.NewCodec(bank),
+		tokens: tokens,
+		kv:     model.CalculateKV(tokens),
+	}, nil
+}
+
+func (s *x4Stack) publish(fl *x4Fleet, id string) (storage.ContextMeta, error) {
+	return streamer.Publish(context.Background(), fl.sharded, s.codec, s.model, id, s.tokens,
+		streamer.PublishOptions{KV: s.kv})
+}
+
+func (s *x4Stack) fetch(src streamer.ChunkSource, id string) (*streamer.FetchReport, error) {
+	f := &streamer.Fetcher{
+		Source:  src,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: streamer.Planner{Adapt: false, DefaultLevel: 0},
+	}
+	kv, report, err := f.Fetch(context.Background(), id)
+	if err != nil {
+		return nil, err
+	}
+	if kv.Tokens != len(s.tokens) {
+		return nil, fmt.Errorf("assembled %d tokens, want %d", kv.Tokens, len(s.tokens))
+	}
+	return report, nil
+}
+
+func runX4Cluster(f *Fixture) ([]*Report, error) {
+	s, err := newX4Stack()
+	if err != nil {
+		return nil, err
+	}
+	const contextID = "x4-ctx"
+	const cacheBytes = 4 << 20
+
+	scaling := &Report{
+		ID:      "X4",
+		Title:   "Delivery cluster: load time vs fleet size (loopback, level 0)",
+		Columns: []string{"Nodes", "Replicas", "Chunks", "Bytes", "Load time", "Batch fan-out", "Failovers"},
+	}
+	for _, n := range []int{1, 2, 4} {
+		replicas := 2
+		if n == 1 {
+			replicas = 1
+		}
+		fl, err := newX4Fleet(n, replicas, cacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		meta, err := s.publish(fl, contextID)
+		if err != nil {
+			fl.close()
+			return nil, err
+		}
+		pool := cluster.NewPool(fl.ring)
+		report, err := s.fetch(pool, contextID)
+		if err != nil {
+			pool.Close()
+			fl.close()
+			return nil, err
+		}
+		chunks := make([]int, meta.NumChunks())
+		for i := range chunks {
+			chunks[i] = i
+		}
+		batchStart := time.Now()
+		if _, err := pool.GetChunkBatch(context.Background(), contextID, 0, chunks); err != nil {
+			pool.Close()
+			fl.close()
+			return nil, err
+		}
+		batchTime := time.Since(batchStart)
+		scaling.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", replicas),
+			fmt.Sprintf("%d", meta.NumChunks()),
+			fmt.Sprintf("%.1f KB", float64(report.BytesReceived)/1e3),
+			fmt.Sprintf("%.2f ms", report.LoadTime.Seconds()*1e3),
+			fmt.Sprintf("%.2f ms", batchTime.Seconds()*1e3),
+			fmt.Sprintf("%d", pool.Stats().Failovers))
+		pool.Close()
+		fl.close()
+	}
+	scaling.AddNote("the sequential streamer path is adaptation-friendly; GetChunkBatch fans chunk groups out across primaries in parallel and approaches the slowest shard's time")
+
+	resil := &Report{
+		ID:      "X4",
+		Title:   "Delivery cluster: node failure and RAM tier (4 nodes, replication 2)",
+		Columns: []string{"Scenario", "Load time", "Failovers", "RAM hit rate"},
+	}
+	fl, err := newX4Fleet(4, 2, cacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.close()
+	meta, err := s.publish(fl, contextID)
+	if err != nil {
+		return nil, err
+	}
+	pool := cluster.NewPool(fl.ring)
+	defer pool.Close()
+
+	cold, err := s.fetch(pool, contextID)
+	if err != nil {
+		return nil, err
+	}
+	resil.AddRow("cold fetch, all nodes up",
+		fmt.Sprintf("%.2f ms", cold.LoadTime.Seconds()*1e3), "0",
+		fmt.Sprintf("%.0f%%", 100*fl.cacheStats().HitRate()))
+
+	warmBase := fl.cacheStats()
+	warm, err := s.fetch(pool, contextID)
+	if err != nil {
+		return nil, err
+	}
+	warmStats := fl.cacheStats()
+	warmHits := warmStats.Hits - warmBase.Hits
+	warmMisses := warmStats.Misses - warmBase.Misses
+	warmRate := 0.0
+	if warmHits+warmMisses > 0 {
+		warmRate = float64(warmHits) / float64(warmHits+warmMisses)
+	}
+	resil.AddRow("warm fetch (repeat)",
+		fmt.Sprintf("%.2f ms", warm.LoadTime.Seconds()*1e3),
+		fmt.Sprintf("%d", pool.Stats().Failovers),
+		fmt.Sprintf("%.0f%%", 100*warmRate))
+
+	// Kill the primary of the last chunk and fetch again: replicas absorb
+	// its shard.
+	victim := fl.ring.ChunkNodes(contextID, meta.NumChunks()-1)[0]
+	fl.servers[victim].Close()
+	failoversBefore := pool.Stats().Failovers
+	degraded, err := s.fetch(pool, contextID)
+	if err != nil {
+		return nil, err
+	}
+	resil.AddRow("one node down (replica failover)",
+		fmt.Sprintf("%.2f ms", degraded.LoadTime.Seconds()*1e3),
+		fmt.Sprintf("%d", pool.Stats().Failovers-failoversBefore),
+		"-")
+	resil.AddNote("chunk placement ignores the encoding level, so a chunk's text fallback and refinement streams live with its bitstreams and failover never splits a chunk across fleets")
+	return []*Report{scaling, resil}, nil
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// CachingStore fronts a Store (typically a FileStore on a storage node)
+// with a byte-budgeted LRU of chunk payloads, so the hot set of contexts
+// is served from RAM instead of disk. Admission is read-allocate: Get
+// misses populate the cache, while Put writes through and only refreshes
+// an entry that is already resident — publishing a context at every level
+// must not evict the hot set. Metadata is passed through uncached (it is
+// a few KB per context and read once per fetch). Safe for concurrent use.
+type CachingStore struct {
+	inner    Store
+	maxBytes int64
+
+	// The mutex guards the LRU and the counters; Get/Put hold it only
+	// around map/list bookkeeping, not around inner I/O, so concurrent
+	// misses overlap their disk reads. Two racing misses on one key both
+	// read inner and the second insert refreshes the first — wasted work,
+	// not incoherence, since the payload under a key never changes between
+	// Puts.
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	items   map[ChunkKey]*list.Element
+	bytes   int64
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+type cacheEntry struct {
+	key  ChunkKey
+	data []byte
+}
+
+// CacheStats snapshots a CachingStore's counters.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+	Bytes, MaxBytes         int64
+}
+
+// HitRate returns hits/(hits+misses), 0 when the store is untouched.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCachingStore wraps inner with a RAM tier of at most maxBytes of
+// payload (≤0 disables caching: every Get goes to inner and counts as a
+// miss).
+func NewCachingStore(inner Store, maxBytes int64) *CachingStore {
+	return &CachingStore{
+		inner:    inner,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[ChunkKey]*list.Element{},
+	}
+}
+
+// Stats returns the current counters.
+func (s *CachingStore) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		Hits: s.hits, Misses: s.misses, Evictions: s.evicted,
+		Entries: s.ll.Len(), Bytes: s.bytes, MaxBytes: s.maxBytes,
+	}
+}
+
+// lookup returns a copy of the cached payload, promoting the entry.
+func (s *CachingStore) lookup(key ChunkKey) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return append([]byte{}, el.Value.(*cacheEntry).data...), true
+}
+
+// insert caches a copy of data under key, evicting from the cold end
+// until the budget holds. Payloads larger than the whole budget are not
+// admitted. When onlyRefresh is set the payload replaces an existing
+// entry but never allocates a new one (the Put path).
+func (s *CachingStore) insert(key ChunkKey, data []byte, onlyRefresh bool) {
+	size := int64(len(data))
+	if s.maxBytes <= 0 || size > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		s.bytes += size - int64(len(ent.data))
+		ent.data = append([]byte{}, data...)
+		s.ll.MoveToFront(el)
+	} else {
+		if onlyRefresh {
+			return
+		}
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, data: append([]byte{}, data...)})
+		s.bytes += size
+	}
+	for s.bytes > s.maxBytes {
+		el := s.ll.Back()
+		if el == nil {
+			break
+		}
+		s.dropLocked(el)
+		s.evicted++
+	}
+}
+
+func (s *CachingStore) dropLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	s.ll.Remove(el)
+	delete(s.items, ent.key)
+	s.bytes -= int64(len(ent.data))
+}
+
+// Get implements Store: RAM tier first, then inner on a miss.
+func (s *CachingStore) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
+	if data, ok := s.lookup(key); ok {
+		return data, nil
+	}
+	data, err := s.inner.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	s.insert(key, data, false)
+	return data, nil
+}
+
+// Put implements Store, writing through to inner.
+func (s *CachingStore) Put(ctx context.Context, key ChunkKey, data []byte) error {
+	if err := s.inner.Put(ctx, key, data); err != nil {
+		return err
+	}
+	s.insert(key, data, true)
+	return nil
+}
+
+// PutMeta implements Store.
+func (s *CachingStore) PutMeta(ctx context.Context, meta ContextMeta) error {
+	return s.inner.PutMeta(ctx, meta)
+}
+
+// GetMeta implements Store.
+func (s *CachingStore) GetMeta(ctx context.Context, contextID string) (ContextMeta, error) {
+	return s.inner.GetMeta(ctx, contextID)
+}
+
+// DeleteContext implements Store, dropping the context's cached
+// payloads. Inner is deleted first: dropping cache entries before the
+// (slow, on disk) inner delete would let a concurrent Get repopulate
+// the cache from still-present files and serve the context forever.
+func (s *CachingStore) DeleteContext(ctx context.Context, contextID string) error {
+	err := s.inner.DeleteContext(ctx, contextID)
+	s.mu.Lock()
+	var next *list.Element
+	for el := s.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*cacheEntry).key.ContextID == contextID {
+			s.dropLocked(el)
+		}
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// ListContexts implements Store.
+func (s *CachingStore) ListContexts(ctx context.Context) ([]string, error) {
+	return s.inner.ListContexts(ctx)
+}

@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func ckey(ctxID string, chunk int) ChunkKey {
+	return ChunkKey{ContextID: ctxID, Chunk: chunk, Level: 0}
+}
+
+func TestCachingStoreHitMissEvict(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	// Budget for exactly two 100-byte payloads.
+	cs := NewCachingStore(inner, 200)
+
+	payload := func(b byte) []byte {
+		p := make([]byte, 100)
+		for i := range p {
+			p[i] = b
+		}
+		return p
+	}
+	for i := 0; i < 3; i++ {
+		if err := cs.Put(ctx, ckey("c", i), payload(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Put is write-through but read-allocate: nothing cached yet.
+	if st := cs.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("Put populated the cache: %+v", st)
+	}
+
+	// First reads miss and populate; repeats hit.
+	for i := 0; i < 2; i++ {
+		if _, err := cs.Get(ctx, ckey("c", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+		t.Fatal(err)
+	}
+	st := cs.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 || st.Bytes != 200 {
+		t.Fatalf("after warmup: %+v", st)
+	}
+
+	// A third distinct payload evicts the LRU entry (chunk 1: chunk 0 was
+	// re-read last).
+	if _, err := cs.Get(ctx, ckey("c", 2)); err != nil {
+		t.Fatal(err)
+	}
+	st = cs.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 200 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	// Chunk 0 must still be resident (a hit), chunk 1 gone (a miss).
+	hitsBefore := st.Hits
+	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st = cs.Stats(); st.Hits != hitsBefore+1 {
+		t.Errorf("chunk 0 was evicted instead of chunk 1: %+v", st)
+	}
+	missesBefore := st.Misses
+	if _, err := cs.Get(ctx, ckey("c", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st = cs.Stats(); st.Misses != missesBefore+1 {
+		t.Errorf("chunk 1 still resident after eviction: %+v", st)
+	}
+
+	if rate := st.HitRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("hit rate %.2f out of range", rate)
+	}
+}
+
+func TestCachingStoreOversizedAndDisabled(t *testing.T) {
+	ctx := context.Background()
+	cs := NewCachingStore(NewMemStore(), 50)
+	big := make([]byte, 100)
+	if err := cs.Put(ctx, ckey("c", 0), big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := cs.Stats(); st.Entries != 0 {
+		t.Errorf("payload above the whole budget was admitted: %+v", st)
+	}
+
+	off := NewCachingStore(NewMemStore(), 0)
+	if err := off.Put(ctx, ckey("c", 0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Get(ctx, ckey("c", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Errorf("disabled cache cached anyway: %+v", st)
+	}
+}
+
+func TestCachingStorePutRefreshesResidentEntry(t *testing.T) {
+	ctx := context.Background()
+	cs := NewCachingStore(NewMemStore(), 1000)
+	key := ckey("c", 0)
+	if err := cs.Put(ctx, key, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get(ctx, key); err != nil { // allocate
+		t.Fatal(err)
+	}
+	if err := cs.Put(ctx, key, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.Get(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "newer" {
+		t.Errorf("stale cache entry after Put: %q", got)
+	}
+	if st := cs.Stats(); st.Bytes != int64(len("newer")) {
+		t.Errorf("byte accounting after refresh: %+v", st)
+	}
+}
+
+func TestCachingStoreDeleteContextInvalidates(t *testing.T) {
+	ctx := context.Background()
+	cs := NewCachingStore(NewMemStore(), 1000)
+	meta := ContextMeta{
+		ContextID: "c", Model: "m", TokenCount: 4, ChunkTokens: []int{4},
+		Levels: 1, SizesBytes: [][]int64{{1}},
+	}
+	if err := cs.PutMeta(ctx, meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Put(ctx, ckey("c", 0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.DeleteContext(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if st := cs.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("cache retains deleted context: %+v", st)
+	}
+	if _, err := cs.Get(ctx, ckey("c", 0)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted chunk still served: %v", err)
+	}
+}
+
+// TestCachingStoreConcurrentStress hammers one store from many
+// goroutines (run under -race in CI): correctness of returned payloads
+// and of the byte accounting under heavy Put/Get/evict churn.
+func TestCachingStoreConcurrentStress(t *testing.T) {
+	ctx := context.Background()
+	inner := NewMemStore()
+	cs := NewCachingStore(inner, 4<<10) // small budget: constant eviction
+
+	const (
+		workers = 8
+		keys    = 64
+		rounds  = 300
+	)
+	// Payload content is derived from the key, so any cross-key mixup is
+	// detectable no matter which worker wrote last.
+	expect := func(k int) []byte {
+		p := make([]byte, 128)
+		for i := range p {
+			p[i] = byte(k)
+		}
+		return p
+	}
+	for k := 0; k < keys; k++ {
+		if err := cs.Put(ctx, ckey("stress", k), expect(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				k := rng.Intn(keys)
+				if rng.Intn(4) == 0 {
+					if err := cs.Put(ctx, ckey("stress", k), expect(k)); err != nil {
+						errCh <- err
+						return
+					}
+					continue
+				}
+				got, err := cs.Get(ctx, ckey("stress", k))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i, b := range got {
+					if b != byte(k) {
+						errCh <- fmt.Errorf("key %d byte %d is %d", k, i, b)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	st := cs.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("cache over budget after churn: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Error("stress recorded no reads")
+	}
+	// Recount the resident bytes against the accounting.
+	var total int64
+	for k := 0; k < keys; k++ {
+		if data, ok := cs.lookup(ckey("stress", k)); ok {
+			total += int64(len(data))
+		}
+	}
+	if total != st.Bytes {
+		t.Errorf("resident payloads sum to %d, accounting says %d", total, st.Bytes)
+	}
+}

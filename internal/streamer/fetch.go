@@ -10,16 +10,29 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/storage"
 	"repro/internal/tensor"
-	"repro/internal/transport"
 )
 
-// Fetcher streams a context's KV cache from a live transport server:
+// ChunkSource is anything that can serve a context's metadata and chunk
+// payloads: a transport.Client connected to one storage server, or a
+// cluster.Pool fanning requests out across a consistent-hash ring of
+// them. The Fetcher streams through this interface, so the adaptation
+// logic is identical for a single node and a fleet.
+type ChunkSource interface {
+	// GetMeta fetches a context's metadata.
+	GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error)
+	// GetChunk fetches one chunk payload at the given level
+	// (storage.TextLevel fetches the token text).
+	GetChunk(ctx context.Context, contextID string, chunk, level int) ([]byte, error)
+}
+
+// Fetcher streams a context's KV cache from a live chunk source:
 // chunk-by-chunk adaptive fetching, decoding pipelined with transmission
 // (§6), and text-fallback recompute through the model. It produces the
 // reassembled KV cache ready for generate_with_kv.
 type Fetcher struct {
-	// Client is the connection to the storage server.
-	Client *transport.Client
+	// Source serves metadata and chunks (a transport.Client or a
+	// cluster.Pool).
+	Source ChunkSource
 	// Codec decodes chunk bitstreams (its bank must match the model).
 	Codec *core.Codec
 	// Model recomputes text-mode chunks and anchors cost estimates.
@@ -53,11 +66,11 @@ type decodeJob struct {
 // Fetch retrieves and reassembles the KV cache of contextID. Decoding of
 // chunk i−1 overlaps the transfer of chunk i via a pipeline goroutine.
 func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *FetchReport, error) {
-	if f.Client == nil || f.Codec == nil || f.Model == nil {
-		return nil, nil, fmt.Errorf("streamer: Fetcher needs Client, Codec and Model")
+	if f.Source == nil || f.Codec == nil || f.Model == nil {
+		return nil, nil, fmt.Errorf("streamer: Fetcher needs Source, Codec and Model")
 	}
 	start := time.Now()
-	meta, err := f.Client.GetMeta(ctx, contextID)
+	meta, err := f.Source.GetMeta(ctx, contextID)
 	if err != nil {
 		return nil, nil, fmt.Errorf("streamer: fetching meta: %w", err)
 	}
@@ -114,7 +127,7 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 			level = storage.TextLevel
 		}
 		reqStart := time.Now()
-		payload, err := f.Client.GetChunk(ctx, contextID, i, level)
+		payload, err := f.Source.GetChunk(ctx, contextID, i, level)
 		if err != nil {
 			return fetchFailed(fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err))
 		}

@@ -39,7 +39,7 @@ func (inc *IncrementalFetch) Upgrade(ctx context.Context) (*tensor.KV, *FetchRep
 	parts := make([]*tensor.KV, len(inc.chunks))
 	for i, base := range inc.chunks {
 		reqStart := time.Now()
-		payload, err := inc.fetcher.Client.GetChunk(ctx, inc.contextID, i, storage.RefineLevelKey(int(inc.target)))
+		payload, err := inc.fetcher.Source.GetChunk(ctx, inc.contextID, i, storage.RefineLevelKey(int(inc.target)))
 		if err != nil {
 			return nil, nil, fmt.Errorf("streamer: fetching refinement chunk %d: %w", i, err)
 		}
@@ -68,11 +68,11 @@ func (inc *IncrementalFetch) Upgrade(ctx context.Context) (*tensor.KV, *FetchRep
 // context must have been published with the matching refinement target
 // (PublishOptions.RefineTargets).
 func (f *Fetcher) FetchIncremental(ctx context.Context, contextID string, target core.Level) (*IncrementalFetch, error) {
-	if f.Client == nil || f.Codec == nil {
-		return nil, fmt.Errorf("streamer: Fetcher needs Client and Codec")
+	if f.Source == nil || f.Codec == nil {
+		return nil, fmt.Errorf("streamer: Fetcher needs Source and Codec")
 	}
 	start := time.Now()
-	meta, err := f.Client.GetMeta(ctx, contextID)
+	meta, err := f.Source.GetMeta(ctx, contextID)
 	if err != nil {
 		return nil, fmt.Errorf("streamer: fetching meta: %w", err)
 	}
@@ -95,7 +95,7 @@ func (f *Fetcher) FetchIncremental(ctx context.Context, contextID string, target
 	offset := 0
 	for i := 0; i < meta.NumChunks(); i++ {
 		reqStart := time.Now()
-		payload, err := f.Client.GetChunk(ctx, contextID, i, coarsest)
+		payload, err := f.Source.GetChunk(ctx, contextID, i, coarsest)
 		if err != nil {
 			return nil, fmt.Errorf("streamer: fetching base chunk %d: %w", i, err)
 		}

@@ -68,7 +68,7 @@ func TestPublishRejectsBadRefineTargets(t *testing.T) {
 func TestFetchIncremental(t *testing.T) {
 	s, meta := incStack(t, []core.Level{0})
 	f := &Fetcher{
-		Client:  s.client,
+		Source:  s.client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),
@@ -120,7 +120,7 @@ func TestFetchIncremental(t *testing.T) {
 
 	// The upgraded cache matches a direct fetch at the target level.
 	direct := &Fetcher{
-		Client:  s.client,
+		Source:  s.client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),
@@ -142,7 +142,7 @@ func TestFetchIncremental(t *testing.T) {
 func TestFetchIncrementalValidation(t *testing.T) {
 	s, _ := incStack(t, []core.Level{1})
 	f := &Fetcher{
-		Client:  s.client,
+		Source:  s.client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),
@@ -158,7 +158,7 @@ func TestFetchIncrementalValidation(t *testing.T) {
 		t.Error("accepted missing context")
 	}
 	// Misconfigured fetcher.
-	bad := &Fetcher{Client: s.client}
+	bad := &Fetcher{Source: s.client}
 	if _, err := bad.FetchIncremental(ctx, "inc-1", 1); err == nil {
 		t.Error("accepted fetcher without codec")
 	}

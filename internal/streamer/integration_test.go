@@ -147,7 +147,7 @@ func TestPublishSizeScale(t *testing.T) {
 func TestFetchEndToEnd(t *testing.T) {
 	s := newStack(t)
 	f := &Fetcher{
-		Client:  s.client,
+		Source:  s.client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),
@@ -183,7 +183,7 @@ func TestFetchTextFallbackIsLossless(t *testing.T) {
 	// A planner that always picks text: set an SLO so generous that text
 	// always fits (recompute estimates are microseconds at this scale).
 	f := &Fetcher{
-		Client: s.client,
+		Source: s.client,
 		Codec:  s.codec,
 		Model:  s.model,
 		Device: llm.A40x4(),
@@ -215,7 +215,7 @@ func TestFetchMixedLevelsStillAssembles(t *testing.T) {
 	s := newStack(t)
 	// Tight SLO with a slow prior forces lower levels after chunk one.
 	f := &Fetcher{
-		Client: s.client,
+		Source: s.client,
 		Codec:  s.codec,
 		Model:  s.model,
 		Device: llm.A40x4(),
@@ -235,7 +235,7 @@ func TestFetchMixedLevelsStillAssembles(t *testing.T) {
 func TestFetchMissingContext(t *testing.T) {
 	s := newStack(t)
 	f := &Fetcher{
-		Client:  s.client,
+		Source:  s.client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),
@@ -249,7 +249,7 @@ func TestFetchMissingContext(t *testing.T) {
 func TestFetchCancelledContext(t *testing.T) {
 	s := newStack(t)
 	f := &Fetcher{
-		Client:  s.client,
+		Source:  s.client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),
@@ -264,7 +264,7 @@ func TestFetchCancelledContext(t *testing.T) {
 
 func TestFetchMisconfigured(t *testing.T) {
 	s := newStack(t)
-	f := &Fetcher{Client: s.client} // missing codec/model
+	f := &Fetcher{Source: s.client} // missing codec/model
 	if _, _, err := f.Fetch(context.Background(), "ctx-1"); err == nil {
 		t.Error("misconfigured fetcher succeeded")
 	}
@@ -291,7 +291,7 @@ func TestFetchOverShapedLink(t *testing.T) {
 	defer client.Close()
 
 	f := &Fetcher{
-		Client:  client,
+		Source:  client,
 		Codec:   s.codec,
 		Model:   s.model,
 		Device:  llm.A40x4(),

@@ -284,7 +284,14 @@ func (c *Client) GetMeta(ctx context.Context, contextID string) (storage.Context
 		}
 		return meta, nil
 	case typeError:
-		return storage.ContextMeta{}, &RemoteError{Msg: string(payload)}
+		msg := string(payload)
+		// As in GetChunk, surface the server's not-found as
+		// storage.ErrNotFound so callers (and the cluster pool's failover
+		// logic) can distinguish "context missing" from "node broken".
+		if strings.Contains(msg, "not found") {
+			return storage.ContextMeta{}, fmt.Errorf("%w: %s", storage.ErrNotFound, msg)
+		}
+		return storage.ContextMeta{}, &RemoteError{Msg: msg}
 	default:
 		return storage.ContextMeta{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
 	}

@@ -366,3 +366,87 @@ func TestGetBank(t *testing.T) {
 		t.Error("GetBank succeeded on a bank-less server")
 	}
 }
+
+// TestServerManyConnections exercises the server with many concurrent
+// client connections issuing interleaved meta and chunk requests — the
+// cluster Pool's access pattern, where several fetch goroutines hold one
+// connection each to the same node.
+func TestServerManyConnections(t *testing.T) {
+	store := seededStore(t)
+	srv := NewServer(store)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx := context.Background()
+	want, err := store.Get(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: 0, Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const conns = 8
+	const reqs = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(ln.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer client.Close()
+			for r := 0; r < reqs; r++ {
+				if r%5 == 0 {
+					meta, err := client.GetMeta(ctx, "doc-1")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if meta.TokenCount != 300 {
+						errCh <- errors.New("corrupt meta under concurrency")
+						return
+					}
+					continue
+				}
+				got, err := client.GetChunk(ctx, "doc-1", 0, 1)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errCh <- errors.New("corrupt chunk payload under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// Close must tear down every connection. Issue one successful request
+	// first so the server has definitely accepted and registered this
+	// connection before Close runs.
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.GetMeta(ctx, "doc-1"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	reqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if _, err := client.GetMeta(reqCtx, "doc-1"); err == nil {
+		t.Error("request succeeded after server Close")
+	}
+}
