@@ -100,3 +100,5 @@ func BenchmarkPublicAPIEncodeDecode(b *testing.B) {
 func BenchmarkX1IncrementalStreaming(b *testing.B) { benchExperiment(b, "X1") }
 func BenchmarkX2GroupSizeAblation(b *testing.B)    { benchExperiment(b, "X2") }
 func BenchmarkX3ChunkLengthAblation(b *testing.B)  { benchExperiment(b, "X3") }
+func BenchmarkX4DeliveryCluster(b *testing.B)      { benchExperiment(b, "X4") }
+func BenchmarkX5ServingGateway(b *testing.B)       { benchExperiment(b, "X5") }

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/llm"
 	"repro/internal/storage"
 	"repro/internal/streamer"
@@ -113,7 +114,39 @@ type (
 	FetchReport = streamer.FetchReport
 	// PublishOptions tune Publish.
 	PublishOptions = streamer.PublishOptions
+
+	// Gateway is the multi-tenant serving frontend: admission control,
+	// weighted-fair queueing onto decode slots, prefetch-while-queued.
+	Gateway = gateway.Gateway
+	// GatewayConfig assembles a Gateway.
+	GatewayConfig = gateway.Config
+	// GatewayStats snapshots a Gateway's counters and per-tenant TTFTs.
+	GatewayStats = gateway.Stats
+	// Request is one tenant request submitted to a Gateway.
+	Request = gateway.Request
+	// RequestResult describes one completed gateway request.
+	RequestResult = gateway.Result
+	// TenantStats holds one tenant's counters and TTFT histogram.
+	TenantStats = gateway.TenantStats
+	// TenantProfile describes one tenant's traffic in a Workload.
+	TenantProfile = gateway.TenantProfile
+	// Workload is an open-loop Poisson load run against a Gateway.
+	Workload = gateway.Workload
+	// LoadReport aggregates one Workload run.
+	LoadReport = gateway.LoadReport
 )
+
+// Gateway submission errors (test with errors.Is).
+var (
+	// ErrRejected is returned when gateway admission control turns a
+	// request away.
+	ErrRejected = gateway.ErrRejected
+	// ErrGatewayClosed is returned by Submit after Gateway.Close.
+	ErrGatewayClosed = gateway.ErrClosed
+)
+
+// NewGateway validates the configuration and returns a serving gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
 
 // TextLevel is the pseudo-level under which chunk token text is stored.
 const TextLevel = storage.TextLevel

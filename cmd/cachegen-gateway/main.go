@@ -1,0 +1,260 @@
+// Command cachegen-gateway runs the multi-tenant serving frontend
+// against a local delivery ring: it launches N storage nodes, publishes
+// per-tenant contexts across them, and drives an open-loop Poisson
+// workload through a cachegen.Gateway — admission control, weighted-fair
+// queueing across tenants, a fixed decode-slot pool, and KV prefetch
+// racing the queue. It prints per-tenant TTFT distributions (P50/P99),
+// SLO attainment, gateway counters, and the fleet's aggregate RAM-tier
+// stats, then exits.
+//
+// Usage:
+//
+//	cachegen-gateway -demo
+//	cachegen-gateway -nodes 4 -slots 4 -rate 300 -requests 200 \
+//	    -tenants gold:4,silver:2,bronze:1 -slo 150ms
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	cachegen "repro"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+type tenantSpec struct {
+	name   string
+	weight int
+}
+
+// parseTenants parses "gold:4,silver:2,bronze:1" (weight defaults to 1).
+func parseTenants(s string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		spec := tenantSpec{name: strings.TrimSpace(name), weight: 1}
+		if spec.name == "" {
+			return nil, fmt.Errorf("empty tenant name in %q", s)
+		}
+		if hasWeight {
+			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("tenant %q has bad weight %q", spec.name, weightStr)
+			}
+			spec.weight = w
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no tenants specified")
+	}
+	return out, nil
+}
+
+func main() {
+	nodes := flag.Int("nodes", 3, "storage nodes in the local ring")
+	replicas := flag.Int("replicas", 2, "replication factor (copies per chunk)")
+	ramMB := flag.Int("ram-cache-mb", 64, "per-node RAM tier budget in MB (0 = disabled)")
+	slots := flag.Int("slots", 2, "decode slots (concurrent prefills the GPU pool admits)")
+	queueLimit := flag.Int("queue-limit", 64, "max queued requests before admission rejects (0 = unbounded)")
+	prefetch := flag.Bool("prefetch", true, "stream KV chunks while requests wait in the queue")
+	maxPrefetch := flag.Int("max-prefetch", 0, "concurrent background prefetch bound (0 = 4x slots, <0 = unbounded)")
+	tenantsFlag := flag.String("tenants", "gold:4,silver:2,bronze:1", "tenant list as name:weight,... (weight = WRR share and traffic share)")
+	rate := flag.Float64("rate", 200, "offered load in requests/second (open-loop Poisson)")
+	requests := flag.Int("requests", 120, "total requests to generate")
+	slo := flag.Duration("slo", 250*time.Millisecond, "per-request TTFT objective")
+	deadline := flag.Duration("deadline", 0, "hard abandon time per request (0 = none)")
+	nContexts := flag.Int("contexts", 2, "published contexts per tenant")
+	tokens := flag.Int("tokens", 2000, "tokens per context")
+	modelName := flag.String("model", "Mistral-7B", "model for the published contexts")
+	channels := flag.Int("channels", 32, "synthesised KV channels")
+	seed := flag.Int64("seed", 1, "workload seed")
+	demo := flag.Bool("demo", false, "run the preset mixed-tenant burst (small, fast) and exit")
+	version := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cachegen-gateway: ")
+	if *version {
+		fmt.Println("cachegen-gateway " + cachegen.Version)
+		return
+	}
+	if *demo {
+		// A short mixed-tenant burst: decoding real bitstreams costs tens
+		// of milliseconds of CPU per context, so the preset offers a load
+		// the prefetch pipeline can absorb while still queueing.
+		*nodes, *replicas, *slots = 3, 2, 2
+		*rate, *requests = 18, 50
+		*tokens, *nContexts = 800, 2
+		*channels = 16
+		*slo = 500 * time.Millisecond
+	}
+	if *nodes < 1 || *slots < 1 {
+		log.Fatal("-nodes and -slots must be at least 1")
+	}
+	if *replicas > *nodes {
+		log.Printf("capping -replicas %d to fleet size %d", *replicas, *nodes)
+		*replicas = *nodes
+	}
+	specs, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Model, codec, bank — one per LLM (§5.2).
+	cfg, err := cachegen.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *channels > 0 && *channels < cfg.KVChannels {
+		cfg = cfg.WithChannels(*channels)
+	}
+	model, err := cachegen.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lengthScale := float64(*tokens) / 9400.0
+	total := 2 + *nContexts*len(specs)
+	ctxs := dataset.LongChat().Contexts(total, lengthScale)
+	var trainToks [][]cachegen.Token
+	for _, c := range ctxs[:2] {
+		trainToks = append(trainToks, c.Tokens)
+	}
+	log.Printf("training codec bank for %s...", cfg.Name)
+	codec, err := cachegen.TrainCodec(cachegen.DefaultCodecConfig(), model, trainToks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Launch the ring.
+	ring := cachegen.NewRing(*replicas, 0)
+	stores := map[string]cachegen.Store{}
+	caches := map[string]*cachegen.CachingStore{}
+	var servers []*cachegen.Server
+	var wg sync.WaitGroup
+	for i := 0; i < *nodes; i++ {
+		var store cachegen.Store = cachegen.NewMemStore()
+		if *ramMB > 0 {
+			store = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
+		}
+		srv := cachegen.NewServer(store)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		if c, ok := store.(*cachegen.CachingStore); ok {
+			caches[addr] = c
+		}
+		stores[addr] = store
+		servers = append(servers, srv)
+		wg.Add(1)
+		go func(srv *cachegen.Server, ln net.Listener) {
+			defer wg.Done()
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("node %s: %v", ln.Addr(), err)
+			}
+		}(srv, ln)
+	}
+	sharded, err := cachegen.NewShardedStore(ring, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Publish per-tenant contexts.
+	bg := context.Background()
+	profiles := make([]cachegen.TenantProfile, 0, len(specs))
+	weights := map[string]int{}
+	next := 2
+	for _, spec := range specs {
+		p := cachegen.TenantProfile{
+			Name: spec.name, Share: spec.weight,
+			SLO: *slo, Deadline: *deadline,
+		}
+		for j := 0; j < *nContexts; j++ {
+			id := fmt.Sprintf("%s-%02d", spec.name, j)
+			if _, err := cachegen.Publish(bg, sharded, codec, model, id, ctxs[next].Tokens); err != nil {
+				log.Fatal(err)
+			}
+			next++
+			p.ContextIDs = append(p.ContextIDs, id)
+		}
+		profiles = append(profiles, p)
+		weights[spec.name] = spec.weight
+		log.Printf("tenant %s: weight %d, %d contexts of ~%d tokens", spec.name, spec.weight, *nContexts, *tokens)
+	}
+
+	// Gateway over the fleet.
+	pool := cachegen.NewPool(ring)
+	defer pool.Close()
+	gw, err := cachegen.NewGateway(cachegen.GatewayConfig{
+		Slots:       *slots,
+		QueueLimit:  *queueLimit,
+		Tenants:     weights,
+		Prefetch:    *prefetch,
+		MaxPrefetch: *maxPrefetch,
+		Source:      pool,
+		Codec:       codec,
+		Model:       model,
+		Device:      cachegen.A40x4(),
+		Planner:     cachegen.Planner{Adapt: true, DefaultLevel: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("driving %d requests at %.0f/s across %d tenants (%d nodes, %d slots, prefetch %v)...",
+		*requests, *rate, len(specs), *nodes, *slots, *prefetch)
+	w := cachegen.Workload{Rate: *rate, Requests: *requests, Tenants: profiles, Seed: *seed}
+	rep, err := w.Run(bg, gw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Report.
+	st := gw.Stats()
+	log.Printf("run: %d submitted, %d completed, %d rejected, %d timed out, %d failed in %v (%.0f req/s)",
+		rep.Submitted, rep.Completed, rep.Rejected, rep.TimedOut, rep.Failed,
+		rep.Duration.Round(time.Millisecond), rep.Throughput())
+	log.Printf("SLO %v met by %.0f%% of completions; %d/%d prefetch hits; peak queue depth %d",
+		*slo, 100*rep.SLORate(), st.PrefetchHits, rep.Completed, st.MaxQueueDepth)
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := st.Tenants[name]
+		sum := ts.TTFTSummary()
+		log.Printf("tenant %-8s done %3d/%3d  TTFT p50 %6.1fms  p99 %6.1fms  max %6.1fms  SLO %3.0f%%",
+			name, ts.Completed, ts.Submitted, sum.Median*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate())
+	}
+	var agg cachegen.CacheStats
+	for _, c := range caches {
+		agg.Add(c.Stats())
+	}
+	if len(caches) > 0 {
+		log.Printf("fleet RAM tier: %d hits, %d misses (%.0f%% hit rate), %d evictions, %s resident",
+			agg.Hits, agg.Misses, 100*agg.HitRate(), agg.Evictions, metrics.FormatBytes(agg.Bytes))
+	}
+	ps := pool.Stats()
+	log.Printf("pool: %d dials, %d failovers, %d open connections", ps.Dials, ps.Failovers, ps.OpenConns)
+
+	for _, srv := range servers {
+		srv.Close()
+	}
+	wg.Wait()
+}

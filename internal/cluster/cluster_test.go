@@ -316,6 +316,30 @@ func TestPoolAllReplicasDead(t *testing.T) {
 	}
 }
 
+// TestPoolHonorsCancelledContext: an abandoned request must not sweep
+// the replica set or open connections on its way out.
+func TestPoolHonorsCancelledContext(t *testing.T) {
+	s := newClusterStack(t, 3, 2)
+	pool := NewPool(s.ring)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dialsBefore := pool.Stats().Dials
+	if _, err := pool.GetChunk(ctx, testContextID, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetChunk with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := pool.GetMeta(ctx, testContextID); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetMeta with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := pool.GetChunkBatch(ctx, testContextID, 0, []int{0, 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetChunkBatch with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if d := pool.Stats().Dials - dialsBefore; d != 0 {
+		t.Errorf("cancelled requests opened %d connections", d)
+	}
+}
+
 func TestShardedStoreRoundTrip(t *testing.T) {
 	s := newClusterStack(t, 3, 2)
 	ctx := context.Background()

@@ -14,7 +14,9 @@ import (
 )
 
 // DialFunc opens a connection to a node (its ring id is its address).
-type DialFunc func(addr string) (*transport.Client, error)
+// It must honor ctx: a cancelled or expired request abandons the dial
+// too, not just the round trips after it.
+type DialFunc func(ctx context.Context, addr string) (*transport.Client, error)
 
 // dialTimeout bounds the default dialer: a node that silently drops
 // packets must not hold a fetch (and its failover to a live replica)
@@ -26,8 +28,9 @@ const dialTimeout = 5 * time.Second
 // node once per chunk.
 const dialBackoff = time.Second
 
-func defaultDial(addr string) (*transport.Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+func defaultDial(ctx context.Context, addr string) (*transport.Client, error) {
+	d := net.Dialer{Timeout: dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
@@ -151,8 +154,10 @@ func (p *Pool) slot(node string) (*poolNode, error) {
 // Dials run under the node's own lock, concurrently across nodes, and a
 // recent dial failure is returned from cache instead of re-dialed, so a
 // dead primary costs one connect attempt per backoff window rather than
-// one per chunk.
-func (p *Pool) client(node string) (*transport.Client, error) {
+// one per chunk. The dial honors ctx, so an abandoned request (a
+// gateway deadline, say) is not pinned for the full connect timeout by
+// a node that blackholes packets.
+func (p *Pool) client(ctx context.Context, node string) (*transport.Client, error) {
 	n, err := p.slot(node)
 	if err != nil {
 		return nil, err
@@ -165,9 +170,13 @@ func (p *Pool) client(node string) (*transport.Client, error) {
 	if since := time.Since(n.failedAt); since < dialBackoff {
 		return nil, fmt.Errorf("cluster: node %s marked down %v ago", node, since.Round(time.Millisecond))
 	}
-	c, err := p.dial(node)
+	c, err := p.dial(ctx, node)
 	if err != nil {
-		n.failedAt = time.Now()
+		if ctx.Err() == nil {
+			// A cancelled dial says nothing about the node's health;
+			// only genuine failures enter the negative cache.
+			n.failedAt = time.Now()
+		}
 		return nil, err
 	}
 	p.dials.Add(1)
@@ -212,10 +221,16 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 	}
 	var lastErr error
 	for i, node := range nodes {
+		// A cancelled or expired request must not sweep the replica set:
+		// each attempt costs a dial or a round trip the caller no longer
+		// wants.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: %s: %w", what, err)
+		}
 		if i > 0 {
 			p.failovers.Add(1)
 		}
-		c, err := p.client(node)
+		c, err := p.client(ctx, node)
 		if err != nil {
 			lastErr = fmt.Errorf("node %s: %w", node, err)
 			continue

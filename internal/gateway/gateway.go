@@ -1,0 +1,665 @@
+// Package gateway implements the multi-tenant serving frontend in front
+// of the KV-cache delivery path: it admits per-tenant requests (context
+// id + prompt + TTFT SLO), queues them with weighted-round-robin fairness
+// across tenants (FIFO within a tenant), schedules them onto a fixed pool
+// of decode slots — the GPU abstraction, costed through the internal/llm
+// prefill model — and, critically, starts streaming a request's KV chunks
+// from the cluster while the request is still waiting in the queue, so
+// transmission overlaps queueing delay and the streamer's per-chunk level
+// choices react to the SLO budget already burned (§5.3 applied at the
+// serving frontend rather than per connection).
+//
+// The lifecycle of one request:
+//
+//	Submit ──admission──▶ tenant queue ──WRR──▶ decode slot ──▶ Result
+//	             │             │                    │
+//	          reject        prefetch            wait KV, then
+//	        (queue full)  (streamer.Fetcher     hold the slot for
+//	                       races the queue)     the prefill time
+//
+// Cancellation (an expired deadline or an abandoned caller) propagates
+// down through streamer.Fetcher's chunk loop and cluster.Pool's replica
+// sweep, releases the decode slot, and stops in-flight chunk fetches.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/streamer"
+	"repro/internal/tensor"
+)
+
+// Submission errors. Submit wraps them, so test with errors.Is.
+var (
+	// ErrRejected is returned when admission control turns a request away
+	// because the queue bound is reached.
+	ErrRejected = errors.New("gateway: queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("gateway: closed")
+)
+
+// DefaultSuffixTokens is the prompt-suffix length assumed when a request
+// does not specify one (matching the streamer's simulator).
+const DefaultSuffixTokens = 32
+
+// Request is one tenant request: load this context's KV cache and prefill
+// the prompt suffix against it within the TTFT objective.
+type Request struct {
+	// Tenant identifies the paying tenant for fair queueing and stats.
+	Tenant string
+	// ContextID names the published context to stream.
+	ContextID string
+	// SuffixTokens is the user-prompt length prefilled in the decode slot
+	// after the context KV is resident (0 = DefaultSuffixTokens).
+	SuffixTokens int
+	// SLO is the TTFT objective. It parameterises the streamer's per-chunk
+	// adaptation (time already spent queueing counts against it) and the
+	// gateway's SLO-attainment accounting. Zero = no objective.
+	SLO time.Duration
+	// Deadline, if positive, hard-abandons the request that long after
+	// admission: it is dequeued (or its slot released), its in-flight chunk
+	// fetches are cancelled, and Submit returns the context error.
+	Deadline time.Duration
+}
+
+// Result describes one completed request.
+type Result struct {
+	// KV is the reassembled context cache, ready for generate_with_kv.
+	KV *tensor.KV
+	// TTFT is admission → first output token (queue wait + KV load +
+	// suffix prefill, with load overlapping the wait when prefetching).
+	TTFT time.Duration
+	// QueueWait is admission → decode-slot grant.
+	QueueWait time.Duration
+	// DecodeTime is the modelled slot occupancy for the suffix prefill.
+	DecodeTime time.Duration
+	// PrefetchHit reports that the KV was fully resident when the slot was
+	// granted — the fetch hid entirely inside the queue wait.
+	PrefetchHit bool
+	// Seq is the order in which this request was granted a slot (1-based),
+	// global across tenants; fairness tests read it.
+	Seq uint64
+	// SLOMet reports TTFT ≤ SLO (true when no SLO was set).
+	SLOMet bool
+	// Report is the streamer's per-chunk account of the fetch. Its
+	// LoadTime is anchored at admission, not at fetch start.
+	Report *streamer.FetchReport
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Slots is the number of concurrent decode slots (the GPU pool). ≥ 1.
+	Slots int
+	// QueueLimit bounds the number of queued (not yet scheduled) requests
+	// across all tenants; admission rejects beyond it. 0 = unbounded.
+	QueueLimit int
+	// Tenants maps tenant → weighted-round-robin weight. Unlisted tenants
+	// get weight 1; queues are created on first use.
+	Tenants map[string]int
+	// Prefetch starts a request's KV stream while it queues, so
+	// transmission overlaps queueing delay. Off, the fetch runs inside the
+	// decode slot (the no-overlap baseline).
+	Prefetch bool
+	// MaxPrefetch bounds concurrent background prefetches. 0 = 4×Slots;
+	// negative = unbounded. A request granted a slot bypasses the bound
+	// (its fetch is foreground work from then on).
+	MaxPrefetch int
+
+	// Source serves metadata and chunks: a transport.Client or a
+	// cluster.Pool over the ring.
+	Source streamer.ChunkSource
+	// Codec decodes chunk bitstreams.
+	Codec *core.Codec
+	// Model recomputes text-fallback chunks and anchors cost estimates.
+	Model *llm.Model
+	// Device is the decode-slot hardware model.
+	Device llm.Device
+	// Planner is the per-chunk adaptation policy template; each request
+	// gets a copy with its own SLO. Set Planner.Adapt for SLO-aware
+	// degradation.
+	Planner streamer.Planner
+
+	// DecodeTime overrides the modelled slot-occupancy cost (context
+	// tokens, suffix tokens) → duration. Nil uses the llm cost model's
+	// marginal prefill time on Device. Harness runs inject a scaled cost.
+	DecodeTime func(contextTokens, suffixTokens int) time.Duration
+}
+
+// pending states: dispatch and abandonment race on a CAS so a request is
+// either granted a slot or withdrawn, never both.
+const (
+	stateQueued int32 = iota
+	stateRunning
+	stateAbandoned
+)
+
+type fetchOutcome struct {
+	kv     *tensor.KV
+	report *streamer.FetchReport
+	err    error
+}
+
+// pending is one admitted request moving through the gateway.
+type pending struct {
+	req         Request
+	ctx         context.Context
+	admitted    time.Time
+	state       atomic.Int32
+	seq         uint64        // slot-grant sequence, set by the dispatcher
+	granted     chan struct{} // closed when a decode slot is granted
+	fetched     chan fetchOutcome
+	prefetching bool
+}
+
+// tenantQueue is one tenant's FIFO plus its smooth-WRR state.
+type tenantQueue struct {
+	name    string
+	weight  int
+	current int // smooth-WRR accumulator
+	fifo    []*pending
+}
+
+// tenantAccum accumulates one tenant's per-request outcomes.
+type tenantAccum struct {
+	submitted, completed, rejected, timedOut, failed, sloMet uint64
+	ttfts                                                    []time.Duration
+}
+
+// Gateway is the serving frontend. Safe for concurrent use; Submit blocks
+// until its request completes, times out, or is rejected, so callers run
+// it from one goroutine per in-flight request (Workload.Run does).
+type Gateway struct {
+	cfg         Config
+	prefetchSem chan struct{} // nil = unbounded
+
+	// mu guards the scheduler state: queues, WRR accumulators, free
+	// slots, and the queued-depth bound admission reads.
+	mu        sync.Mutex
+	queues    map[string]*tenantQueue
+	order     []string // tenants in first-seen order (deterministic WRR)
+	freeSlots int
+	queued    int
+	maxQueued int
+	grantSeq  uint64
+	closed    bool
+
+	admitted     atomic.Uint64
+	rejected     atomic.Uint64
+	timedOut     atomic.Uint64
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	prefetchHits atomic.Uint64
+
+	statsMu sync.Mutex
+	tenants map[string]*tenantAccum
+}
+
+// New validates the configuration and returns a ready gateway.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Slots < 1 {
+		return nil, fmt.Errorf("gateway: need at least 1 decode slot, got %d", cfg.Slots)
+	}
+	if cfg.Source == nil || cfg.Codec == nil || cfg.Model == nil {
+		return nil, errors.New("gateway: config needs Source, Codec and Model")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	for t, w := range cfg.Tenants {
+		if w < 1 {
+			return nil, fmt.Errorf("gateway: tenant %q has non-positive weight %d", t, w)
+		}
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		queues:    map[string]*tenantQueue{},
+		tenants:   map[string]*tenantAccum{},
+		freeSlots: cfg.Slots,
+	}
+	bound := cfg.MaxPrefetch
+	if bound == 0 {
+		bound = 4 * cfg.Slots
+	}
+	if bound > 0 {
+		g.prefetchSem = make(chan struct{}, bound)
+	}
+	return g, nil
+}
+
+// Close stops admission: subsequent Submits fail with ErrClosed. Requests
+// already admitted run to completion.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+}
+
+// Submit admits, queues, schedules and serves one request, blocking until
+// it completes or fails. Cancelling ctx (or exceeding req.Deadline)
+// withdraws the request wherever it is — queued, fetching, or decoding —
+// releasing its slot and stopping its chunk fetches.
+func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
+	if req.Tenant == "" {
+		return nil, errors.New("gateway: request has no tenant")
+	}
+	if req.ContextID == "" {
+		return nil, errors.New("gateway: request has no context id")
+	}
+	if req.SuffixTokens <= 0 {
+		req.SuffixTokens = DefaultSuffixTokens
+	}
+	reqCtx, cancel := g.requestContext(ctx, req)
+	defer cancel()
+
+	p := &pending{
+		req:      req,
+		ctx:      reqCtx,
+		admitted: time.Now(),
+		granted:  make(chan struct{}),
+		fetched:  make(chan fetchOutcome, 1),
+	}
+
+	// Admission + enqueue + a dispatch attempt, atomically. The per-tenant
+	// submitted counter is bumped only past the closed check, so Submitted
+	// always partitions into completed+rejected+timedOut+failed.
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if g.cfg.QueueLimit > 0 && g.queued >= g.cfg.QueueLimit {
+		g.mu.Unlock()
+		g.rejected.Add(1)
+		g.statsTenant(req.Tenant).add(func(a *tenantAccum) { a.submitted++; a.rejected++ })
+		return nil, fmt.Errorf("gateway: tenant %q context %q: %w", req.Tenant, req.ContextID, ErrRejected)
+	}
+	q := g.queueLocked(req.Tenant)
+	q.fifo = append(q.fifo, p)
+	g.queued++
+	if g.queued > g.maxQueued {
+		g.maxQueued = g.queued
+	}
+	g.admitted.Add(1)
+	g.dispatchLocked()
+	g.mu.Unlock()
+	g.statsTenant(req.Tenant).add(func(a *tenantAccum) { a.submitted++ })
+
+	if g.cfg.Prefetch {
+		p.prefetching = true
+		go g.runFetch(p, true)
+	}
+
+	// Wait for a decode slot, watching for the prefetch to fail early (a
+	// request whose stream already errored must withdraw rather than
+	// occupy queue space and burn a slot grant to report it) and for the
+	// deadline to expire.
+	fetchCh := p.fetched
+	for waiting := true; waiting; {
+		select {
+		case <-p.granted:
+			waiting = false
+		case out := <-fetchCh:
+			if out.err != nil && p.state.CompareAndSwap(stateQueued, stateAbandoned) {
+				g.mu.Lock()
+				g.queued--
+				g.mu.Unlock()
+				if p.ctx.Err() != nil {
+					return nil, g.timeout(p, "while queued")
+				}
+				g.failed.Add(1)
+				g.statsTenant(req.Tenant).add(func(a *tenantAccum) { a.failed++ })
+				return nil, fmt.Errorf("gateway: tenant %q context %q: %w", req.Tenant, req.ContextID, out.err)
+			}
+			// KV ready (or the slot was granted concurrently): put the
+			// outcome back for serve and just wait for the grant.
+			p.fetched <- out
+			fetchCh = nil
+		case <-reqCtx.Done():
+			if p.state.CompareAndSwap(stateQueued, stateAbandoned) {
+				g.mu.Lock()
+				g.queued--
+				g.mu.Unlock()
+				return nil, g.timeout(p, "while queued")
+			}
+			// Lost the race: the dispatcher granted the slot concurrently.
+			// Fall through and release it on the normal path.
+			<-p.granted
+			waiting = false
+		}
+	}
+	return g.serve(p)
+}
+
+// requestContext derives the per-request context carrying the deadline.
+func (g *Gateway) requestContext(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	if req.Deadline > 0 {
+		return context.WithTimeout(ctx, req.Deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
+// queueLocked returns the tenant's queue, creating it on first use.
+func (g *Gateway) queueLocked(tenant string) *tenantQueue {
+	q, ok := g.queues[tenant]
+	if !ok {
+		w := g.cfg.Tenants[tenant]
+		if w < 1 {
+			w = 1
+		}
+		q = &tenantQueue{name: tenant, weight: w}
+		g.queues[tenant] = q
+		g.order = append(g.order, tenant)
+	}
+	return q
+}
+
+// dispatchLocked grants free decode slots to queued requests, one WRR
+// pick at a time. pickLocked returns requests already transitioned to
+// running, so every pick consumes a slot.
+func (g *Gateway) dispatchLocked() {
+	for g.freeSlots > 0 {
+		p := g.pickLocked()
+		if p == nil {
+			return
+		}
+		g.queued--
+		g.freeSlots--
+		g.grantSeq++
+		p.seq = g.grantSeq
+		close(p.granted)
+	}
+}
+
+// pickLocked pops the next request under smooth weighted round-robin
+// across tenants with queued work (nginx-style: each pick every contender
+// gains its weight, the richest wins and pays the total). FIFO within a
+// tenant. Ties break by tenant arrival order, so scheduling is
+// deterministic for a fixed submission order.
+func (g *Gateway) pickLocked() *pending {
+	for {
+		// Tenants whose queues drained are dropped as we scan: scheduler
+		// state (and the scan itself) stays proportional to tenants with
+		// queued work, not every tenant id ever seen. WRR credit
+		// therefore lives only while a tenant has a backlog, which is
+		// when it matters. Withdrawn heads are dropped here too, before
+		// any WRR accounting.
+		var contenders []*tenantQueue
+		total := 0
+		live := g.order[:0]
+		for _, name := range g.order {
+			q := g.queues[name]
+			for len(q.fifo) > 0 && q.fifo[0].state.Load() == stateAbandoned {
+				q.fifo = q.fifo[1:]
+			}
+			if len(q.fifo) == 0 {
+				delete(g.queues, name)
+				continue
+			}
+			live = append(live, name)
+			contenders = append(contenders, q)
+			total += q.weight
+		}
+		g.order = live
+		if len(contenders) == 0 {
+			return nil
+		}
+		var best *tenantQueue
+		for _, q := range contenders {
+			if best == nil || q.current+q.weight > best.current+best.weight {
+				best = q
+			}
+		}
+		// Claim the winner's head before charging any WRR credit:
+		// abandonment races this pick lock-free, and a corpse caught in
+		// the window must not cost its tenant (or anyone) a turn.
+		p := best.fifo[0]
+		if !p.state.CompareAndSwap(stateQueued, stateRunning) {
+			best.fifo = best.fifo[1:]
+			continue // rescan; no credits were touched
+		}
+		for _, q := range contenders {
+			q.current += q.weight
+		}
+		best.current -= total
+		best.fifo = best.fifo[1:]
+		return p
+	}
+}
+
+// releaseSlot returns a decode slot and immediately re-dispatches.
+func (g *Gateway) releaseSlot() {
+	g.mu.Lock()
+	g.freeSlots++
+	g.dispatchLocked()
+	g.mu.Unlock()
+}
+
+// fetcher builds the per-request streamer, anchored at admission time so
+// the planner sees queueing delay as budget already spent.
+func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
+	pl := g.cfg.Planner
+	if p.req.SLO > 0 {
+		pl.SLO = p.req.SLO
+	}
+	return &streamer.Fetcher{
+		Source:  g.cfg.Source,
+		Codec:   g.cfg.Codec,
+		Model:   g.cfg.Model,
+		Device:  g.cfg.Device,
+		Planner: pl,
+		Start:   p.admitted,
+	}
+}
+
+// runFetch streams the request's KV and delivers the outcome. Background
+// prefetches respect the prefetch bound until the request is granted a
+// slot, at which point the fetch is foreground work and proceeds
+// regardless.
+func (g *Gateway) runFetch(p *pending, background bool) {
+	if background && g.prefetchSem != nil {
+		select {
+		case g.prefetchSem <- struct{}{}:
+			// The token covers the fetch only while the request is still
+			// queued: a slot grant turns the fetch into foreground work,
+			// and holding the token past it would starve other queued
+			// requests of their prefetch at exactly the saturation point
+			// prefetching exists for.
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				select {
+				case <-p.granted:
+				case <-done:
+				}
+				<-g.prefetchSem
+			}()
+		case <-p.granted:
+		case <-p.ctx.Done():
+			p.fetched <- fetchOutcome{err: p.ctx.Err()}
+			return
+		}
+	}
+	kv, report, err := g.fetcher(p).Fetch(p.ctx, p.req.ContextID)
+	p.fetched <- fetchOutcome{kv: kv, report: report, err: err}
+}
+
+// serve runs the decode-slot phase: wait for the KV (prefetched or
+// fetched now), hold the slot for the modelled prefill, account the TTFT.
+func (g *Gateway) serve(p *pending) (*Result, error) {
+	defer g.releaseSlot()
+	grant := time.Now()
+
+	var out fetchOutcome
+	prefetchHit := false
+	if p.prefetching {
+		select {
+		case out = <-p.fetched:
+			// KV (or its error) was already resident when the slot opened.
+			prefetchHit = out.err == nil
+		default:
+			select {
+			case out = <-p.fetched:
+			case <-p.ctx.Done():
+				return nil, g.timeout(p, "waiting for KV stream")
+			}
+		}
+	} else {
+		g.runFetch(p, false)
+		out = <-p.fetched
+	}
+	if out.err != nil {
+		if p.ctx.Err() != nil {
+			return nil, g.timeout(p, "fetching")
+		}
+		g.failed.Add(1)
+		g.statsTenant(p.req.Tenant).add(func(a *tenantAccum) { a.failed++ })
+		return nil, fmt.Errorf("gateway: tenant %q context %q: %w", p.req.Tenant, p.req.ContextID, out.err)
+	}
+
+	decode := g.decodeCost(out.kv.Tokens, p.req.SuffixTokens)
+	timer := time.NewTimer(decode)
+	select {
+	case <-timer.C:
+	case <-p.ctx.Done():
+		timer.Stop()
+		return nil, g.timeout(p, "decoding")
+	}
+
+	ttft := time.Since(p.admitted)
+	sloMet := p.req.SLO <= 0 || ttft <= p.req.SLO
+	g.completed.Add(1)
+	if prefetchHit {
+		// Counted at completion, not at grant, so PrefetchHits never
+		// exceeds Completed in reports.
+		g.prefetchHits.Add(1)
+	}
+	g.statsTenant(p.req.Tenant).add(func(a *tenantAccum) {
+		a.completed++
+		if sloMet {
+			a.sloMet++
+		}
+		a.ttfts = append(a.ttfts, ttft)
+	})
+	return &Result{
+		KV:          out.kv,
+		TTFT:        ttft,
+		QueueWait:   grant.Sub(p.admitted),
+		DecodeTime:  decode,
+		PrefetchHit: prefetchHit,
+		Seq:         p.seq,
+		SLOMet:      sloMet,
+		Report:      out.report,
+	}, nil
+}
+
+// decodeCost is the modelled decode-slot occupancy: the marginal prefill
+// of the prompt suffix given the context KV resident.
+func (g *Gateway) decodeCost(contextTokens, suffixTokens int) time.Duration {
+	if g.cfg.DecodeTime != nil {
+		return g.cfg.DecodeTime(contextTokens, suffixTokens)
+	}
+	return g.cfg.Model.Config().MarginalPrefillTime(contextTokens, suffixTokens, g.cfg.Device, 1)
+}
+
+// timeout accounts one abandoned request and returns its error.
+func (g *Gateway) timeout(p *pending, where string) error {
+	g.timedOut.Add(1)
+	g.statsTenant(p.req.Tenant).add(func(a *tenantAccum) { a.timedOut++ })
+	return fmt.Errorf("gateway: tenant %q context %q abandoned %s: %w",
+		p.req.Tenant, p.req.ContextID, where, p.ctx.Err())
+}
+
+// statsTenant returns a handle for updating one tenant's accumulator.
+func (g *Gateway) statsTenant(tenant string) tenantHandle {
+	return tenantHandle{g: g, tenant: tenant}
+}
+
+type tenantHandle struct {
+	g      *Gateway
+	tenant string
+}
+
+func (h tenantHandle) add(fn func(*tenantAccum)) {
+	h.g.statsMu.Lock()
+	defer h.g.statsMu.Unlock()
+	a, ok := h.g.tenants[h.tenant]
+	if !ok {
+		a = &tenantAccum{}
+		h.g.tenants[h.tenant] = a
+	}
+	fn(a)
+}
+
+// TenantStats snapshots one tenant's counters and TTFT sample.
+type TenantStats struct {
+	Submitted, Completed, Rejected, TimedOut, Failed uint64
+	// SLOMet counts completions within their SLO.
+	SLOMet uint64
+	// TTFTs are the completed requests' TTFTs, in completion order.
+	TTFTs []time.Duration
+}
+
+// TTFTSummary returns the tenant's TTFT distribution in seconds.
+func (t TenantStats) TTFTSummary() metrics.Summary {
+	return metrics.Summarize(metrics.Seconds(t.TTFTs))
+}
+
+// SLORate returns SLOMet/Completed (0 with no completions).
+func (t TenantStats) SLORate() float64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return float64(t.SLOMet) / float64(t.Completed)
+}
+
+// Stats snapshots the gateway's counters.
+type Stats struct {
+	Admitted, Rejected, TimedOut, Completed, Failed uint64
+	// PrefetchHits counts completions whose KV was fully resident when
+	// their slot was granted (the fetch hid entirely in the queue wait).
+	PrefetchHits uint64
+	// QueueDepth is the current queued-request count; MaxQueueDepth its
+	// high-water mark.
+	QueueDepth, MaxQueueDepth int
+	// FreeSlots is the current free decode-slot count.
+	FreeSlots int
+	// Tenants holds per-tenant counters and TTFT histograms.
+	Tenants map[string]TenantStats
+}
+
+// Stats returns a consistent snapshot of the gateway's counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	depth, maxDepth, free := g.queued, g.maxQueued, g.freeSlots
+	g.mu.Unlock()
+	s := Stats{
+		Admitted:      g.admitted.Load(),
+		Rejected:      g.rejected.Load(),
+		TimedOut:      g.timedOut.Load(),
+		Completed:     g.completed.Load(),
+		Failed:        g.failed.Load(),
+		PrefetchHits:  g.prefetchHits.Load(),
+		QueueDepth:    depth,
+		MaxQueueDepth: maxDepth,
+		FreeSlots:     free,
+		Tenants:       map[string]TenantStats{},
+	}
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
+	for name, a := range g.tenants {
+		s.Tenants[name] = TenantStats{
+			Submitted: a.submitted, Completed: a.completed, Rejected: a.rejected,
+			TimedOut: a.timedOut, Failed: a.failed, SLOMet: a.sloMet,
+			TTFTs: append([]time.Duration{}, a.ttfts...),
+		}
+	}
+	return s
+}

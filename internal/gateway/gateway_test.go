@@ -1,0 +1,453 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/storage"
+	"repro/internal/streamer"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// testRing is a live 3-node loopback fleet with published contexts and a
+// fetch pool — the serving backend every gateway test runs against.
+type testRing struct {
+	model    *llm.Model
+	codec    *core.Codec
+	pool     *cluster.Pool
+	contexts []string
+	tokens   int
+}
+
+func newTestRing(t *testing.T, nContexts int) *testRing {
+	t.Helper()
+	model, err := llm.New(llm.Config{
+		Name: "gwtest", Layers: 4, KVChannels: 8, Channels: 8,
+		Hidden: 64, Params: 1e8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ChunkTokens = 64
+
+	rng := rand.New(rand.NewSource(9))
+	sample := make([]llm.Token, 256)
+	for i := range sample {
+		sample[i] = llm.Token(rng.Intn(llm.VocabSize))
+	}
+	bank, err := core.Train(cfg, []*tensor.KV{model.CalculateKV(sample)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := core.NewCodec(bank)
+
+	ring := cluster.NewRing(2, 0)
+	stores := map[string]storage.Store{}
+	for i := 0; i < 3; i++ {
+		store := storage.NewCachingStore(storage.NewMemStore(), 1<<20)
+		addr := transportServer(t, store)
+		stores[addr] = store
+	}
+	sharded, err := cluster.NewShardedStore(ring, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &testRing{model: model, codec: codec, tokens: 192}
+	for i := 0; i < nContexts; i++ {
+		id := fmt.Sprintf("ctx-%02d", i)
+		tokens := make([]llm.Token, r.tokens) // 3 chunks of 64
+		for j := range tokens {
+			tokens[j] = llm.Token(rng.Intn(llm.VocabSize))
+		}
+		if _, err := streamer.Publish(context.Background(), sharded, codec, model, id, tokens,
+			streamer.PublishOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		r.contexts = append(r.contexts, id)
+	}
+	r.pool = cluster.NewPool(ring)
+	t.Cleanup(func() { r.pool.Close() })
+	return r
+}
+
+func (r *testRing) config(slots int, prefetch bool) Config {
+	return Config{
+		Slots:    slots,
+		Prefetch: prefetch,
+		Source:   r.pool,
+		Codec:    r.codec,
+		Model:    r.model,
+		Device:   llm.A40x4(),
+		Planner:  streamer.Planner{Adapt: false, DefaultLevel: 0},
+		// A fixed slot cost keeps the test's queueing behaviour independent
+		// of the host's speed.
+		DecodeTime: func(int, int) time.Duration { return 2 * time.Millisecond },
+	}
+}
+
+// transportServer starts one storage node and returns its address.
+func transportServer(t *testing.T, st storage.Store) string {
+	t.Helper()
+	srv := transport.NewServer(st)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// TestGatewayConcurrentFairness is the acceptance scenario: ≥32
+// concurrent requests from 3 tenants against a live ring, every tenant
+// served (no starvation), and slot grants interleaved across tenants by
+// the weighted round-robin rather than drained tenant-by-tenant.
+func TestGatewayConcurrentFairness(t *testing.T) {
+	r := newTestRing(t, 3)
+	cfg := r.config(2, true)
+	cfg.Tenants = map[string]int{"alpha": 2, "beta": 1, "gamma": 1}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tenants := []string{"alpha", "beta", "gamma"}
+	const perTenant = 12 // 36 concurrent requests total
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seqByTenant := map[string][]uint64{}
+	errs := 0
+	for ti, tenant := range tenants {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(tenant string, ctxIdx int) {
+				defer wg.Done()
+				res, err := g.Submit(context.Background(), Request{
+					Tenant:    tenant,
+					ContextID: r.contexts[ctxIdx%len(r.contexts)],
+					SLO:       5 * time.Second,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs++
+					t.Errorf("tenant %s: %v", tenant, err)
+					return
+				}
+				seqByTenant[tenant] = append(seqByTenant[tenant], res.Seq)
+			}(tenant, ti)
+		}
+	}
+	wg.Wait()
+	if errs > 0 {
+		t.Fatalf("%d requests failed", errs)
+	}
+
+	st := g.Stats()
+	if st.Completed != 36 || st.Admitted != 36 {
+		t.Fatalf("completed %d / admitted %d, want 36/36", st.Completed, st.Admitted)
+	}
+	for _, tenant := range tenants {
+		ts := st.Tenants[tenant]
+		if ts.Completed != perTenant {
+			t.Errorf("tenant %s completed %d, want %d (starved?)", tenant, ts.Completed, perTenant)
+		}
+		if ts.TTFTSummary().N != perTenant {
+			t.Errorf("tenant %s TTFT histogram has %d samples, want %d", tenant, ts.TTFTSummary().N, perTenant)
+		}
+	}
+
+	// Interleaving: once all three tenants are queued, every WRR cycle
+	// serves each of them, so each tenant's earliest grant must land in
+	// the first few grants — not after another tenant's whole backlog.
+	// (The first one or two grants can race ahead of the other tenants'
+	// submissions, hence the slack.)
+	for _, tenant := range tenants {
+		seqs := seqByTenant[tenant]
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		if first := seqs[0]; first > 8 {
+			t.Errorf("tenant %s first slot grant was seq %d; FIFO-drained, not round-robin", tenant, first)
+		}
+	}
+}
+
+// gatedSource wraps a ChunkSource, counting GetChunk calls per context
+// and blocking designated contexts until released (or the request is
+// cancelled).
+type gatedSource struct {
+	src   streamer.ChunkSource
+	mu    sync.Mutex
+	calls map[string]int
+	gates map[string]chan struct{}
+}
+
+func newGatedSource(src streamer.ChunkSource) *gatedSource {
+	return &gatedSource{src: src, calls: map[string]int{}, gates: map[string]chan struct{}{}}
+}
+
+func (s *gatedSource) block(contextID string) chan struct{} {
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.gates[contextID] = ch
+	s.mu.Unlock()
+	return ch
+}
+
+func (s *gatedSource) callCount(contextID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[contextID]
+}
+
+func (s *gatedSource) GetMeta(ctx context.Context, id string) (storage.ContextMeta, error) {
+	return s.src.GetMeta(ctx, id)
+}
+
+func (s *gatedSource) GetChunk(ctx context.Context, id string, chunk, level int) ([]byte, error) {
+	s.mu.Lock()
+	s.calls[id]++
+	gate := s.gates[id]
+	s.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s.src.GetChunk(ctx, id, chunk, level)
+}
+
+// TestGatewayCancellation is the second acceptance scenario: a cancelled
+// request releases its decode slot and stops fetching, and a deadline
+// expiring in the queue withdraws the request.
+func TestGatewayCancellation(t *testing.T) {
+	r := newTestRing(t, 2)
+	gated := newGatedSource(r.pool)
+	cfg := r.config(1, true) // one slot: the victim blocks the whole fleet
+	cfg.Source = gated
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocked, free := r.contexts[0], r.contexts[1]
+	_ = gated.block(blocked)
+
+	// Victim: takes the only slot, its fetch hangs on the gate.
+	vctx, vcancel := context.WithCancel(context.Background())
+	vdone := make(chan error, 1)
+	go func() {
+		_, err := g.Submit(vctx, Request{Tenant: "victim", ContextID: blocked})
+		vdone <- err
+	}()
+
+	// Wait until the victim's fetch is actually in flight.
+	waitFor(t, time.Second, func() bool { return gated.callCount(blocked) > 0 })
+
+	// Queued request with a short deadline: must withdraw from the queue.
+	if _, err := g.Submit(context.Background(), Request{
+		Tenant: "queued", ContextID: free, Deadline: 50 * time.Millisecond,
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued request past its deadline returned %v, want DeadlineExceeded", err)
+	}
+
+	// Cancel the victim: Submit must return, the slot must free, and the
+	// fetch must stop issuing chunk requests.
+	vcancel()
+	select {
+	case err := <-vdone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled victim returned %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled victim did not return")
+	}
+	callsAtCancel := gated.callCount(blocked)
+	time.Sleep(50 * time.Millisecond)
+	if n := gated.callCount(blocked); n != callsAtCancel {
+		t.Errorf("fetch kept issuing chunk requests after cancel (%d → %d)", callsAtCancel, n)
+	}
+
+	// The slot must have been released: a fresh request completes.
+	res, err := g.Submit(context.Background(), Request{Tenant: "after", ContextID: free})
+	if err != nil {
+		t.Fatalf("request after cancellation: %v (decode slot leaked?)", err)
+	}
+	if res.KV == nil || res.KV.Tokens != r.tokens {
+		t.Fatalf("post-cancel request returned wrong KV: %+v", res)
+	}
+
+	st := g.Stats()
+	if st.TimedOut != 2 {
+		t.Errorf("timed out %d, want 2 (one queued withdrawal, one cancelled in slot)", st.TimedOut)
+	}
+	if st.FreeSlots != 1 {
+		t.Errorf("free slots %d, want 1", st.FreeSlots)
+	}
+}
+
+// TestGatewayFailedPrefetchWithdraws: a queued request whose prefetch
+// fails must withdraw immediately — no queue space held, no decode-slot
+// grant burned to surface the error.
+func TestGatewayFailedPrefetchWithdraws(t *testing.T) {
+	r := newTestRing(t, 2)
+	gated := newGatedSource(r.pool)
+	cfg := r.config(1, true)
+	cfg.Source = gated
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := r.contexts[0]
+	gate := gated.block(blocked)
+	vdone := make(chan error, 1)
+	go func() {
+		_, err := g.Submit(context.Background(), Request{Tenant: "victim", ContextID: blocked})
+		vdone <- err
+	}()
+	waitFor(t, time.Second, func() bool { return gated.callCount(blocked) > 0 })
+
+	// The only slot is held; this request queues, its prefetch hits a
+	// nonexistent context, and it must fail without waiting for the slot.
+	if _, err := g.Submit(context.Background(), Request{Tenant: "ghost", ContextID: "no-such-context"}); err == nil {
+		t.Fatal("request for a missing context succeeded")
+	}
+	st := g.Stats()
+	if st.Failed != 1 || st.QueueDepth != 0 {
+		t.Errorf("stats after failed prefetch: failed %d, depth %d; want 1, 0", st.Failed, st.QueueDepth)
+	}
+	if st.FreeSlots != 0 {
+		t.Errorf("free slots %d; the failed request must not have taken the victim's slot", st.FreeSlots)
+	}
+
+	close(gate)
+	if err := <-vdone; err != nil {
+		t.Fatalf("victim failed after release: %v", err)
+	}
+}
+
+// TestGatewayAdmissionControl: a full queue rejects deterministically.
+func TestGatewayAdmissionControl(t *testing.T) {
+	r := newTestRing(t, 2)
+	gated := newGatedSource(r.pool)
+	cfg := r.config(1, false)
+	cfg.Source = gated
+	cfg.QueueLimit = 2
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := r.contexts[0]
+	gate := gated.block(blocked)
+
+	// Fill the slot and the queue: 1 running + 2 queued.
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := g.Submit(context.Background(), Request{Tenant: "t", ContextID: blocked})
+			done <- err
+		}()
+		waitFor(t, time.Second, func() bool {
+			st := g.Stats()
+			return int(st.Admitted)-int(st.Completed) > i
+		})
+	}
+
+	if _, err := g.Submit(context.Background(), Request{Tenant: "t", ContextID: blocked}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("over-admission returned %v, want ErrRejected", err)
+	}
+	if st := g.Stats(); st.Rejected != 1 || st.MaxQueueDepth != 2 {
+		t.Errorf("stats %+v, want 1 rejection at max depth 2", st)
+	}
+
+	close(gate)
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("backlogged request failed after release: %v", err)
+		}
+	}
+	g.Close()
+	if _, err := g.Submit(context.Background(), Request{Tenant: "t", ContextID: blocked}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestWorkloadRun drives the Poisson load generator end to end and checks
+// the report's accounting partitions the arrivals.
+func TestWorkloadRun(t *testing.T) {
+	r := newTestRing(t, 3)
+	cfg := r.config(2, true)
+	cfg.Tenants = map[string]int{"gold": 2, "bronze": 1}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		Rate:     400,
+		Requests: 40,
+		Seed:     7,
+		Tenants: []TenantProfile{
+			{Name: "gold", Share: 2, ContextIDs: r.contexts[:2], SLO: 2 * time.Second},
+			{Name: "bronze", Share: 1, ContextIDs: r.contexts[2:], SLO: 2 * time.Second},
+		},
+	}
+	rep, err := w.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 40 {
+		t.Fatalf("submitted %d, want 40", rep.Submitted)
+	}
+	if got := rep.Completed + rep.Rejected + rep.TimedOut + rep.Failed; got != rep.Submitted {
+		t.Errorf("outcomes sum to %d, want %d", got, rep.Submitted)
+	}
+	if rep.Completed == 0 || rep.Throughput() <= 0 {
+		t.Errorf("no throughput: %+v", rep)
+	}
+	if len(rep.TTFTs["gold"]) == 0 || len(rep.TTFTs["bronze"]) == 0 {
+		t.Error("a tenant got no completions")
+	}
+	if got := len(rep.AllTTFTs()); got != rep.Completed {
+		t.Errorf("AllTTFTs has %d samples, want %d", got, rep.Completed)
+	}
+
+	// Bad workloads fail fast.
+	for _, bad := range []Workload{
+		{Rate: 0, Requests: 1, Tenants: w.Tenants},
+		{Rate: 10, Requests: 0, Tenants: w.Tenants},
+		{Rate: 10, Requests: 1},
+		{Rate: 10, Requests: 1, Tenants: []TenantProfile{{Name: "x", Share: 0, ContextIDs: []string{"c"}}}},
+	} {
+		if _, err := bad.Run(context.Background(), g); err == nil {
+			t.Errorf("workload %+v accepted", bad)
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

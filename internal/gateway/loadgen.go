@@ -1,0 +1,181 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// TenantProfile describes one tenant's traffic in a generated workload.
+type TenantProfile struct {
+	// Name is the tenant id submitted to the gateway.
+	Name string
+	// Share is the tenant's weight in the traffic mix (arrivals are split
+	// proportionally to shares). ≥ 1.
+	Share int
+	// ContextIDs are the published contexts this tenant requests,
+	// uniformly at random.
+	ContextIDs []string
+	// SLO, Deadline and SuffixTokens are copied onto every request.
+	SLO          time.Duration
+	Deadline     time.Duration
+	SuffixTokens int
+}
+
+// Workload is an open-loop Poisson load run: arrivals follow an
+// exponential inter-arrival clock at Rate regardless of how the gateway
+// keeps up (the open-loop property that exposes queueing collapse), each
+// arrival drawn from the tenant mix.
+type Workload struct {
+	// Rate is the mean arrival rate in requests/second.
+	Rate float64
+	// Requests is the total number of arrivals to generate.
+	Requests int
+	// Tenants is the traffic mix.
+	Tenants []TenantProfile
+	// Seed makes the arrival process and tenant/context draws
+	// reproducible.
+	Seed int64
+}
+
+// LoadReport aggregates one workload run.
+type LoadReport struct {
+	// Offered is the configured arrival rate (req/s).
+	Offered float64
+	// Submitted counts generated arrivals; the rest partition them.
+	Submitted, Completed, Rejected, TimedOut, Failed int
+	// SLOMet counts completions within their SLO; PrefetchHits counts
+	// completions whose KV was resident at slot grant.
+	SLOMet, PrefetchHits int
+	// TTFTs are the completed requests' TTFTs per tenant.
+	TTFTs map[string][]time.Duration
+	// Duration is first arrival → last completion.
+	Duration time.Duration
+}
+
+// Throughput returns completed requests per second of wall time.
+func (r *LoadReport) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Duration.Seconds()
+}
+
+// SLORate returns SLOMet/Completed (0 with no completions).
+func (r *LoadReport) SLORate() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.SLOMet) / float64(r.Completed)
+}
+
+// AllTTFTs flattens the per-tenant TTFT samples.
+func (r *LoadReport) AllTTFTs() []time.Duration {
+	var out []time.Duration
+	for _, ds := range r.TTFTs {
+		out = append(out, ds...)
+	}
+	return out
+}
+
+// Run drives the workload against the gateway and blocks until every
+// generated request resolves. Cancelling ctx stops generating new
+// arrivals and abandons the in-flight ones.
+func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
+	if w.Rate <= 0 {
+		return nil, fmt.Errorf("gateway: workload rate %v must be positive", w.Rate)
+	}
+	if w.Requests <= 0 {
+		return nil, fmt.Errorf("gateway: workload needs requests, got %d", w.Requests)
+	}
+	if len(w.Tenants) == 0 {
+		return nil, errors.New("gateway: workload has no tenants")
+	}
+	totalShare := 0
+	for _, t := range w.Tenants {
+		if t.Name == "" || len(t.ContextIDs) == 0 {
+			return nil, fmt.Errorf("gateway: tenant %q needs a name and contexts", t.Name)
+		}
+		if t.Share < 1 {
+			return nil, fmt.Errorf("gateway: tenant %q has share %d, want ≥ 1", t.Name, t.Share)
+		}
+		totalShare += t.Share
+	}
+
+	rng := rand.New(rand.NewSource(w.Seed))
+	rep := &LoadReport{Offered: w.Rate, TTFTs: map[string][]time.Duration{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for i := 0; i < w.Requests; i++ {
+		if i > 0 {
+			time.Sleep(expDelay(rng, w.Rate))
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		t := pickTenant(rng, w.Tenants, totalShare)
+		req := Request{
+			Tenant:       t.Name,
+			ContextID:    t.ContextIDs[rng.Intn(len(t.ContextIDs))],
+			SLO:          t.SLO,
+			Deadline:     t.Deadline,
+			SuffixTokens: t.SuffixTokens,
+		}
+		rep.Submitted++
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			res, err := g.Submit(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				rep.Completed++
+				if res.SLOMet {
+					rep.SLOMet++
+				}
+				if res.PrefetchHit {
+					rep.PrefetchHits++
+				}
+				rep.TTFTs[req.Tenant] = append(rep.TTFTs[req.Tenant], res.TTFT)
+			case errors.Is(err, ErrRejected):
+				rep.Rejected++
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				rep.TimedOut++
+			default:
+				rep.Failed++
+			}
+		}(req)
+	}
+	wg.Wait()
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// expDelay draws one exponential inter-arrival gap, capped at 5× the mean
+// so one unlucky draw cannot stall the whole run.
+func expDelay(rng *rand.Rand, rate float64) time.Duration {
+	mean := float64(time.Second) / rate
+	d := time.Duration(rng.ExpFloat64() * mean)
+	if max := time.Duration(5 * mean); d > max {
+		d = max
+	}
+	return d
+}
+
+// pickTenant draws a tenant proportionally to its share.
+func pickTenant(rng *rand.Rand, tenants []TenantProfile, total int) TenantProfile {
+	n := rng.Intn(total)
+	for _, t := range tenants {
+		n -= t.Share
+		if n < 0 {
+			return t
+		}
+	}
+	return tenants[len(tenants)-1]
+}

@@ -46,11 +46,7 @@ func (fl *x4Fleet) close() {
 func (fl *x4Fleet) cacheStats() storage.CacheStats {
 	var agg storage.CacheStats
 	for _, c := range fl.nodes {
-		st := c.Stats()
-		agg.Hits += st.Hits
-		agg.Misses += st.Misses
-		agg.Evictions += st.Evictions
-		agg.Bytes += st.Bytes
+		agg.Add(c.Stats())
 	}
 	return agg
 }

@@ -17,6 +17,7 @@ type Summary struct {
 	Mean, Std        float64
 	Min, Median, Max float64
 	P95              float64
+	P99              float64
 }
 
 // Summarize computes summary statistics. An empty sample yields zeros.
@@ -42,7 +43,19 @@ func Summarize(xs []float64) Summary {
 	s.Max = sorted[s.N-1]
 	s.Median = Percentile(sorted, 0.5)
 	s.P95 = Percentile(sorted, 0.95)
+	s.P99 = Percentile(sorted, 0.99)
 	return s
+}
+
+// Seconds converts a duration sample to float seconds, the unit Summarize
+// and CDF work in (the gateway's per-tenant TTFT histograms go through
+// this).
+func Seconds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
 }
 
 // Percentile returns the p-th percentile (p in [0,1]) of a sorted sample

@@ -19,6 +19,26 @@ func TestSummarize(t *testing.T) {
 	if empty.N != 0 || empty.Mean != 0 {
 		t.Errorf("empty summary = %+v", empty)
 	}
+
+	// P95/P99 on a 0..100 ramp interpolate near their ranks.
+	ramp := make([]float64, 101)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	s = Summarize(ramp)
+	if math.Abs(s.P95-95) > 1e-9 || math.Abs(s.P99-99) > 1e-9 {
+		t.Errorf("P95 = %v, P99 = %v, want 95/99", s.P95, s.P99)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	got := Seconds([]time.Duration{time.Second, 250 * time.Millisecond})
+	if len(got) != 2 || got[0] != 1 || got[1] != 0.25 {
+		t.Errorf("Seconds = %v", got)
+	}
+	if len(Seconds(nil)) != 0 {
+		t.Error("Seconds(nil) not empty")
+	}
 }
 
 func TestPercentile(t *testing.T) {

@@ -44,6 +44,17 @@ type CacheStats struct {
 	Bytes, MaxBytes         int64
 }
 
+// Add folds another snapshot into this one, aggregating counters across a
+// fleet of RAM tiers (MaxBytes sums too: the aggregate budget).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
+	s.MaxBytes += o.MaxBytes
+}
+
 // HitRate returns hits/(hits+misses), 0 when the store is untouched.
 func (s CacheStats) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -41,6 +41,11 @@ type Fetcher struct {
 	Device llm.Device
 	// Planner holds the adaptation policy.
 	Planner Planner
+	// Start, if set, anchors the planner's elapsed-time budget (and the
+	// report's LoadTime) to an earlier instant than the Fetch call — a
+	// serving gateway sets it to the request's admission time so queueing
+	// delay burns SLO budget and the per-chunk choices degrade accordingly.
+	Start time.Time
 }
 
 // FetchReport describes how a live fetch went.
@@ -70,6 +75,9 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 		return nil, nil, fmt.Errorf("streamer: Fetcher needs Source, Codec and Model")
 	}
 	start := time.Now()
+	if !f.Start.IsZero() {
+		start = f.Start
+	}
 	meta, err := f.Source.GetMeta(ctx, contextID)
 	if err != nil {
 		return nil, nil, fmt.Errorf("streamer: fetching meta: %w", err)
@@ -117,6 +125,12 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 		return nil, nil, err
 	}
 	for i, info := range infos {
+		// An abandoned request (deadline hit, user gone) must stop issuing
+		// chunk fetches, not stream the rest of the context to a caller
+		// that will discard it.
+		if err := ctx.Err(); err != nil {
+			return fetchFailed(fmt.Errorf("streamer: cancelled before chunk %d: %w", i, err))
+		}
 		elapsed := time.Since(start)
 		choice, err := f.Planner.Choose(i, elapsed, throughput, infos)
 		if err != nil {

@@ -200,6 +200,119 @@ func TestMinimizeTTFTPrefersTextForShortContexts(t *testing.T) {
 	}
 }
 
+func TestZeroBandwidthFallsBackToDefault(t *testing.T) {
+	// A zero or negative estimate (and no prior) means "unknown", not
+	// "infinitely slow": the planner must take the §C.2 default, never
+	// divide by the estimate.
+	p := Planner{Adapt: true, SLO: time.Second, DefaultLevel: 2}
+	for _, bps := range []float64{0, -1} {
+		got, err := p.Choose(0, 0, bps, testChunks(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text || got.Level != 2 {
+			t.Errorf("bps=%v: choice %v, want default L2", bps, got)
+		}
+	}
+	// MinimizeTTFT needs an estimate too; without one it must not panic
+	// and must keep the default.
+	p = Planner{Adapt: true, MinimizeTTFT: true, DefaultLevel: 1}
+	got, err := p.Choose(0, 0, 0, testChunks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text || got.Level != 1 {
+		t.Errorf("MinimizeTTFT without estimate: choice %v, want default L1", got)
+	}
+}
+
+func TestNearZeroBandwidthDegradesDeterministically(t *testing.T) {
+	// At 1 bit/s nothing can meet any budget; the planner must settle on
+	// the least-bytes configuration (here: text, 6 KB vs 15 MB at L3) and
+	// return it for every chunk, every time.
+	chunks := testChunks(3)
+	p := Planner{Adapt: true, SLO: 2 * time.Second, DefaultLevel: 1}
+	for idx := range chunks {
+		for rep := 0; rep < 3; rep++ {
+			got, err := p.Choose(idx, 0, 1, chunks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Text {
+				t.Fatalf("chunk %d rep %d: choice %v, want text (fewest bytes)", idx, rep, got)
+			}
+		}
+	}
+}
+
+func TestSLOAlreadyBlownAtAdmission(t *testing.T) {
+	// A request admitted after its whole SLO has elapsed (queueing burned
+	// the budget) has negative remaining time: no configuration fits, and
+	// the planner must degrade to the fastest one — all-text when
+	// recompute is cheap — not error or oscillate.
+	chunks := testChunks(2)
+	chunks[0].Recompute = 50 * time.Millisecond
+	chunks[1].Recompute = 50 * time.Millisecond
+	p := Planner{Adapt: true, SLO: time.Second, DefaultLevel: 0}
+	elapsed := 3 * time.Second // 3× the SLO already spent
+	var first Choice
+	for rep := 0; rep < 3; rep++ {
+		got, err := p.Choose(0, elapsed, netsim.Gbps(0.5), chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == 0 {
+			first = got
+			if !got.Text {
+				t.Fatalf("blown SLO choice %v, want text (fastest here)", got)
+			}
+		} else if got != first {
+			t.Fatalf("blown SLO choice flapped: %v then %v", first, got)
+		}
+	}
+
+	// With recompute expensive, the fastest level must win instead — still
+	// deterministic, still no error.
+	chunks[0].Recompute = time.Hour
+	chunks[1].Recompute = time.Hour
+	got, err := p.Choose(0, elapsed, netsim.Gbps(0.5), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text || got.Level != 3 {
+		t.Errorf("blown SLO with costly recompute: choice %v, want L3", got)
+	}
+}
+
+func TestSingleChunkContext(t *testing.T) {
+	chunks := testChunks(1)
+	// Budget fits L1 for the only chunk but not L0 (0.8 s at 1 Gbps);
+	// recompute is too slow for text.
+	chunks[0].Recompute = 5 * time.Second
+	p := Planner{Adapt: true, SLO: 500 * time.Millisecond, DefaultLevel: 0}
+	got, err := p.Choose(0, 0, netsim.Gbps(1), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text || got.Level != 1 {
+		t.Errorf("single-chunk choice %v, want L1", got)
+	}
+	// The only chunk is also the last: a roomy budget upgrades to text
+	// (lossless) exactly as Algorithm 1 orders.
+	chunks[0].Recompute = 100 * time.Millisecond
+	got, err = p.Choose(0, 0, netsim.Gbps(1), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Text {
+		t.Errorf("single-chunk roomy budget choice %v, want text", got)
+	}
+	// Out-of-range on a single-chunk context still errors.
+	if _, err := p.Choose(1, 0, netsim.Gbps(1), chunks); err == nil {
+		t.Error("index 1 accepted on a single-chunk context")
+	}
+}
+
 func TestChoiceString(t *testing.T) {
 	if (Choice{Text: true}).String() != "text" {
 		t.Error("text choice label")
