@@ -102,3 +102,4 @@ func BenchmarkX2GroupSizeAblation(b *testing.B)    { benchExperiment(b, "X2") }
 func BenchmarkX3ChunkLengthAblation(b *testing.B)  { benchExperiment(b, "X3") }
 func BenchmarkX4DeliveryCluster(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5ServingGateway(b *testing.B)       { benchExperiment(b, "X5") }
+func BenchmarkX6ContentStore(b *testing.B)         { benchExperiment(b, "X6") }

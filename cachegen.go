@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -70,12 +71,19 @@ type (
 	// Chunk is a decoded context chunk.
 	Chunk = core.Chunk
 
-	// Store is the KV cache chunk registry (store_kv / get_kv).
+	// Store is the content-addressed KV cache chunk registry
+	// (store_kv / get_kv): payloads keyed by bitstream hash, contexts by
+	// manifest.
 	Store = storage.Store
-	// ChunkKey addresses one stored chunk payload.
-	ChunkKey = storage.ChunkKey
+	// Manifest maps a context to its chunk payload hashes per level plus
+	// its metadata.
+	Manifest = storage.Manifest
 	// ContextMeta describes a stored context's chunk/level layout.
 	ContextMeta = storage.ContextMeta
+	// SweepResult accounts one garbage-collection sweep.
+	SweepResult = storage.SweepResult
+	// StoreUsage snapshots a store's physical footprint (unique payloads).
+	StoreUsage = storage.Usage
 
 	// Server serves chunks over the wire; Client fetches them.
 	Server = transport.Server
@@ -112,8 +120,11 @@ type (
 	Fetcher = streamer.Fetcher
 	// FetchReport describes how a live fetch went.
 	FetchReport = streamer.FetchReport
-	// PublishOptions tune Publish.
+	// PublishOptions tune Publish and Append.
 	PublishOptions = streamer.PublishOptions
+	// PublishStats accounts a publish/append: payloads stored vs reused,
+	// encodes skipped via the dedup index.
+	PublishStats = streamer.PublishStats
 
 	// Gateway is the multi-tenant serving frontend: admission control,
 	// weighted-fair queueing onto decode slots, prefetch-while-queued.
@@ -134,6 +145,11 @@ type (
 	Workload = gateway.Workload
 	// LoadReport aggregates one Workload run.
 	LoadReport = gateway.LoadReport
+	// Session is a multi-turn conversation served through a Gateway:
+	// warm suffix-only fetches, ExtendKV, append-publish per turn.
+	Session = gateway.Session
+	// TurnResult describes one completed Session turn.
+	TurnResult = gateway.TurnResult
 )
 
 // Gateway submission errors (test with errors.Is).
@@ -212,17 +228,37 @@ func TrainCodec(cfg CodecConfig, model *Model, contexts [][]Token) (*Codec, erro
 }
 
 // Publish encodes a context at every level and stores bitstreams, text
-// fallback and metadata — the paper's store_kv (§6).
-func Publish(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token) (ContextMeta, error) {
-	return streamer.Publish(ctx, st, codec, model, contextID, tokens, PublishOptions{})
+// fallback and the manifest — the paper's store_kv (§6) over the
+// content-addressed store. Payloads the store already holds (shared
+// prefixes, re-published documents) are neither re-encoded nor
+// re-uploaded; PublishWithStats exposes that accounting.
+func Publish(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token) (Manifest, error) {
+	man, _, err := streamer.Publish(ctx, st, codec, model, contextID, tokens, PublishOptions{})
+	return man, err
+}
+
+// PublishWithStats is Publish returning the dedup accounting.
+func PublishWithStats(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token, opts PublishOptions) (Manifest, *PublishStats, error) {
+	return streamer.Publish(ctx, st, codec, model, contextID, tokens, opts)
+}
+
+// Append extends a published context with a turn's tokens, re-encoding
+// only the dirty suffix chunks (§9's incremental KV update). opts.KV,
+// when set, must cover the full extended context.
+func Append(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, newTokens []Token, opts PublishOptions) (Manifest, *PublishStats, error) {
+	return streamer.Append(ctx, st, codec, model, contextID, newTokens, opts)
 }
 
 // PublishIncremental is Publish plus refinement bitstreams for the given
 // target levels, enabling Fetcher.FetchIncremental's coarse-then-upgrade
 // loading (the SVC-style extension of §9).
-func PublishIncremental(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token, targets ...Level) (ContextMeta, error) {
-	return streamer.Publish(ctx, st, codec, model, contextID, tokens, PublishOptions{RefineTargets: targets})
+func PublishIncremental(ctx context.Context, st Store, codec *Codec, model *Model, contextID string, tokens []Token, targets ...Level) (Manifest, error) {
+	man, _, err := streamer.Publish(ctx, st, codec, model, contextID, tokens, PublishOptions{RefineTargets: targets})
+	return man, err
 }
+
+// HashChunk returns the content address (hex SHA-256) of a payload.
+func HashChunk(data []byte) string { return storage.HashChunk(data) }
 
 // NewMemStore returns an in-memory chunk store.
 func NewMemStore() Store { return storage.NewMemStore() }
@@ -242,6 +278,10 @@ func NewRing(replicas, vnodes int) *Ring { return cluster.NewRing(replicas, vnod
 // NewPool returns a chunk-fetching pool over the ring's nodes (node ids
 // are dial addresses).
 func NewPool(ring *Ring, opts ...PoolOption) *Pool { return cluster.NewPool(ring, opts...) }
+
+// WithRequestTimeout bounds each of a Pool's per-node attempts so
+// failover moves past a node that accepts connections but never answers.
+func WithRequestTimeout(d time.Duration) PoolOption { return cluster.WithRequestTimeout(d) }
 
 // NewShardedStore returns a publish-side store sharding writes across
 // the ring's nodes (node id → backing store).

@@ -52,12 +52,12 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	store := NewMemStore()
 	tokens := testTokens(2, 400)
 	ctx := context.Background()
-	meta, err := Publish(ctx, store, codec, model, "doc", tokens)
+	man, err := Publish(ctx, store, codec, model, "doc", tokens)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meta.TokenCount != 400 || meta.Levels != codec.Config().Levels() {
-		t.Fatalf("meta = %+v", meta)
+	if man.Meta.TokenCount != 400 || man.Meta.Levels != codec.Config().Levels() {
+		t.Fatalf("manifest meta = %+v", man.Meta)
 	}
 
 	bank, err := codec.Bank().MarshalBinary()
@@ -177,12 +177,12 @@ func TestIncrementalFacade(t *testing.T) {
 	store := NewMemStore()
 	tokens := testTokens(11, 300)
 	ctx := context.Background()
-	meta, err := PublishIncremental(ctx, store, codec, model, "inc", tokens, Level(0))
+	man, err := PublishIncremental(ctx, store, codec, model, "inc", tokens, Level(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(meta.RefineTargets) != 1 {
-		t.Fatalf("meta.RefineTargets = %v", meta.RefineTargets)
+	if len(man.Meta.RefineTargets) != 1 {
+		t.Fatalf("meta.RefineTargets = %v", man.Meta.RefineTargets)
 	}
 
 	srv := NewServer(store)

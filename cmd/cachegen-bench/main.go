@@ -1,0 +1,195 @@
+// Command cachegen-bench runs the codec and publish benchmarks
+// programmatically (testing.Benchmark) and writes the results as JSON —
+// the BENCH_codec.json artifact at the repo root that CI regenerates per
+// commit to track the perf trajectory of the encode/decode/publish hot
+// paths.
+//
+// Usage:
+//
+//	cachegen-bench -out BENCH_codec.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	cachegen "repro"
+)
+
+// result is one benchmark's summary.
+type result struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+type artifact struct {
+	Tool       string            `json:"tool"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+// stack is the shared benchmark rig: a trained codec and a KV cache with
+// many short chunks (the shape where chunk-parallel encoding matters).
+type stack struct {
+	model  *cachegen.Model
+	codec  *cachegen.Codec
+	tokens []cachegen.Token
+	kv     *cachegen.KV
+}
+
+func newStack() (*stack, error) {
+	model := cachegen.MustNewModel(cachegen.Mistral7B().WithChannels(16))
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int) []cachegen.Token {
+		out := make([]cachegen.Token, n)
+		for i := range out {
+			out[i] = cachegen.Token(rng.Intn(32000))
+		}
+		return out
+	}
+	cfg := cachegen.DefaultCodecConfig()
+	cfg.ChunkTokens = 64
+	codec, err := cachegen.TrainCodec(cfg, model, [][]cachegen.Token{mk(512)})
+	if err != nil {
+		return nil, err
+	}
+	tokens := mk(1024)
+	return &stack{model: model, codec: codec, tokens: tokens, kv: model.CalculateKV(tokens)}, nil
+}
+
+func kvBytes(kv *cachegen.KV) int64 { return int64(kv.Elems()) * 2 * 4 }
+
+func main() {
+	out := flag.String("out", "BENCH_codec.json", "output path for the JSON artifact")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cachegen-bench: ")
+
+	s, err := newStack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	bg := func(name string, setBytes int64, fn func(b *testing.B)) (string, result) {
+		r := testing.Benchmark(fn)
+		res := result{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+		if setBytes > 0 && r.NsPerOp() > 0 {
+			res.MBPerS = float64(setBytes) / 1e6 / (float64(r.NsPerOp()) / 1e9)
+		}
+		log.Printf("%-28s %12d ns/op  %8.1f MB/s", name, res.NsPerOp, res.MBPerS)
+		return name, res
+	}
+
+	art := artifact{
+		Tool:       "cachegen-bench",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]result{},
+	}
+	add := func(name string, res result) { art.Benchmarks[name] = res }
+
+	raw := kvBytes(s.kv)
+	add(bg("encode_context_l1", raw, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.codec.EncodeContext(s.kv, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(bg("encode_all_levels", raw, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.codec.EncodeAllLevels(s.kv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	chunks, err := s.codec.EncodeContext(s.kv, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	add(bg("decode_context_l1", raw, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.codec.DecodeContext(chunks); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(bg("publish_cold", raw, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			store := cachegen.NewMemStore()
+			if _, _, err := cachegen.PublishWithStats(ctx, store, s.codec, s.model, "bench", s.tokens,
+				cachegen.PublishOptions{KV: s.kv}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	warm := cachegen.NewMemStore()
+	if _, _, err := cachegen.PublishWithStats(ctx, warm, s.codec, s.model, "warm", s.tokens,
+		cachegen.PublishOptions{KV: s.kv}); err != nil {
+		log.Fatal(err)
+	}
+	add(bg("publish_dedup_hit", raw, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cachegen.PublishWithStats(ctx, warm, s.codec, s.model, fmt.Sprintf("dup-%d", i),
+				s.tokens, cachegen.PublishOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	turn := s.tokens[:64]
+	grownTokens := append(append([]cachegen.Token{}, s.tokens...), turn...)
+	grownKV := s.model.CalculateKV(grownTokens)
+	add(bg("append_turn_64tok", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := cachegen.NewMemStore()
+			if _, _, err := cachegen.PublishWithStats(ctx, store, s.codec, s.model, "chat", s.tokens,
+				cachegen.PublishOptions{KV: s.kv}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, _, err := cachegen.Append(ctx, store, s.codec, s.model, "chat", turn,
+				cachegen.PublishOptions{KV: grownKV}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(art.Benchmarks))
+	for n := range art.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	log.Printf("wrote %s (%d benchmarks: %v)", *out, len(names), names)
+}

@@ -84,14 +84,18 @@ func main() {
 
 	// Answer a query against the loaded cache. The context's token text is
 	// stored alongside the bitstreams (the recompute fallback), so fetch
-	// it to score the generation.
-	meta, err := client.GetMeta(ctx, *contextID)
+	// it — by manifest hash — to score the generation.
+	man, err := client.GetManifest(ctx, *contextID)
 	if err != nil {
-		log.Fatalf("fetching meta: %v", err)
+		log.Fatalf("fetching manifest: %v", err)
 	}
 	var tokens []cachegen.Token
-	for c := 0; c < meta.NumChunks(); c++ {
-		payload, err := client.GetChunk(ctx, *contextID, c, cachegen.TextLevel)
+	for c := 0; c < man.Meta.NumChunks(); c++ {
+		hash, err := man.ChunkHash(cachegen.TextLevel, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		payload, err := client.GetChunkData(ctx, hash)
 		if err != nil {
 			log.Fatalf("fetching text chunk %d: %v", c, err)
 		}

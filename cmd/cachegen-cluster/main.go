@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"os/signal"
@@ -34,6 +35,7 @@ import (
 
 type node struct {
 	addr  string
+	store cachegen.Store         // what the server serves (RAM tier included)
 	cache *cachegen.CachingStore // nil when the RAM tier is disabled
 	srv   *cachegen.Server
 	ln    net.Listener
@@ -53,6 +55,9 @@ func main() {
 	nContexts := flag.Int("contexts", 2, "demo contexts published across the ring")
 	tokens := flag.Int("tokens", 2000, "tokens per demo context")
 	demo := flag.Bool("demo", false, "run the client-path demo (parallel fetch, failover, warm refetch) and exit")
+	gcSmoke := flag.Bool("gc-smoke", false, "run the GC smoke test (publish two overlapping contexts, delete one, sweep, verify) and exit")
+	gcInterval := flag.Duration("gc-interval", time.Minute, "idle sweeper period per node (0 = disabled)")
+	gcGrace := flag.Duration("gc-grace", 5*time.Minute, "GC grace age: unreferenced chunks younger than this survive a sweep")
 	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 	log.SetFlags(0)
@@ -122,6 +127,7 @@ func main() {
 			n.cache = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
 			store = n.cache
 		}
+		n.store = store
 		n.srv = cachegen.NewServer(store, srvOpts...)
 		addr := fmt.Sprintf("%s:%d", *host, *portBase+i)
 		n.ln, err = net.Listen("tcp", addr)
@@ -147,28 +153,67 @@ func main() {
 		}(n)
 	}
 
-	// Publish demo contexts across the ring and report the shard layout.
 	bg := context.Background()
+	if *gcSmoke {
+		if err := runGCSmoke(bg, model, codec, ring, sharded); err != nil {
+			log.Fatalf("gc-smoke FAILED: %v", err)
+		}
+		for _, n := range fleet {
+			n.srv.Close()
+		}
+		wg.Wait()
+		log.Printf("gc-smoke PASSED")
+		return
+	}
+
+	// Publish demo contexts across the ring and report the shard layout.
 	primaries := map[string]int{}
 	var ids []string
 	for i, c := range ctxs[2:] {
 		id := fmt.Sprintf("demo-%04d", i)
-		meta, err := cachegen.Publish(bg, sharded, codec, model, id, c.Tokens)
+		man, err := cachegen.Publish(bg, sharded, codec, model, id, c.Tokens)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ids = append(ids, id)
-		for ch := 0; ch < meta.NumChunks(); ch++ {
-			primaries[ring.ChunkNodes(id, ch)[0]]++
+		for ch := 0; ch < man.Meta.NumChunks(); ch++ {
+			primaries[ring.ChunkNodes(man.Hashes[0][ch])[0]]++
 		}
 		log.Printf("published %s: %d tokens, %d chunks across %d nodes (replication %d)",
-			id, meta.TokenCount, meta.NumChunks(), *nodes, *replicas)
+			id, man.Meta.TokenCount, man.Meta.NumChunks(), *nodes, *replicas)
 	}
 	for _, n := range fleet {
-		log.Printf("node %s: primary for %d chunks", n.addr, primaries[n.addr])
+		log.Printf("node %s: primary for %d level-0 chunks", n.addr, primaries[n.addr])
+	}
+
+	// Idle sweeper: each node periodically reclaims unreferenced chunk
+	// payloads (refcounts drop when DeleteContext removes a manifest).
+	sweepStop := make(chan struct{})
+	if *gcInterval > 0 {
+		for _, n := range fleet {
+			go func(n *node) {
+				ticker := time.NewTicker(*gcInterval)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-sweepStop:
+						return
+					case <-ticker.C:
+						res, err := n.store.Sweep(context.Background(), *gcGrace)
+						if err != nil {
+							log.Printf("node %s sweep: %v", n.addr, err)
+						} else if res.RemovedChunks > 0 {
+							log.Printf("node %s sweep: reclaimed %d chunks (%.1f MB), pruned %d fingerprints",
+								n.addr, res.RemovedChunks, float64(res.ReclaimedBytes)/1e6, res.PrunedFingerprints)
+						}
+					}
+				}
+			}(n)
+		}
 	}
 
 	closeFleet := func() {
+		close(sweepStop)
 		for _, n := range fleet {
 			n.srv.Close()
 		}
@@ -193,17 +238,114 @@ func main() {
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	log.Printf("serving; chunks are sharded, so fetch through a cachegen.Pool over all nodes " +
-		"(a plain cachegen-client sees only one node's shard), Ctrl-C to stop")
+	log.Printf("serving; chunks are sharded, so fetch through a cachegen.Pool over all nodes "+
+		"(a plain cachegen-client sees only one node's shard); idle sweeper every %v, Ctrl-C to stop", *gcInterval)
 	sig := <-sigCh
 	log.Printf("received %v, shutting down", sig)
 	closeFleet()
 	log.Printf("bye")
 }
 
+// runGCSmoke exercises the refcounted GC invariants over the live ring:
+// two contexts sharing a prefix dedup their shared chunks; deleting one
+// context and sweeping reclaims exactly its unique payloads; the
+// surviving context still decodes bit-for-bit.
+func runGCSmoke(ctx context.Context, model *cachegen.Model, codec *cachegen.Codec,
+	ring *cachegen.Ring, sharded *cachegen.ShardedStore) error {
+
+	rng := rand.New(rand.NewSource(12345))
+	mk := func(n int) []cachegen.Token {
+		out := make([]cachegen.Token, n)
+		for i := range out {
+			out[i] = cachegen.Token(rng.Intn(32000))
+		}
+		return out
+	}
+	chunkTok := codec.Config().ChunkTokens
+	shared := mk(3 * chunkTok) // 3 full shared chunks
+	uniqueA := mk(chunkTok)
+	uniqueB := mk(chunkTok / 2)
+	tokensA := append(append([]cachegen.Token{}, shared...), uniqueA...)
+	tokensB := append(append([]cachegen.Token{}, shared...), uniqueB...)
+
+	_, statsA, err := cachegen.PublishWithStats(ctx, sharded, codec, model, "gc-a", tokensA, cachegen.PublishOptions{})
+	if err != nil {
+		return fmt.Errorf("publishing gc-a: %w", err)
+	}
+	_, statsB, err := cachegen.PublishWithStats(ctx, sharded, codec, model, "gc-b", tokensB, cachegen.PublishOptions{})
+	if err != nil {
+		return fmt.Errorf("publishing gc-b: %w", err)
+	}
+	if statsB.PayloadsReused == 0 || statsB.EncodesSkipped == 0 {
+		return fmt.Errorf("no dedup on shared prefix: %+v", statsB)
+	}
+	log.Printf("gc-smoke: A stored %.2f MB; B stored %.2f MB new, reused %.2f MB (%d encodes skipped)",
+		float64(statsA.BytesStored)/1e6, float64(statsB.BytesStored)/1e6,
+		float64(statsB.BytesReused)/1e6, statsB.EncodesSkipped)
+
+	// Fetch both through the live pool before the delete.
+	pool := cachegen.NewPool(ring, cachegen.WithRequestTimeout(10*time.Second))
+	defer pool.Close()
+	fetcher := &cachegen.Fetcher{
+		Source: pool, Codec: codec, Model: model,
+		Device:  cachegen.A40x4(),
+		Planner: cachegen.Planner{Adapt: false, DefaultLevel: 0},
+	}
+	if _, _, err := fetcher.Fetch(ctx, "gc-a"); err != nil {
+		return fmt.Errorf("pre-delete fetch of gc-a: %w", err)
+	}
+	kvBBefore, _, err := fetcher.Fetch(ctx, "gc-b")
+	if err != nil {
+		return fmt.Errorf("pre-delete fetch of gc-b: %w", err)
+	}
+	before, err := pool.Usage(ctx)
+	if err != nil {
+		return err
+	}
+
+	// Delete A (over the wire) and sweep the whole fleet immediately.
+	if err := pool.DeleteContext(ctx, "gc-a"); err != nil {
+		return fmt.Errorf("deleting gc-a: %w", err)
+	}
+	res, err := pool.Sweep(ctx, 0)
+	if err != nil {
+		return fmt.Errorf("fleet sweep: %w", err)
+	}
+	after, err := pool.Usage(ctx)
+	if err != nil {
+		return err
+	}
+	if res.RemovedChunks == 0 || after.ChunkBytes >= before.ChunkBytes {
+		return fmt.Errorf("sweep reclaimed nothing: %+v (usage %d -> %d bytes)", res, before.ChunkBytes, after.ChunkBytes)
+	}
+	log.Printf("gc-smoke: sweep reclaimed %d chunks / %.2f MB across the fleet (usage %.2f -> %.2f MB)",
+		res.RemovedChunks, float64(res.ReclaimedBytes)/1e6,
+		float64(before.ChunkBytes)/1e6, float64(after.ChunkBytes)/1e6)
+
+	// The surviving context must still decode bit-for-bit: the post-sweep
+	// fetch (same level-0 bitstreams) must reproduce the pre-delete KV
+	// exactly, shared chunks included.
+	kvB, _, err := fetcher.Fetch(ctx, "gc-b")
+	if err != nil {
+		return fmt.Errorf("post-sweep fetch of gc-b: %w", err)
+	}
+	diff, err := kvBBefore.MaxAbsDiff(kvB)
+	if err != nil {
+		return err
+	}
+	if diff != 0 {
+		return fmt.Errorf("gc-b decodes differently after sweep (max diff %g)", diff)
+	}
+	// ...and the deleted one must be gone.
+	if _, _, err := fetcher.Fetch(ctx, "gc-a"); err == nil {
+		return fmt.Errorf("gc-a still fetchable after delete")
+	}
+	return nil
+}
+
 // runDemo drives the client path against the live fleet.
 func runDemo(model *cachegen.Model, codec *cachegen.Codec, ring *cachegen.Ring, fleet []*node, ids []string) error {
-	pool := cachegen.NewPool(ring)
+	pool := cachegen.NewPool(ring, cachegen.WithRequestTimeout(10*time.Second))
 	defer pool.Close()
 	fetcher := &cachegen.Fetcher{
 		Source:  pool,
@@ -237,7 +379,11 @@ func runDemo(model *cachegen.Model, codec *cachegen.Codec, ring *cachegen.Ring, 
 		log.Printf("skipping the node-kill step: replication 1 keeps a single copy per chunk")
 	}
 	if len(fleet) > 1 && ring.Replicas() > 1 {
-		victim := ring.ChunkNodes(ids[0], 0)[0]
+		man, err := pool.GetManifest(bg, ids[0])
+		if err != nil {
+			return err
+		}
+		victim := ring.ChunkNodes(man.Hashes[0][0])[0]
 		for _, n := range fleet {
 			if n.addr == victim {
 				log.Printf("killing node %s mid-demo...", victim)

@@ -64,18 +64,17 @@ func main() {
 	bg := context.Background()
 	for i, c := range ctxs[*train:] {
 		id := fmt.Sprintf("demo-%04d", i)
-		meta, err := cachegen.Publish(bg, store, codec, model, id, c.Tokens)
+		man, stats, err := cachegen.PublishWithStats(bg, store, codec, model, id, c.Tokens, cachegen.PublishOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		var total int64
-		for _, row := range meta.SizesBytes {
-			for _, n := range row {
-				total += n
-			}
-		}
-		log.Printf("published %s: %d tokens, %d chunks, %d levels, %.1f MB total",
-			id, meta.TokenCount, meta.NumChunks(), meta.Levels, float64(total)/1e6)
+		meta := man.Meta
+		log.Printf("published %s: %d tokens, %d chunks, %d levels, %.1f MB logical (%.1f MB new, %.1f MB deduped)",
+			id, meta.TokenCount, meta.NumChunks(), meta.Levels,
+			float64(meta.TotalBytes())/1e6, float64(stats.BytesStored)/1e6, float64(stats.BytesReused)/1e6)
+	}
+	if u, err := store.Usage(bg); err == nil {
+		log.Printf("store holds %d unique payloads, %.1f MB physical", u.Chunks, float64(u.ChunkBytes)/1e6)
 	}
 
 	bank, err := codec.Bank().MarshalBinary()

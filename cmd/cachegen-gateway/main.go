@@ -78,6 +78,8 @@ func main() {
 	requests := flag.Int("requests", 120, "total requests to generate")
 	slo := flag.Duration("slo", 250*time.Millisecond, "per-request TTFT objective")
 	deadline := flag.Duration("deadline", 0, "hard abandon time per request (0 = none)")
+	turns := flag.Int("turns", 1, "turns per session (>1 = multi-turn chat mix: warm turns reuse the previous turn's KV as a resident prefix)")
+	think := flag.Duration("think", 25*time.Millisecond, "mean think time between a session's turns (exponential)")
 	nContexts := flag.Int("contexts", 2, "published contexts per tenant")
 	tokens := flag.Int("tokens", 2000, "tokens per context")
 	modelName := flag.String("model", "Mistral-7B", "model for the published contexts")
@@ -101,6 +103,7 @@ func main() {
 		*tokens, *nContexts = 800, 2
 		*channels = 16
 		*slo = 500 * time.Millisecond
+		*turns, *think = 2, 20*time.Millisecond
 	}
 	if *nodes < 1 || *slots < 1 {
 		log.Fatal("-nodes and -slots must be at least 1")
@@ -183,6 +186,7 @@ func main() {
 		p := cachegen.TenantProfile{
 			Name: spec.name, Share: spec.weight,
 			SLO: *slo, Deadline: *deadline,
+			Turns: *turns, ThinkTime: *think,
 		}
 		for j := 0; j < *nContexts; j++ {
 			id := fmt.Sprintf("%s-%02d", spec.name, j)
@@ -226,11 +230,16 @@ func main() {
 
 	// Report.
 	st := gw.Stats()
-	log.Printf("run: %d submitted, %d completed, %d rejected, %d timed out, %d failed in %v (%.0f req/s)",
-		rep.Submitted, rep.Completed, rep.Rejected, rep.TimedOut, rep.Failed,
+	log.Printf("run: %d sessions, %d turn requests submitted, %d completed, %d rejected, %d timed out, %d failed in %v (%.0f req/s)",
+		rep.Sessions, rep.Submitted, rep.Completed, rep.Rejected, rep.TimedOut, rep.Failed,
 		rep.Duration.Round(time.Millisecond), rep.Throughput())
 	log.Printf("SLO %v met by %.0f%% of completions; %d/%d prefetch hits; peak queue depth %d",
 		*slo, 100*rep.SLORate(), st.PrefetchHits, rep.Completed, st.MaxQueueDepth)
+	if rep.WarmTurns > 0 {
+		warm := metrics.Summarize(metrics.Seconds(rep.WarmTTFTs))
+		log.Printf("warm turns: %d served against a resident prefix, P50 TTFT %.1f ms / P99 %.1f ms",
+			rep.WarmTurns, warm.Median*1e3, warm.P99*1e3)
+	}
 	names := make([]string, 0, len(st.Tenants))
 	for name := range st.Tenants {
 		names = append(names, name)

@@ -37,26 +37,41 @@ func main() {
 	kv := model.CalculateKV(history)
 	fmt.Printf("session start: %d tokens of history\n", len(history))
 
+	const id = "session-abc"
+	newTurn := history
 	for round := 1; round <= 3; round++ {
-		// Session goes idle: offload the encoded cache (store_kv).
-		id := fmt.Sprintf("session-abc/turn-%d", round)
-		meta, err := cachegen.Publish(bg, store, codec, model, id, history)
+		// Session goes idle: offload the encoded cache (store_kv). Round 1
+		// publishes the opening history; later rounds append only the new
+		// turn's tokens — the content-addressed store keeps the prefix
+		// chunks by reference, so each offload costs one turn, not the
+		// whole conversation.
+		var man cachegen.Manifest
+		var stats *cachegen.PublishStats
+		var err error
+		if round == 1 {
+			man, stats, err = cachegen.PublishWithStats(bg, store, codec, model, id, history,
+				cachegen.PublishOptions{KV: kv})
+		} else {
+			man, stats, err = cachegen.Append(bg, store, codec, model, id, newTurn,
+				cachegen.PublishOptions{KV: kv})
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		var stored int64
-		for _, row := range meta.SizesBytes {
-			for _, n := range row {
-				stored += n
-			}
-		}
-		fmt.Printf("round %d: offloaded %d tokens (%.2f MB across %d versions)\n",
-			round, meta.TokenCount, float64(stored)/1e6, meta.Levels)
+		meta := man.Meta
+		fmt.Printf("round %d: offloaded %d tokens (%.2f MB logical, %d levels) — stored %.2f MB new, reused %.2f MB, %d encodes skipped\n",
+			round, meta.TokenCount, float64(meta.TotalBytes())/1e6, meta.Levels,
+			float64(stats.BytesStored)/1e6, float64(stats.BytesReused)/1e6, stats.EncodesSkipped)
 
-		// User returns: reload the cache from storage and answer.
+		// User returns: reload the cache from storage (by manifest + chunk
+		// hashes) and answer.
 		var chunks [][]byte
 		for c := 0; c < meta.NumChunks(); c++ {
-			data, err := store.Get(bg, cachegen.ChunkKey{ContextID: id, Chunk: c, Level: 1})
+			hash, err := man.ChunkHash(1, c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			data, err := store.GetChunk(bg, hash)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -74,7 +89,7 @@ func main() {
 
 		// The new turn extends the history; ExtendKV picks up exactly
 		// where the previous cache ended — no recomputation of the prefix.
-		newTurn := turn(rng, 250)
+		newTurn = turn(rng, 250)
 		ext, err := model.ExtendKV(kv, len(history), newTurn)
 		if err != nil {
 			log.Fatal(err)

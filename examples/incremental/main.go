@@ -37,10 +37,11 @@ func main() {
 	store := cachegen.NewMemStore()
 	tokens := ctxTokens(rng, 2000)
 	bg := context.Background()
-	meta, err := cachegen.PublishIncremental(bg, store, codec, model, "doc", tokens, cachegen.Level(0))
+	man, err := cachegen.PublishIncremental(bg, store, codec, model, "doc", tokens, cachegen.Level(0))
 	if err != nil {
 		log.Fatal(err)
 	}
+	meta := man.Meta
 	var coarse, fine, refine int64
 	for c := 0; c < meta.NumChunks(); c++ {
 		coarse += meta.SizesBytes[meta.Levels-1][c]

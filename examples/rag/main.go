@@ -44,12 +44,12 @@ func main() {
 	}
 	bg := context.Background()
 	for id, tokens := range docs {
-		meta, err := cachegen.Publish(bg, store, codec, model, id, tokens)
+		man, err := cachegen.Publish(bg, store, codec, model, id, tokens)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("published %-20s %5d tokens, %d chunks x %d levels\n",
-			id, meta.TokenCount, meta.NumChunks(), meta.Levels)
+			id, man.Meta.TokenCount, man.Meta.NumChunks(), man.Meta.Levels)
 	}
 
 	bank, err := codec.Bank().MarshalBinary()

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/llm"
@@ -32,6 +33,7 @@ type clusterStack struct {
 	codec   *core.Codec
 	tokens  []llm.Token
 	kv      *tensor.KV
+	man     storage.Manifest
 	meta    storage.ContextMeta
 	nodes   []*clusterNode
 	ring    *Ring
@@ -87,7 +89,7 @@ func newClusterStack(t *testing.T, nodeCount, replicas int) *clusterStack {
 	// Reference path: the same context through one MemStore and one
 	// server, as a pre-cluster deployment would fetch it.
 	single := storage.NewMemStore()
-	if _, err := streamer.Publish(ctx, single, codec, model, testContextID, tokens, streamer.PublishOptions{KV: kv}); err != nil {
+	if _, _, err := streamer.Publish(ctx, single, codec, model, testContextID, tokens, streamer.PublishOptions{KV: kv}); err != nil {
 		t.Fatal(err)
 	}
 	srv := transport.NewServer(single)
@@ -120,10 +122,11 @@ func newClusterStack(t *testing.T, nodeCount, replicas int) *clusterStack {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.meta, err = streamer.Publish(ctx, s.sharded, codec, model, testContextID, tokens, streamer.PublishOptions{KV: kv})
+	s.man, _, err = streamer.Publish(ctx, s.sharded, codec, model, testContextID, tokens, streamer.PublishOptions{KV: kv})
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.meta = s.man.Meta
 	return s
 }
 
@@ -148,23 +151,33 @@ func (s *clusterStack) node(addr string) *clusterNode {
 	return nil
 }
 
+// chunkHash returns the published hash of (level, chunk) or fails.
+func (s *clusterStack) chunkHash(t *testing.T, level, chunk int) string {
+	t.Helper()
+	h, err := s.man.ChunkHash(level, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 // killAfterChunk passes fetches through to the pool and kills one node's
-// server as soon as the trigger chunk has been delivered — a node dying
-// mid-stream.
+// server as soon as the trigger payload has been delivered — a node
+// dying mid-stream.
 type killAfterChunk struct {
-	src        streamer.ChunkSource
-	afterChunk int
-	kill       func()
-	once       sync.Once
+	src       streamer.ChunkSource
+	afterHash string
+	kill      func()
+	once      sync.Once
 }
 
-func (k *killAfterChunk) GetMeta(ctx context.Context, id string) (storage.ContextMeta, error) {
-	return k.src.GetMeta(ctx, id)
+func (k *killAfterChunk) GetManifest(ctx context.Context, id string) (storage.Manifest, error) {
+	return k.src.GetManifest(ctx, id)
 }
 
-func (k *killAfterChunk) GetChunk(ctx context.Context, id string, chunk, level int) ([]byte, error) {
-	data, err := k.src.GetChunk(ctx, id, chunk, level)
-	if chunk == k.afterChunk {
+func (k *killAfterChunk) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
+	data, err := k.src.GetChunkData(ctx, hash)
+	if hash == k.afterHash {
 		k.once.Do(k.kill)
 	}
 	return data, err
@@ -178,23 +191,23 @@ func TestClusterFailoverAndRAMTier(t *testing.T) {
 	s := newClusterStack(t, 4, 2)
 
 	// The context must actually be sharded: more than one distinct
-	// primary across its chunks.
+	// primary across its chunk payloads.
 	primaries := map[string]struct{}{}
 	for c := 0; c < s.meta.NumChunks(); c++ {
-		primaries[s.ring.ChunkNodes(testContextID, c)[0]] = struct{}{}
+		primaries[s.ring.ChunkNodes(s.chunkHash(t, 0, c))[0]] = struct{}{}
 	}
 	if len(primaries) < 2 {
 		t.Fatalf("all %d chunks share one primary; ring not sharding", s.meta.NumChunks())
 	}
 
-	pool := NewPool(s.ring)
+	pool := NewPool(s.ring, WithRequestTimeout(5*time.Second))
 	defer pool.Close()
 
 	// Kill the primary of the last chunk right after chunk 1 arrives, so
 	// a later chunk must fail over to its replica mid-stream.
 	last := s.meta.NumChunks() - 1
-	victim := s.node(s.ring.ChunkNodes(testContextID, last)[0])
-	src := &killAfterChunk{src: pool, afterChunk: 1, kill: func() { victim.srv.Close() }}
+	victim := s.node(s.ring.ChunkNodes(s.chunkHash(t, 0, last))[0])
+	src := &killAfterChunk{src: pool, afterHash: s.chunkHash(t, 0, 1), kill: func() { victim.srv.Close() }}
 
 	kv, report, err := fetchThrough(t, s.model, s.codec, src)
 	if err != nil {
@@ -243,16 +256,16 @@ func TestPoolBatchMatchesStore(t *testing.T) {
 	pool := NewPool(s.ring)
 	defer pool.Close()
 
-	chunks := make([]int, s.meta.NumChunks())
-	for i := range chunks {
-		chunks[i] = i
+	hashes := make([]string, s.meta.NumChunks())
+	for i := range hashes {
+		hashes[i] = s.chunkHash(t, 0, i)
 	}
-	got, err := pool.GetChunkBatch(context.Background(), testContextID, 0, chunks)
+	got, err := pool.GetChunkBatch(context.Background(), hashes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, data := range got {
-		want, err := s.sharded.Get(context.Background(), storage.ChunkKey{ContextID: testContextID, Chunk: i, Level: 0})
+		want, err := s.sharded.GetChunk(context.Background(), hashes[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,25 +278,29 @@ func TestPoolBatchMatchesStore(t *testing.T) {
 	}
 }
 
-func TestPoolMetaAndBankFailover(t *testing.T) {
+func TestPoolManifestAndBankFailover(t *testing.T) {
 	s := newClusterStack(t, 3, 2)
-	pool := NewPool(s.ring)
+	// The per-attempt timeout lets failover move past a killed node even
+	// when the dial lands in its dead accept backlog (where a read would
+	// otherwise block until the caller's deadline).
+	pool := NewPool(s.ring, WithRequestTimeout(2*time.Second))
 	defer pool.Close()
-	ctx := context.Background()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-	// Kill the node that would answer the meta request first; a replica
-	// must answer instead (meta is on every node).
-	first := s.ring.Locate(metaRingKey(testContextID), s.ring.Len())[0]
+	// Kill the node that would answer the manifest request first; a
+	// replica must answer instead (manifests are on every node).
+	first := s.ring.Locate(manifestRingKey(testContextID), s.ring.Len())[0]
 	s.node(first).srv.Close()
-	meta, err := pool.GetMeta(ctx, testContextID)
+	man, err := pool.GetManifest(ctx, testContextID)
 	if err != nil {
-		t.Fatalf("meta fetch with dead first node: %v", err)
+		t.Fatalf("manifest fetch with dead first node: %v", err)
 	}
-	if meta.TokenCount != len(s.tokens) {
-		t.Errorf("meta says %d tokens, want %d", meta.TokenCount, len(s.tokens))
+	if man.Meta.TokenCount != len(s.tokens) {
+		t.Errorf("manifest says %d tokens, want %d", man.Meta.TokenCount, len(s.tokens))
 	}
 	if pool.Stats().Failovers == 0 {
-		t.Error("meta fetch past a dead node reported no failover")
+		t.Error("manifest fetch past a dead node reported no failover")
 	}
 
 	// No node serves a bank: the error must mention every replica tried.
@@ -294,24 +311,25 @@ func TestPoolMetaAndBankFailover(t *testing.T) {
 	// A missing context is authoritative from the first live node: typed
 	// not-found, no fleet-wide failover sweep.
 	failoversBefore := pool.Stats().Failovers
-	if _, err := pool.GetMeta(ctx, "missing"); !errors.Is(err, storage.ErrNotFound) {
+	if _, err := pool.GetManifest(ctx, "missing"); !errors.Is(err, storage.ErrNotFound) {
 		t.Errorf("missing context error = %v, want storage.ErrNotFound", err)
 	}
 	// At most one failover (if the dead node from above is first in ring
 	// order for this key); a live node's answer must stop the sweep.
 	if d := pool.Stats().Failovers - failoversBefore; d > 1 {
-		t.Errorf("missing-context meta fetch swept %d failovers", d)
+		t.Errorf("missing-context manifest fetch swept %d failovers", d)
 	}
 }
 
 func TestPoolAllReplicasDead(t *testing.T) {
 	s := newClusterStack(t, 3, 1) // replication 1: the primary is the only copy
-	pool := NewPool(s.ring)
+	pool := NewPool(s.ring, WithRequestTimeout(2*time.Second))
 	defer pool.Close()
 
-	victim := s.ring.ChunkNodes(testContextID, 0)[0]
+	hash := s.chunkHash(t, 0, 0)
+	victim := s.ring.ChunkNodes(hash)[0]
 	s.node(victim).srv.Close()
-	if _, err := pool.GetChunk(context.Background(), testContextID, 0, 0); err == nil {
+	if _, err := pool.GetChunkData(context.Background(), hash); err == nil {
 		t.Error("fetch succeeded though the only replica is dead")
 	}
 }
@@ -326,14 +344,21 @@ func TestPoolHonorsCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	dialsBefore := pool.Stats().Dials
-	if _, err := pool.GetChunk(ctx, testContextID, 0, 0); !errors.Is(err, context.Canceled) {
-		t.Errorf("GetChunk with cancelled ctx = %v, want context.Canceled", err)
+	hash := s.chunkHash(t, 0, 0)
+	if _, err := pool.GetChunkData(ctx, hash); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetChunkData with cancelled ctx = %v, want context.Canceled", err)
 	}
-	if _, err := pool.GetMeta(ctx, testContextID); !errors.Is(err, context.Canceled) {
-		t.Errorf("GetMeta with cancelled ctx = %v, want context.Canceled", err)
+	if _, err := pool.GetManifest(ctx, testContextID); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetManifest with cancelled ctx = %v, want context.Canceled", err)
 	}
-	if _, err := pool.GetChunkBatch(ctx, testContextID, 0, []int{0, 1}); !errors.Is(err, context.Canceled) {
+	if _, err := pool.GetChunkBatch(ctx, []string{hash, s.chunkHash(t, 0, 1)}); !errors.Is(err, context.Canceled) {
 		t.Errorf("GetChunkBatch with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := pool.DeleteContext(ctx, testContextID); !errors.Is(err, context.Canceled) {
+		t.Errorf("DeleteContext with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := pool.Sweep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sweep with cancelled ctx = %v, want context.Canceled", err)
 	}
 	if d := pool.Stats().Dials - dialsBefore; d != 0 {
 		t.Errorf("cancelled requests opened %d connections", d)
@@ -348,26 +373,140 @@ func TestShardedStoreRoundTrip(t *testing.T) {
 	if err != nil || len(ids) != 1 || ids[0] != testContextID {
 		t.Fatalf("ListContexts = %v, %v", ids, err)
 	}
-	// Every chunk must be resident on exactly its replica set.
+	// Every chunk payload must be resident on exactly its replica set —
+	// placed by content hash, independent of the publishing context.
 	for c := 0; c < s.meta.NumChunks(); c++ {
-		key := storage.ChunkKey{ContextID: testContextID, Chunk: c, Level: 0}
+		hash := s.chunkHash(t, 0, c)
 		holders := 0
 		for _, n := range s.nodes {
-			if _, err := n.cache.Get(ctx, key); err == nil {
+			if _, err := n.cache.GetChunk(ctx, hash); err == nil {
 				holders++
 			}
 		}
 		if holders != s.ring.Replicas() {
 			t.Errorf("chunk %d resident on %d nodes, want %d", c, holders, s.ring.Replicas())
 		}
+		if nodes := s.ring.ChunkNodes(hash); len(nodes) != s.ring.Replicas() {
+			t.Errorf("chunk %d placed on %d nodes", c, len(nodes))
+		}
 	}
 	if err := s.sharded.DeleteContext(ctx, testContextID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.sharded.GetMeta(ctx, testContextID); err == nil {
-		t.Error("meta survived DeleteContext")
+	if _, err := s.sharded.GetManifest(ctx, testContextID); err == nil {
+		t.Error("manifest survived DeleteContext")
 	}
 	if err := s.sharded.DeleteContext(ctx, testContextID); err == nil {
 		t.Error("double delete succeeded")
+	}
+}
+
+// TestClusterDedupAndRefcountedGC is the content-addressed acceptance
+// scenario over a live multi-node ring: two contexts sharing a prefix
+// store shared payloads once per replica set; deleting one context and
+// sweeping the fleet reclaims exactly its unique payloads; the surviving
+// context still decodes bit-for-bit.
+func TestClusterDedupAndRefcountedGC(t *testing.T) {
+	s := newClusterStack(t, 4, 2)
+	ctx := context.Background()
+
+	// Publish a second context sharing the first 3 chunks (240 tokens).
+	tokensB := append(append([]llm.Token{}, s.tokens[:240]...), s.tokens[:100]...)
+	manB, statsB, err := streamer.Publish(ctx, s.sharded, s.codec, s.model, "ctx-b", tokensB, streamer.PublishOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsB.EncodesSkipped == 0 || statsB.PayloadsReused == 0 {
+		t.Fatalf("no cross-context dedup on the ring: %+v", statsB)
+	}
+	// Shared payloads land on the same replica set regardless of context:
+	// their placement keys are the content hashes the manifests share.
+	for c := 0; c < 3; c++ {
+		ha := s.chunkHash(t, 0, c)
+		hb, _ := manB.ChunkHash(0, c)
+		if ha != hb {
+			t.Fatalf("chunk %d not shared across contexts", c)
+		}
+	}
+	// Byte accounting: each node holds each shared payload once. Count
+	// holders of a shared payload — exactly the replica factor, not 2×.
+	sharedHash := s.chunkHash(t, 0, 0)
+	holders := 0
+	for _, n := range s.nodes {
+		if _, err := n.cache.GetChunk(ctx, sharedHash); err == nil {
+			holders++
+		}
+	}
+	if holders != s.ring.Replicas() {
+		t.Errorf("shared payload on %d nodes, want %d", holders, s.ring.Replicas())
+	}
+
+	pool := NewPool(s.ring)
+	defer pool.Close()
+	fetcher := &streamer.Fetcher{
+		Source: pool, Codec: s.codec, Model: s.model,
+		Device:  llm.A40x4(),
+		Planner: streamer.Planner{Adapt: false, DefaultLevel: 0},
+	}
+	kvBBefore, _, err := fetcher.Fetch(ctx, "ctx-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete the original context over the wire and sweep the fleet.
+	before, err := pool.Usage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DeleteContext(ctx, testContextID); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedChunks == 0 || res.ReclaimedBytes == 0 {
+		t.Fatalf("fleet sweep reclaimed nothing: %+v", res)
+	}
+	after, err := pool.Usage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ChunkBytes != before.ChunkBytes-res.ReclaimedBytes {
+		t.Errorf("usage %d -> %d but sweep claims %d reclaimed", before.ChunkBytes, after.ChunkBytes, res.ReclaimedBytes)
+	}
+
+	// The surviving context decodes bit-for-bit after the sweep.
+	kvBAfter, _, err := fetcher.Fetch(ctx, "ctx-b")
+	if err != nil {
+		t.Fatalf("surviving context unfetchable after sweep: %v", err)
+	}
+	diff, err := kvBBefore.MaxAbsDiff(kvBAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 0 {
+		t.Errorf("surviving context decodes differently after sweep (diff %g)", diff)
+	}
+	// Every payload ctx-b references is still resident somewhere.
+	for lv, row := range manB.Hashes {
+		for c, h := range row {
+			if _, err := s.sharded.GetChunk(ctx, h); err != nil {
+				t.Errorf("surviving payload (lv %d, c %d) reclaimed: %v", lv, c, err)
+			}
+		}
+	}
+	// And the deleted context is gone.
+	if _, err := pool.GetManifest(ctx, testContextID); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("deleted context still resolvable: %v", err)
+	}
+	// A second sweep finds nothing: the first reclaimed everything
+	// unreferenced.
+	res2, err := pool.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.RemovedChunks != 0 {
+		t.Errorf("second sweep reclaimed %d more chunks", res2.RemovedChunks)
 	}
 }

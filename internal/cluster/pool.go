@@ -46,6 +46,9 @@ func defaultDial(ctx context.Context, addr string) (*transport.Client, error) {
 type Pool struct {
 	ring *Ring
 	dial DialFunc
+	// reqTimeout bounds each per-node attempt (dial + round trip). 0 =
+	// only the caller's ctx bounds it.
+	reqTimeout time.Duration
 
 	// mu guards the node map and the closed flag only; dialing happens
 	// under the per-node lock, so a slow connect to one node never
@@ -71,6 +74,23 @@ type PoolOption func(*Pool)
 // WithDialFunc replaces the TCP dialer (tests use in-process pipes).
 func WithDialFunc(d DialFunc) PoolOption {
 	return func(p *Pool) { p.dial = d }
+}
+
+// WithRequestTimeout bounds every per-node attempt (dial plus round
+// trip) so failover moves past a node that accepts connections but
+// never answers — a hung process, a half-dead kernel — instead of
+// pinning the request until the caller's deadline. 0 disables the
+// per-attempt bound.
+func WithRequestTimeout(d time.Duration) PoolOption {
+	return func(p *Pool) { p.reqTimeout = d }
+}
+
+// attemptCtx derives the per-attempt context.
+func (p *Pool) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.reqTimeout > 0 {
+		return context.WithTimeout(ctx, p.reqTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // NewPool returns a pool over the ring's nodes.
@@ -215,7 +235,7 @@ func keepConn(err error) bool {
 // burning a round trip per replica (used for metadata, which is on
 // every node; chunk fetches do try replicas on not-found, since the
 // primary may have joined the ring after publish).
-func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFoundIsFinal bool, op func(c *transport.Client) error) error {
+func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFoundIsFinal bool, op func(ctx context.Context, c *transport.Client) error) error {
 	if len(nodes) == 0 {
 		return fmt.Errorf("cluster: no nodes in ring for %s", what)
 	}
@@ -230,15 +250,8 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 		if i > 0 {
 			p.failovers.Add(1)
 		}
-		c, err := p.client(ctx, node)
+		err := p.withNode(ctx, node, op)
 		if err != nil {
-			lastErr = fmt.Errorf("node %s: %w", node, err)
-			continue
-		}
-		if err := op(c); err != nil {
-			if !keepConn(err) {
-				p.discard(node, c)
-			}
 			if notFoundIsFinal && errors.Is(err, storage.ErrNotFound) {
 				return fmt.Errorf("cluster: %s: %w", what, err)
 			}
@@ -253,30 +266,49 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 	return fmt.Errorf("cluster: %s failed on all %d replicas: %w", what, len(nodes), lastErr)
 }
 
-// GetMeta fetches a context's metadata. Metadata is replicated to every
-// node at publish time, so any node can answer; candidates are tried in
-// ring order from the context's hash, spreading metadata load.
-func (p *Pool) GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error) {
-	var meta storage.ContextMeta
-	nodes := p.ring.Locate(metaRingKey(contextID), p.ring.Len())
-	err := p.tryNodes(ctx, nodes, fmt.Sprintf("meta %q", contextID), true, func(c *transport.Client) error {
-		m, err := c.GetMeta(ctx, contextID)
+// withNode runs one attempt against one node under the per-attempt
+// timeout, discarding the connection on transport failures.
+func (p *Pool) withNode(ctx context.Context, node string, op func(ctx context.Context, c *transport.Client) error) error {
+	attempt, cancel := p.attemptCtx(ctx)
+	defer cancel()
+	c, err := p.client(attempt, node)
+	if err != nil {
+		return err
+	}
+	if err := op(attempt, c); err != nil {
+		if !keepConn(err) {
+			p.discard(node, c)
+		}
+		return err
+	}
+	return nil
+}
+
+// GetManifest fetches a context's manifest. Manifests are replicated to
+// every node at publish time, so any node can answer; candidates are
+// tried in ring order from the context's hash, spreading manifest load.
+func (p *Pool) GetManifest(ctx context.Context, contextID string) (storage.Manifest, error) {
+	var man storage.Manifest
+	nodes := p.ring.Locate(manifestRingKey(contextID), p.ring.Len())
+	err := p.tryNodes(ctx, nodes, fmt.Sprintf("manifest %q", contextID), true, func(ctx context.Context, c *transport.Client) error {
+		m, err := c.GetManifest(ctx, contextID)
 		if err == nil {
-			meta = m
+			man = m
 		}
 		return err
 	})
-	return meta, err
+	return man, err
 }
 
-// GetChunk fetches one chunk payload, trying the chunk's primary node
-// first and failing over to its replicas. A replica is also tried on
-// not-found (the primary may have joined after publish).
-func (p *Pool) GetChunk(ctx context.Context, contextID string, chunk, level int) ([]byte, error) {
+// GetChunkData fetches one chunk payload by content hash, trying the
+// hash's primary node first and failing over to its replicas. A replica
+// is also tried on not-found (the primary may have joined after
+// publish).
+func (p *Pool) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
 	var data []byte
-	nodes := p.ring.ChunkNodes(contextID, chunk)
-	err := p.tryNodes(ctx, nodes, fmt.Sprintf("chunk %q/%d L%d", contextID, chunk, level), false, func(c *transport.Client) error {
-		d, err := c.GetChunk(ctx, contextID, chunk, level)
+	nodes := p.ring.ChunkNodes(hash)
+	err := p.tryNodes(ctx, nodes, fmt.Sprintf("chunk %.12s…", hash), false, func(ctx context.Context, c *transport.Client) error {
+		d, err := c.GetChunkData(ctx, hash)
 		if err == nil {
 			data = d
 		}
@@ -285,10 +317,112 @@ func (p *Pool) GetChunk(ctx context.Context, contextID string, chunk, level int)
 	return data, err
 }
 
+// eachNode runs op against every ring node in parallel (one goroutine
+// per node over its reused connection) and returns the per-node errors,
+// positionally aligned with the returned node list. Fleet-wide admin
+// ops pay the slowest node, not the sum — with a per-attempt timeout, a
+// hung node costs reqTimeout once, concurrently with the healthy nodes'
+// work.
+func (p *Pool) eachNode(ctx context.Context, op func(ctx context.Context, c *transport.Client) error) ([]string, []error, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	nodes := p.ring.Nodes()
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, node := range nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			errs[i] = p.withNode(ctx, node, op)
+		}(i, node)
+	}
+	wg.Wait()
+	return nodes, errs, nil
+}
+
+// DeleteContext drops a context's manifest on every node (manifests are
+// replicated fleet-wide), releasing its payload references for each
+// node's sweeper. It succeeds if any node held the context.
+func (p *Pool) DeleteContext(ctx context.Context, contextID string) error {
+	found := atomic.Bool{}
+	nodes, errs, err := p.eachNode(ctx, func(ctx context.Context, c *transport.Client) error {
+		err := c.DeleteContext(ctx, contextID)
+		if err == nil {
+			found.Store(true)
+		}
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: delete %q: %w", contextID, err)
+	}
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, storage.ErrNotFound) {
+			return fmt.Errorf("cluster: delete %q: node %s: %w", contextID, nodes[i], err)
+		}
+	}
+	if !found.Load() {
+		return fmt.Errorf("%w: context %q", storage.ErrNotFound, contextID)
+	}
+	return nil
+}
+
+// Sweep triggers a garbage-collection sweep on every node — the
+// fleet-wide reclamation pass after DeleteContext — and sums their
+// accountings. Nodes that cannot be reached contribute an error but do
+// not stop the remaining nodes from sweeping.
+func (p *Pool) Sweep(ctx context.Context, minAge time.Duration) (storage.SweepResult, error) {
+	var mu sync.Mutex
+	var agg storage.SweepResult
+	nodes, errs, err := p.eachNode(ctx, func(ctx context.Context, c *transport.Client) error {
+		res, err := c.Sweep(ctx, minAge)
+		if err == nil {
+			mu.Lock()
+			agg.Add(res)
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		return agg, fmt.Errorf("cluster: sweep: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return agg, fmt.Errorf("cluster: sweep: node %s: %w", nodes[i], err)
+		}
+	}
+	return agg, nil
+}
+
+// Usage sums the fleet's physical footprint (replicas count as real
+// bytes).
+func (p *Pool) Usage(ctx context.Context) (storage.Usage, error) {
+	var mu sync.Mutex
+	var agg storage.Usage
+	nodes, errs, err := p.eachNode(ctx, func(ctx context.Context, c *transport.Client) error {
+		u, err := c.Usage(ctx)
+		if err == nil {
+			mu.Lock()
+			agg.Add(u)
+			mu.Unlock()
+		}
+		return err
+	})
+	if err != nil {
+		return agg, fmt.Errorf("cluster: usage: %w", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return agg, fmt.Errorf("cluster: usage: node %s: %w", nodes[i], err)
+		}
+	}
+	return agg, nil
+}
+
 // GetBank fetches the codec model bank from any node that serves one.
 func (p *Pool) GetBank(ctx context.Context) ([]byte, error) {
 	var bank []byte
-	err := p.tryNodes(ctx, p.ring.Nodes(), "model bank", false, func(c *transport.Client) error {
+	err := p.tryNodes(ctx, p.ring.Nodes(), "model bank", false, func(ctx context.Context, c *transport.Client) error {
 		b, err := c.GetBank(ctx)
 		if err == nil {
 			bank = b
@@ -298,18 +432,18 @@ func (p *Pool) GetBank(ctx context.Context) ([]byte, error) {
 	return bank, err
 }
 
-// GetChunkBatch fetches many chunks of one context at one level, fanning
-// out across the fleet: chunks are grouped by primary node and each
-// group runs on its own goroutine over that node's reused connection, so
+// GetChunkBatch fetches many payloads by content hash, fanning out
+// across the fleet: hashes are grouped by primary node and each group
+// runs on its own goroutine over that node's reused connection, so
 // wall-clock approaches the slowest shard rather than the sum of all
 // transfers. Per-chunk replica failover still applies. The result is
-// indexed like chunks.
-func (p *Pool) GetChunkBatch(ctx context.Context, contextID string, level int, chunks []int) ([][]byte, error) {
-	byNode := map[string][]int{} // primary node → positions in chunks
-	for pos, c := range chunks {
-		nodes := p.ring.ChunkNodes(contextID, c)
+// indexed like hashes.
+func (p *Pool) GetChunkBatch(ctx context.Context, hashes []string) ([][]byte, error) {
+	byNode := map[string][]int{} // primary node → positions in hashes
+	for pos, h := range hashes {
+		nodes := p.ring.ChunkNodes(h)
 		if len(nodes) == 0 {
-			return nil, fmt.Errorf("cluster: no nodes in ring for chunk %d", c)
+			return nil, fmt.Errorf("cluster: no nodes in ring for chunk %.12s…", h)
 		}
 		byNode[nodes[0]] = append(byNode[nodes[0]], pos)
 	}
@@ -317,7 +451,7 @@ func (p *Pool) GetChunkBatch(ctx context.Context, contextID string, level int, c
 	// rather than letting them transfer payloads the caller will discard.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	out := make([][]byte, len(chunks))
+	out := make([][]byte, len(hashes))
 	errs := make(chan error, len(byNode))
 	var wg sync.WaitGroup
 	for _, positions := range byNode {
@@ -329,7 +463,7 @@ func (p *Pool) GetChunkBatch(ctx context.Context, contextID string, level int, c
 					errs <- ctx.Err()
 					return
 				}
-				data, err := p.GetChunk(ctx, contextID, chunks[pos], level)
+				data, err := p.GetChunkData(ctx, hashes[pos])
 				if err != nil {
 					errs <- err
 					cancel()

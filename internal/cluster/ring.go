@@ -139,20 +139,24 @@ func (r *Ring) Locate(key string, n int) []string {
 	return out
 }
 
-// ChunkNodes returns the nodes holding a context chunk (primary first).
-// The placement key deliberately ignores the encoding level, so every
-// level of a chunk — including the text fallback and refinement streams —
-// lands on the same nodes and one connection serves whatever level the
-// planner picks.
-func (r *Ring) ChunkNodes(contextID string, chunk int) []string {
-	return r.Locate(chunkRingKey(contextID, chunk), r.replicas)
+// ChunkNodes returns the nodes holding a chunk payload (primary first).
+// Placement keys on the payload's *content hash*, so identical chunks —
+// a document shared by many RAG contexts, a conversation prefix reused
+// across turns — land on the same replicas no matter which context
+// published them: the fleet stores each unique payload replica-set
+// once, and refcounted GC can reason per node.
+func (r *Ring) ChunkNodes(hash string) []string {
+	return r.Locate(chunkRingKey(hash), r.replicas)
 }
 
-func chunkRingKey(contextID string, chunk int) string {
-	return fmt.Sprintf("%s/%d", contextID, chunk)
-}
+func chunkRingKey(hash string) string { return "chunk/" + hash }
 
-func metaRingKey(contextID string) string { return "meta/" + contextID }
+// manifestRingKey orders nodes for a context's manifest reads (manifests
+// are replicated everywhere; the key just spreads read load).
+func manifestRingKey(contextID string) string { return "manifest/" + contextID }
+
+// fingerprintRingKey spreads dedup-index reads the same way.
+func fingerprintRingKey(key string) string { return "fp/" + key }
 
 // ringHash is FNV-1a with a splitmix64-style finalizer: plain FNV leaves
 // the hashes of short, similar keys ("addr#0", "addr#1", …) correlated,

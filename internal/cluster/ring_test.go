@@ -108,11 +108,18 @@ func TestRingRemoveKeepsSurvivorPlacements(t *testing.T) {
 	}
 }
 
-func TestRingChunkNodesLevelIndependent(t *testing.T) {
+func TestRingChunkNodesContentAddressed(t *testing.T) {
 	r := ringWith(2, "a", "b", "c")
-	// ChunkNodes takes no level on purpose; assert replica count follows
-	// the ring's factor.
-	if got := r.ChunkNodes("ctx", 3); len(got) != 2 {
+	// Placement keys on the payload hash alone — no context, chunk index
+	// or level — so identical content placed from different contexts
+	// lands identically; assert replica count follows the ring's factor.
+	hash := "b94d27b9934d3e08a52e52d7da7dabfac484efe37a5380ee9088f7ace2efcde9"
+	got := r.ChunkNodes(hash)
+	if len(got) != 2 {
 		t.Fatalf("ChunkNodes returned %v, want 2 replicas", got)
+	}
+	again := r.ChunkNodes(hash)
+	if got[0] != again[0] || got[1] != again[1] {
+		t.Fatalf("placement not deterministic: %v vs %v", got, again)
 	}
 }

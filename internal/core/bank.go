@@ -2,12 +2,15 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/ac"
 	"repro/internal/quant"
@@ -38,6 +41,11 @@ type ModelBank struct {
 	// data-starved; the static per-channel scales already standardise them.
 	anchorTables []*ac.FreqTable
 	deltaTables  [][]*ac.FreqTable
+
+	// fingerprint cache (the bank is immutable after Train).
+	fpOnce sync.Once
+	fp     string
+	fpErr  error
 }
 
 // ErrGeometry is returned when a tensor does not match the bank's trained
@@ -293,6 +301,25 @@ func Train(cfg Config, samples []*tensor.KV) (*ModelBank, error) {
 		}
 	}
 	return b, nil
+}
+
+// Fingerprint returns a stable hex digest of the bank's trained state
+// (config, geometry, scales and probability tables). Two banks with the
+// same fingerprint produce bit-identical bitstreams for the same input,
+// so the content-addressed store's publish-side dedup keys incorporate
+// it: a re-trained bank invalidates old fingerprints rather than reusing
+// stale encodings. Computed once; the bank is immutable after Train.
+func (b *ModelBank) Fingerprint() (string, error) {
+	b.fpOnce.Do(func() {
+		data, err := b.MarshalBinary()
+		if err != nil {
+			b.fpErr = err
+			return
+		}
+		sum := sha256.Sum256(data)
+		b.fp = hex.EncodeToString(sum[:])
+	})
+	return b.fp, b.fpErr
 }
 
 // bank serialization ----------------------------------------------------

@@ -19,11 +19,21 @@ import (
 type Codec struct {
 	bank *ModelBank
 	cfg  Config
+	// groupSem is the codec-wide bound on concurrently running
+	// group-coder goroutines. Sharing one budget across all in-flight
+	// EncodeChunk/DecodeChunk calls keeps the chunk-level fan-out
+	// (EncodeContext, the publish engine) from multiplying with the
+	// per-chunk group fan-out into workers² runnable goroutines. Only
+	// the leaf (group) level acquires it, so the nesting cannot
+	// deadlock.
+	groupSem chan struct{}
 }
 
 // NewCodec returns a codec over the given trained bank.
 func NewCodec(bank *ModelBank) *Codec {
-	return &Codec{bank: bank, cfg: bank.Config()}
+	c := &Codec{bank: bank, cfg: bank.Config()}
+	c.groupSem = make(chan struct{}, c.workers())
+	return c
 }
 
 // Bank returns the codec's model bank.
@@ -31,6 +41,10 @@ func (c *Codec) Bank() *ModelBank { return c.bank }
 
 // Config returns the codec's configuration.
 func (c *Codec) Config() Config { return c.cfg }
+
+// Fingerprint returns the trained bank's stable digest (see
+// ModelBank.Fingerprint); the publisher keys its dedup index under it.
+func (c *Codec) Fingerprint() (string, error) { return c.bank.Fingerprint() }
 
 // Chunk is a decoded context chunk: the KV tensor of a contiguous token
 // range plus its stream metadata.
@@ -76,7 +90,7 @@ func (c *Codec) EncodeChunk(kv *tensor.KV, chunkIndex, tokenOffset int, lv Level
 	streams := make([][]byte, numGroups)
 	errs := make([]error, numGroups)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers())
+	sem := c.groupSem
 	for gi := 0; gi < numGroups; gi++ {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -265,7 +279,7 @@ func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
 	kv := tensor.New(layers, tokens, channels)
 	errs := make([]error, numGroups)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers())
+	sem := c.groupSem
 	off := 0
 	for gi := 0; gi < numGroups; gi++ {
 		stream := p[off : off+lengths[gi]]
@@ -363,35 +377,79 @@ func (c *Codec) SplitOffsets(tokens int) []int {
 
 // EncodeContext splits a full-context KV cache into chunks of ChunkTokens
 // and encodes each at level lv. The i-th bitstream decodes independently
-// to tokens [offsets[i], offsets[i+1]).
+// to tokens [offsets[i], offsets[i+1]). Chunks encode in parallel —
+// each chunk's bitstream is independent (§5.3), so a long context
+// saturates the cores even when its chunks are too short for the
+// group-level parallelism inside EncodeChunk to do so alone.
 func (c *Codec) EncodeContext(kv *tensor.KV, lv Level) ([][]byte, error) {
 	offs := c.SplitOffsets(kv.Tokens)
-	out := make([][]byte, 0, len(offs)-1)
+	jobs := make([]levelChunkJob, 0, len(offs)-1)
 	for i := 0; i+1 < len(offs); i++ {
-		part, err := kv.SliceTokens(offs[i], offs[i+1])
-		if err != nil {
-			return nil, err
-		}
-		data, err := c.EncodeChunk(part, i, offs[i], lv)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, data)
+		jobs = append(jobs, levelChunkJob{chunk: i, lo: offs[i], hi: offs[i+1], lv: lv})
 	}
-	return out, nil
+	streams, err := c.encodeJobs(kv, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return streams, nil
 }
 
 // EncodeAllLevels encodes every chunk of a context at every level —
 // the offline multi-version encoding the streamer adapts across (§5.3).
-// The result is indexed [level][chunk].
+// The result is indexed [level][chunk]. All (level, chunk) pairs encode
+// in parallel.
 func (c *Codec) EncodeAllLevels(kv *tensor.KV) ([][][]byte, error) {
+	offs := c.SplitOffsets(kv.Tokens)
+	nChunks := len(offs) - 1
+	var jobs []levelChunkJob
+	for lv := 0; lv < c.cfg.Levels(); lv++ {
+		for i := 0; i < nChunks; i++ {
+			jobs = append(jobs, levelChunkJob{chunk: i, lo: offs[i], hi: offs[i+1], lv: Level(lv)})
+		}
+	}
+	streams, err := c.encodeJobs(kv, jobs)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][][]byte, c.cfg.Levels())
 	for lv := range out {
-		enc, err := c.EncodeContext(kv, Level(lv))
+		out[lv] = streams[lv*nChunks : (lv+1)*nChunks]
+	}
+	return out, nil
+}
+
+// levelChunkJob is one (chunk, level) encode of a context.
+type levelChunkJob struct {
+	chunk, lo, hi int
+	lv            Level
+}
+
+// encodeJobs runs a set of chunk encodes in parallel, bounded by the
+// codec's worker budget. Results are positionally aligned with jobs.
+func (c *Codec) encodeJobs(kv *tensor.KV, jobs []levelChunkJob) ([][]byte, error) {
+	out := make([][]byte, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers())
+	for ji, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ji int, job levelChunkJob) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			part, err := kv.SliceTokens(job.lo, job.hi)
+			if err != nil {
+				errs[ji] = err
+				return
+			}
+			out[ji], errs[ji] = c.EncodeChunk(part, job.chunk, job.lo, job.lv)
+		}(ji, job)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[lv] = enc
 	}
 	return out, nil
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Codec micro-benchmarks: encode/decode throughput, chunk-parallel
+// EncodeContext vs the chunk-serial loop it replaced, and the all-levels
+// publish workload. cmd/cachegen-bench runs these programmatically and
+// writes BENCH_codec.json; CI tracks the numbers per commit.
+
+// benchCodec builds a small trained codec and a KV cache with many short
+// chunks — the shape where chunk-level parallelism matters (each chunk is
+// too short for the group-level parallelism inside EncodeChunk to
+// saturate the cores on its own).
+func benchCodec(b *testing.B, chunkTokens, tokens int) (*Codec, *tensor.KV) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.ChunkTokens = chunkTokens
+	rng := rand.New(rand.NewSource(7))
+	sample := randomKV(rng, 8, 256, 16)
+	bank, err := Train(cfg, []*tensor.KV{sample})
+	if err != nil {
+		b.Fatal(err)
+	}
+	kv := randomKV(rng, 8, tokens, 16)
+	return NewCodec(bank), kv
+}
+
+func randomKV(rng *rand.Rand, layers, tokens, channels int) *tensor.KV {
+	kv := tensor.New(layers, tokens, channels)
+	for _, kind := range tensor.Kinds {
+		for l := 0; l < layers; l++ {
+			for t := 0; t < tokens; t++ {
+				row := kv.Row(kind, l, t)
+				for c := range row {
+					row[c] = float32(rng.NormFloat64())
+				}
+			}
+		}
+	}
+	return kv
+}
+
+func kvBytes(kv *tensor.KV) int64 { return int64(kv.Elems()) * 2 * 4 }
+
+// encodeContextSerial is the pre-refactor chunk-serial loop, kept as the
+// benchmark baseline for the parallel EncodeContext.
+func encodeContextSerial(c *Codec, kv *tensor.KV, lv Level) ([][]byte, error) {
+	offs := c.SplitOffsets(kv.Tokens)
+	out := make([][]byte, 0, len(offs)-1)
+	for i := 0; i+1 < len(offs); i++ {
+		part, err := kv.SliceTokens(offs[i], offs[i+1])
+		if err != nil {
+			return nil, err
+		}
+		data, err := c.EncodeChunk(part, i, offs[i], lv)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+func BenchmarkEncodeContextSerial(b *testing.B) {
+	codec, kv := benchCodec(b, 64, 1024)
+	b.SetBytes(kvBytes(kv))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeContextSerial(codec, kv, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeContextParallel(b *testing.B) {
+	codec, kv := benchCodec(b, 64, 1024)
+	b.SetBytes(kvBytes(kv))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.EncodeContext(kv, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeAllLevels(b *testing.B) {
+	codec, kv := benchCodec(b, 64, 512)
+	b.SetBytes(kvBytes(kv))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.EncodeAllLevels(kv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeContext(b *testing.B) {
+	codec, kv := benchCodec(b, 64, 1024)
+	chunks, err := codec.EncodeContext(kv, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(kvBytes(kv))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.DecodeContext(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeContextParallelMatchesSerial pins the refactor: the parallel
+// path must produce bit-identical bitstreams to the serial loop, in
+// order.
+func TestEncodeContextParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ChunkTokens = 48
+	rng := rand.New(rand.NewSource(9))
+	sample := randomKV(rng, 6, 200, 12)
+	bank, err := Train(cfg, []*tensor.KV{sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := NewCodec(bank)
+	kv := randomKV(rng, 6, 200, 12)
+	for lv := 0; lv < cfg.Levels(); lv++ {
+		serial, err := encodeContextSerial(codec, kv, Level(lv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := codec.EncodeContext(kv, Level(lv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(serial) != len(parallel) {
+			t.Fatalf("level %d: %d serial vs %d parallel chunks", lv, len(serial), len(parallel))
+		}
+		for i := range serial {
+			if string(serial[i]) != string(parallel[i]) {
+				t.Errorf("level %d chunk %d: parallel bitstream differs", lv, i)
+			}
+		}
+	}
+	// And EncodeAllLevels agrees with per-level EncodeContext.
+	all, err := codec.EncodeAllLevels(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lv := range all {
+		want, err := codec.EncodeContext(kv, Level(lv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if string(all[lv][i]) != string(want[i]) {
+				t.Errorf("EncodeAllLevels level %d chunk %d differs", lv, i)
+			}
+		}
+	}
+}

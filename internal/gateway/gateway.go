@@ -68,6 +68,12 @@ type Request struct {
 	// admission: it is dequeued (or its slot released), its in-flight chunk
 	// fetches are cancelled, and Submit returns the context error.
 	Deadline time.Duration
+	// Resident, if non-nil, is a KV prefix of the context the caller
+	// already holds (a session resuming after earlier turns). The fetch
+	// streams only the cold suffix chunks (streamer.FetchFrom): a warm
+	// turn costs one manifest round trip plus whatever the last append
+	// added, not the whole history.
+	Resident *tensor.KV
 }
 
 // Result describes one completed request.
@@ -487,7 +493,7 @@ func (g *Gateway) runFetch(p *pending, background bool) {
 			return
 		}
 	}
-	kv, report, err := g.fetcher(p).Fetch(p.ctx, p.req.ContextID)
+	kv, report, err := g.fetcher(p).FetchFrom(p.ctx, p.req.ContextID, p.req.Resident)
 	p.fetched <- fetchOutcome{kv: kv, report: report, err: err}
 }
 

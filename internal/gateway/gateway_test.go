@@ -26,6 +26,7 @@ type testRing struct {
 	model    *llm.Model
 	codec    *core.Codec
 	pool     *cluster.Pool
+	sharded  *cluster.ShardedStore
 	contexts []string
 	tokens   int
 }
@@ -65,14 +66,14 @@ func newTestRing(t *testing.T, nContexts int) *testRing {
 		t.Fatal(err)
 	}
 
-	r := &testRing{model: model, codec: codec, tokens: 192}
+	r := &testRing{model: model, codec: codec, sharded: sharded, tokens: 192}
 	for i := 0; i < nContexts; i++ {
 		id := fmt.Sprintf("ctx-%02d", i)
 		tokens := make([]llm.Token, r.tokens) // 3 chunks of 64
 		for j := range tokens {
 			tokens[j] = llm.Token(rng.Intn(llm.VocabSize))
 		}
-		if _, err := streamer.Publish(context.Background(), sharded, codec, model, id, tokens,
+		if _, _, err := streamer.Publish(context.Background(), sharded, codec, model, id, tokens,
 			streamer.PublishOptions{}); err != nil {
 			t.Fatal(err)
 		}
@@ -184,18 +185,21 @@ func TestGatewayConcurrentFairness(t *testing.T) {
 	}
 }
 
-// gatedSource wraps a ChunkSource, counting GetChunk calls per context
+// gatedSource wraps a ChunkSource, counting chunk fetches per context
 // and blocking designated contexts until released (or the request is
-// cancelled).
+// cancelled). Chunk requests carry only content hashes, so the wrapper
+// learns the hash→context mapping from the manifests flowing through it
+// (the fetcher always reads the manifest first).
 type gatedSource struct {
 	src   streamer.ChunkSource
 	mu    sync.Mutex
+	owner map[string]string // payload hash → context id
 	calls map[string]int
 	gates map[string]chan struct{}
 }
 
 func newGatedSource(src streamer.ChunkSource) *gatedSource {
-	return &gatedSource{src: src, calls: map[string]int{}, gates: map[string]chan struct{}{}}
+	return &gatedSource{src: src, owner: map[string]string{}, calls: map[string]int{}, gates: map[string]chan struct{}{}}
 }
 
 func (s *gatedSource) block(contextID string) chan struct{} {
@@ -212,12 +216,21 @@ func (s *gatedSource) callCount(contextID string) int {
 	return s.calls[contextID]
 }
 
-func (s *gatedSource) GetMeta(ctx context.Context, id string) (storage.ContextMeta, error) {
-	return s.src.GetMeta(ctx, id)
+func (s *gatedSource) GetManifest(ctx context.Context, id string) (storage.Manifest, error) {
+	man, err := s.src.GetManifest(ctx, id)
+	if err == nil {
+		s.mu.Lock()
+		for _, h := range man.AllHashes() {
+			s.owner[h] = id
+		}
+		s.mu.Unlock()
+	}
+	return man, err
 }
 
-func (s *gatedSource) GetChunk(ctx context.Context, id string, chunk, level int) ([]byte, error) {
+func (s *gatedSource) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
 	s.mu.Lock()
+	id := s.owner[hash]
 	s.calls[id]++
 	gate := s.gates[id]
 	s.mu.Unlock()
@@ -228,7 +241,7 @@ func (s *gatedSource) GetChunk(ctx context.Context, id string, chunk, level int)
 			return nil, ctx.Err()
 		}
 	}
-	return s.src.GetChunk(ctx, id, chunk, level)
+	return s.src.GetChunkData(ctx, hash)
 }
 
 // TestGatewayCancellation is the second acceptance scenario: a cancelled

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // TenantProfile describes one tenant's traffic in a generated workload.
@@ -23,35 +25,54 @@ type TenantProfile struct {
 	SLO          time.Duration
 	Deadline     time.Duration
 	SuffixTokens int
+
+	// Turns, when > 1, makes each arrival a multi-turn chat session: the
+	// same context is requested Turns times in sequence, separated by
+	// exponentially distributed think times, and the KV returned by each
+	// turn rides along as the next turn's Resident prefix — so warm turns
+	// stream only what the context gained in between (nothing, here;
+	// append traffic is Session territory). 0 or 1 = single-shot.
+	Turns int
+	// ThinkTime is the mean think time between a session's turns
+	// (exponential; seeded like everything else). 0 = back-to-back.
+	ThinkTime time.Duration
 }
 
 // Workload is an open-loop Poisson load run: arrivals follow an
 // exponential inter-arrival clock at Rate regardless of how the gateway
 // keeps up (the open-loop property that exposes queueing collapse), each
-// arrival drawn from the tenant mix.
+// arrival drawn from the tenant mix. An arrival is a session of
+// TenantProfile.Turns turns (1 by default).
 type Workload struct {
-	// Rate is the mean arrival rate in requests/second.
+	// Rate is the mean session arrival rate in sessions/second.
 	Rate float64
-	// Requests is the total number of arrivals to generate.
+	// Requests is the total number of session arrivals to generate.
 	Requests int
 	// Tenants is the traffic mix.
 	Tenants []TenantProfile
-	// Seed makes the arrival process and tenant/context draws
-	// reproducible.
+	// Seed makes the arrival process, tenant/context draws and per-session
+	// think times reproducible.
 	Seed int64
 }
 
 // LoadReport aggregates one workload run.
 type LoadReport struct {
-	// Offered is the configured arrival rate (req/s).
+	// Offered is the configured arrival rate (sessions/s).
 	Offered float64
-	// Submitted counts generated arrivals; the rest partition them.
+	// Submitted counts submitted turn requests; Completed, Rejected,
+	// TimedOut and Failed partition them. A session abandons its
+	// remaining turns after a failed turn.
 	Submitted, Completed, Rejected, TimedOut, Failed int
+	// Sessions counts generated arrivals; WarmTurns counts completed
+	// turns ≥ 2 (served with a Resident prefix).
+	Sessions, WarmTurns int
 	// SLOMet counts completions within their SLO; PrefetchHits counts
 	// completions whose KV was resident at slot grant.
 	SLOMet, PrefetchHits int
-	// TTFTs are the completed requests' TTFTs per tenant.
+	// TTFTs are the completed requests' TTFTs per tenant (all turns).
 	TTFTs map[string][]time.Duration
+	// WarmTTFTs are the completed warm turns' TTFTs, across tenants.
+	WarmTTFTs []time.Duration
 	// Duration is first arrival → last completion.
 	Duration time.Duration
 }
@@ -82,7 +103,7 @@ func (r *LoadReport) AllTTFTs() []time.Duration {
 }
 
 // Run drives the workload against the gateway and blocks until every
-// generated request resolves. Cancelling ctx stops generating new
+// generated session resolves. Cancelling ctx stops generating new
 // arrivals and abandons the in-flight ones.
 func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 	if w.Rate <= 0 {
@@ -101,6 +122,9 @@ func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 		}
 		if t.Share < 1 {
 			return nil, fmt.Errorf("gateway: tenant %q has share %d, want ≥ 1", t.Name, t.Share)
+		}
+		if t.Turns < 0 {
+			return nil, fmt.Errorf("gateway: tenant %q has negative turn count", t.Name)
 		}
 		totalShare += t.Share
 	}
@@ -126,31 +150,60 @@ func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 			Deadline:     t.Deadline,
 			SuffixTokens: t.SuffixTokens,
 		}
-		rep.Submitted++
+		turns := t.Turns
+		if turns < 1 {
+			turns = 1
+		}
+		rep.Sessions++
+		sessionSeed := rng.Int63() // per-session think-time stream
 		wg.Add(1)
-		go func(req Request) {
+		go func(req Request, turns int, think time.Duration, seed int64) {
 			defer wg.Done()
-			res, err := g.Submit(ctx, req)
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case err == nil:
-				rep.Completed++
-				if res.SLOMet {
-					rep.SLOMet++
+			srng := rand.New(rand.NewSource(seed))
+			var resident *tensor.KV
+			for turn := 1; turn <= turns; turn++ {
+				if turn > 1 {
+					if think > 0 {
+						time.Sleep(expDuration(srng, think))
+					}
+					if ctx.Err() != nil {
+						return
+					}
 				}
-				if res.PrefetchHit {
-					rep.PrefetchHits++
+				req.Resident = resident
+				mu.Lock()
+				rep.Submitted++
+				mu.Unlock()
+				res, err := g.Submit(ctx, req)
+				mu.Lock()
+				switch {
+				case err == nil:
+					rep.Completed++
+					if res.SLOMet {
+						rep.SLOMet++
+					}
+					if res.PrefetchHit {
+						rep.PrefetchHits++
+					}
+					rep.TTFTs[req.Tenant] = append(rep.TTFTs[req.Tenant], res.TTFT)
+					if turn > 1 {
+						rep.WarmTurns++
+						rep.WarmTTFTs = append(rep.WarmTTFTs, res.TTFT)
+					}
+				case errors.Is(err, ErrRejected):
+					rep.Rejected++
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					rep.TimedOut++
+				default:
+					rep.Failed++
 				}
-				rep.TTFTs[req.Tenant] = append(rep.TTFTs[req.Tenant], res.TTFT)
-			case errors.Is(err, ErrRejected):
-				rep.Rejected++
-			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-				rep.TimedOut++
-			default:
-				rep.Failed++
+				mu.Unlock()
+				if err != nil {
+					return // a failed turn ends the session
+				}
+				resident = res.KV
 			}
-		}(req)
+		}(req, turns, t.ThinkTime, sessionSeed)
 	}
 	wg.Wait()
 	rep.Duration = time.Since(start)
@@ -160,9 +213,14 @@ func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 // expDelay draws one exponential inter-arrival gap, capped at 5× the mean
 // so one unlucky draw cannot stall the whole run.
 func expDelay(rng *rand.Rand, rate float64) time.Duration {
-	mean := float64(time.Second) / rate
-	d := time.Duration(rng.ExpFloat64() * mean)
-	if max := time.Duration(5 * mean); d > max {
+	return expDuration(rng, time.Duration(float64(time.Second)/rate))
+}
+
+// expDuration draws an exponential duration with the given mean, capped
+// at 5× the mean.
+func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if max := 5 * mean; d > max {
 		d = max
 	}
 	return d

@@ -120,9 +120,10 @@ func newX4Stack() (*x4Stack, error) {
 	}, nil
 }
 
-func (s *x4Stack) publish(fl *x4Fleet, id string) (storage.ContextMeta, error) {
-	return streamer.Publish(context.Background(), fl.sharded, s.codec, s.model, id, s.tokens,
+func (s *x4Stack) publish(fl *x4Fleet, id string) (storage.Manifest, error) {
+	man, _, err := streamer.Publish(context.Background(), fl.sharded, s.codec, s.model, id, s.tokens,
 		streamer.PublishOptions{KV: s.kv})
+	return man, err
 }
 
 func (s *x4Stack) fetch(src streamer.ChunkSource, id string) (*streamer.FetchReport, error) {
@@ -165,24 +166,21 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		meta, err := s.publish(fl, contextID)
+		man, err := s.publish(fl, contextID)
 		if err != nil {
 			fl.close()
 			return nil, err
 		}
-		pool := cluster.NewPool(fl.ring)
+		meta := man.Meta
+		pool := cluster.NewPool(fl.ring, cluster.WithRequestTimeout(10*time.Second))
 		report, err := s.fetch(pool, contextID)
 		if err != nil {
 			pool.Close()
 			fl.close()
 			return nil, err
 		}
-		chunks := make([]int, meta.NumChunks())
-		for i := range chunks {
-			chunks[i] = i
-		}
 		batchStart := time.Now()
-		if _, err := pool.GetChunkBatch(context.Background(), contextID, 0, chunks); err != nil {
+		if _, err := pool.GetChunkBatch(context.Background(), man.Hashes[0]); err != nil {
 			pool.Close()
 			fl.close()
 			return nil, err
@@ -209,11 +207,12 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 		return nil, err
 	}
 	defer fl.close()
-	meta, err := s.publish(fl, contextID)
+	man, err := s.publish(fl, contextID)
 	if err != nil {
 		return nil, err
 	}
-	pool := cluster.NewPool(fl.ring)
+	meta := man.Meta
+	pool := cluster.NewPool(fl.ring, cluster.WithRequestTimeout(10*time.Second))
 	defer pool.Close()
 
 	cold, err := s.fetch(pool, contextID)
@@ -241,9 +240,9 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 		fmt.Sprintf("%d", pool.Stats().Failovers),
 		fmt.Sprintf("%.0f%%", 100*warmRate))
 
-	// Kill the primary of the last chunk and fetch again: replicas absorb
-	// its shard.
-	victim := fl.ring.ChunkNodes(contextID, meta.NumChunks()-1)[0]
+	// Kill the primary of the last chunk's level-0 payload and fetch
+	// again: replicas absorb its shard.
+	victim := fl.ring.ChunkNodes(man.Hashes[0][meta.NumChunks()-1])[0]
 	fl.servers[victim].Close()
 	failoversBefore := pool.Stats().Failovers
 	degraded, err := s.fetch(pool, contextID)

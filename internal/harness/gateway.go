@@ -50,14 +50,14 @@ type wanSource struct {
 	rtt time.Duration
 }
 
-func (w wanSource) GetMeta(ctx context.Context, id string) (storage.ContextMeta, error) {
+func (w wanSource) GetManifest(ctx context.Context, id string) (storage.Manifest, error) {
 	time.Sleep(w.rtt)
-	return w.src.GetMeta(ctx, id)
+	return w.src.GetManifest(ctx, id)
 }
 
-func (w wanSource) GetChunk(ctx context.Context, id string, chunk, level int) ([]byte, error) {
+func (w wanSource) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
 	time.Sleep(w.rtt)
-	return w.src.GetChunk(ctx, id, chunk, level)
+	return w.src.GetChunkData(ctx, hash)
 }
 
 // x5Stack is the published corpus: one small model/codec and a handful of
@@ -101,7 +101,7 @@ func (s *x5Stack) publish(fl *x4Fleet, nContexts int) error {
 		for j := range tokens {
 			tokens[j] = llm.Token(rng.Intn(llm.VocabSize))
 		}
-		if _, err := streamer.Publish(context.Background(), fl.sharded, s.codec, s.model, id, tokens,
+		if _, _, err := streamer.Publish(context.Background(), fl.sharded, s.codec, s.model, id, tokens,
 			streamer.PublishOptions{}); err != nil {
 			return err
 		}
@@ -160,7 +160,7 @@ func (s *x5Stack) run(r x5Run) (*gateway.LoadReport, gateway.Stats, error) {
 	if err := s.publish(fl, 6); err != nil {
 		return nil, gateway.Stats{}, err
 	}
-	pool := cluster.NewPool(fl.ring)
+	pool := cluster.NewPool(fl.ring, cluster.WithRequestTimeout(10*time.Second))
 	defer pool.Close()
 
 	g, err := gateway.New(gateway.Config{

@@ -310,7 +310,8 @@ func (f *Fixture) Rig(cfg llm.Config) (*Rig, error) {
 // PublishScaled publishes a context into a store with sizes extrapolated
 // to full scale — used by live-path demos.
 func (r *Rig) PublishScaled(ctx context.Context, st storage.Store, id string, tokens []llm.Token) (storage.ContextMeta, error) {
-	return streamer.Publish(ctx, st, r.Codec, r.Model, id, tokens, streamer.PublishOptions{
+	man, _, err := streamer.Publish(ctx, st, r.Codec, r.Model, id, tokens, streamer.PublishOptions{
 		SizeScale: r.Scaled.ChannelScale(),
 	})
+	return man.Meta, err
 }

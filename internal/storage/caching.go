@@ -4,28 +4,32 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 )
 
 // CachingStore fronts a Store (typically a FileStore on a storage node)
 // with a byte-budgeted LRU of chunk payloads, so the hot set of contexts
-// is served from RAM instead of disk. Admission is read-allocate: Get
-// misses populate the cache, while Put writes through and only refreshes
-// an entry that is already resident — publishing a context at every level
-// must not evict the hot set. Metadata is passed through uncached (it is
-// a few KB per context and read once per fetch). Safe for concurrent use.
+// is served from RAM instead of disk. Entries are keyed by content hash,
+// which makes the RAM tier dedup-aware too: contexts sharing payloads
+// share cache entries. Admission is read-allocate: GetChunk misses
+// populate the cache, while PutChunk writes through without allocating —
+// publishing a context at every level must not evict the hot set.
+// Payloads are immutable under their hash, so the only invalidation is
+// deletion by Sweep, which drops the reclaimed hashes from RAM.
+// Manifests and fingerprints pass through uncached. Safe for concurrent
+// use.
 type CachingStore struct {
 	inner    Store
 	maxBytes int64
 
-	// The mutex guards the LRU and the counters; Get/Put hold it only
+	// The mutex guards the LRU and the counters; GetChunk holds it only
 	// around map/list bookkeeping, not around inner I/O, so concurrent
-	// misses overlap their disk reads. Two racing misses on one key both
-	// read inner and the second insert refreshes the first — wasted work,
-	// not incoherence, since the payload under a key never changes between
-	// Puts.
+	// misses overlap their disk reads. Two racing misses on one hash both
+	// read inner and the second insert is a refresh — wasted work, not
+	// incoherence, since a payload under a hash never changes.
 	mu      sync.Mutex
 	ll      *list.List // front = most recently used
-	items   map[ChunkKey]*list.Element
+	items   map[string]*list.Element
 	bytes   int64
 	hits    uint64
 	misses  uint64
@@ -33,7 +37,7 @@ type CachingStore struct {
 }
 
 type cacheEntry struct {
-	key  ChunkKey
+	hash string
 	data []byte
 }
 
@@ -65,14 +69,14 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // NewCachingStore wraps inner with a RAM tier of at most maxBytes of
-// payload (≤0 disables caching: every Get goes to inner and counts as a
-// miss).
+// payload (≤0 disables caching: every GetChunk goes to inner and counts
+// as a miss).
 func NewCachingStore(inner Store, maxBytes int64) *CachingStore {
 	return &CachingStore{
 		inner:    inner,
 		maxBytes: maxBytes,
 		ll:       list.New(),
-		items:    map[ChunkKey]*list.Element{},
+		items:    map[string]*list.Element{},
 	}
 }
 
@@ -87,10 +91,10 @@ func (s *CachingStore) Stats() CacheStats {
 }
 
 // lookup returns a copy of the cached payload, promoting the entry.
-func (s *CachingStore) lookup(key ChunkKey) ([]byte, bool) {
+func (s *CachingStore) lookup(hash string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	el, ok := s.items[hash]
 	if !ok {
 		s.misses++
 		return nil, false
@@ -100,29 +104,22 @@ func (s *CachingStore) lookup(key ChunkKey) ([]byte, bool) {
 	return append([]byte{}, el.Value.(*cacheEntry).data...), true
 }
 
-// insert caches a copy of data under key, evicting from the cold end
+// insert caches a copy of data under hash, evicting from the cold end
 // until the budget holds. Payloads larger than the whole budget are not
-// admitted. When onlyRefresh is set the payload replaces an existing
-// entry but never allocates a new one (the Put path).
-func (s *CachingStore) insert(key ChunkKey, data []byte, onlyRefresh bool) {
+// admitted.
+func (s *CachingStore) insert(hash string, data []byte) {
 	size := int64(len(data))
 	if s.maxBytes <= 0 || size > s.maxBytes {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
-		ent := el.Value.(*cacheEntry)
-		s.bytes += size - int64(len(ent.data))
-		ent.data = append([]byte{}, data...)
+	if el, ok := s.items[hash]; ok {
 		s.ll.MoveToFront(el)
-	} else {
-		if onlyRefresh {
-			return
-		}
-		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, data: append([]byte{}, data...)})
-		s.bytes += size
+		return // immutable payload already resident
 	}
+	s.items[hash] = s.ll.PushFront(&cacheEntry{hash: hash, data: append([]byte{}, data...)})
+	s.bytes += size
 	for s.bytes > s.maxBytes {
 		el := s.ll.Back()
 		if el == nil {
@@ -136,61 +133,89 @@ func (s *CachingStore) insert(key ChunkKey, data []byte, onlyRefresh bool) {
 func (s *CachingStore) dropLocked(el *list.Element) {
 	ent := el.Value.(*cacheEntry)
 	s.ll.Remove(el)
-	delete(s.items, ent.key)
+	delete(s.items, ent.hash)
 	s.bytes -= int64(len(ent.data))
 }
 
-// Get implements Store: RAM tier first, then inner on a miss.
-func (s *CachingStore) Get(ctx context.Context, key ChunkKey) ([]byte, error) {
-	if data, ok := s.lookup(key); ok {
+// GetChunk implements Store: RAM tier first, then inner on a miss.
+func (s *CachingStore) GetChunk(ctx context.Context, hash string) ([]byte, error) {
+	if err := validateHash(hash); err != nil {
+		return nil, err
+	}
+	if data, ok := s.lookup(hash); ok {
 		return data, nil
 	}
-	data, err := s.inner.Get(ctx, key)
+	data, err := s.inner.GetChunk(ctx, hash)
 	if err != nil {
 		return nil, err
 	}
-	s.insert(key, data, false)
+	s.insert(hash, data)
 	return data, nil
 }
 
-// Put implements Store, writing through to inner.
-func (s *CachingStore) Put(ctx context.Context, key ChunkKey, data []byte) error {
-	if err := s.inner.Put(ctx, key, data); err != nil {
-		return err
-	}
-	s.insert(key, data, true)
-	return nil
+// PutChunk implements Store, writing through to inner.
+func (s *CachingStore) PutChunk(ctx context.Context, hash string, data []byte) error {
+	return s.inner.PutChunk(ctx, hash, data)
 }
 
-// PutMeta implements Store.
-func (s *CachingStore) PutMeta(ctx context.Context, meta ContextMeta) error {
-	return s.inner.PutMeta(ctx, meta)
+// TouchChunk implements Store. It always consults inner — the GC age
+// that must be freshened lives there, and inner is authoritative about
+// existence (a payload could have been swept beneath a stale RAM entry
+// only if sweeps bypassed this tier, which Sweep prevents).
+func (s *CachingStore) TouchChunk(ctx context.Context, hash string) (bool, error) {
+	return s.inner.TouchChunk(ctx, hash)
 }
 
-// GetMeta implements Store.
-func (s *CachingStore) GetMeta(ctx context.Context, contextID string) (ContextMeta, error) {
-	return s.inner.GetMeta(ctx, contextID)
+// PutManifest implements Store.
+func (s *CachingStore) PutManifest(ctx context.Context, m Manifest) error {
+	return s.inner.PutManifest(ctx, m)
 }
 
-// DeleteContext implements Store, dropping the context's cached
-// payloads. Inner is deleted first: dropping cache entries before the
-// (slow, on disk) inner delete would let a concurrent Get repopulate
-// the cache from still-present files and serve the context forever.
+// GetManifest implements Store.
+func (s *CachingStore) GetManifest(ctx context.Context, contextID string) (Manifest, error) {
+	return s.inner.GetManifest(ctx, contextID)
+}
+
+// DeleteContext implements Store. Chunk payloads may be shared with
+// other contexts, so deletion only drops the manifest (and refcounts);
+// payload bytes — and their RAM-tier entries — are reclaimed by Sweep.
 func (s *CachingStore) DeleteContext(ctx context.Context, contextID string) error {
-	err := s.inner.DeleteContext(ctx, contextID)
-	s.mu.Lock()
-	var next *list.Element
-	for el := s.ll.Front(); el != nil; el = next {
-		next = el.Next()
-		if el.Value.(*cacheEntry).key.ContextID == contextID {
-			s.dropLocked(el)
-		}
-	}
-	s.mu.Unlock()
-	return err
+	return s.inner.DeleteContext(ctx, contextID)
 }
 
 // ListContexts implements Store.
 func (s *CachingStore) ListContexts(ctx context.Context) ([]string, error) {
 	return s.inner.ListContexts(ctx)
+}
+
+// PutFingerprint implements Store.
+func (s *CachingStore) PutFingerprint(ctx context.Context, key string, fp Fingerprint) error {
+	return s.inner.PutFingerprint(ctx, key, fp)
+}
+
+// GetFingerprint implements Store.
+func (s *CachingStore) GetFingerprint(ctx context.Context, key string) (Fingerprint, error) {
+	return s.inner.GetFingerprint(ctx, key)
+}
+
+// Sweep implements Store: inner reclaims, then the reclaimed hashes are
+// dropped from RAM so the tier cannot serve payloads the disk no longer
+// holds.
+func (s *CachingStore) Sweep(ctx context.Context, minAge time.Duration) (SweepResult, error) {
+	res, err := s.inner.Sweep(ctx, minAge)
+	if len(res.RemovedHashes) > 0 {
+		s.mu.Lock()
+		for _, hash := range res.RemovedHashes {
+			if el, ok := s.items[hash]; ok {
+				s.dropLocked(el)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return res, err
+}
+
+// Usage implements Store.
+func (s *CachingStore) Usage(ctx context.Context) (Usage, error) {
+	return s.inner.Usage(ctx)
 }

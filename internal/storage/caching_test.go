@@ -9,9 +9,16 @@ import (
 	"testing"
 )
 
-func ckey(ctxID string, chunk int) ChunkKey {
-	return ChunkKey{ContextID: ctxID, Chunk: chunk, Level: 0}
+// chash derives a distinct valid content hash per test key and, via
+// cpayload, a payload that actually hashes to it.
+func cpayload(k int, size int) []byte {
+	p := make([]byte, size)
+	seed := []byte(fmt.Sprintf("payload-%d", k))
+	copy(p, seed)
+	return p
 }
+
+func chash(k int, size int) string { return HashChunk(cpayload(k, size)) }
 
 func TestCachingStoreHitMissEvict(t *testing.T) {
 	ctx := context.Background()
@@ -19,30 +26,23 @@ func TestCachingStoreHitMissEvict(t *testing.T) {
 	// Budget for exactly two 100-byte payloads.
 	cs := NewCachingStore(inner, 200)
 
-	payload := func(b byte) []byte {
-		p := make([]byte, 100)
-		for i := range p {
-			p[i] = b
-		}
-		return p
-	}
 	for i := 0; i < 3; i++ {
-		if err := cs.Put(ctx, ckey("c", i), payload(byte(i))); err != nil {
+		if err := cs.PutChunk(ctx, chash(i, 100), cpayload(i, 100)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Put is write-through but read-allocate: nothing cached yet.
+	// PutChunk is write-through but read-allocate: nothing cached yet.
 	if st := cs.Stats(); st.Entries != 0 || st.Bytes != 0 {
-		t.Fatalf("Put populated the cache: %+v", st)
+		t.Fatalf("PutChunk populated the cache: %+v", st)
 	}
 
 	// First reads miss and populate; repeats hit.
 	for i := 0; i < 2; i++ {
-		if _, err := cs.Get(ctx, ckey("c", i)); err != nil {
+		if _, err := cs.GetChunk(ctx, chash(i, 100)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+	if _, err := cs.GetChunk(ctx, chash(0, 100)); err != nil {
 		t.Fatal(err)
 	}
 	st := cs.Stats()
@@ -52,7 +52,7 @@ func TestCachingStoreHitMissEvict(t *testing.T) {
 
 	// A third distinct payload evicts the LRU entry (chunk 1: chunk 0 was
 	// re-read last).
-	if _, err := cs.Get(ctx, ckey("c", 2)); err != nil {
+	if _, err := cs.GetChunk(ctx, chash(2, 100)); err != nil {
 		t.Fatal(err)
 	}
 	st = cs.Stats()
@@ -61,14 +61,14 @@ func TestCachingStoreHitMissEvict(t *testing.T) {
 	}
 	// Chunk 0 must still be resident (a hit), chunk 1 gone (a miss).
 	hitsBefore := st.Hits
-	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+	if _, err := cs.GetChunk(ctx, chash(0, 100)); err != nil {
 		t.Fatal(err)
 	}
 	if st = cs.Stats(); st.Hits != hitsBefore+1 {
 		t.Errorf("chunk 0 was evicted instead of chunk 1: %+v", st)
 	}
 	missesBefore := st.Misses
-	if _, err := cs.Get(ctx, ckey("c", 1)); err != nil {
+	if _, err := cs.GetChunk(ctx, chash(1, 100)); err != nil {
 		t.Fatal(err)
 	}
 	if st = cs.Stats(); st.Misses != missesBefore+1 {
@@ -83,11 +83,10 @@ func TestCachingStoreHitMissEvict(t *testing.T) {
 func TestCachingStoreOversizedAndDisabled(t *testing.T) {
 	ctx := context.Background()
 	cs := NewCachingStore(NewMemStore(), 50)
-	big := make([]byte, 100)
-	if err := cs.Put(ctx, ckey("c", 0), big); err != nil {
+	if err := cs.PutChunk(ctx, chash(0, 100), cpayload(0, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+	if _, err := cs.GetChunk(ctx, chash(0, 100)); err != nil {
 		t.Fatal(err)
 	}
 	if st := cs.Stats(); st.Entries != 0 {
@@ -95,10 +94,10 @@ func TestCachingStoreOversizedAndDisabled(t *testing.T) {
 	}
 
 	off := NewCachingStore(NewMemStore(), 0)
-	if err := off.Put(ctx, ckey("c", 0), []byte("x")); err != nil {
+	if err := off.PutChunk(ctx, chash(1, 8), cpayload(1, 8)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := off.Get(ctx, ckey("c", 0)); err != nil {
+	if _, err := off.GetChunk(ctx, chash(1, 8)); err != nil {
 		t.Fatal(err)
 	}
 	if st := off.Stats(); st.Entries != 0 || st.Hits != 0 {
@@ -106,61 +105,70 @@ func TestCachingStoreOversizedAndDisabled(t *testing.T) {
 	}
 }
 
-func TestCachingStorePutRefreshesResidentEntry(t *testing.T) {
+func TestCachingStoreSweepInvalidates(t *testing.T) {
 	ctx := context.Background()
 	cs := NewCachingStore(NewMemStore(), 1000)
-	key := ckey("c", 0)
-	if err := cs.Put(ctx, key, []byte("old")); err != nil {
+	hash := chash(0, 64)
+	if err := cs.PutChunk(ctx, hash, cpayload(0, 64)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cs.Get(ctx, key); err != nil { // allocate
+	if _, err := cs.GetChunk(ctx, hash); err != nil { // allocate in RAM
 		t.Fatal(err)
 	}
-	if err := cs.Put(ctx, key, []byte("newer")); err != nil {
-		t.Fatal(err)
-	}
-	got, err := cs.Get(ctx, key)
+	// The payload is unreferenced: a sweep through the caching tier must
+	// reclaim it below AND drop the RAM copy, so the tier cannot serve
+	// bytes the backing store no longer holds.
+	res, err := cs.Sweep(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(got) != "newer" {
-		t.Errorf("stale cache entry after Put: %q", got)
+	if res.RemovedChunks != 1 {
+		t.Fatalf("sweep = %+v", res)
 	}
-	if st := cs.Stats(); st.Bytes != int64(len("newer")) {
-		t.Errorf("byte accounting after refresh: %+v", st)
+	if st := cs.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("cache retains swept payload: %+v", st)
+	}
+	if _, err := cs.GetChunk(ctx, hash); !errors.Is(err, ErrNotFound) {
+		t.Errorf("swept chunk still served: %v", err)
 	}
 }
 
-func TestCachingStoreDeleteContextInvalidates(t *testing.T) {
+func TestCachingStoreDeleteContextKeepsSharedPayloads(t *testing.T) {
 	ctx := context.Background()
-	cs := NewCachingStore(NewMemStore(), 1000)
-	meta := ContextMeta{
-		ContextID: "c", Model: "m", TokenCount: 4, ChunkTokens: []int{4},
-		Levels: 1, SizesBytes: [][]int64{{1}},
-	}
-	if err := cs.PutMeta(ctx, meta); err != nil {
+	inner := NewMemStore()
+	cs := NewCachingStore(inner, 1<<20)
+	a := testManifest(t, cs, "cache/a")
+	if err := cs.PutManifest(ctx, a); err != nil {
 		t.Fatal(err)
 	}
-	if err := cs.Put(ctx, ckey("c", 0), []byte("x")); err != nil {
+	b := testManifest(t, cs, "cache/b")
+	b.Hashes[0][0] = a.Hashes[0][0] // share one payload
+	if err := cs.PutManifest(ctx, b); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cs.Get(ctx, ckey("c", 0)); err != nil {
+	shared := a.Hashes[0][0]
+	if _, err := cs.GetChunk(ctx, shared); err != nil { // warm the RAM tier
 		t.Fatal(err)
 	}
-	if err := cs.DeleteContext(ctx, "c"); err != nil {
+	if err := cs.DeleteContext(ctx, "cache/a"); err != nil {
 		t.Fatal(err)
 	}
-	if st := cs.Stats(); st.Entries != 0 || st.Bytes != 0 {
-		t.Errorf("cache retains deleted context: %+v", st)
+	// Deletion must NOT invalidate the shared payload: B still references
+	// it, and only Sweep reclaims bytes.
+	if _, err := cs.GetChunk(ctx, shared); err != nil {
+		t.Errorf("shared payload lost on delete: %v", err)
 	}
-	if _, err := cs.Get(ctx, ckey("c", 0)); !errors.Is(err, ErrNotFound) {
-		t.Errorf("deleted chunk still served: %v", err)
+	if _, err := cs.Sweep(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.GetChunk(ctx, shared); err != nil {
+		t.Errorf("shared payload swept while referenced: %v", err)
 	}
 }
 
 // TestCachingStoreConcurrentStress hammers one store from many
 // goroutines (run under -race in CI): correctness of returned payloads
-// and of the byte accounting under heavy Put/Get/evict churn.
+// and of the byte accounting under heavy put/get/evict churn.
 func TestCachingStoreConcurrentStress(t *testing.T) {
 	ctx := context.Background()
 	inner := NewMemStore()
@@ -173,15 +181,10 @@ func TestCachingStoreConcurrentStress(t *testing.T) {
 	)
 	// Payload content is derived from the key, so any cross-key mixup is
 	// detectable no matter which worker wrote last.
-	expect := func(k int) []byte {
-		p := make([]byte, 128)
-		for i := range p {
-			p[i] = byte(k)
-		}
-		return p
-	}
+	hashes := make([]string, keys)
 	for k := 0; k < keys; k++ {
-		if err := cs.Put(ctx, ckey("stress", k), expect(k)); err != nil {
+		hashes[k] = chash(k, 128)
+		if err := cs.PutChunk(ctx, hashes[k], cpayload(k, 128)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -196,22 +199,20 @@ func TestCachingStoreConcurrentStress(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				k := rng.Intn(keys)
 				if rng.Intn(4) == 0 {
-					if err := cs.Put(ctx, ckey("stress", k), expect(k)); err != nil {
+					if err := cs.PutChunk(ctx, hashes[k], cpayload(k, 128)); err != nil {
 						errCh <- err
 						return
 					}
 					continue
 				}
-				got, err := cs.Get(ctx, ckey("stress", k))
+				got, err := cs.GetChunk(ctx, hashes[k])
 				if err != nil {
 					errCh <- err
 					return
 				}
-				for i, b := range got {
-					if b != byte(k) {
-						errCh <- fmt.Errorf("key %d byte %d is %d", k, i, b)
-						return
-					}
+				if HashChunk(got) != hashes[k] {
+					errCh <- fmt.Errorf("key %d served foreign payload", k)
+					return
 				}
 			}
 		}(int64(w))
@@ -232,7 +233,7 @@ func TestCachingStoreConcurrentStress(t *testing.T) {
 	// Recount the resident bytes against the accounting.
 	var total int64
 	for k := 0; k < keys; k++ {
-		if data, ok := cs.lookup(ckey("stress", k)); ok {
+		if data, ok := cs.lookup(hashes[k]); ok {
 			total += int64(len(data))
 		}
 	}

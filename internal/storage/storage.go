@@ -1,9 +1,17 @@
-// Package storage implements the KV cache store of §6: the component that
-// holds, per context, the encoded bitstreams of every chunk at every
-// encoding level (plus the token text for the recompute fallback), keyed
-// by chunk id. The paper's store_kv/get_kv interfaces map onto Put/Get
-// here; the streaming server (internal/transport) serves Get requests and
-// the streamer issues them chunk by chunk.
+// Package storage implements the KV cache store of §6 as a
+// content-addressed chunk store: every chunk payload — one encoding level
+// of one context chunk, its token text (the recompute fallback), or a
+// refinement stream — is keyed by the SHA-256 of its bitstream, and a
+// per-context manifest maps contextID → ordered chunk hashes per level
+// plus the ContextMeta the streamer adapts over. Identical payloads
+// published under different contexts (shared document prefixes, re-used
+// conversation history) are stored once; manifests hold references.
+//
+// Garbage collection is reference-counted: PutManifest and DeleteContext
+// adjust per-payload refcounts, and Sweep reclaims payloads no manifest
+// references any more. A grace age protects chunks uploaded by an
+// in-flight publish whose manifest has not landed yet; TouchChunk
+// freshens a reused payload's age for the same reason.
 //
 // Two backends are provided: an in-memory store (inference-server cache,
 // tests) and a filesystem store (the "dedicated storage server" of §3).
@@ -12,41 +20,18 @@ package storage
 
 import (
 	"context"
-	"encoding/base32"
-	"encoding/json"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
+	"time"
 )
 
 // TextLevel is the pseudo-level under which a chunk's token text is
 // stored, for the streamer's recompute fallback (§5.3).
 const TextLevel = -1
-
-// ChunkKey identifies one stored payload: a chunk of a context at an
-// encoding level (or TextLevel for the raw tokens).
-type ChunkKey struct {
-	ContextID string
-	Chunk     int
-	Level     int
-}
-
-func (k ChunkKey) validate() error {
-	if k.ContextID == "" {
-		return errors.New("storage: empty context id")
-	}
-	if k.Chunk < 0 {
-		return fmt.Errorf("storage: negative chunk index %d", k.Chunk)
-	}
-	if k.Level < TextLevel {
-		return fmt.Errorf("storage: invalid level %d", k.Level)
-	}
-	return nil
-}
 
 // ContextMeta describes one stored context: its chunk layout and the
 // payload sizes per level, which is what the streamer's adaptation logic
@@ -118,8 +103,9 @@ func (m ContextMeta) Validate() error {
 	return nil
 }
 
-// TotalBytes returns the total storage footprint of the context across all
-// encoded versions and the text copies (Fig 14d).
+// TotalBytes returns the total logical footprint of the context across all
+// encoded versions and the text copies (Fig 14d) — what a store without
+// cross-context dedup would hold for it.
 func (m ContextMeta) TotalBytes() int64 {
 	var total int64
 	for _, row := range m.SizesBytes {
@@ -138,98 +124,251 @@ func (m ContextMeta) TotalBytes() int64 {
 	return total
 }
 
-// ErrNotFound is returned when a context or chunk is absent.
+// ErrNotFound is returned when a context, chunk or fingerprint is absent.
 var ErrNotFound = errors.New("storage: not found")
 
-// Store is the chunk registry interface shared by backends.
+// ErrCorruptManifest is returned when a stored manifest fails to decode
+// (truncated or corrupted on disk). Other contexts stay readable.
+var ErrCorruptManifest = errors.New("storage: corrupt manifest")
+
+// HashChunk returns the content address of a chunk payload: the lowercase
+// hex SHA-256 of its bytes.
+func HashChunk(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// hashLen is the length of a hex SHA-256.
+const hashLen = 2 * sha256.Size
+
+func validateHash(hash string) error {
+	if len(hash) != hashLen {
+		return fmt.Errorf("storage: chunk hash %q is not a hex SHA-256", hash)
+	}
+	for _, c := range hash {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("storage: chunk hash %q is not lowercase hex", hash)
+		}
+	}
+	return nil
+}
+
+// validateFingerprintKey accepts the hex digests the publisher derives
+// from chunk identities; the bound keeps keys path-safe for FileStore.
+func validateFingerprintKey(key string) error {
+	if key == "" || len(key) > 128 {
+		return fmt.Errorf("storage: invalid fingerprint key %q", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("storage: fingerprint key %q is not lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+// Fingerprint is one entry of the publish-side dedup index: the bitstream
+// hash (and raw size) a previously encoded chunk identity produced.
+// Looking it up lets Publish skip re-encoding a chunk whose inputs it has
+// seen before; the entry is advisory — the publisher verifies the payload
+// still exists (TouchChunk) before trusting it.
+type Fingerprint struct {
+	Hash  string `json:"hash"`
+	Bytes int64  `json:"bytes"`
+}
+
+// SweepResult accounts one garbage-collection sweep.
+type SweepResult struct {
+	// ScannedChunks is the number of stored payloads examined.
+	ScannedChunks int `json:"scanned_chunks"`
+	// RemovedChunks / ReclaimedBytes are the unreferenced payloads deleted.
+	RemovedChunks  int   `json:"removed_chunks"`
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// RemovedHashes lists the deleted payloads' hashes so RAM tiers
+	// layered above the swept store can invalidate them.
+	RemovedHashes []string `json:"removed_hashes,omitempty"`
+	// PrunedFingerprints is the number of dedup-index entries dropped
+	// because their payload is gone.
+	PrunedFingerprints int `json:"pruned_fingerprints"`
+}
+
+// Add folds another sweep into this one (fleet aggregation).
+func (r *SweepResult) Add(o SweepResult) {
+	r.ScannedChunks += o.ScannedChunks
+	r.RemovedChunks += o.RemovedChunks
+	r.ReclaimedBytes += o.ReclaimedBytes
+	r.RemovedHashes = append(r.RemovedHashes, o.RemovedHashes...)
+	r.PrunedFingerprints += o.PrunedFingerprints
+}
+
+// Usage snapshots a store's physical footprint. Because payloads are
+// deduplicated, ChunkBytes counts each unique payload once — the number
+// that scales with unique content rather than request count.
+type Usage struct {
+	Manifests  int   `json:"manifests"`
+	Chunks     int   `json:"chunks"`
+	ChunkBytes int64 `json:"chunk_bytes"`
+}
+
+// Add folds another snapshot into this one (fleet aggregation; replicas
+// count as real bytes).
+func (u *Usage) Add(o Usage) {
+	u.Manifests += o.Manifests
+	u.Chunks += o.Chunks
+	u.ChunkBytes += o.ChunkBytes
+}
+
+// Store is the content-addressed chunk registry interface shared by
+// backends. The paper's store_kv/get_kv map onto PutManifest+PutChunk /
+// GetManifest+GetChunk.
 type Store interface {
-	// Put stores one chunk payload.
-	Put(ctx context.Context, key ChunkKey, data []byte) error
-	// Get retrieves one chunk payload (the paper's get_kv).
-	Get(ctx context.Context, key ChunkKey) ([]byte, error)
-	// PutMeta stores a context's metadata, replacing any existing.
-	PutMeta(ctx context.Context, meta ContextMeta) error
-	// GetMeta retrieves a context's metadata.
-	GetMeta(ctx context.Context, contextID string) (ContextMeta, error)
-	// DeleteContext removes a context's metadata and all payloads.
+	// PutChunk stores one payload under its content hash. Writing an
+	// existing hash is an idempotent no-op (and freshens its GC age).
+	PutChunk(ctx context.Context, hash string, data []byte) error
+	// GetChunk retrieves one payload by content hash.
+	GetChunk(ctx context.Context, hash string) ([]byte, error)
+	// TouchChunk reports whether the payload exists and, if so, freshens
+	// its GC age so an in-flight publish reusing it is safe from a
+	// concurrent sweep until its manifest lands.
+	TouchChunk(ctx context.Context, hash string) (bool, error)
+
+	// PutManifest stores a context's manifest, replacing any existing one
+	// and adjusting payload refcounts accordingly.
+	PutManifest(ctx context.Context, m Manifest) error
+	// GetManifest retrieves a context's manifest.
+	GetManifest(ctx context.Context, contextID string) (Manifest, error)
+	// DeleteContext drops a context's manifest and decrements the
+	// refcounts of every payload it referenced. Payload bytes are
+	// reclaimed later, by Sweep.
 	DeleteContext(ctx context.Context, contextID string) error
 	// ListContexts returns the stored context ids, sorted.
 	ListContexts(ctx context.Context) ([]string, error)
+
+	// PutFingerprint records one dedup-index entry; GetFingerprint looks
+	// one up (ErrNotFound when absent).
+	PutFingerprint(ctx context.Context, key string, fp Fingerprint) error
+	GetFingerprint(ctx context.Context, key string) (Fingerprint, error)
+
+	// Sweep reclaims payloads referenced by no manifest whose GC age is at
+	// least minAge, and prunes dedup-index entries pointing at reclaimed
+	// payloads. The grace age protects chunks written or touched by a
+	// publish whose manifest has not landed yet.
+	Sweep(ctx context.Context, minAge time.Duration) (SweepResult, error)
+	// Usage reports the store's physical footprint.
+	Usage(ctx context.Context) (Usage, error)
 }
 
 // MemStore is an in-memory Store.
 type MemStore struct {
-	mu     sync.RWMutex
-	chunks map[ChunkKey][]byte
-	metas  map[string]ContextMeta
+	mu        sync.RWMutex
+	chunks    map[string][]byte
+	touched   map[string]time.Time
+	refs      map[string]int
+	manifests map[string]Manifest
+	fps       map[string]Fingerprint
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{chunks: map[ChunkKey][]byte{}, metas: map[string]ContextMeta{}}
+	return &MemStore{
+		chunks:    map[string][]byte{},
+		touched:   map[string]time.Time{},
+		refs:      map[string]int{},
+		manifests: map[string]Manifest{},
+		fps:       map[string]Fingerprint{},
+	}
 }
 
-// Put implements Store.
-func (s *MemStore) Put(_ context.Context, key ChunkKey, data []byte) error {
-	if err := key.validate(); err != nil {
+// PutChunk implements Store.
+func (s *MemStore) PutChunk(_ context.Context, hash string, data []byte) error {
+	if err := validateHash(hash); err != nil {
 		return err
 	}
-	cp := append([]byte{}, data...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.chunks[key] = cp
+	if _, ok := s.chunks[hash]; !ok {
+		s.chunks[hash] = append([]byte{}, data...)
+	}
+	s.touched[hash] = time.Now()
 	return nil
 }
 
-// Get implements Store.
-func (s *MemStore) Get(_ context.Context, key ChunkKey) ([]byte, error) {
-	if err := key.validate(); err != nil {
+// GetChunk implements Store.
+func (s *MemStore) GetChunk(_ context.Context, hash string) ([]byte, error) {
+	if err := validateHash(hash); err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	data, ok := s.chunks[key]
+	data, ok := s.chunks[hash]
 	if !ok {
-		return nil, fmt.Errorf("%w: chunk %+v", ErrNotFound, key)
+		return nil, fmt.Errorf("%w: chunk %s", ErrNotFound, hash)
 	}
 	return append([]byte{}, data...), nil
 }
 
-// PutMeta implements Store.
-func (s *MemStore) PutMeta(_ context.Context, meta ContextMeta) error {
-	if err := meta.Validate(); err != nil {
+// TouchChunk implements Store.
+func (s *MemStore) TouchChunk(_ context.Context, hash string) (bool, error) {
+	if err := validateHash(hash); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.chunks[hash]; !ok {
+		return false, nil
+	}
+	s.touched[hash] = time.Now()
+	return true, nil
+}
+
+// PutManifest implements Store.
+func (s *MemStore) PutManifest(_ context.Context, m Manifest) error {
+	if err := m.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.metas[meta.ContextID] = meta
+	if old, ok := s.manifests[m.Meta.ContextID]; ok {
+		for _, h := range old.AllHashes() {
+			s.refs[h]--
+			if s.refs[h] <= 0 {
+				delete(s.refs, h)
+			}
+		}
+	}
+	for _, h := range m.AllHashes() {
+		s.refs[h]++
+	}
+	s.manifests[m.Meta.ContextID] = m.clone()
 	return nil
 }
 
-// GetMeta implements Store.
-func (s *MemStore) GetMeta(_ context.Context, contextID string) (ContextMeta, error) {
+// GetManifest implements Store.
+func (s *MemStore) GetManifest(_ context.Context, contextID string) (Manifest, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	meta, ok := s.metas[contextID]
+	m, ok := s.manifests[contextID]
 	if !ok {
-		return ContextMeta{}, fmt.Errorf("%w: context %q", ErrNotFound, contextID)
+		return Manifest{}, fmt.Errorf("%w: context %q", ErrNotFound, contextID)
 	}
-	return meta, nil
+	return m.clone(), nil
 }
 
 // DeleteContext implements Store.
 func (s *MemStore) DeleteContext(_ context.Context, contextID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.metas[contextID]; !ok {
+	m, ok := s.manifests[contextID]
+	if !ok {
 		return fmt.Errorf("%w: context %q", ErrNotFound, contextID)
 	}
-	delete(s.metas, contextID)
-	for k := range s.chunks {
-		if k.ContextID == contextID {
-			delete(s.chunks, k)
+	for _, h := range m.AllHashes() {
+		s.refs[h]--
+		if s.refs[h] <= 0 {
+			delete(s.refs, h)
 		}
 	}
+	delete(s.manifests, contextID)
 	return nil
 }
 
@@ -237,155 +376,79 @@ func (s *MemStore) DeleteContext(_ context.Context, contextID string) error {
 func (s *MemStore) ListContexts(_ context.Context) ([]string, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.metas))
-	for id := range s.metas {
+	out := make([]string, 0, len(s.manifests))
+	for id := range s.manifests {
 		out = append(out, id)
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// FileStore is a filesystem-backed Store: one directory per context
-// (name-encoded), holding meta.json and one file per (level, chunk).
-type FileStore struct {
-	root string
-	mu   sync.RWMutex
-}
-
-// NewFileStore creates (if needed) and opens a store rooted at dir.
-func NewFileStore(dir string) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("storage: creating root: %w", err)
+// PutFingerprint implements Store.
+func (s *MemStore) PutFingerprint(_ context.Context, key string, fp Fingerprint) error {
+	if err := validateFingerprintKey(key); err != nil {
+		return err
 	}
-	return &FileStore{root: dir}, nil
-}
-
-var pathEnc = base32.StdEncoding.WithPadding(base32.NoPadding)
-
-func encodeID(id string) string { return pathEnc.EncodeToString([]byte(id)) }
-func decodeID(name string) (string, error) {
-	raw, err := pathEnc.DecodeString(strings.ToUpper(name))
-	if err != nil {
-		return "", err
-	}
-	return string(raw), nil
-}
-
-func (s *FileStore) contextDir(id string) string { return filepath.Join(s.root, encodeID(id)) }
-
-func (s *FileStore) chunkPath(key ChunkKey) string {
-	level := fmt.Sprintf("L%d", key.Level)
-	if key.Level == TextLevel {
-		level = "text"
-	}
-	return filepath.Join(s.contextDir(key.ContextID), fmt.Sprintf("%s-%06d.bin", level, key.Chunk))
-}
-
-// Put implements Store.
-func (s *FileStore) Put(_ context.Context, key ChunkKey, data []byte) error {
-	if err := key.validate(); err != nil {
+	if err := validateHash(fp.Hash); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	dir := s.contextDir(key.ContextID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	tmp := s.chunkPath(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	return os.Rename(tmp, s.chunkPath(key))
+	s.fps[key] = fp
+	return nil
 }
 
-// Get implements Store.
-func (s *FileStore) Get(_ context.Context, key ChunkKey) ([]byte, error) {
-	if err := key.validate(); err != nil {
-		return nil, err
+// GetFingerprint implements Store.
+func (s *MemStore) GetFingerprint(_ context.Context, key string) (Fingerprint, error) {
+	if err := validateFingerprintKey(key); err != nil {
+		return Fingerprint{}, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	data, err := os.ReadFile(s.chunkPath(key))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: chunk %+v", ErrNotFound, key)
+	fp, ok := s.fps[key]
+	if !ok {
+		return Fingerprint{}, fmt.Errorf("%w: fingerprint %s", ErrNotFound, key)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("storage: %w", err)
-	}
-	return data, nil
+	return fp, nil
 }
 
-// PutMeta implements Store.
-func (s *FileStore) PutMeta(_ context.Context, meta ContextMeta) error {
-	if err := meta.Validate(); err != nil {
-		return err
-	}
+// Sweep implements Store.
+func (s *MemStore) Sweep(_ context.Context, minAge time.Duration) (SweepResult, error) {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	dir := s.contextDir(meta.ContextID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	data, err := json.MarshalIndent(meta, "", "  ")
-	if err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	tmp := filepath.Join(dir, "meta.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: %w", err)
-	}
-	return os.Rename(tmp, filepath.Join(dir, "meta.json"))
-}
-
-// GetMeta implements Store.
-func (s *FileStore) GetMeta(_ context.Context, contextID string) (ContextMeta, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	data, err := os.ReadFile(filepath.Join(s.contextDir(contextID), "meta.json"))
-	if errors.Is(err, os.ErrNotExist) {
-		return ContextMeta{}, fmt.Errorf("%w: context %q", ErrNotFound, contextID)
-	}
-	if err != nil {
-		return ContextMeta{}, fmt.Errorf("storage: %w", err)
-	}
-	var meta ContextMeta
-	if err := json.Unmarshal(data, &meta); err != nil {
-		return ContextMeta{}, fmt.Errorf("storage: corrupt meta for %q: %w", contextID, err)
-	}
-	return meta, nil
-}
-
-// DeleteContext implements Store.
-func (s *FileStore) DeleteContext(_ context.Context, contextID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dir := s.contextDir(contextID)
-	if _, err := os.Stat(dir); errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("%w: context %q", ErrNotFound, contextID)
-	}
-	return os.RemoveAll(dir)
-}
-
-// ListContexts implements Store.
-func (s *FileStore) ListContexts(_ context.Context) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	entries, err := os.ReadDir(s.root)
-	if err != nil {
-		return nil, fmt.Errorf("storage: %w", err)
-	}
-	var out []string
-	for _, e := range entries {
-		if !e.IsDir() {
+	var res SweepResult
+	for hash, data := range s.chunks {
+		res.ScannedChunks++
+		if s.refs[hash] > 0 {
 			continue
 		}
-		id, err := decodeID(e.Name())
-		if err != nil {
-			continue // foreign directory; ignore
+		if now.Sub(s.touched[hash]) < minAge {
+			continue
 		}
-		out = append(out, id)
+		res.RemovedChunks++
+		res.ReclaimedBytes += int64(len(data))
+		res.RemovedHashes = append(res.RemovedHashes, hash)
+		delete(s.chunks, hash)
+		delete(s.touched, hash)
 	}
-	sort.Strings(out)
-	return out, nil
+	for key, fp := range s.fps {
+		if _, ok := s.chunks[fp.Hash]; !ok {
+			delete(s.fps, key)
+			res.PrunedFingerprints++
+		}
+	}
+	sort.Strings(res.RemovedHashes)
+	return res, nil
+}
+
+// Usage implements Store.
+func (s *MemStore) Usage(_ context.Context) (Usage, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u := Usage{Manifests: len(s.manifests), Chunks: len(s.chunks)}
+	for _, data := range s.chunks {
+		u.ChunkBytes += int64(len(data))
+	}
+	return u, nil
 }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"testing"
+	"time"
 )
 
 func testMeta(id string) ContextMeta {
@@ -19,67 +21,99 @@ func testMeta(id string) ContextMeta {
 	}
 }
 
+// testManifest builds a manifest over synthetic payloads derived from the
+// context id and stores those payloads in s, so refcounts are realistic.
+func testManifest(t *testing.T, s Store, id string) Manifest {
+	t.Helper()
+	ctx := context.Background()
+	meta := testMeta(id)
+	m := Manifest{Meta: meta, Hashes: map[int][]string{}}
+	for _, lv := range []int{0, 1, TextLevel} {
+		row := make([]string, meta.NumChunks())
+		for c := range row {
+			payload := []byte(fmt.Sprintf("%s|%d|%d", id, lv, c))
+			h := HashChunk(payload)
+			if err := s.PutChunk(ctx, h, payload); err != nil {
+				t.Fatalf("PutChunk: %v", err)
+			}
+			row[c] = h
+		}
+		m.Hashes[lv] = row
+	}
+	return m
+}
+
 // storeTest exercises a Store implementation through its full lifecycle.
 func storeTest(t *testing.T, s Store) {
 	t.Helper()
 	ctx := context.Background()
 
-	// Missing things are ErrNotFound.
-	if _, err := s.Get(ctx, ChunkKey{"nope", 0, 0}); !errors.Is(err, ErrNotFound) {
-		t.Errorf("Get missing: %v", err)
+	missingHash := HashChunk([]byte("missing"))
+	if _, err := s.GetChunk(ctx, missingHash); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetChunk missing: %v", err)
 	}
-	if _, err := s.GetMeta(ctx, "nope"); !errors.Is(err, ErrNotFound) {
-		t.Errorf("GetMeta missing: %v", err)
+	if ok, err := s.TouchChunk(ctx, missingHash); err != nil || ok {
+		t.Errorf("TouchChunk missing = %v, %v", ok, err)
+	}
+	if _, err := s.GetManifest(ctx, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetManifest missing: %v", err)
 	}
 	if err := s.DeleteContext(ctx, "nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("DeleteContext missing: %v", err)
 	}
+	if _, err := s.GetFingerprint(ctx, "ab12"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("GetFingerprint missing: %v", err)
+	}
 
-	// Put/Get round trip, including the text pseudo-level.
+	// Chunk round trip; PutChunk is idempotent.
 	payload := []byte{1, 2, 3, 4, 5}
-	keys := []ChunkKey{
-		{"ctx/a with spaces", 0, 0},
-		{"ctx/a with spaces", 1, 1},
-		{"ctx/a with spaces", 0, TextLevel},
-	}
-	for _, k := range keys {
-		if err := s.Put(ctx, k, payload); err != nil {
-			t.Fatalf("Put(%+v): %v", k, err)
+	hash := HashChunk(payload)
+	for i := 0; i < 2; i++ {
+		if err := s.PutChunk(ctx, hash, payload); err != nil {
+			t.Fatalf("PutChunk (round %d): %v", i, err)
 		}
 	}
-	for _, k := range keys {
-		got, err := s.Get(ctx, k)
-		if err != nil {
-			t.Fatalf("Get(%+v): %v", k, err)
-		}
-		if !bytes.Equal(got, payload) {
-			t.Fatalf("Get(%+v) = %v", k, got)
-		}
+	got, err := s.GetChunk(ctx, hash)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("GetChunk = %v, %v", got, err)
 	}
-
-	// Returned data must be a copy.
-	got, _ := s.Get(ctx, keys[0])
+	// Returned data must be a copy (MemStore) or a fresh read (FileStore).
 	got[0] = 99
-	again, _ := s.Get(ctx, keys[0])
+	again, _ := s.GetChunk(ctx, hash)
 	if again[0] == 99 {
-		t.Error("Get returns aliased data")
+		t.Error("GetChunk returns aliased data")
+	}
+	if ok, err := s.TouchChunk(ctx, hash); err != nil || !ok {
+		t.Errorf("TouchChunk existing = %v, %v", ok, err)
 	}
 
-	// Meta round trip.
-	meta := testMeta("ctx/a with spaces")
-	if err := s.PutMeta(ctx, meta); err != nil {
-		t.Fatalf("PutMeta: %v", err)
+	// Manifest round trip (context ids with awkward characters included).
+	m := testManifest(t, s, "ctx/a with spaces")
+	if err := s.PutManifest(ctx, m); err != nil {
+		t.Fatalf("PutManifest: %v", err)
 	}
-	gotMeta, err := s.GetMeta(ctx, meta.ContextID)
+	gm, err := s.GetManifest(ctx, "ctx/a with spaces")
 	if err != nil {
-		t.Fatalf("GetMeta: %v", err)
+		t.Fatalf("GetManifest: %v", err)
 	}
-	if gotMeta.TokenCount != 250 || gotMeta.NumChunks() != 3 || gotMeta.Levels != 2 {
-		t.Errorf("meta mismatch: %+v", gotMeta)
+	if gm.Meta.TokenCount != 250 || gm.Meta.NumChunks() != 3 || gm.Meta.Levels != 2 {
+		t.Errorf("manifest meta mismatch: %+v", gm.Meta)
+	}
+	if h, err := gm.ChunkHash(TextLevel, 2); err != nil || h != m.Hashes[TextLevel][2] {
+		t.Errorf("ChunkHash = %q, %v", h, err)
+	}
+
+	// Fingerprint round trip.
+	fp := Fingerprint{Hash: hash, Bytes: int64(len(payload))}
+	if err := s.PutFingerprint(ctx, "ab12cd", fp); err != nil {
+		t.Fatalf("PutFingerprint: %v", err)
+	}
+	if got, err := s.GetFingerprint(ctx, "ab12cd"); err != nil || got != fp {
+		t.Errorf("GetFingerprint = %+v, %v", got, err)
 	}
 
 	// Listing.
-	if err := s.PutMeta(ctx, testMeta("ctx/b")); err != nil {
+	if err := s.PutManifest(ctx, testManifest(t, s, "ctx/b")); err != nil {
 		t.Fatal(err)
 	}
 	ids, err := s.ListContexts(ctx)
@@ -90,15 +124,15 @@ func storeTest(t *testing.T, s Store) {
 		t.Errorf("ListContexts = %v", ids)
 	}
 
-	// Delete removes meta and chunks.
+	// Delete drops the manifest; payloads survive until a sweep.
 	if err := s.DeleteContext(ctx, "ctx/a with spaces"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Get(ctx, keys[0]); !errors.Is(err, ErrNotFound) {
-		t.Error("chunk survived DeleteContext")
+	if _, err := s.GetManifest(ctx, "ctx/a with spaces"); !errors.Is(err, ErrNotFound) {
+		t.Error("manifest survived DeleteContext")
 	}
-	if _, err := s.GetMeta(ctx, "ctx/a with spaces"); !errors.Is(err, ErrNotFound) {
-		t.Error("meta survived DeleteContext")
+	if _, err := s.GetChunk(ctx, m.Hashes[0][0]); err != nil {
+		t.Errorf("payload reclaimed before sweep: %v", err)
 	}
 	ids, _ = s.ListContexts(ctx)
 	if len(ids) != 1 {
@@ -106,23 +140,145 @@ func storeTest(t *testing.T, s Store) {
 	}
 
 	// Validation.
-	if err := s.Put(ctx, ChunkKey{"", 0, 0}, payload); err == nil {
-		t.Error("Put accepted empty context id")
+	if err := s.PutChunk(ctx, "short", payload); err == nil {
+		t.Error("PutChunk accepted malformed hash")
 	}
-	if err := s.Put(ctx, ChunkKey{"x", -1, 0}, payload); err == nil {
-		t.Error("Put accepted negative chunk")
+	if err := s.PutChunk(ctx, "ZZ"+hash[2:], payload); err == nil {
+		t.Error("PutChunk accepted non-hex hash")
 	}
-	if err := s.Put(ctx, ChunkKey{"x", 0, -2}, payload); err == nil {
-		t.Error("Put accepted invalid level")
+	bad := m
+	bad.Meta.TokenCount = 1
+	if err := s.PutManifest(ctx, bad); err == nil {
+		t.Error("PutManifest accepted inconsistent token count")
 	}
-	bad := testMeta("bad")
-	bad.TokenCount = 1
-	if err := s.PutMeta(ctx, bad); err == nil {
-		t.Error("PutMeta accepted inconsistent token count")
+	if err := s.PutFingerprint(ctx, "../evil", fp); err == nil {
+		t.Error("PutFingerprint accepted path-escaping key")
 	}
 }
 
-func TestMemStore(t *testing.T) { storeTest(t, NewMemStore()) }
+// sweepTest exercises refcounted GC on a Store implementation.
+func sweepTest(t *testing.T, s Store) {
+	t.Helper()
+	ctx := context.Background()
+
+	// Two contexts sharing chunk payloads where their ids collide in the
+	// synthetic payload scheme — build explicit overlap instead: B's level
+	// rows reuse A's chunk 0 payloads.
+	a := testManifest(t, s, "gc/a")
+	if err := s.PutManifest(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	b := testManifest(t, s, "gc/b")
+	for _, lv := range []int{0, 1, TextLevel} {
+		b.Hashes[lv][0] = a.Hashes[lv][0] // shared prefix chunk
+	}
+	if err := s.PutManifest(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan payload no manifest references, plus a fingerprint to it.
+	orphan := []byte("orphan payload")
+	orphanHash := HashChunk(orphan)
+	if err := s.PutChunk(ctx, orphanHash, orphan); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFingerprint(ctx, "aaaa01", Fingerprint{Hash: orphanHash, Bytes: int64(len(orphan))}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A grace-age sweep must not reclaim the freshly written orphan.
+	res, err := s.Sweep(ctx, time.Hour)
+	if err != nil {
+		t.Fatalf("graceful sweep: %v", err)
+	}
+	if res.RemovedChunks != 0 {
+		t.Errorf("grace sweep reclaimed %d young chunks", res.RemovedChunks)
+	}
+
+	// An immediate sweep reclaims the orphan (and its fingerprint) plus
+	// the three gc/b chunk-0 payloads orphaned when B adopted A's hashes.
+	res, err = s.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if res.RemovedChunks != 4 || res.ReclaimedBytes < int64(len(orphan)) {
+		t.Errorf("sweep = %+v, want 4 chunks", res)
+	}
+	if res.PrunedFingerprints != 1 {
+		t.Errorf("sweep pruned %d fingerprints, want 1", res.PrunedFingerprints)
+	}
+	if _, err := s.GetChunk(ctx, orphanHash); !errors.Is(err, ErrNotFound) {
+		t.Error("orphan survived sweep")
+	}
+
+	// Delete A: its unique payloads become garbage, shared ones survive
+	// through B's references.
+	if err := s.DeleteContext(ctx, "gc/a"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Usage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A had 3 chunks × 3 levels = 9 payloads; chunk 0's three are shared.
+	if res.RemovedChunks != 6 {
+		t.Errorf("sweep after delete reclaimed %d chunks, want 6", res.RemovedChunks)
+	}
+	after, err := s.Usage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Chunks != before.Chunks-6 || after.ChunkBytes >= before.ChunkBytes {
+		t.Errorf("usage before %+v after %+v", before, after)
+	}
+	// B must be fully intact, including the shared chunk 0 payloads.
+	gb, err := s.GetManifest(ctx, "gc/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lv := range []int{0, 1, TextLevel} {
+		for c := 0; c < gb.Meta.NumChunks(); c++ {
+			h, err := gb.ChunkHash(lv, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.GetChunk(ctx, h); err != nil {
+				t.Errorf("surviving context lost chunk (lv %d, c %d): %v", lv, c, err)
+			}
+		}
+	}
+
+	// Replacing a manifest (the append path) releases the references of
+	// the version it replaces.
+	b2 := gb
+	b2.Hashes = map[int][]string{}
+	for lv, row := range gb.Hashes {
+		b2.Hashes[lv] = append([]string{}, row...)
+	}
+	repl := []byte("replacement payload")
+	replHash := HashChunk(repl)
+	if err := s.PutChunk(ctx, replHash, repl); err != nil {
+		t.Fatal(err)
+	}
+	oldHash := b2.Hashes[0][2]
+	b2.Hashes[0][2] = replHash
+	if err := s.PutManifest(ctx, b2); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedChunks != 1 || res.RemovedHashes[0] != oldHash {
+		t.Errorf("replacement sweep = %+v, want exactly %s", res, oldHash)
+	}
+}
+
+func TestMemStore(t *testing.T)      { storeTest(t, NewMemStore()) }
+func TestMemStoreSweep(t *testing.T) { sweepTest(t, NewMemStore()) }
 
 func TestFileStore(t *testing.T) {
 	s, err := NewFileStore(t.TempDir())
@@ -132,6 +288,14 @@ func TestFileStore(t *testing.T) {
 	storeTest(t, s)
 }
 
+func TestFileStoreSweep(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepTest(t, s)
+}
+
 func TestFileStorePersistsAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
@@ -139,49 +303,62 @@ func TestFileStorePersistsAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := ChunkKey{"persist", 0, 1}
-	if err := s1.Put(ctx, key, []byte("hello")); err != nil {
+	m := testManifest(t, s1, "persist")
+	if err := s1.PutManifest(ctx, m); err != nil {
 		t.Fatal(err)
 	}
-	if err := s1.PutMeta(ctx, ContextMeta{
-		ContextID: "persist", TokenCount: 10, ChunkTokens: []int{10},
-		Levels: 2, SizesBytes: [][]int64{{5}, {3}},
-	}); err != nil {
+	orphan := []byte("reopen orphan")
+	if err := s1.PutChunk(ctx, HashChunk(orphan), orphan); err != nil {
 		t.Fatal(err)
 	}
 
+	// Refcounts are derived from manifests at open: after reopen, a sweep
+	// must reclaim exactly the orphan and keep every referenced payload.
 	s2, err := NewFileStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := s2.Get(ctx, key)
-	if err != nil || string(data) != "hello" {
-		t.Errorf("reopened Get = %q, %v", data, err)
+	gm, err := s2.GetManifest(ctx, "persist")
+	if err != nil || gm.Meta.TokenCount != 250 {
+		t.Fatalf("reopened GetManifest = %+v, %v", gm.Meta, err)
 	}
-	ids, err := s2.ListContexts(ctx)
-	if err != nil || len(ids) != 1 || ids[0] != "persist" {
-		t.Errorf("reopened ListContexts = %v, %v", ids, err)
+	res, err := s2.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedChunks != 1 || res.RemovedHashes[0] != HashChunk(orphan) {
+		t.Errorf("reopened sweep = %+v, want only the orphan", res)
+	}
+	for _, lv := range []int{0, 1, TextLevel} {
+		for c := 0; c < 3; c++ {
+			h, _ := gm.ChunkHash(lv, c)
+			if _, err := s2.GetChunk(ctx, h); err != nil {
+				t.Errorf("referenced chunk (lv %d, c %d) lost across reopen: %v", lv, c, err)
+			}
+		}
 	}
 }
 
-func TestMetaValidate(t *testing.T) {
-	good := testMeta("x")
+func TestManifestValidate(t *testing.T) {
+	s := NewMemStore()
+	good := testManifest(t, s, "x")
 	if err := good.Validate(); err != nil {
-		t.Errorf("valid meta rejected: %v", err)
+		t.Errorf("valid manifest rejected: %v", err)
 	}
-	cases := []func(*ContextMeta){
-		func(m *ContextMeta) { m.ContextID = "" },
-		func(m *ContextMeta) { m.Levels = 0 },
-		func(m *ContextMeta) { m.SizesBytes = m.SizesBytes[:1] },
-		func(m *ContextMeta) { m.ChunkTokens[0] = 0 },
-		func(m *ContextMeta) { m.SizesBytes[0] = m.SizesBytes[0][:1] },
-		func(m *ContextMeta) { m.TextBytes = m.TextBytes[:1] },
+	cases := []func(*Manifest){
+		func(m *Manifest) { m.Meta.ContextID = "" },
+		func(m *Manifest) { m.Meta.Levels = 0 },
+		func(m *Manifest) { delete(m.Hashes, 1) },
+		func(m *Manifest) { m.Hashes[0] = m.Hashes[0][:1] },
+		func(m *Manifest) { m.Hashes[0][0] = "nothex" },
+		func(m *Manifest) { delete(m.Hashes, TextLevel) },
+		func(m *Manifest) { m.ChainDigests = []string{"one"} },
 	}
 	for i, mutate := range cases {
-		m := testMeta("x")
+		m := testManifest(t, s, "x")
 		mutate(&m)
 		if err := m.Validate(); err == nil {
-			t.Errorf("case %d: invalid meta accepted", i)
+			t.Errorf("case %d: invalid manifest accepted", i)
 		}
 	}
 }

@@ -12,17 +12,17 @@ import (
 	"repro/internal/tensor"
 )
 
-// ChunkSource is anything that can serve a context's metadata and chunk
+// ChunkSource is anything that can serve a context's manifest and chunk
 // payloads: a transport.Client connected to one storage server, or a
 // cluster.Pool fanning requests out across a consistent-hash ring of
-// them. The Fetcher streams through this interface, so the adaptation
-// logic is identical for a single node and a fleet.
+// them. Payloads are addressed by content hash — the manifest is the
+// only name→content indirection — so the adaptation logic is identical
+// for a single node and a fleet.
 type ChunkSource interface {
-	// GetMeta fetches a context's metadata.
-	GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error)
-	// GetChunk fetches one chunk payload at the given level
-	// (storage.TextLevel fetches the token text).
-	GetChunk(ctx context.Context, contextID string, chunk, level int) ([]byte, error)
+	// GetManifest fetches a context's manifest (hashes + metadata).
+	GetManifest(ctx context.Context, contextID string) (storage.Manifest, error)
+	// GetChunkData fetches one payload by content hash.
+	GetChunkData(ctx context.Context, hash string) ([]byte, error)
 }
 
 // Fetcher streams a context's KV cache from a live chunk source:
@@ -30,7 +30,7 @@ type ChunkSource interface {
 // (§6), and text-fallback recompute through the model. It produces the
 // reassembled KV cache ready for generate_with_kv.
 type Fetcher struct {
-	// Source serves metadata and chunks (a transport.Client or a
+	// Source serves manifests and chunks (a transport.Client or a
 	// cluster.Pool).
 	Source ChunkSource
 	// Codec decodes chunk bitstreams (its bank must match the model).
@@ -54,15 +54,19 @@ type FetchReport struct {
 	// being assembled (TTFT minus the prompt prefill, which the caller
 	// performs).
 	LoadTime time.Duration
-	// Decisions records the per-chunk configuration choices.
+	// Decisions records the per-chunk configuration choices (cold chunks
+	// only; resident chunks are not fetched).
 	Decisions []ChunkDecision
 	// BytesReceived is the total payload size fetched.
 	BytesReceived int64
+	// ResidentTokens is the prefix served from the caller's resident KV
+	// instead of the network (FetchFrom); 0 for a cold fetch.
+	ResidentTokens int
 }
 
 type decodeJob struct {
-	idx     int
-	offset  int
+	idx     int // absolute chunk index
+	offset  int // absolute token offset
 	tokens  int
 	choice  Choice
 	payload []byte
@@ -71,6 +75,16 @@ type decodeJob struct {
 // Fetch retrieves and reassembles the KV cache of contextID. Decoding of
 // chunk i−1 overlaps the transfer of chunk i via a pipeline goroutine.
 func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *FetchReport, error) {
+	return f.FetchFrom(ctx, contextID, nil)
+}
+
+// FetchFrom is Fetch for a caller that already holds an exact KV prefix
+// of the context — a chat session resuming with the previous turns
+// resident. Only the cold suffix chunks are fetched and decoded; the
+// resident prefix is adopted as-is (whole chunks only: a prefix ending
+// mid-chunk refetches that chunk). With the whole context resident, no
+// chunk moves at all and the call costs one manifest round trip.
+func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *tensor.KV) (*tensor.KV, *FetchReport, error) {
 	if f.Source == nil || f.Codec == nil || f.Model == nil {
 		return nil, nil, fmt.Errorf("streamer: Fetcher needs Source, Codec and Model")
 	}
@@ -78,31 +92,59 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 	if !f.Start.IsZero() {
 		start = f.Start
 	}
-	meta, err := f.Source.GetMeta(ctx, contextID)
+	man, err := f.Source.GetManifest(ctx, contextID)
 	if err != nil {
-		return nil, nil, fmt.Errorf("streamer: fetching meta: %w", err)
+		return nil, nil, fmt.Errorf("streamer: fetching manifest: %w", err)
 	}
+	meta := man.Meta
 	infos, err := BuildChunkInfos(meta, f.Model.Config(), f.Device, 1)
 	if err != nil {
 		return nil, nil, fmt.Errorf("streamer: %w", err)
 	}
 
+	// Resolve how much of the resident prefix is usable: whole chunks.
+	fromChunk, prefixTokens := 0, 0
+	if resident != nil {
+		if resident.Tokens > meta.TokenCount {
+			return nil, nil, fmt.Errorf("streamer: resident cache has %d tokens, context %q has %d",
+				resident.Tokens, contextID, meta.TokenCount)
+		}
+		for fromChunk < len(infos) && prefixTokens+infos[fromChunk].Tokens <= resident.Tokens {
+			prefixTokens += infos[fromChunk].Tokens
+			fromChunk++
+		}
+	}
+	report := &FetchReport{ResidentTokens: prefixTokens}
+	var prefix *tensor.KV
+	if prefixTokens > 0 {
+		prefix, err = resident.SliceTokens(0, prefixTokens)
+		if err != nil {
+			return nil, nil, fmt.Errorf("streamer: %w", err)
+		}
+	}
+	if fromChunk == len(infos) {
+		// Fully resident: nothing to stream.
+		report.LoadTime = time.Since(start)
+		return prefix, report, nil
+	}
+	suffixInfos := infos[fromChunk:]
+
 	// Decode pipeline: a single worker consumes chunks in order (text
 	// recompute depends on the previous chunks' KV).
-	jobs := make(chan decodeJob, len(infos))
-	parts := make([]*tensor.KV, len(infos))
+	jobs := make(chan decodeJob, len(suffixInfos))
+	parts := make([]*tensor.KV, len(suffixInfos))
 	decodeErr := make(chan error, 1)
 	go func() {
 		defer close(decodeErr)
-		var assembled *tensor.KV // concatenation of parts decoded so far
-		var assembledTokens int
+		assembled := prefix // concatenation of resident prefix + parts decoded so far
+		assembledTokens := prefixTokens
 		for job := range jobs {
 			part, err := f.decodeOne(job, assembled, assembledTokens)
 			if err != nil {
 				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", job.idx, err)
 				return
 			}
-			parts[job.idx] = part
+			parts[job.idx-fromChunk] = part
 			if assembled == nil {
 				assembled = part
 			} else {
@@ -116,15 +158,15 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 		}
 	}()
 
-	report := &FetchReport{}
 	var throughput float64
-	offset := 0
+	offset := prefixTokens
 	fetchFailed := func(err error) (*tensor.KV, *FetchReport, error) {
 		close(jobs)
 		<-decodeErr // drain the worker
 		return nil, nil, err
 	}
-	for i, info := range infos {
+	for si, info := range suffixInfos {
+		i := fromChunk + si
 		// An abandoned request (deadline hit, user gone) must stop issuing
 		// chunk fetches, not stream the rest of the context to a caller
 		// that will discard it.
@@ -132,7 +174,7 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 			return fetchFailed(fmt.Errorf("streamer: cancelled before chunk %d: %w", i, err))
 		}
 		elapsed := time.Since(start)
-		choice, err := f.Planner.Choose(i, elapsed, throughput, infos)
+		choice, err := f.Planner.Choose(si, elapsed, throughput, suffixInfos)
 		if err != nil {
 			return fetchFailed(fmt.Errorf("streamer: %w", err))
 		}
@@ -140,8 +182,12 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 		if choice.Text {
 			level = storage.TextLevel
 		}
+		hash, err := man.ChunkHash(level, i)
+		if err != nil {
+			return fetchFailed(fmt.Errorf("streamer: %w", err))
+		}
 		reqStart := time.Now()
-		payload, err := f.Source.GetChunk(ctx, contextID, i, level)
+		payload, err := f.Source.GetChunkData(ctx, hash)
 		if err != nil {
 			return fetchFailed(fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err))
 		}
@@ -160,7 +206,12 @@ func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *Fet
 		return nil, nil, err
 	}
 
-	kv, err := tensor.ConcatTokens(parts...)
+	all := make([]*tensor.KV, 0, len(parts)+1)
+	if prefix != nil {
+		all = append(all, prefix)
+	}
+	all = append(all, parts...)
+	kv, err := tensor.ConcatTokens(all...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("streamer: reassembling: %w", err)
 	}

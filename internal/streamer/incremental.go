@@ -26,6 +26,7 @@ type IncrementalFetch struct {
 
 	fetcher   *Fetcher
 	contextID string
+	manifest  storage.Manifest
 	target    core.Level
 	chunks    []*core.Chunk
 }
@@ -38,8 +39,12 @@ func (inc *IncrementalFetch) Upgrade(ctx context.Context) (*tensor.KV, *FetchRep
 	report := &FetchReport{}
 	parts := make([]*tensor.KV, len(inc.chunks))
 	for i, base := range inc.chunks {
+		hash, err := inc.manifest.ChunkHash(storage.RefineLevelKey(int(inc.target)), i)
+		if err != nil {
+			return nil, nil, fmt.Errorf("streamer: %w", err)
+		}
 		reqStart := time.Now()
-		payload, err := inc.fetcher.Source.GetChunk(ctx, inc.contextID, i, storage.RefineLevelKey(int(inc.target)))
+		payload, err := inc.fetcher.Source.GetChunkData(ctx, hash)
 		if err != nil {
 			return nil, nil, fmt.Errorf("streamer: fetching refinement chunk %d: %w", i, err)
 		}
@@ -72,10 +77,11 @@ func (f *Fetcher) FetchIncremental(ctx context.Context, contextID string, target
 		return nil, fmt.Errorf("streamer: Fetcher needs Source and Codec")
 	}
 	start := time.Now()
-	meta, err := f.Source.GetMeta(ctx, contextID)
+	man, err := f.Source.GetManifest(ctx, contextID)
 	if err != nil {
-		return nil, fmt.Errorf("streamer: fetching meta: %w", err)
+		return nil, fmt.Errorf("streamer: fetching manifest: %w", err)
 	}
+	meta := man.Meta
 	available := false
 	for _, t := range meta.RefineTargets {
 		if t == int(target) {
@@ -94,8 +100,12 @@ func (f *Fetcher) FetchIncremental(ctx context.Context, contextID string, target
 	parts := make([]*tensor.KV, meta.NumChunks())
 	offset := 0
 	for i := 0; i < meta.NumChunks(); i++ {
+		hash, err := man.ChunkHash(coarsest, i)
+		if err != nil {
+			return nil, fmt.Errorf("streamer: %w", err)
+		}
 		reqStart := time.Now()
-		payload, err := f.Source.GetChunk(ctx, contextID, i, coarsest)
+		payload, err := f.Source.GetChunkData(ctx, hash)
 		if err != nil {
 			return nil, fmt.Errorf("streamer: fetching base chunk %d: %w", i, err)
 		}
@@ -125,6 +135,7 @@ func (f *Fetcher) FetchIncremental(ctx context.Context, contextID string, target
 		BaseReport: report,
 		fetcher:    f,
 		contextID:  contextID,
+		manifest:   man,
 		target:     target,
 		chunks:     chunks,
 	}, nil

@@ -10,29 +10,32 @@ import (
 )
 
 // incStack publishes a context with refinement targets and returns the
-// stack plus the published meta.
-func incStack(t *testing.T, targets []core.Level) (*testStack, storage.ContextMeta) {
+// stack plus the published manifest.
+func incStack(t *testing.T, targets []core.Level) (*testStack, storage.Manifest) {
 	t.Helper()
 	s := newStack(t)
-	meta, err := Publish(context.Background(), s.store, s.codec, s.model, "inc-1", s.tokens,
+	man, _, err := Publish(context.Background(), s.store, s.codec, s.model, "inc-1", s.tokens,
 		PublishOptions{KV: s.kv, RefineTargets: targets})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s, meta
+	return s, man
 }
 
 func TestPublishWithRefinements(t *testing.T) {
-	s, meta := incStack(t, []core.Level{0, 1})
+	s, man := incStack(t, []core.Level{0, 1})
+	meta := man.Meta
 	if len(meta.RefineTargets) != 2 || meta.RefineTargets[0] != 0 || meta.RefineTargets[1] != 1 {
 		t.Fatalf("RefineTargets = %v", meta.RefineTargets)
 	}
 	ctx := context.Background()
 	for ti, target := range meta.RefineTargets {
 		for c := 0; c < meta.NumChunks(); c++ {
-			data, err := s.store.Get(ctx, storage.ChunkKey{
-				ContextID: "inc-1", Chunk: c, Level: storage.RefineLevelKey(target),
-			})
+			hash, err := man.ChunkHash(storage.RefineLevelKey(target), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := s.store.GetChunk(ctx, hash)
 			if err != nil {
 				t.Fatalf("refinement chunk %d target L%d missing: %v", c, target, err)
 			}
@@ -57,7 +60,7 @@ func TestPublishRejectsBadRefineTargets(t *testing.T) {
 	s := newStack(t)
 	coarsest := core.Level(s.codec.Config().Levels() - 1)
 	for _, target := range []core.Level{coarsest, coarsest + 1, -1} {
-		_, err := Publish(context.Background(), s.store, s.codec, s.model, "bad", s.tokens,
+		_, _, err := Publish(context.Background(), s.store, s.codec, s.model, "bad", s.tokens,
 			PublishOptions{KV: s.kv, RefineTargets: []core.Level{target}})
 		if err == nil {
 			t.Errorf("accepted refinement target %d", target)
@@ -66,7 +69,8 @@ func TestPublishRejectsBadRefineTargets(t *testing.T) {
 }
 
 func TestFetchIncremental(t *testing.T) {
-	s, meta := incStack(t, []core.Level{0})
+	s, man := incStack(t, []core.Level{0})
+	meta := man.Meta
 	f := &Fetcher{
 		Source:  s.client,
 		Codec:   s.codec,

@@ -22,6 +22,7 @@ type testStack struct {
 	store  *storage.MemStore
 	tokens []llm.Token
 	kv     *tensor.KV
+	man    storage.Manifest
 	meta   storage.ContextMeta
 	client *transport.Client
 }
@@ -56,7 +57,7 @@ func newStack(t *testing.T) *testStack {
 	kv := model.CalculateKV(tokens)
 
 	store := storage.NewMemStore()
-	meta, err := Publish(context.Background(), store, codec, model, "ctx-1", tokens, PublishOptions{KV: kv})
+	man, _, err := Publish(context.Background(), store, codec, model, "ctx-1", tokens, PublishOptions{KV: kv})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func newStack(t *testing.T) *testStack {
 	}
 	t.Cleanup(func() { client.Close() })
 
-	return &testStack{model: model, codec: codec, store: store, tokens: tokens, kv: kv, meta: meta, client: client}
+	return &testStack{model: model, codec: codec, store: store, tokens: tokens, kv: kv, man: man, meta: man.Meta, client: client}
 }
 
 func TestPublishStoresAllArtifacts(t *testing.T) {
@@ -85,15 +86,26 @@ func TestPublishStoresAllArtifacts(t *testing.T) {
 	}
 	for c := 0; c < s.meta.NumChunks(); c++ {
 		for lv := 0; lv < s.meta.Levels; lv++ {
-			data, err := s.store.Get(ctx, storage.ChunkKey{ContextID: "ctx-1", Chunk: c, Level: lv})
+			hash, err := s.man.ChunkHash(lv, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := s.store.GetChunk(ctx, hash)
 			if err != nil {
 				t.Fatalf("chunk %d level %d missing: %v", c, lv, err)
+			}
+			if storage.HashChunk(data) != hash {
+				t.Errorf("chunk %d level %d stored under wrong content address", c, lv)
 			}
 			if int64(len(data)) != s.meta.SizesBytes[lv][c] {
 				t.Errorf("chunk %d level %d size %d != meta %d", c, lv, len(data), s.meta.SizesBytes[lv][c])
 			}
 		}
-		if _, err := s.store.Get(ctx, storage.ChunkKey{ContextID: "ctx-1", Chunk: c, Level: storage.TextLevel}); err != nil {
+		hash, err := s.man.ChunkHash(storage.TextLevel, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.store.GetChunk(ctx, hash); err != nil {
 			t.Errorf("text chunk %d missing: %v", c, err)
 		}
 	}
@@ -113,11 +125,11 @@ func TestPublishStoresAllArtifacts(t *testing.T) {
 func TestPublishValidation(t *testing.T) {
 	s := newStack(t)
 	ctx := context.Background()
-	if _, err := Publish(ctx, s.store, s.codec, s.model, "empty", nil, PublishOptions{}); err == nil {
+	if _, _, err := Publish(ctx, s.store, s.codec, s.model, "empty", nil, PublishOptions{}); err == nil {
 		t.Error("published empty context")
 	}
 	short, _ := s.kv.SliceTokens(0, 10)
-	if _, err := Publish(ctx, s.store, s.codec, s.model, "bad", s.tokens, PublishOptions{KV: short}); err == nil {
+	if _, _, err := Publish(ctx, s.store, s.codec, s.model, "bad", s.tokens, PublishOptions{KV: short}); err == nil {
 		t.Error("published mismatched KV")
 	}
 }
@@ -125,12 +137,17 @@ func TestPublishValidation(t *testing.T) {
 func TestPublishSizeScale(t *testing.T) {
 	s := newStack(t)
 	ctx := context.Background()
-	meta, err := Publish(ctx, s.store, s.codec, s.model, "scaled", s.tokens, PublishOptions{KV: s.kv, SizeScale: 16})
+	man, _, err := Publish(ctx, s.store, s.codec, s.model, "scaled", s.tokens, PublishOptions{KV: s.kv, SizeScale: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
+	meta := man.Meta
 	for c := 0; c < meta.NumChunks(); c++ {
-		real, err := s.store.Get(ctx, storage.ChunkKey{ContextID: "scaled", Chunk: c, Level: 0})
+		hash, err := man.ChunkHash(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		real, err := s.store.GetChunk(ctx, hash)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,8 +2,13 @@ package streamer
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/llm"
@@ -11,7 +16,7 @@ import (
 	"repro/internal/tensor"
 )
 
-// PublishOptions tune Publish.
+// PublishOptions tune Publish and Append.
 type PublishOptions struct {
 	// SizeScale multiplies the *reported* bitstream sizes in the stored
 	// metadata (not the payloads). Experiments that synthesise a channel
@@ -20,100 +25,446 @@ type PublishOptions struct {
 	// Text payload sizes are never scaled (tokens are tokens).
 	SizeScale float64
 	// KV, if non-nil, is the precomputed cache for the tokens (skips
-	// CalculateKV).
+	// CalculateKV). For Append it must cover the context's *full* new
+	// token count; the engine slices the suffix it re-encodes.
 	KV *tensor.KV
 	// RefineTargets additionally stores incremental-streaming refinement
 	// bitstreams (DESIGN.md §5b) that upgrade the coarsest level to each
-	// listed target level. FetchIncremental consumes them.
+	// listed target level. FetchIncremental consumes them. Append
+	// inherits the published targets; passing different ones is an error.
 	RefineTargets []core.Level
 }
 
-// Publish is the store_kv interface of §6: it computes (or accepts) the
-// context's KV cache, splits it into chunks, encodes every chunk at every
-// encoding level, stores the bitstreams plus the per-chunk token text
-// (for the recompute fallback) and the metadata the streamer adapts over.
+// PublishStats accounts one publish or append against the
+// content-addressed store: how much was actually encoded and uploaded
+// versus adopted by reference. The dedup ratio experiments (X6) and the
+// gateway sessions read these.
+type PublishStats struct {
+	// Chunks is the number of chunks the resulting manifest covers;
+	// EncodedChunks of them went through the engine this call, and
+	// ReusedChunks were adopted wholesale from the prior manifest (the
+	// append path's clean prefix).
+	Chunks, EncodedChunks, ReusedChunks int
+	// PayloadsStored counts payloads written to the store (new content);
+	// PayloadsReused counts references to payloads that already existed.
+	PayloadsStored, PayloadsReused int
+	// BytesStored / BytesReused are the corresponding raw payload bytes.
+	BytesStored, BytesReused int64
+	// EncodesSkipped counts bitstream encodes avoided entirely because
+	// the fingerprint index recognised the chunk's inputs.
+	EncodesSkipped int
+}
+
+// add folds o into s (concurrent workers merge through a mutex).
+func (s *PublishStats) add(o PublishStats) {
+	s.Chunks += o.Chunks
+	s.EncodedChunks += o.EncodedChunks
+	s.ReusedChunks += o.ReusedChunks
+	s.PayloadsStored += o.PayloadsStored
+	s.PayloadsReused += o.PayloadsReused
+	s.BytesStored += o.BytesStored
+	s.BytesReused += o.BytesReused
+	s.EncodesSkipped += o.EncodesSkipped
+}
+
+// Publish is the store_kv interface of §6 over the content-addressed
+// store: it computes (or accepts) the context's KV cache, splits it into
+// chunks, encodes every chunk at every encoding level plus the per-chunk
+// token text (for the recompute fallback), stores each payload under its
+// bitstream hash, and writes the manifest mapping the context to its
+// payload references.
+//
+// Publish is manifest-diff-aware through the store's fingerprint index:
+// a chunk whose identity (codec fingerprint, model, position, token
+// prefix) was encoded before — by this context or any other — skips both
+// the encode and the upload, so contexts sharing prefixes (RAG document
+// pools, forked conversations) cost storage and CPU once.
 func Publish(ctx context.Context, st storage.Store, codec *core.Codec, model *llm.Model,
-	contextID string, tokens []llm.Token, opts PublishOptions) (storage.ContextMeta, error) {
+	contextID string, tokens []llm.Token, opts PublishOptions) (storage.Manifest, *PublishStats, error) {
 
 	if len(tokens) == 0 {
-		return storage.ContextMeta{}, fmt.Errorf("streamer: publishing empty context %q", contextID)
+		return storage.Manifest{}, nil, fmt.Errorf("streamer: publishing empty context %q", contextID)
 	}
-	scale := opts.SizeScale
-	if scale <= 0 {
-		scale = 1
+	if opts.KV != nil && opts.KV.Tokens != len(tokens) {
+		return storage.Manifest{}, nil, fmt.Errorf("streamer: cache covers %d tokens, context has %d", opts.KV.Tokens, len(tokens))
 	}
-	kv := opts.KV
-	if kv == nil {
-		kv = model.CalculateKV(tokens)
+	targets, err := refineTargetInts(codec, opts.RefineTargets)
+	if err != nil {
+		return storage.Manifest{}, nil, err
 	}
-	if kv.Tokens != len(tokens) {
-		return storage.ContextMeta{}, fmt.Errorf("streamer: cache covers %d tokens, context has %d", kv.Tokens, len(tokens))
+	job := publishJob{
+		contextID:    contextID,
+		total:        len(tokens),
+		firstChunk:   0,
+		startOffset:  0,
+		suffixTokens: tokens,
+		targets:      targets,
+		scale:        normScale(opts.SizeScale),
 	}
+	job.kv = kvProvider(model, tokens, opts.KV, 0)
+	frag, err := encodeChunks(ctx, st, codec, model, job)
+	if err != nil {
+		return storage.Manifest{}, nil, err
+	}
+	man := frag.manifest(contextID, model.Config().Name, len(tokens), codec.Config().Levels(), targets)
+	if err := st.PutManifest(ctx, man); err != nil {
+		return storage.Manifest{}, nil, fmt.Errorf("streamer: storing manifest: %w", err)
+	}
+	frag.stats.Chunks = man.Meta.NumChunks()
+	return man, &frag.stats, nil
+}
 
-	offs := codec.SplitOffsets(len(tokens))
-	nChunks := len(offs) - 1
-	cfg := codec.Config()
+func normScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+func refineTargetInts(codec *core.Codec, targets []core.Level) ([]int, error) {
+	coarsest := core.Level(codec.Config().Levels() - 1)
+	out := make([]int, 0, len(targets))
+	for _, target := range targets {
+		if target >= coarsest || target < 0 {
+			return nil, fmt.Errorf("streamer: refinement target L%d must be finer than the coarsest level L%d", target, coarsest)
+		}
+		out = append(out, int(target))
+	}
+	return out, nil
+}
+
+// kvProvider returns a lazy accessor for the KV cache of
+// tokens[startOffset:]: a fully-deduplicated publish never touches it, so
+// CalculateKV only runs when at least one chunk actually encodes.
+func kvProvider(model *llm.Model, tokens []llm.Token, precomputed *tensor.KV, startOffset int) func() (*tensor.KV, error) {
+	var once sync.Once
+	var kv *tensor.KV
+	var err error
+	return func() (*tensor.KV, error) {
+		once.Do(func() {
+			if precomputed != nil {
+				if startOffset == 0 {
+					kv = precomputed
+					return
+				}
+				kv, err = precomputed.SliceTokens(startOffset, precomputed.Tokens)
+				return
+			}
+			full := model.CalculateKV(tokens)
+			if startOffset == 0 {
+				kv = full
+				return
+			}
+			kv, err = full.SliceTokens(startOffset, full.Tokens)
+		})
+		return kv, err
+	}
+}
+
+// publishJob describes the chunk range [firstChunk, numChunks(total)) an
+// engine call encodes: a fresh publish covers everything, an append only
+// the dirty suffix.
+type publishJob struct {
+	contextID   string
+	total       int    // token count of the whole (resulting) context
+	firstChunk  int    // first chunk index to encode
+	startOffset int    // absolute token offset of firstChunk
+	prevChain   string // chain digest through chunk firstChunk-1 ("" at 0)
+	// suffixTokens are tokens[startOffset:total].
+	suffixTokens []llm.Token
+	targets      []int
+	scale        float64
+	// kv lazily yields the cache of suffixTokens.
+	kv func() (*tensor.KV, error)
+}
+
+// chunkFragments is the engine's output: manifest/meta rows for the
+// encoded chunk range, positionally aligned from job.firstChunk.
+type chunkFragments struct {
+	chunkTokens []int
+	chains      []string
+	hashes      map[int][]string // level → per-chunk payload hashes
+	sizes       map[int][]int64  // level → reported (scaled) sizes
+	stats       PublishStats
+}
+
+// manifest assembles a whole-context manifest from fragments that cover
+// every chunk (the fresh-publish case).
+func (f *chunkFragments) manifest(contextID, modelName string, total, levels int, targets []int) storage.Manifest {
 	meta := storage.ContextMeta{
 		ContextID:   contextID,
-		Model:       model.Config().Name,
-		TokenCount:  len(tokens),
-		ChunkTokens: make([]int, nChunks),
-		Levels:      cfg.Levels(),
-		SizesBytes:  make([][]int64, cfg.Levels()),
-		TextBytes:   make([]int64, nChunks),
+		Model:       modelName,
+		TokenCount:  total,
+		ChunkTokens: f.chunkTokens,
+		Levels:      levels,
+		TextBytes:   f.sizes[storage.TextLevel],
 	}
-	for lv := range meta.SizesBytes {
-		meta.SizesBytes[lv] = make([]int64, nChunks)
+	meta.SizesBytes = make([][]int64, meta.Levels)
+	for lv := 0; lv < meta.Levels; lv++ {
+		meta.SizesBytes[lv] = f.sizes[lv]
 	}
+	for _, t := range targets {
+		meta.RefineTargets = append(meta.RefineTargets, t)
+		meta.RefineBytes = append(meta.RefineBytes, f.sizes[storage.RefineLevelKey(t)])
+	}
+	return storage.Manifest{Meta: meta, Hashes: f.hashes, ChainDigests: f.chains}
+}
+
+// modelFingerprint identifies the KV process: the same tokens under a
+// different model (or seed) must never dedup against each other.
+func modelFingerprint(model *llm.Model) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("cachegen-model-v1|%+v", model.Config())))
+	return hex.EncodeToString(sum[:])
+}
+
+// chainDigest extends a running digest of the token stream. KV values are
+// causal in the prefix (§5.1: self-attention), so a chunk's bitstream is
+// a pure function of (codec, model, position, this digest) — which is
+// exactly what the fingerprint index keys on.
+func chainDigest(prev string, tokens []llm.Token) string {
+	h := sha256.New()
+	h.Write([]byte(prev))
+	var buf [4]byte
+	for _, t := range tokens {
+		binary.BigEndian.PutUint32(buf[:], uint32(t))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// fingerprintKey derives the dedup-index key of one (chunk, level)
+// payload from everything its bitstream depends on.
+func fingerprintKey(codecFP, modelFP string, level, chunk, lo, n int, chain string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "cachegen-fp-v1|%s|%s|%d|%d|%d|%d|%s", codecFP, modelFP, level, chunk, lo, n, chain)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encodeChunks runs the publish engine over the job's chunk range:
+// chunks are processed in parallel (bounded by the codec's worker
+// budget), each first consulting the fingerprint index to skip encoding,
+// then the store's content addressing to skip uploading.
+func encodeChunks(ctx context.Context, st storage.Store, codec *core.Codec, model *llm.Model, job publishJob) (*chunkFragments, error) {
+	cfg := codec.Config()
+	offs := codec.SplitOffsets(job.total)
+	nChunks := len(offs) - 1
+	span := nChunks - job.firstChunk
+	if span <= 0 {
+		return nil, fmt.Errorf("streamer: empty chunk range for %q", job.contextID)
+	}
+	if offs[job.firstChunk] != job.startOffset {
+		return nil, fmt.Errorf("streamer: chunk %d starts at %d, job says %d", job.firstChunk, offs[job.firstChunk], job.startOffset)
+	}
+	codecFP, err := codec.Fingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("streamer: %w", err)
+	}
+	modelFP := modelFingerprint(model)
 	coarsest := core.Level(cfg.Levels() - 1)
-	for _, target := range opts.RefineTargets {
-		if target >= coarsest || target < 0 {
-			return storage.ContextMeta{}, fmt.Errorf("streamer: refinement target L%d must be finer than the coarsest level L%d", target, coarsest)
-		}
-		meta.RefineTargets = append(meta.RefineTargets, int(target))
-		meta.RefineBytes = append(meta.RefineBytes, make([]int64, nChunks))
+
+	frag := &chunkFragments{
+		chunkTokens: make([]int, span),
+		chains:      make([]string, span),
+		hashes:      map[int][]string{},
+		sizes:       map[int][]int64{},
+	}
+	levelRows := make([]int, 0, cfg.Levels()+1+len(job.targets))
+	for lv := 0; lv < cfg.Levels(); lv++ {
+		levelRows = append(levelRows, lv)
+	}
+	levelRows = append(levelRows, storage.TextLevel)
+	for _, t := range job.targets {
+		levelRows = append(levelRows, storage.RefineLevelKey(t))
+	}
+	for _, lv := range levelRows {
+		frag.hashes[lv] = make([]string, span)
+		frag.sizes[lv] = make([]int64, span)
 	}
 
-	for i := 0; i < nChunks; i++ {
-		lo, hi := offs[i], offs[i+1]
-		meta.ChunkTokens[i] = hi - lo
-		part, err := kv.SliceTokens(lo, hi)
+	// Chain digests are sequential but cheap (hashing token ids); payload
+	// work is parallel.
+	chain := job.prevChain
+	for si := 0; si < span; si++ {
+		lo, hi := offs[job.firstChunk+si], offs[job.firstChunk+si+1]
+		frag.chunkTokens[si] = hi - lo
+		chain = chainDigest(chain, job.suffixTokens[lo-job.startOffset:hi-job.startOffset])
+		frag.chains[si] = chain
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var mu sync.Mutex // guards frag.stats
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	errs := make([]error, span)
+	for si := 0; si < span; si++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(si int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			stats, err := encodeOneChunk(ctx, st, codec, model, job, frag, offs, si, codecFP, modelFP, coarsest)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			mu.Lock()
+			frag.stats.add(stats)
+			mu.Unlock()
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return storage.ContextMeta{}, fmt.Errorf("streamer: %w", err)
-		}
-		for lv := 0; lv < cfg.Levels(); lv++ {
-			data, err := codec.EncodeChunk(part, i, lo, core.Level(lv))
-			if err != nil {
-				return storage.ContextMeta{}, fmt.Errorf("streamer: encoding chunk %d level %d: %w", i, lv, err)
-			}
-			key := storage.ChunkKey{ContextID: contextID, Chunk: i, Level: lv}
-			if err := st.Put(ctx, key, data); err != nil {
-				return storage.ContextMeta{}, fmt.Errorf("streamer: storing chunk %d level %d: %w", i, lv, err)
-			}
-			meta.SizesBytes[lv][i] = int64(math.Round(float64(len(data)) * scale))
-		}
-		text := llm.EncodeTokens(tokens[lo:hi])
-		key := storage.ChunkKey{ContextID: contextID, Chunk: i, Level: storage.TextLevel}
-		if err := st.Put(ctx, key, text); err != nil {
-			return storage.ContextMeta{}, fmt.Errorf("streamer: storing text chunk %d: %w", i, err)
-		}
-		meta.TextBytes[i] = int64(len(text))
-
-		for ti, target := range opts.RefineTargets {
-			data, err := codec.EncodeRefinement(part, i, lo, coarsest, target)
-			if err != nil {
-				return storage.ContextMeta{}, fmt.Errorf("streamer: encoding refinement chunk %d -> L%d: %w", i, target, err)
-			}
-			key := storage.ChunkKey{ContextID: contextID, Chunk: i, Level: storage.RefineLevelKey(int(target))}
-			if err := st.Put(ctx, key, data); err != nil {
-				return storage.ContextMeta{}, fmt.Errorf("streamer: storing refinement chunk %d: %w", i, err)
-			}
-			meta.RefineBytes[ti][i] = int64(math.Round(float64(len(data)) * scale))
+			return nil, err
 		}
 	}
+	return frag, nil
+}
 
-	if err := st.PutMeta(ctx, meta); err != nil {
-		return storage.ContextMeta{}, fmt.Errorf("streamer: storing meta: %w", err)
+// encodeOneChunk resolves every payload of one chunk: fingerprint-index
+// reuse, content-addressed upload dedup, or a fresh encode.
+func encodeOneChunk(ctx context.Context, st storage.Store, codec *core.Codec, model *llm.Model,
+	job publishJob, frag *chunkFragments, offs []int, si int, codecFP, modelFP string, coarsest core.Level) (PublishStats, error) {
+
+	var stats PublishStats
+	i := job.firstChunk + si // absolute chunk index
+	lo, hi := offs[i], offs[i+1]
+	n := hi - lo
+	chain := frag.chains[si]
+
+	// The chunk's KV slice, fetched lazily: if every bitstream payload is
+	// a fingerprint hit, the KV is never materialised.
+	var part *tensor.KV
+	getPart := func() (*tensor.KV, error) {
+		if part != nil {
+			return part, nil
+		}
+		kv, err := job.kv()
+		if err != nil {
+			return nil, err
+		}
+		part, err = kv.SliceTokens(lo-job.startOffset, hi-job.startOffset)
+		if err != nil {
+			return nil, fmt.Errorf("streamer: %w", err)
+		}
+		return part, nil
 	}
-	return meta, nil
+
+	// storePayload records one resolved payload, writing it unless the
+	// store already holds the content.
+	storePayload := func(level int, data []byte) error {
+		hash := storage.HashChunk(data)
+		exists, err := st.TouchChunk(ctx, hash)
+		if err != nil {
+			return fmt.Errorf("streamer: touching chunk %d level %d: %w", i, level, err)
+		}
+		if exists {
+			stats.PayloadsReused++
+			stats.BytesReused += int64(len(data))
+		} else {
+			if err := st.PutChunk(ctx, hash, data); err != nil {
+				return fmt.Errorf("streamer: storing chunk %d level %d: %w", i, level, err)
+			}
+			stats.PayloadsStored++
+			stats.BytesStored += int64(len(data))
+		}
+		frag.hashes[level][si] = hash
+		size := int64(len(data))
+		if level != storage.TextLevel {
+			size = int64(math.Round(float64(len(data)) * job.scale))
+		}
+		frag.sizes[level][si] = size
+		return nil
+	}
+
+	// reusePayload adopts a fingerprint-index hit without re-encoding,
+	// provided the payload still exists on its placement nodes (a sweep
+	// may have reclaimed it since the index entry was written).
+	reusePayload := func(level int, fp storage.Fingerprint) (bool, error) {
+		exists, err := st.TouchChunk(ctx, fp.Hash)
+		if err != nil || !exists {
+			return false, err
+		}
+		frag.hashes[level][si] = fp.Hash
+		size := fp.Bytes
+		if level != storage.TextLevel {
+			size = int64(math.Round(float64(fp.Bytes) * job.scale))
+		}
+		frag.sizes[level][si] = size
+		stats.PayloadsReused++
+		stats.BytesReused += fp.Bytes
+		stats.EncodesSkipped++
+		return true, nil
+	}
+
+	// encoded resolves one bitstream payload (a real level or a
+	// refinement) through the fingerprint index.
+	encoded := func(level int, encode func(part *tensor.KV) ([]byte, error)) error {
+		key := fingerprintKey(codecFP, modelFP, level, i, lo, n, chain)
+		if fp, err := st.GetFingerprint(ctx, key); err == nil {
+			ok, err := reusePayload(level, fp)
+			if err != nil {
+				return fmt.Errorf("streamer: touching chunk %d level %d: %w", i, level, err)
+			}
+			if ok {
+				return nil
+			}
+		}
+		part, err := getPart()
+		if err != nil {
+			return err
+		}
+		data, err := encode(part)
+		if err != nil {
+			return fmt.Errorf("streamer: encoding chunk %d level %d: %w", i, level, err)
+		}
+		if err := storePayload(level, data); err != nil {
+			return err
+		}
+		fp := storage.Fingerprint{Hash: frag.hashes[level][si], Bytes: int64(len(data))}
+		if err := st.PutFingerprint(ctx, key, fp); err != nil {
+			return fmt.Errorf("streamer: indexing chunk %d level %d: %w", i, level, err)
+		}
+		return nil
+	}
+
+	encodedAny := false
+	wasEncoded := func() {
+		if !encodedAny {
+			encodedAny = true
+			stats.EncodedChunks++
+		}
+	}
+	for lv := 0; lv < codec.Config().Levels(); lv++ {
+		skippedBefore := stats.EncodesSkipped
+		if err := encoded(lv, func(part *tensor.KV) ([]byte, error) {
+			return codec.EncodeChunk(part, i, lo, core.Level(lv))
+		}); err != nil {
+			return stats, err
+		}
+		if stats.EncodesSkipped == skippedBefore {
+			wasEncoded()
+		}
+	}
+	for _, target := range job.targets {
+		skippedBefore := stats.EncodesSkipped
+		if err := encoded(storage.RefineLevelKey(target), func(part *tensor.KV) ([]byte, error) {
+			return codec.EncodeRefinement(part, i, lo, coarsest, core.Level(target))
+		}); err != nil {
+			return stats, err
+		}
+		if stats.EncodesSkipped == skippedBefore {
+			wasEncoded()
+		}
+	}
+	// Token text needs no fingerprint indirection: serialising tokens is
+	// cheap, and the content address alone dedups the upload.
+	text := llm.EncodeTokens(job.suffixTokens[lo-job.startOffset : hi-job.startOffset])
+	if err := storePayload(storage.TextLevel, text); err != nil {
+		return stats, err
+	}
+	return stats, nil
 }

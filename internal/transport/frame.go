@@ -5,6 +5,11 @@
 // fetch context chunks (§4: "streaming the encoded KV bitstream through a
 // network connection of varying throughput").
 //
+// The protocol speaks the content-addressed store's vocabulary: clients
+// fetch a context's manifest by id and chunk payloads by hash, and the
+// management ops (delete, sweep, usage) drive the fleet's reference-
+// counted garbage collection remotely.
+//
 // The virtual-time experiments (internal/netsim) bypass sockets entirely;
 // this package is the live path, exercised by the integration tests and
 // the cachegen-server / cachegen-client binaries.
@@ -15,17 +20,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // frame types.
 const (
-	typeReqMeta   byte = 0x01
-	typeRespMeta  byte = 0x02
-	typeReqChunk  byte = 0x03
-	typeRespChunk byte = 0x04
-	typeReqBank   byte = 0x05
-	typeRespBank  byte = 0x06
-	typeError     byte = 0x7F
+	typeReqManifest  byte = 0x01
+	typeRespManifest byte = 0x02
+	typeReqChunk     byte = 0x03 // payload: content hash
+	typeRespChunk    byte = 0x04
+	typeReqBank      byte = 0x05
+	typeRespBank     byte = 0x06
+	typeReqDelete    byte = 0x07 // payload: context id
+	typeRespDelete   byte = 0x08
+	typeReqSweep     byte = 0x09 // payload: varint minAge (nanoseconds)
+	typeRespSweep    byte = 0x0A // payload: JSON storage.SweepResult
+	typeReqUsage     byte = 0x0B
+	typeRespUsage    byte = 0x0C // payload: JSON storage.Usage
+	typeError        byte = 0x7F
 )
 
 // MaxFramePayload bounds a single frame. Chunk bitstreams are tens of MB
@@ -76,33 +88,16 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	return hdr[2], payload, nil
 }
 
-// chunk request payload: uvarint id length | id | uvarint chunk |
-// zigzag-varint level (level −1 is the text pseudo-level).
+// sweep request payload: varint duration in nanoseconds.
 
-func encodeChunkReq(contextID string, chunk, level int) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(contextID)))
-	buf = append(buf, contextID...)
-	buf = binary.AppendUvarint(buf, uint64(chunk))
-	buf = binary.AppendVarint(buf, int64(level))
-	return buf
+func encodeSweepReq(minAge time.Duration) []byte {
+	return binary.AppendVarint(nil, int64(minAge))
 }
 
-func decodeChunkReq(p []byte) (contextID string, chunk, level int, err error) {
-	n, k := binary.Uvarint(p)
-	if k <= 0 || n > uint64(len(p)-k) {
-		return "", 0, 0, fmt.Errorf("%w: bad chunk request id", ErrProtocol)
+func decodeSweepReq(p []byte) (time.Duration, error) {
+	v, k := binary.Varint(p)
+	if k <= 0 || v < 0 {
+		return 0, fmt.Errorf("%w: bad sweep min-age", ErrProtocol)
 	}
-	p = p[k:]
-	contextID = string(p[:n])
-	p = p[n:]
-	c, k := binary.Uvarint(p)
-	if k <= 0 {
-		return "", 0, 0, fmt.Errorf("%w: bad chunk index", ErrProtocol)
-	}
-	p = p[k:]
-	lv, k := binary.Varint(p)
-	if k <= 0 {
-		return "", 0, 0, fmt.Errorf("%w: bad level", ErrProtocol)
-	}
-	return contextID, int(c), int(lv), nil
+	return time.Duration(v), nil
 }

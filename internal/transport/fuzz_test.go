@@ -3,14 +3,13 @@ package transport
 import (
 	"bytes"
 	"testing"
-
-	"repro/internal/storage"
+	"time"
 )
 
 // FuzzReadFrame: arbitrary byte streams must never panic the frame reader.
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, typeReqMeta, []byte("doc-1")); err != nil {
+	if err := writeFrame(&buf, typeReqManifest, []byte("doc-1")); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
@@ -21,21 +20,22 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
-// FuzzDecodeChunkReq: arbitrary request payloads must never panic.
-func FuzzDecodeChunkReq(f *testing.F) {
-	f.Add(encodeChunkReq("doc", 3, 1))
-	f.Add(encodeChunkReq("", 0, storage.TextLevel))
+// FuzzDecodeSweepReq: arbitrary request payloads must never panic.
+func FuzzDecodeSweepReq(f *testing.F) {
+	f.Add(encodeSweepReq(0))
+	f.Add(encodeSweepReq(5 * time.Minute))
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		id, chunk, level, err := decodeChunkReq(data)
+		minAge, err := decodeSweepReq(data)
 		if err == nil {
+			if minAge < 0 {
+				t.Fatalf("decoded negative min-age %v", minAge)
+			}
 			// A payload that decodes must round-trip.
-			again := encodeChunkReq(id, chunk, level)
-			id2, c2, l2, err2 := decodeChunkReq(again)
-			if err2 != nil || id2 != id || c2 != chunk || l2 != level {
-				t.Fatalf("re-encode mismatch: (%q,%d,%d) vs (%q,%d,%d), %v",
-					id, chunk, level, id2, c2, l2, err2)
+			again, err2 := decodeSweepReq(encodeSweepReq(minAge))
+			if err2 != nil || again != minAge {
+				t.Fatalf("re-encode mismatch: %v vs %v, %v", minAge, again, err2)
 			}
 		}
 	})

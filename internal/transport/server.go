@@ -172,23 +172,19 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(w *bufio.Writer, typ byte, payload []byte) error {
 	ctx := context.Background()
 	switch typ {
-	case typeReqMeta:
-		meta, err := s.store.GetMeta(ctx, string(payload))
+	case typeReqManifest:
+		man, err := s.store.GetManifest(ctx, string(payload))
 		if err != nil {
 			return writeFrame(w, typeError, []byte(err.Error()))
 		}
-		data, err := json.Marshal(meta)
+		data, err := json.Marshal(man)
 		if err != nil {
 			return writeFrame(w, typeError, []byte(err.Error()))
 		}
-		return writeFrame(w, typeRespMeta, data)
+		return writeFrame(w, typeRespManifest, data)
 
 	case typeReqChunk:
-		id, chunk, level, err := decodeChunkReq(payload)
-		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
-		}
-		data, err := s.store.Get(ctx, storage.ChunkKey{ContextID: id, Chunk: chunk, Level: level})
+		data, err := s.store.GetChunk(ctx, string(payload))
 		if err != nil {
 			return writeFrame(w, typeError, []byte(err.Error()))
 		}
@@ -199,6 +195,38 @@ func (s *Server) dispatch(w *bufio.Writer, typ byte, payload []byte) error {
 			return writeFrame(w, typeError, []byte("no model bank configured"))
 		}
 		return writeFrame(w, typeRespBank, s.bank)
+
+	case typeReqDelete:
+		if err := s.store.DeleteContext(ctx, string(payload)); err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		return writeFrame(w, typeRespDelete, nil)
+
+	case typeReqSweep:
+		minAge, err := decodeSweepReq(payload)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		res, err := s.store.Sweep(ctx, minAge)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		data, err := json.Marshal(res)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		return writeFrame(w, typeRespSweep, data)
+
+	case typeReqUsage:
+		u, err := s.store.Usage(ctx)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		data, err := json.Marshal(u)
+		if err != nil {
+			return writeFrame(w, typeError, []byte(err.Error()))
+		}
+		return writeFrame(w, typeRespUsage, data)
 
 	default:
 		return writeFrame(w, typeError, []byte(fmt.Sprintf("unknown frame type 0x%02x", typ)))
@@ -270,30 +298,105 @@ func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte) (byte,
 	return rtyp, rpayload, nil
 }
 
-// GetMeta fetches a context's metadata.
+// remoteErr maps a server-reported error string back to a typed error:
+// not-found and corrupt-manifest conditions re-wrap their sentinel so
+// callers (and the cluster pool's failover logic) can distinguish
+// "context missing" from "node broken" across the wire.
+func remoteErr(msg string) error {
+	if strings.Contains(msg, "not found") {
+		return fmt.Errorf("%w: %s", storage.ErrNotFound, msg)
+	}
+	if strings.Contains(msg, "corrupt manifest") {
+		return fmt.Errorf("%w: %s", storage.ErrCorruptManifest, msg)
+	}
+	return &RemoteError{Msg: msg}
+}
+
+// GetManifest fetches a context's manifest.
+func (c *Client) GetManifest(ctx context.Context, contextID string) (storage.Manifest, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqManifest, []byte(contextID))
+	if err != nil {
+		return storage.Manifest{}, err
+	}
+	switch typ {
+	case typeRespManifest:
+		var man storage.Manifest
+		if err := json.Unmarshal(payload, &man); err != nil {
+			return storage.Manifest{}, fmt.Errorf("%w: bad manifest payload: %v", ErrProtocol, err)
+		}
+		return man, nil
+	case typeError:
+		return storage.Manifest{}, remoteErr(string(payload))
+	default:
+		return storage.Manifest{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}
+
+// GetMeta fetches a context's metadata (a manifest round trip; kept for
+// callers that only need the layout).
 func (c *Client) GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqMeta, []byte(contextID))
+	man, err := c.GetManifest(ctx, contextID)
 	if err != nil {
 		return storage.ContextMeta{}, err
 	}
+	return man.Meta, nil
+}
+
+// DeleteContext drops a context's manifest on the server, releasing its
+// payload references for the node's sweeper.
+func (c *Client) DeleteContext(ctx context.Context, contextID string) error {
+	typ, payload, err := c.roundTrip(ctx, typeReqDelete, []byte(contextID))
+	if err != nil {
+		return err
+	}
 	switch typ {
-	case typeRespMeta:
-		var meta storage.ContextMeta
-		if err := json.Unmarshal(payload, &meta); err != nil {
-			return storage.ContextMeta{}, fmt.Errorf("%w: bad meta payload: %v", ErrProtocol, err)
-		}
-		return meta, nil
+	case typeRespDelete:
+		return nil
 	case typeError:
-		msg := string(payload)
-		// As in GetChunk, surface the server's not-found as
-		// storage.ErrNotFound so callers (and the cluster pool's failover
-		// logic) can distinguish "context missing" from "node broken".
-		if strings.Contains(msg, "not found") {
-			return storage.ContextMeta{}, fmt.Errorf("%w: %s", storage.ErrNotFound, msg)
-		}
-		return storage.ContextMeta{}, &RemoteError{Msg: msg}
+		return remoteErr(string(payload))
 	default:
-		return storage.ContextMeta{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+		return fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}
+
+// Sweep runs one garbage-collection sweep on the server with the given
+// grace age and returns its accounting.
+func (c *Client) Sweep(ctx context.Context, minAge time.Duration) (storage.SweepResult, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqSweep, encodeSweepReq(minAge))
+	if err != nil {
+		return storage.SweepResult{}, err
+	}
+	switch typ {
+	case typeRespSweep:
+		var res storage.SweepResult
+		if err := json.Unmarshal(payload, &res); err != nil {
+			return storage.SweepResult{}, fmt.Errorf("%w: bad sweep payload: %v", ErrProtocol, err)
+		}
+		return res, nil
+	case typeError:
+		return storage.SweepResult{}, remoteErr(string(payload))
+	default:
+		return storage.SweepResult{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+	}
+}
+
+// Usage reports the server store's physical footprint.
+func (c *Client) Usage(ctx context.Context) (storage.Usage, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqUsage, nil)
+	if err != nil {
+		return storage.Usage{}, err
+	}
+	switch typ {
+	case typeRespUsage:
+		var u storage.Usage
+		if err := json.Unmarshal(payload, &u); err != nil {
+			return storage.Usage{}, fmt.Errorf("%w: bad usage payload: %v", ErrProtocol, err)
+		}
+		return u, nil
+	case typeError:
+		return storage.Usage{}, remoteErr(string(payload))
+	default:
+		return storage.Usage{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
 	}
 }
 
@@ -313,10 +416,9 @@ func (c *Client) GetBank(ctx context.Context) ([]byte, error) {
 	}
 }
 
-// GetChunk fetches one chunk payload at the given level (storage.TextLevel
-// fetches the token text).
-func (c *Client) GetChunk(ctx context.Context, contextID string, chunk, level int) ([]byte, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqChunk, encodeChunkReq(contextID, chunk, level))
+// GetChunkData fetches one chunk payload by content hash.
+func (c *Client) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
+	typ, payload, err := c.roundTrip(ctx, typeReqChunk, []byte(hash))
 	if err != nil {
 		return nil, err
 	}
@@ -324,13 +426,7 @@ func (c *Client) GetChunk(ctx context.Context, contextID string, chunk, level in
 	case typeRespChunk:
 		return payload, nil
 	case typeError:
-		msg := string(payload)
-		// Re-wrap the server's not-found errors so callers can test with
-		// errors.Is(err, storage.ErrNotFound) across the wire.
-		if strings.Contains(msg, "not found") {
-			return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, msg)
-		}
-		return nil, &RemoteError{Msg: msg}
+		return nil, remoteErr(string(payload))
 	default:
 		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -13,33 +14,44 @@ import (
 	"repro/internal/storage"
 )
 
+// seededStore builds a MemStore holding one two-chunk context: payloads
+// at two levels plus text, addressed by hash through a manifest.
 func seededStore(t *testing.T) storage.Store {
 	t.Helper()
 	s := storage.NewMemStore()
 	ctx := context.Background()
-	meta := storage.ContextMeta{
-		ContextID:   "doc-1",
-		Model:       "Mistral-7B",
-		TokenCount:  300,
-		ChunkTokens: []int{150, 150},
-		Levels:      2,
-		SizesBytes:  [][]int64{{1000, 1000}, {600, 600}},
-		TextBytes:   []int64{600, 600},
-	}
-	if err := s.PutMeta(ctx, meta); err != nil {
-		t.Fatal(err)
-	}
 	rng := rand.New(rand.NewSource(1))
-	for lv := 0; lv < 2; lv++ {
+	man := storage.Manifest{
+		Meta: storage.ContextMeta{
+			ContextID:   "doc-1",
+			Model:       "Mistral-7B",
+			TokenCount:  300,
+			ChunkTokens: []int{150, 150},
+			Levels:      2,
+			SizesBytes:  [][]int64{{1000, 1000}, {600, 600}},
+			TextBytes:   []int64{6, 6},
+		},
+		Hashes: map[int][]string{},
+	}
+	for _, lv := range []int{0, 1, storage.TextLevel} {
+		row := make([]string, 2)
 		for c := 0; c < 2; c++ {
-			data := make([]byte, 1000-400*lv)
-			rng.Read(data)
-			if err := s.Put(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: c, Level: lv}, data); err != nil {
+			var data []byte
+			if lv == storage.TextLevel {
+				data = []byte(fmt.Sprintf("text-%d", c))
+			} else {
+				data = make([]byte, 1000-400*lv)
+				rng.Read(data)
+			}
+			h := storage.HashChunk(data)
+			if err := s.PutChunk(ctx, h, data); err != nil {
 				t.Fatal(err)
 			}
+			row[c] = h
 		}
+		man.Hashes[lv] = row
 	}
-	if err := s.Put(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: 0, Level: storage.TextLevel}, []byte("tokens")); err != nil {
+	if err := s.PutManifest(ctx, man); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -57,27 +69,43 @@ func pipeClient(t *testing.T, store storage.Store, opts ...ServerOption) *Client
 	return client
 }
 
-func TestGetMetaOverPipe(t *testing.T) {
+func TestGetManifestOverPipe(t *testing.T) {
 	client := pipeClient(t, seededStore(t))
-	meta, err := client.GetMeta(context.Background(), "doc-1")
+	man, err := client.GetManifest(context.Background(), "doc-1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if meta.ContextID != "doc-1" || meta.NumChunks() != 2 || meta.Levels != 2 {
-		t.Errorf("meta = %+v", meta)
+	if man.Meta.ContextID != "doc-1" || man.Meta.NumChunks() != 2 || man.Meta.Levels != 2 {
+		t.Errorf("manifest meta = %+v", man.Meta)
+	}
+	if len(man.Hashes[0]) != 2 || len(man.Hashes[storage.TextLevel]) != 2 {
+		t.Errorf("manifest hashes = %+v", man.Hashes)
+	}
+	// GetMeta convenience wrapper.
+	meta, err := client.GetMeta(context.Background(), "doc-1")
+	if err != nil || meta.TokenCount != 300 {
+		t.Errorf("GetMeta = %+v, %v", meta, err)
 	}
 }
 
-func TestGetChunkOverPipe(t *testing.T) {
+func TestGetChunkDataOverPipe(t *testing.T) {
 	store := seededStore(t)
 	client := pipeClient(t, store)
 	ctx := context.Background()
 
-	want, err := store.Get(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: 1, Level: 0})
+	man, err := store.GetManifest(ctx, "doc-1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.GetChunk(ctx, "doc-1", 1, 0)
+	hash, err := man.ChunkHash(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := store.GetChunk(ctx, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.GetChunkData(ctx, hash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,12 +113,16 @@ func TestGetChunkOverPipe(t *testing.T) {
 		t.Error("chunk payload mismatch")
 	}
 
-	// Text pseudo-level.
-	text, err := client.GetChunk(ctx, "doc-1", 0, storage.TextLevel)
+	// Text pseudo-level, by its manifest hash.
+	textHash, err := man.ChunkHash(storage.TextLevel, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(text) != "tokens" {
+	text, err := client.GetChunkData(ctx, textHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != "text-0" {
 		t.Errorf("text chunk = %q", text)
 	}
 }
@@ -98,25 +130,75 @@ func TestGetChunkOverPipe(t *testing.T) {
 func TestNotFoundPropagates(t *testing.T) {
 	client := pipeClient(t, seededStore(t))
 	ctx := context.Background()
-	if _, err := client.GetMeta(ctx, "missing"); err == nil {
-		t.Error("GetMeta of missing context succeeded")
+	if _, err := client.GetManifest(ctx, "missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("GetManifest of missing context = %v, want ErrNotFound", err)
 	}
-	_, err := client.GetChunk(ctx, "doc-1", 99, 0)
+	_, err := client.GetChunkData(ctx, storage.HashChunk([]byte("missing payload")))
 	if !errors.Is(err, storage.ErrNotFound) {
 		t.Errorf("missing chunk error = %v, want ErrNotFound", err)
 	}
 }
 
-func TestSequentialAndConcurrentRequests(t *testing.T) {
-	client := pipeClient(t, seededStore(t))
+func TestDeleteSweepUsageOverPipe(t *testing.T) {
+	store := seededStore(t)
+	client := pipeClient(t, store)
 	ctx := context.Background()
+
+	before, err := client.Usage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Manifests != 1 || before.Chunks != 6 {
+		t.Fatalf("usage = %+v", before)
+	}
+	if err := client.DeleteContext(ctx, "doc-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeleteContext(ctx, "doc-1"); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("double delete = %v, want ErrNotFound", err)
+	}
+	// A graceful sweep keeps the young payloads; an immediate one reclaims
+	// all six now-unreferenced payloads.
+	res, err := client.Sweep(ctx, time.Hour)
+	if err != nil || res.RemovedChunks != 0 {
+		t.Fatalf("grace sweep = %+v, %v", res, err)
+	}
+	res, err = client.Sweep(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemovedChunks != 6 || res.ReclaimedBytes != before.ChunkBytes {
+		t.Errorf("sweep = %+v, want 6 chunks / %d bytes", res, before.ChunkBytes)
+	}
+	after, err := client.Usage(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Chunks != 0 || after.ChunkBytes != 0 || after.Manifests != 0 {
+		t.Errorf("usage after sweep = %+v", after)
+	}
+}
+
+func TestSequentialAndConcurrentRequests(t *testing.T) {
+	store := seededStore(t)
+	client := pipeClient(t, store)
+	ctx := context.Background()
+	man, err := store.GetManifest(ctx, "doc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 40)
 	for i := 0; i < 40; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := client.GetChunk(ctx, "doc-1", i%2, i%2); err != nil {
+			hash, err := man.ChunkHash(i%2, i%2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := client.GetChunkData(ctx, hash); err != nil {
 				errs <- err
 			}
 		}(i)
@@ -149,12 +231,16 @@ func TestOverRealTCP(t *testing.T) {
 	defer client.Close()
 
 	ctx := context.Background()
-	meta, err := client.GetMeta(ctx, "doc-1")
+	man, err := client.GetManifest(ctx, "doc-1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for c := 0; c < meta.NumChunks(); c++ {
-		if _, err := client.GetChunk(ctx, "doc-1", c, 1); err != nil {
+	for c := 0; c < man.Meta.NumChunks(); c++ {
+		hash, err := man.ChunkHash(1, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.GetChunkData(ctx, hash); err != nil {
 			t.Fatalf("chunk %d: %v", c, err)
 		}
 	}
@@ -173,9 +259,9 @@ func TestContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := client.GetMeta(ctx, "doc-1")
+	_, err := client.GetManifest(ctx, "doc-1")
 	if err == nil {
-		t.Fatal("GetMeta succeeded against a dead server")
+		t.Fatal("GetManifest succeeded against a dead server")
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
 		t.Errorf("deadline not honored: took %v", elapsed)
@@ -186,7 +272,7 @@ func TestCancelledContext(t *testing.T) {
 	client := pipeClient(t, seededStore(t))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := client.GetMeta(ctx, "doc-1"); err == nil {
+	if _, err := client.GetManifest(ctx, "doc-1"); err == nil {
 		t.Error("request with cancelled context succeeded")
 	}
 }
@@ -215,7 +301,7 @@ func TestServerRejectsGarbage(t *testing.T) {
 func TestFrameLimit(t *testing.T) {
 	var buf bytes.Buffer
 	big := make([]byte, 8)
-	if err := writeFrame(&buf, typeReqMeta, big); err != nil {
+	if err := writeFrame(&buf, typeReqManifest, big); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the length field to exceed the limit.
@@ -226,29 +312,19 @@ func TestFrameLimit(t *testing.T) {
 	}
 }
 
-func TestChunkReqCodec(t *testing.T) {
-	for _, c := range []struct {
-		id           string
-		chunk, level int
-	}{
-		{"a", 0, 0},
-		{"doc with spaces/and/slashes", 123, 3},
-		{"x", 7, storage.TextLevel},
-	} {
-		payload := encodeChunkReq(c.id, c.chunk, c.level)
-		id, chunk, level, err := decodeChunkReq(payload)
-		if err != nil {
-			t.Fatalf("%+v: %v", c, err)
-		}
-		if id != c.id || chunk != c.chunk || level != c.level {
-			t.Errorf("round trip %+v -> (%q,%d,%d)", c, id, chunk, level)
+func TestSweepReqCodec(t *testing.T) {
+	for _, minAge := range []time.Duration{0, time.Second, 5 * time.Minute, 24 * time.Hour} {
+		payload := encodeSweepReq(minAge)
+		got, err := decodeSweepReq(payload)
+		if err != nil || got != minAge {
+			t.Errorf("round trip %v -> %v, %v", minAge, got, err)
 		}
 	}
-	if _, _, _, err := decodeChunkReq(nil); err == nil {
-		t.Error("decodeChunkReq accepted empty payload")
+	if _, err := decodeSweepReq(nil); err == nil {
+		t.Error("decodeSweepReq accepted empty payload")
 	}
-	if _, _, _, err := decodeChunkReq([]byte{0xFF}); err == nil {
-		t.Error("decodeChunkReq accepted truncated payload")
+	if _, err := decodeSweepReq(encodeSweepReq(-1)); err == nil {
+		t.Error("decodeSweepReq accepted negative min-age")
 	}
 }
 
@@ -368,9 +444,9 @@ func TestGetBank(t *testing.T) {
 }
 
 // TestServerManyConnections exercises the server with many concurrent
-// client connections issuing interleaved meta and chunk requests — the
-// cluster Pool's access pattern, where several fetch goroutines hold one
-// connection each to the same node.
+// client connections issuing interleaved manifest and chunk requests —
+// the cluster Pool's access pattern, where several fetch goroutines hold
+// one connection each to the same node.
 func TestServerManyConnections(t *testing.T) {
 	store := seededStore(t)
 	srv := NewServer(store)
@@ -382,7 +458,15 @@ func TestServerManyConnections(t *testing.T) {
 	defer srv.Close()
 
 	ctx := context.Background()
-	want, err := store.Get(ctx, storage.ChunkKey{ContextID: "doc-1", Chunk: 0, Level: 1})
+	man, err := store.GetManifest(ctx, "doc-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := man.ChunkHash(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := store.GetChunk(ctx, hash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,18 +487,18 @@ func TestServerManyConnections(t *testing.T) {
 			defer client.Close()
 			for r := 0; r < reqs; r++ {
 				if r%5 == 0 {
-					meta, err := client.GetMeta(ctx, "doc-1")
+					man, err := client.GetManifest(ctx, "doc-1")
 					if err != nil {
 						errCh <- err
 						return
 					}
-					if meta.TokenCount != 300 {
-						errCh <- errors.New("corrupt meta under concurrency")
+					if man.Meta.TokenCount != 300 {
+						errCh <- errors.New("corrupt manifest under concurrency")
 						return
 					}
 					continue
 				}
-				got, err := client.GetChunk(ctx, "doc-1", 0, 1)
+				got, err := client.GetChunkData(ctx, hash)
 				if err != nil {
 					errCh <- err
 					return
@@ -440,13 +524,13 @@ func TestServerManyConnections(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.GetMeta(ctx, "doc-1"); err != nil {
+	if _, err := client.GetManifest(ctx, "doc-1"); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
 	reqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
-	if _, err := client.GetMeta(reqCtx, "doc-1"); err == nil {
+	if _, err := client.GetManifest(reqCtx, "doc-1"); err == nil {
 		t.Error("request succeeded after server Close")
 	}
 }
