@@ -4,9 +4,24 @@
 // commit to track the perf trajectory of the encode/decode/publish hot
 // paths.
 //
+// The committed artifact's headline numbers are single-core
+// (GOMAXPROCS=1): they measure the per-symbol and per-row cost of the
+// codec kernels without parallel speedup. A "multicore" section rerun at
+// the host's core count sits alongside them to show how the chunk/group
+// worker pools scale.
+//
 // Usage:
 //
 //	cachegen-bench -out BENCH_codec.json
+//	cachegen-bench -out /tmp/new.json -baseline BENCH_codec.json   # perf-regression gate
+//	cachegen-bench -cpuprofile cpu.prof -memprofile mem.prof
+//
+// With -baseline, the run compares its single-core numbers against the
+// baseline artifact and exits non-zero when a hot path regressed:
+// mb_per_s dropping more than -max-mbps-drop (default 25%) or
+// allocs_per_op rising more than -max-alloc-growth (default 10%) is a
+// hard failure; ns_per_op changes only warn, because wall-clock noise on
+// shared CI runners is too high to gate on.
 package main
 
 import (
@@ -18,6 +33,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"testing"
 
@@ -33,11 +49,22 @@ type result struct {
 	N           int     `json:"n"`
 }
 
-type artifact struct {
-	Tool       string            `json:"tool"`
-	GoVersion  string            `json:"go_version"`
+// section is one GOMAXPROCS setting's worth of benchmarks.
+type section struct {
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Benchmarks map[string]result `json:"benchmarks"`
+}
+
+type artifact struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS and Benchmarks are the headline single-core section
+	// (kept at the top level so older tooling and the CI gate keep
+	// working against a stable schema).
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks map[string]result `json:"benchmarks"`
+	// Multicore reruns the same suite at the host's core count.
+	Multicore *section `json:"multicore,omitempty"`
 }
 
 // stack is the shared benchmark rig: a trained codec and a KV cache with
@@ -49,6 +76,9 @@ type stack struct {
 	kv     *cachegen.KV
 }
 
+// newStack builds the rig. The codec's worker pool is sized from
+// GOMAXPROCS at construction, so each section builds its own stack under
+// the GOMAXPROCS it benchmarks.
 func newStack() (*stack, error) {
 	model := cachegen.MustNewModel(cachegen.Mistral7B().WithChannels(16))
 	rng := rand.New(rand.NewSource(7))
@@ -71,18 +101,16 @@ func newStack() (*stack, error) {
 
 func kvBytes(kv *cachegen.KV) int64 { return int64(kv.Elems()) * 2 * 4 }
 
-func main() {
-	out := flag.String("out", "BENCH_codec.json", "output path for the JSON artifact")
-	flag.Parse()
-	log.SetFlags(0)
-	log.SetPrefix("cachegen-bench: ")
-
+// runSuite runs every benchmark against a fresh stack and returns the
+// results keyed by name.
+func runSuite() (map[string]result, error) {
 	s, err := newStack()
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	ctx := context.Background()
-	bg := func(name string, setBytes int64, fn func(b *testing.B)) (string, result) {
+	out := map[string]result{}
+	bg := func(name string, setBytes int64, fn func(b *testing.B)) {
 		r := testing.Benchmark(fn)
 		res := result{
 			NsPerOp:     r.NsPerOp(),
@@ -93,48 +121,41 @@ func main() {
 		if setBytes > 0 && r.NsPerOp() > 0 {
 			res.MBPerS = float64(setBytes) / 1e6 / (float64(r.NsPerOp()) / 1e9)
 		}
-		log.Printf("%-28s %12d ns/op  %8.1f MB/s", name, res.NsPerOp, res.MBPerS)
-		return name, res
+		log.Printf("[gomaxprocs %d] %-24s %12d ns/op  %8.1f MB/s  %6d allocs/op",
+			runtime.GOMAXPROCS(0), name, res.NsPerOp, res.MBPerS, res.AllocsPerOp)
+		out[name] = res
 	}
-
-	art := artifact{
-		Tool:       "cachegen-bench",
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Benchmarks: map[string]result{},
-	}
-	add := func(name string, res result) { art.Benchmarks[name] = res }
 
 	raw := kvBytes(s.kv)
-	add(bg("encode_context_l1", raw, func(b *testing.B) {
+	bg("encode_context_l1", raw, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.codec.EncodeContext(s.kv, 1); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
-	add(bg("encode_all_levels", raw, func(b *testing.B) {
+	})
+	bg("encode_all_levels", raw, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.codec.EncodeAllLevels(s.kv); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 	chunks, err := s.codec.EncodeContext(s.kv, 1)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	add(bg("decode_context_l1", raw, func(b *testing.B) {
+	bg("decode_context_l1", raw, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.codec.DecodeContext(chunks); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
-	add(bg("publish_cold", raw, func(b *testing.B) {
+	})
+	bg("publish_cold", raw, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			store := cachegen.NewMemStore()
@@ -143,13 +164,13 @@ func main() {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 	warm := cachegen.NewMemStore()
 	if _, _, err := cachegen.PublishWithStats(ctx, warm, s.codec, s.model, "warm", s.tokens,
 		cachegen.PublishOptions{KV: s.kv}); err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	add(bg("publish_dedup_hit", raw, func(b *testing.B) {
+	bg("publish_dedup_hit", raw, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := cachegen.PublishWithStats(ctx, warm, s.codec, s.model, fmt.Sprintf("dup-%d", i),
@@ -157,11 +178,11 @@ func main() {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 	turn := s.tokens[:64]
 	grownTokens := append(append([]cachegen.Token{}, s.tokens...), turn...)
 	grownKV := s.model.CalculateKV(grownTokens)
-	add(bg("append_turn_64tok", 0, func(b *testing.B) {
+	bg("append_turn_64tok", 0, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -176,7 +197,115 @@ func main() {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
+	return out, nil
+}
+
+// check compares the fresh single-core results against a baseline
+// artifact, returning the number of hard regressions.
+func check(fresh map[string]result, baselinePath string, maxDrop, maxAllocGrowth float64) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		log.Fatalf("reading baseline: %v", err)
+	}
+	var base artifact
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("parsing baseline: %v", err)
+	}
+	hard := 0
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		f, ok := fresh[name]
+		if !ok {
+			log.Printf("FAIL %s: present in baseline but not in this run", name)
+			hard++
+			continue
+		}
+		if b.MBPerS > 0 && f.MBPerS < b.MBPerS*(1-maxDrop/100) {
+			log.Printf("FAIL %s: %.1f MB/s is a >%.0f%% drop from baseline %.1f MB/s",
+				name, f.MBPerS, maxDrop, b.MBPerS)
+			hard++
+		}
+		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxAllocGrowth/100) {
+			log.Printf("FAIL %s: %d allocs/op exceeds baseline %d by >%.0f%%",
+				name, f.AllocsPerOp, b.AllocsPerOp, maxAllocGrowth)
+			hard++
+		}
+		if b.NsPerOp > 0 && float64(f.NsPerOp) > float64(b.NsPerOp)*1.25 {
+			log.Printf("warn %s: %d ns/op vs baseline %d (wall clock only; not gating)",
+				name, f.NsPerOp, b.NsPerOp)
+		}
+	}
+	if hard == 0 {
+		log.Printf("baseline check passed: %d benchmarks within bounds of %s", len(names), baselinePath)
+	}
+	return hard
+}
+
+func main() {
+	out := flag.String("out", "BENCH_codec.json", "output path for the JSON artifact")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the benchmark run to this file")
+	baseline := flag.String("baseline", "", "baseline artifact to compare against; regressions exit non-zero")
+	maxDrop := flag.Float64("max-mbps-drop", 25, "hard-fail when a benchmark's mb_per_s drops more than this percentage below baseline")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 10, "hard-fail when allocs_per_op grows more than this percentage above baseline")
+	multicore := flag.Bool("multicore", true, "also run the suite at the host's core count (skipped on single-core hosts)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("cachegen-bench: ")
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Headline numbers: single core, so committed artifacts are
+	// comparable across hosts and reflect kernel cost, not parallelism.
+	cores := runtime.NumCPU()
+	runtime.GOMAXPROCS(1)
+	single, err := runSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	art := artifact{
+		Tool:       "cachegen-bench",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: 1,
+		Benchmarks: single,
+	}
+
+	if *multicore && cores > 1 {
+		runtime.GOMAXPROCS(cores)
+		multi, err := runSuite()
+		if err != nil {
+			log.Fatal(err)
+		}
+		art.Multicore = &section{GOMAXPROCS: cores, Benchmarks: multi}
+	}
+	runtime.GOMAXPROCS(cores)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -192,4 +321,11 @@ func main() {
 	}
 	sort.Strings(names)
 	log.Printf("wrote %s (%d benchmarks: %v)", *out, len(names), names)
+
+	if *baseline != "" {
+		if hard := check(single, *baseline, *maxDrop, *maxAllocGrowth); hard > 0 {
+			pprof.StopCPUProfile() // flush before the hard exit
+			log.Fatalf("%d hard perf regression(s) against %s", hard, *baseline)
+		}
+	}
 }

@@ -27,6 +27,7 @@ func main() {
 	channels := flag.Int("channels", 32, "synthesised KV channels (must match the encoder)")
 	slo := flag.Duration("slo", 0, "TTFT SLO enabling adaptation (0 = fixed default level)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall request timeout")
+	pipelineDepth := flag.Int("pipeline-depth", 4, "chunk transfers in flight while decode proceeds in order (1 = strictly sequential)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("cachegen-client: ")
@@ -64,19 +65,23 @@ func main() {
 
 	planner := cachegen.Planner{Adapt: *slo > 0, SLO: *slo, DefaultLevel: 1}
 	fetcher := &cachegen.Fetcher{
-		Source:  client,
-		Codec:   codec,
-		Model:   model,
-		Device:  cachegen.A40x4(),
-		Planner: planner,
+		Source:        client,
+		Codec:         codec,
+		Model:         model,
+		Device:        cachegen.A40x4(),
+		Planner:       planner,
+		PipelineDepth: *pipelineDepth,
 	}
 	kv, report, err := fetcher.Fetch(ctx, *contextID)
 	if err != nil {
 		log.Fatalf("fetching %s: %v", *contextID, err)
 	}
-	log.Printf("loaded %s: %d tokens in %v (%.1f MB on the wire)",
+	log.Printf("loaded %s: %d tokens in %v (%.1f MB on the wire; transfer %v, decode %v, recompute %v)",
 		*contextID, kv.Tokens, report.LoadTime.Round(time.Millisecond),
-		float64(report.BytesReceived)/1e6)
+		float64(report.BytesReceived)/1e6,
+		report.TransferTime.Round(time.Millisecond),
+		report.DecodeTime.Round(time.Millisecond),
+		report.RecomputeTime.Round(time.Millisecond))
 	for _, d := range report.Decisions {
 		log.Printf("  chunk %d: %s, %7d bytes, %v", d.Chunk, d.Choice, d.Bytes,
 			d.Transfer.Round(time.Millisecond))

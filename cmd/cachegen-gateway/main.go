@@ -73,6 +73,7 @@ func main() {
 	queueLimit := flag.Int("queue-limit", 64, "max queued requests before admission rejects (0 = unbounded)")
 	prefetch := flag.Bool("prefetch", true, "stream KV chunks while requests wait in the queue")
 	maxPrefetch := flag.Int("max-prefetch", 0, "concurrent background prefetch bound (0 = 4x slots, <0 = unbounded)")
+	pipelineDepth := flag.Int("pipeline-depth", 4, "chunk transfers in flight per request while decode proceeds in order")
 	tenantsFlag := flag.String("tenants", "gold:4,silver:2,bronze:1", "tenant list as name:weight,... (weight = WRR share and traffic share)")
 	rate := flag.Float64("rate", 200, "offered load in requests/second (open-loop Poisson)")
 	requests := flag.Int("requests", 120, "total requests to generate")
@@ -210,11 +211,13 @@ func main() {
 		Tenants:     weights,
 		Prefetch:    *prefetch,
 		MaxPrefetch: *maxPrefetch,
-		Source:      pool,
-		Codec:       codec,
-		Model:       model,
-		Device:      cachegen.A40x4(),
-		Planner:     cachegen.Planner{Adapt: true, DefaultLevel: 1},
+
+		PipelineDepth: *pipelineDepth,
+		Source:        pool,
+		Codec:         codec,
+		Model:         model,
+		Device:        cachegen.A40x4(),
+		Planner:       cachegen.Planner{Adapt: true, DefaultLevel: 1},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -248,8 +251,9 @@ func main() {
 	for _, name := range names {
 		ts := st.Tenants[name]
 		sum := ts.TTFTSummary()
-		log.Printf("tenant %-8s done %3d/%3d  TTFT p50 %6.1fms  p99 %6.1fms  max %6.1fms  SLO %3.0f%%",
-			name, ts.Completed, ts.Submitted, sum.Median*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate())
+		log.Printf("tenant %-8s done %3d/%3d  TTFT p50 %6.1fms  p99 %6.1fms  max %6.1fms  SLO %3.0f%%  load xfer/dec/rec %.0f/%.0f/%.0fms",
+			name, ts.Completed, ts.Submitted, sum.Median*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate(),
+			ts.TransferTime.Seconds()*1e3, ts.DecodeTime.Seconds()*1e3, ts.RecomputeTime.Seconds()*1e3)
 	}
 	var agg cachegen.CacheStats
 	for _, c := range caches {

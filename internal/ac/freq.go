@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // FreqTable is a static probability model over the symbol alphabet
@@ -18,6 +17,33 @@ import (
 type FreqTable struct {
 	cum   []uint32 // len N+1; cum[0]=0, cum[N]=total
 	total uint32
+
+	// Decode-side lookup state. lut[f>>lutShift] is the symbol whose
+	// cumulative interval contains frequency (f>>lutShift)<<lutShift — a
+	// starting point at or before the symbol containing f. Decoders scan
+	// forward from it over next16, where next16[s] = cum[s+1]-1 (always
+	// representable: cum[s+1] ∈ [1, 2^16]); the scan condition
+	// cum[s+1] ≤ f is exactly next16[s] < f. Together they replace the
+	// former per-symbol binary search with an O(1) expected lookup.
+	//
+	// Both arrays are deliberately tiny — lut is capped at 64 entries and
+	// next16 is 2 bytes per symbol — because the codec banks hold
+	// thousands of delta tables and the decode hot loop walks 10-20 of
+	// them per row: a (kind, layer) block's whole decode working set must
+	// sit in L1 for the dependent f→lut→next16 loads to stay cheap. (A
+	// full 64K-entry cumToSym array per table would give a scan-free
+	// lookup but cost gigabytes across a bank and thrash every cache
+	// level.)
+	lut      []uint16
+	next16   []uint16
+	lutShift uint32
+
+	// divMul is the round-up reciprocal floor(2^48/total)+1. For any
+	// 32-bit n, floor(n*divMul / 2^48) == n/total exactly (Granlund-
+	// Montgomery: the error e = divMul*total - 2^48 satisfies 0 < e ≤
+	// total ≤ 2^16, so n*e < 2^48), letting the coders' hot loops replace
+	// the range/total division with a widening multiply.
+	divMul uint64
 }
 
 // NewFreqTable builds a model from raw (unnormalised) symbol counts.
@@ -62,7 +88,43 @@ func NewFreqTable(counts []uint64) (*FreqTable, error) {
 	for i, f := range freqs {
 		cum[i+1] = cum[i] + f
 	}
-	return &FreqTable{cum: cum, total: cum[n]}, nil
+	m := &FreqTable{cum: cum, total: cum[n]}
+	m.buildLUT()
+	return m, nil
+}
+
+// buildLUT constructs the decode lookup state. Must be called whenever
+// cum changes (construction and deserialisation).
+func (m *FreqTable) buildLUT() {
+	n := m.N()
+	// Cap the lut at 64 entries: with the probability-weighted expected
+	// scan length N·2^shift/(2·total) this still averages ~2 next16 steps
+	// for a 255-symbol delta table while keeping the whole decode state of
+	// a table (lut + next16) well under a kilobyte.
+	shift := uint32(0)
+	for shift < 16 && (m.total-1)>>shift >= 64 {
+		shift++
+	}
+	// Decoders only look up f < total, so the last bucket is the one
+	// containing total-1.
+	entries := int((m.total-1)>>shift) + 1
+	lut := make([]uint16, entries)
+	sym := 0
+	for b := range lut {
+		f := uint32(b) << shift
+		for m.cum[sym+1] <= f {
+			sym++
+		}
+		lut[b] = uint16(sym)
+	}
+	next16 := make([]uint16, n)
+	for s := 0; s < n; s++ {
+		next16[s] = uint16(m.cum[s+1] - 1)
+	}
+	m.lut = lut
+	m.next16 = next16
+	m.lutShift = shift
+	m.divMul = (1<<48)/uint64(m.total) + 1
 }
 
 // UniformTable returns a model assigning equal probability to n symbols.
@@ -102,13 +164,17 @@ func (m *FreqTable) rangeFor(sym int) (start, size uint32, err error) {
 }
 
 // symbolFor locates the symbol whose cumulative interval contains f.
+// f must be < Total (decoders clamp before calling).
 func (m *FreqTable) symbolFor(f uint32) (sym int, start, size uint32) {
-	// cum is sorted; find first index with cum[i+1] > f.
-	i := sort.Search(m.N(), func(i int) bool { return m.cum[i+1] > f })
-	if i >= m.N() {
+	if f >= m.total {
 		return 0, 0, 0
 	}
-	return i, m.cum[i], m.cum[i+1] - m.cum[i]
+	i := int(m.lut[f>>m.lutShift])
+	cum := m.cum
+	for cum[i+1] <= f {
+		i++
+	}
+	return i, cum[i], cum[i+1] - cum[i]
 }
 
 // Entropy returns the entropy of the model in bits per symbol.
@@ -159,6 +225,7 @@ func (m *FreqTable) UnmarshalBinary(data []byte) error {
 	}
 	m.cum = cum
 	m.total = cum[n]
+	m.buildLUT()
 	return nil
 }
 

@@ -52,3 +52,64 @@ func FuzzDecoder(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSymbols: the bulk decode path must never panic, must
+// terminate, and must agree symbol-for-symbol with scalar Decode on any
+// input — including truncated and corrupt streams, which yield garbage
+// symbols but identical garbage from both paths.
+func FuzzDecodeSymbols(f *testing.F) {
+	tabs := make([]*FreqTable, 3)
+	for i, counts := range [][]uint64{
+		{1000, 200, 50, 10, 2, 1, 1, 1},
+		{1, 1, 1, 1},
+		{5, 1 << 20, 5},
+	} {
+		m, err := NewFreqTable(counts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tabs[i] = m
+	}
+	// Seed corpus: a valid stream, its truncations, and corrupt bytes —
+	// the shapes the live fetcher can hand the decoder before the chunk
+	// CRC check catches them.
+	enc := NewEncoder()
+	for i := 0; i < 24; i++ {
+		if err := enc.Encode(i%tabs[i%3].N(), tabs[i%3]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	valid := enc.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:3])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/2] ^= 0x55
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		perSym := make([]*FreqTable, 64)
+		for i := range perSym {
+			perSym[i] = tabs[i%3]
+		}
+		bulk := NewDecoder(data)
+		got := make([]int, len(perSym))
+		if err := bulk.DecodeSymbolsMulti(perSym, got); err != nil {
+			return
+		}
+		scalar := NewDecoder(data)
+		for i := range perSym {
+			s, err := scalar.Decode(perSym[i])
+			if err != nil {
+				t.Fatalf("scalar Decode failed at %d where bulk succeeded: %v", i, err)
+			}
+			if s != got[i] {
+				t.Fatalf("bulk/scalar divergence at symbol %d: %d vs %d", i, got[i], s)
+			}
+			if s < 0 || s >= perSym[i].N() {
+				t.Fatalf("out-of-alphabet symbol %d at %d", s, i)
+			}
+		}
+	})
+}

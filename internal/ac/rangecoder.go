@@ -14,6 +14,7 @@ package ac
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 const (
@@ -41,6 +42,28 @@ type Encoder struct {
 func NewEncoder() *Encoder {
 	return &Encoder{rng: 0xFFFFFFFF, cacheLen: 1}
 }
+
+// Reset returns the encoder to its initial state while keeping the output
+// buffer's capacity, so pooled encoders reuse their grown buffers instead
+// of re-paying append growth per stream.
+func (e *Encoder) Reset() {
+	e.low, e.rng, e.cache, e.cacheLen = 0, 0xFFFFFFFF, 0, 1
+	e.out = e.out[:0]
+}
+
+// Grow reserves capacity for at least n more output bytes, amortising the
+// appends of a stream whose rough size the caller can predict.
+func (e *Encoder) Grow(n int) {
+	if free := cap(e.out) - len(e.out); free < n {
+		grown := make([]byte, len(e.out), len(e.out)+n)
+		copy(grown, e.out)
+		e.out = grown
+	}
+}
+
+// Len returns the number of output bytes buffered so far (excluding the
+// final flush).
+func (e *Encoder) Len() int { return len(e.out) }
 
 // encodeRange narrows the coding interval to [start, start+size) out of
 // total. All arguments must satisfy 0 ≤ start < start+size ≤ total ≤ MaxTotal.
@@ -80,6 +103,89 @@ func (e *Encoder) Encode(sym int, m *FreqTable) error {
 	return nil
 }
 
+// EncodeSymbols appends every symbol of syms under one model. It is the
+// bulk form of Encode: model fields and coder state are hoisted into
+// locals, the interval update and renormalisation are inlined, and the
+// range/total division goes through the precomputed reciprocal, so the
+// per-symbol cost is a few integer operations. The output bitstream is
+// byte-identical to encoding the symbols one at a time.
+func (e *Encoder) EncodeSymbols(m *FreqTable, syms []int) error {
+	cum, mul := m.cum, m.divMul
+	n := uint(len(cum) - 1)
+	low, rng, cache, cacheLen, out := e.low, e.rng, e.cache, e.cacheLen, e.out
+	for _, s := range syms {
+		if uint(s) >= n {
+			e.low, e.rng, e.cache, e.cacheLen, e.out = low, rng, cache, cacheLen, out
+			return fmt.Errorf("ac: symbol %d outside alphabet [0,%d)", s, n)
+		}
+		start := cum[s]
+		r := divByTotal(rng, mul)
+		low += uint64(r) * uint64(start)
+		rng = r * (cum[s+1] - start)
+		for rng < topValue {
+			rng <<= 8
+			// Inlined shiftLow (see the method for the construction).
+			if uint32(low) < 0xFF000000 || (low>>32) != 0 {
+				carry := byte(low >> 32)
+				if cacheLen > 0 {
+					out = append(out, cache+carry)
+					for i := int64(1); i < cacheLen; i++ {
+						out = append(out, 0xFF+carry)
+					}
+				}
+				cache = byte(low >> 24)
+				cacheLen = 0
+			}
+			cacheLen++
+			low = (low << 8) & 0xFFFFFFFF
+		}
+	}
+	e.low, e.rng, e.cache, e.cacheLen, e.out = low, rng, cache, cacheLen, out
+	return nil
+}
+
+// EncodeSymbolsMulti is EncodeSymbols with a per-symbol model: syms[i] is
+// coded under tabs[i]. This is the codec's row shape — one model per
+// channel bucket — with the table lookups resolved by the caller once per
+// row instead of per symbol.
+func (e *Encoder) EncodeSymbolsMulti(tabs []*FreqTable, syms []int) error {
+	if len(tabs) != len(syms) {
+		return fmt.Errorf("ac: %d symbols with %d models", len(syms), len(tabs))
+	}
+	low, rng, cache, cacheLen, out := e.low, e.rng, e.cache, e.cacheLen, e.out
+	for i, s := range syms {
+		m := tabs[i]
+		cum := m.cum
+		if uint(s) >= uint(len(cum)-1) {
+			e.low, e.rng, e.cache, e.cacheLen, e.out = low, rng, cache, cacheLen, out
+			return fmt.Errorf("ac: symbol %d outside alphabet [0,%d)", s, len(cum)-1)
+		}
+		start := cum[s]
+		r := divByTotal(rng, m.divMul)
+		low += uint64(r) * uint64(start)
+		rng = r * (cum[s+1] - start)
+		for rng < topValue {
+			rng <<= 8
+			// Inlined shiftLow (see the method for the construction).
+			if uint32(low) < 0xFF000000 || (low>>32) != 0 {
+				carry := byte(low >> 32)
+				if cacheLen > 0 {
+					out = append(out, cache+carry)
+					for i := int64(1); i < cacheLen; i++ {
+						out = append(out, 0xFF+carry)
+					}
+				}
+				cache = byte(low >> 24)
+				cacheLen = 0
+			}
+			cacheLen++
+			low = (low << 8) & 0xFFFFFFFF
+		}
+	}
+	e.low, e.rng, e.cache, e.cacheLen, e.out = low, rng, cache, cacheLen, out
+	return nil
+}
+
 // Bytes flushes the encoder and returns the finished bitstream. The encoder
 // must not be used afterwards.
 func (e *Encoder) Bytes() []byte {
@@ -99,13 +205,20 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over data produced by Encoder.Bytes.
 func NewDecoder(data []byte) *Decoder {
-	d := &Decoder{rng: 0xFFFFFFFF, in: data}
+	d := &Decoder{}
+	d.Reset(data)
+	return d
+}
+
+// Reset re-aims the decoder at a new bitstream, so pooled decoders avoid
+// a per-stream allocation.
+func (d *Decoder) Reset(data []byte) {
+	d.code, d.rng, d.in, d.pos = 0, 0xFFFFFFFF, data, 0
 	// The first emitted byte is the initial zero cache; consume five bytes
 	// to fill the code register, mirroring the encoder's five-byte flush.
 	for i := 0; i < 5; i++ {
 		d.code = d.code<<8 | uint32(d.nextByte())
 	}
-	return d
 }
 
 // nextByte returns the next input byte, or 0 past the end. Reading past the
@@ -141,4 +254,94 @@ func (d *Decoder) Decode(m *FreqTable) (int, error) {
 		d.rng <<= 8
 	}
 	return sym, nil
+}
+
+// DecodeSymbols fills dst with the next len(dst) symbols under one model.
+// It is the bulk form of Decode: model fields are hoisted, the symbol
+// lookup goes through the O(1) LUT, and input bytes are consumed without a
+// per-byte call. The symbols produced are identical to len(dst) Decode
+// calls. Tables built by this package give every symbol a nonzero
+// frequency, so a (possibly truncated or corrupt) stream always yields
+// some in-alphabet symbol; corruption surfaces as a caller-side count or
+// checksum mismatch, exactly as with Decode.
+func (d *Decoder) DecodeSymbols(m *FreqTable, dst []int) error {
+	next, total, lut, shift, mul := m.next16, m.total, m.lut, m.lutShift, m.divMul
+	in, pos, code, rng := d.in, d.pos, d.code, d.rng
+	for i := range dst {
+		r := divByTotal(rng, mul)
+		f := code / r
+		if f >= total {
+			f = total - 1
+		}
+		sym := int(lut[f>>shift])
+		for uint32(next[sym]) < f {
+			sym++
+		}
+		var start uint32
+		if sym > 0 {
+			start = uint32(next[sym-1]) + 1
+		}
+		code -= r * start
+		rng = r * (uint32(next[sym]) + 1 - start)
+		for rng < topValue {
+			var b byte
+			if pos < len(in) {
+				b = in[pos]
+			}
+			pos++
+			code = code<<8 | uint32(b)
+			rng <<= 8
+		}
+		dst[i] = sym
+	}
+	d.pos, d.code, d.rng = pos, code, rng
+	return nil
+}
+
+// DecodeSymbolsMulti is DecodeSymbols with a per-symbol model: dst[i] is
+// decoded under tabs[i].
+func (d *Decoder) DecodeSymbolsMulti(tabs []*FreqTable, dst []int) error {
+	if len(tabs) != len(dst) {
+		return fmt.Errorf("ac: %d symbols with %d models", len(dst), len(tabs))
+	}
+	in, pos, code, rng := d.in, d.pos, d.code, d.rng
+	for i := range dst {
+		m := tabs[i]
+		next, total := m.next16, m.total
+		r := divByTotal(rng, m.divMul)
+		f := code / r
+		if f >= total {
+			f = total - 1
+		}
+		sym := int(m.lut[f>>m.lutShift])
+		for uint32(next[sym]) < f {
+			sym++
+		}
+		var start uint32
+		if sym > 0 {
+			start = uint32(next[sym-1]) + 1
+		}
+		code -= r * start
+		rng = r * (uint32(next[sym]) + 1 - start)
+		for rng < topValue {
+			var b byte
+			if pos < len(in) {
+				b = in[pos]
+			}
+			pos++
+			code = code<<8 | uint32(b)
+			rng <<= 8
+		}
+		dst[i] = sym
+	}
+	d.pos, d.code, d.rng = pos, code, rng
+	return nil
+}
+
+// divByTotal computes n/total via the table's precomputed round-up
+// reciprocal (see FreqTable.divMul): a widening multiply and shift instead
+// of a hardware divide, exact for every 32-bit n.
+func divByTotal(n uint32, divMul uint64) uint32 {
+	hi, lo := bits.Mul64(uint64(n), divMul)
+	return uint32(hi<<16 | lo>>48)
 }

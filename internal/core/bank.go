@@ -42,6 +42,14 @@ type ModelBank struct {
 	anchorTables []*ac.FreqTable
 	deltaTables  [][]*ac.FreqTable
 
+	// rowDeltaTables[lv][kind*layers+layer] is the channel-indexed slice of
+	// delta-model pointers for one row: entry ch points at
+	// deltaTables[lv][modelIndex(kind, layer, bucketOf(ch))]. Precomputing
+	// it once per bank removes the per-(token, channel) modelIndex/bucketOf
+	// arithmetic from the codec's inner loops — a row encodes with one
+	// bulk call over this slice.
+	rowDeltaTables [][][]*ac.FreqTable
+
 	// fingerprint cache (the bank is immutable after Train).
 	fpOnce sync.Once
 	fp     string
@@ -74,6 +82,31 @@ func (b *ModelBank) anchorIndex(kind tensor.Kind, layer int) int {
 		return 0
 	}
 	return int(kind)*b.layers + layer
+}
+
+// rowTables returns the per-channel delta-model slice for one
+// (level, kind, layer) row.
+func (b *ModelBank) rowTables(lv Level, kind tensor.Kind, layer int) []*ac.FreqTable {
+	return b.rowDeltaTables[lv][int(kind)*b.layers+layer]
+}
+
+// buildRowTables materialises rowDeltaTables from deltaTables. Called once
+// at the end of Train and UnmarshalBank.
+func (b *ModelBank) buildRowTables() {
+	b.rowDeltaTables = make([][][]*ac.FreqTable, len(b.deltaTables))
+	for lv, tabs := range b.deltaTables {
+		rows := make([][]*ac.FreqTable, 2*b.layers)
+		for _, kind := range tensor.Kinds {
+			for l := 0; l < b.layers; l++ {
+				row := make([]*ac.FreqTable, b.channels)
+				for ch := range row {
+					row[ch] = tabs[b.modelIndex(kind, l, b.cfg.bucketOf(ch, b.channels))]
+				}
+				rows[int(kind)*b.layers+l] = row
+			}
+		}
+		b.rowDeltaTables[lv] = rows
+	}
 }
 
 func (b *ModelBank) numAnchorModels() int {
@@ -300,6 +333,7 @@ func Train(cfg Config, samples []*tensor.KV) (*ModelBank, error) {
 			b.deltaTables[lv][i] = tb
 		}
 	}
+	b.buildRowTables()
 	return b, nil
 }
 
@@ -523,5 +557,6 @@ func UnmarshalBank(data []byte) (*ModelBank, error) {
 			}
 		}
 	}
+	b.buildRowTables()
 	return b, nil
 }

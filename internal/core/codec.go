@@ -27,13 +27,84 @@ type Codec struct {
 	// the leaf (group) level acquires it, so the nesting cannot
 	// deadlock.
 	groupSem chan struct{}
+	// scratch pools per-group working state (symbol/anchor rows and the
+	// entropy coder with its grown output buffer) across groups and across
+	// EncodeChunk/DecodeChunk calls, keeping the group hot loops
+	// allocation-free.
+	scratch sync.Pool
 }
 
 // NewCodec returns a codec over the given trained bank.
 func NewCodec(bank *ModelBank) *Codec {
 	c := &Codec{bank: bank, cfg: bank.Config()}
 	c.groupSem = make(chan struct{}, c.workers())
+	channels := bank.channels
+	c.scratch.New = func() any {
+		return &groupScratch{
+			syms: make([]int, channels),
+			arow: make([]float32, channels),
+		}
+	}
 	return c
+}
+
+// groupScratch is the pooled per-batch working state: one row's symbol
+// and anchor buffers plus per-group entropy coders (grown on demand to
+// the batch's group count).
+type groupScratch struct {
+	syms []int     // one row's AC symbols
+	arow []float32 // dequantized anchor row
+	encs []*ac.Encoder
+	decs []*ac.Decoder
+}
+
+func (sc *groupScratch) encoders(n int) []*ac.Encoder {
+	for len(sc.encs) < n {
+		sc.encs = append(sc.encs, ac.NewEncoder())
+	}
+	return sc.encs[:n]
+}
+
+func (sc *groupScratch) decoders(n int) []*ac.Decoder {
+	for len(sc.decs) < n {
+		sc.decs = append(sc.decs, new(ac.Decoder))
+	}
+	return sc.decs[:n]
+}
+
+// span is one token group's [start, end) range within a chunk.
+type span struct{ start, end int }
+
+// groupSpans returns the token-group ranges of a chunk and partitions
+// them into at most `workers` contiguous batches. A batch is coded by one
+// goroutine with its groups interleaved layer-by-layer: every group in
+// the batch advances through the same (kind, layer) block together, so
+// the block's probability tables are pulled through the cache once per
+// batch rather than once per group. (The bank's tables for one level are
+// megabytes; per-group sweeps made every group a full pass over them.)
+func groupSpans(tokens, groupSize, workers int) ([]span, [][]span) {
+	numGroups := (tokens + groupSize - 1) / groupSize
+	groups := make([]span, numGroups)
+	for gi := range groups {
+		start := gi * groupSize
+		end := start + groupSize
+		if end > tokens {
+			end = tokens
+		}
+		groups[gi] = span{start, end}
+	}
+	if workers > numGroups {
+		workers = numGroups
+	}
+	batches := make([][]span, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * numGroups / workers
+		hi := (w + 1) * numGroups / workers
+		if lo < hi {
+			batches = append(batches, groups[lo:hi])
+		}
+	}
+	return groups, batches
 }
 
 // Bank returns the codec's model bank.
@@ -68,13 +139,24 @@ const (
 // tokenOffset travel in the header so the receiver can reassemble and, for
 // text fallback, resume recomputation at the right position.
 func (c *Codec) EncodeChunk(kv *tensor.KV, chunkIndex, tokenOffset int, lv Level) ([]byte, error) {
+	return c.encodeChunkRange(kv, 0, kv.Tokens, chunkIndex, tokenOffset, lv)
+}
+
+// encodeChunkRange encodes tokens [lo, hi) of kv as one chunk, reading
+// rows in place — the context encoders hand it sub-ranges of the full
+// tensor without materialising per-chunk copies.
+func (c *Codec) encodeChunkRange(kv *tensor.KV, lo, hi, chunkIndex, tokenOffset int, lv Level) ([]byte, error) {
 	if err := c.bank.CheckGeometry(kv); err != nil {
 		return nil, err
 	}
 	if !c.cfg.ValidLevel(lv) {
 		return nil, fmt.Errorf("core: invalid level %d (codec has %d)", lv, c.cfg.Levels())
 	}
-	if kv.Tokens == 0 {
+	if lo < 0 || hi > kv.Tokens || lo > hi {
+		return nil, fmt.Errorf("core: token range [%d,%d) out of range 0..%d", lo, hi, kv.Tokens)
+	}
+	tokens := hi - lo
+	if tokens == 0 {
 		return nil, errors.New("core: empty chunk")
 	}
 	if chunkIndex < 0 || tokenOffset < 0 {
@@ -82,44 +164,60 @@ func (c *Codec) EncodeChunk(kv *tensor.KV, chunkIndex, tokenOffset int, lv Level
 	}
 
 	g := c.cfg.GroupSize
-	numGroups := (kv.Tokens + g - 1) / g
+	groups, batches := groupSpans(tokens, g, c.workers())
+	numGroups := len(groups)
 
-	// Encode token groups in parallel; each group is an independent
-	// arithmetic-coded stream (§5.2: the anchor referencing lets groups
-	// compress and decompress in parallel).
+	// Encode token groups in parallel batches; each group is an
+	// independent arithmetic-coded stream (§5.2: the anchor referencing
+	// lets groups compress and decompress in parallel), and a batch walks
+	// its groups through each (kind, layer) block in lockstep for cache
+	// locality. A single batch encodes inline: no goroutine, no barrier.
 	streams := make([][]byte, numGroups)
-	errs := make([]error, numGroups)
-	var wg sync.WaitGroup
-	sem := c.groupSem
-	for gi := 0; gi < numGroups; gi++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(gi int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			start := gi * g
-			end := start + g
-			if end > kv.Tokens {
-				end = kv.Tokens
-			}
-			streams[gi], errs[gi] = c.encodeGroup(kv, start, end, lv)
-		}(gi)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if len(batches) == 1 {
+		// Inline, but still under the codec-wide coder budget: without
+		// the semaphore, N concurrent single-batch chunk calls would run
+		// N coder loops instead of `workers`.
+		c.groupSem <- struct{}{}
+		err := c.encodeGroupBatch(kv, lo, batches[0], lv, streams)
+		<-c.groupSem
 		if err != nil {
 			return nil, err
 		}
+	} else {
+		errs := make([]error, len(batches))
+		var wg sync.WaitGroup
+		sem := c.groupSem
+		gi := 0
+		for bi, batch := range batches {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(bi, gi int, batch []span) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[bi] = c.encodeGroupBatch(kv, lo, batch, lv, streams[gi:gi+len(batch)])
+			}(bi, gi, batch)
+			gi += len(batch)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 
-	// Assemble the container.
-	out := make([]byte, 0, chunkHeaderSize(numGroups))
+	// Assemble the container in one exact-capacity buffer.
+	payload := 0
+	for _, s := range streams {
+		payload += len(s)
+	}
+	out := make([]byte, 0, chunkHeaderSize(numGroups)+payload)
 	out = append(out, chunkMagic...)
 	out = append(out, chunkVersion, byte(lv))
 	out = binary.AppendUvarint(out, uint64(chunkIndex))
 	out = binary.AppendUvarint(out, uint64(tokenOffset))
 	out = binary.AppendUvarint(out, uint64(kv.Layers))
-	out = binary.AppendUvarint(out, uint64(kv.Tokens))
+	out = binary.AppendUvarint(out, uint64(tokens))
 	out = binary.AppendUvarint(out, uint64(kv.Channels))
 	out = binary.AppendUvarint(out, uint64(g))
 	out = binary.AppendUvarint(out, uint64(numGroups))
@@ -143,90 +241,121 @@ func (c *Codec) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// encodeGroup encodes tokens [start, end) as one arithmetic-coded stream:
-// per (kind, layer), the anchor row (8-bit, static scales) followed by the
+// encodeGroupBatch encodes a batch of token groups (whose spans are
+// relative to chunk-base token `base` of kv), each as one independent
+// arithmetic-coded stream written to the matching out slot: per
+// (kind, layer), the anchor row (8-bit, static scales) followed by the
 // remaining tokens' delta rows quantized with the level's layer bins.
-func (c *Codec) encodeGroup(kv *tensor.KV, start, end int, lv Level) ([]byte, error) {
+//
+// Two hot-path properties, both bitstream-neutral:
+//   - quantization and entropy coding are fused row-wise: each row is
+//     quantized into a pooled symbol buffer and bulk-encoded against the
+//     bank's precomputed per-row model slice, so no per-symbol table
+//     lookup, model-index arithmetic, or error-checked call survives in
+//     the inner loop;
+//   - the batch's groups advance through each (kind, layer) block
+//     together (one encoder per group), so the block's tables are hot in
+//     cache for every group instead of re-fetched per group.
+func (c *Codec) encodeGroupBatch(kv *tensor.KV, base int, batch []span, lv Level, out [][]byte) error {
 	b := c.bank
 	vq, err := quant.NewVectorwise(c.cfg.AnchorBits)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bins := c.cfg.binsFor(lv)
-	enc := ac.NewEncoder()
 	channels := kv.Channels
-	qrow := make([]int32, channels)
-	arow := make([]float32, channels)
+	sc := c.scratch.Get().(*groupScratch)
+	defer c.scratch.Put(sc)
+	syms, arow := sc.syms, sc.arow
+	encs := sc.encoders(len(batch))
+	for gi, g := range batch {
+		encs[gi].Reset()
+		// Rough size hint: symbols typically entropy-code below 4 bits each.
+		encs[gi].Grow((g.end - g.start) * channels * kv.Layers / 2)
+	}
 
 	for _, kind := range tensor.Kinds {
 		for l := 0; l < kv.Layers; l++ {
 			scales := b.anchorScales[kind][l*channels : (l+1)*channels]
 			u, err := quant.NewUniform(bins.BinFor(l, kv.Layers), c.cfg.DeltaClamp)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			deltaTabs := b.deltaTables[lv]
+			deltaRow := b.rowTables(lv, kind, l)
 
 			if c.cfg.DisableDelta {
 				// Ablation: raw uniform quantization of every token.
-				for t := start; t < end; t++ {
-					row := kv.Row(kind, l, t)
-					for ch := 0; ch < channels; ch++ {
-						mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
-						if err := enc.Encode(u.SymbolOf(u.Quantize(row[ch])), deltaTabs[mi]); err != nil {
-							return nil, err
+				for gi, g := range batch {
+					enc := encs[gi]
+					for t := g.start; t < g.end; t++ {
+						u.QuantizeRow(kv.Row(kind, l, base+t), nil, syms)
+						if err := enc.EncodeSymbolsMulti(deltaRow, syms); err != nil {
+							return err
 						}
 					}
 				}
 				continue
 			}
 
-			// Anchor row.
-			anchor := kv.Row(kind, l, start)
-			ai := b.anchorIndex(kind, l)
-			for ch := 0; ch < channels; ch++ {
-				vq.QuantizeWithScale(anchor[ch:ch+1], scales[ch], qrow[ch:ch+1])
-				arow[ch] = float32(qrow[ch]) * scales[ch]
-				if err := enc.Encode(vq.SymbolOf(qrow[ch]), b.anchorTables[ai]); err != nil {
-					return nil, err
+			anchorTab := b.anchorTables[b.anchorIndex(kind, l)]
+			for gi, g := range batch {
+				enc := encs[gi]
+				// Anchor row.
+				vq.QuantizeRow(kv.Row(kind, l, base+g.start), scales, syms, arow)
+				if err := enc.EncodeSymbols(anchorTab, syms); err != nil {
+					return err
 				}
-			}
-			// Delta rows against the dequantized anchor.
-			for t := start + 1; t < end; t++ {
-				row := kv.Row(kind, l, t)
-				for ch := 0; ch < channels; ch++ {
-					mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
-					if err := enc.Encode(u.SymbolOf(u.Quantize(row[ch]-arow[ch])), deltaTabs[mi]); err != nil {
-						return nil, err
+				// Delta rows against the dequantized anchor.
+				for t := g.start + 1; t < g.end; t++ {
+					u.QuantizeRow(kv.Row(kind, l, base+t), arow, syms)
+					if err := enc.EncodeSymbolsMulti(deltaRow, syms); err != nil {
+						return err
 					}
 				}
 			}
 		}
 	}
-	return enc.Bytes(), nil
+	// Copy out of the pooled buffers: the streams outlive the scratch.
+	for gi := range batch {
+		flushed := encs[gi].Bytes()
+		stream := make([]byte, len(flushed))
+		copy(stream, flushed)
+		out[gi] = stream
+	}
+	return nil
 }
 
-// DecodeChunk decodes a chunk bitstream produced by EncodeChunk, verifying
-// integrity and geometry against the codec's bank. Token groups decode in
-// parallel.
-func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
+// ChunkHeader is the parsed metadata of a chunk container.
+type ChunkHeader struct {
+	Index       int
+	TokenOffset int
+	Level       Level
+	Layers      int
+	Tokens      int
+	Channels    int
+
+	groupSize int // wire-declared token-group length, checked against the codec
+}
+
+// parseChunk validates the container (CRC, magic, version, geometry
+// plausibility) and returns the header, the per-group stream lengths and
+// the concatenated group payload.
+func parseChunk(data []byte) (ChunkHeader, []int, []byte, error) {
+	var hdr ChunkHeader
 	if len(data) < len(chunkMagic)+2+4 {
-		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptChunk, len(data))
+		return hdr, nil, nil, fmt.Errorf("%w: %d bytes", ErrCorruptChunk, len(data))
 	}
 	body, sum := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(sum) {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptChunk)
+		return hdr, nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptChunk)
 	}
 	if string(body[:4]) != chunkMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptChunk, body[:4])
+		return hdr, nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptChunk, body[:4])
 	}
 	if body[4] != chunkVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptChunk, body[4])
+		return hdr, nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptChunk, body[4])
 	}
-	lv := Level(body[5])
-	if !c.cfg.ValidLevel(lv) {
-		return nil, fmt.Errorf("%w: invalid level %d", ErrCorruptChunk, lv)
-	}
+	hdr.Level = Level(body[5])
 	p := body[6:]
 	read := func() (uint64, error) {
 		v, n := binary.Uvarint(p)
@@ -240,26 +369,20 @@ func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
 	for i := range vals {
 		v, err := read()
 		if err != nil {
-			return nil, err
+			return hdr, nil, nil, err
 		}
 		vals[i] = v
 	}
-	chunkIndex, tokenOffset := int(vals[0]), int(vals[1])
-	layers, tokens, channels := int(vals[2]), int(vals[3]), int(vals[4])
+	hdr.Index, hdr.TokenOffset = int(vals[0]), int(vals[1])
+	hdr.Layers, hdr.Tokens, hdr.Channels = int(vals[2]), int(vals[3]), int(vals[4])
 	groupSize, numGroups := int(vals[5]), int(vals[6])
 
-	if layers != c.bank.layers || channels != c.bank.channels {
-		return nil, fmt.Errorf("%w (chunk %d,·,%d)", ErrGeometry, layers, channels)
-	}
-	if groupSize != c.cfg.GroupSize {
-		return nil, fmt.Errorf("%w: group size %d, codec uses %d", ErrCorruptChunk, groupSize, c.cfg.GroupSize)
-	}
-	if tokens <= 0 || numGroups != (tokens+groupSize-1)/groupSize {
-		return nil, fmt.Errorf("%w: %d tokens / %d groups inconsistent", ErrCorruptChunk, tokens, numGroups)
-	}
 	const maxChunkTokens = 1 << 22
-	if tokens > maxChunkTokens {
-		return nil, fmt.Errorf("%w: implausible chunk of %d tokens", ErrCorruptChunk, tokens)
+	if hdr.Tokens > maxChunkTokens {
+		return hdr, nil, nil, fmt.Errorf("%w: implausible chunk of %d tokens", ErrCorruptChunk, hdr.Tokens)
+	}
+	if groupSize <= 0 || hdr.Tokens <= 0 || numGroups != (hdr.Tokens+groupSize-1)/groupSize {
+		return hdr, nil, nil, fmt.Errorf("%w: %d tokens / %d groups inconsistent", ErrCorruptChunk, hdr.Tokens, numGroups)
 	}
 
 	lengths := make([]int, numGroups)
@@ -267,97 +390,175 @@ func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
 	for i := range lengths {
 		v, err := read()
 		if err != nil {
-			return nil, err
+			return hdr, nil, nil, err
+		}
+		// Bound each length by the remaining payload before converting:
+		// a 2^63-scale uvarint would wrap int and slip past the sum
+		// check below into a slice-bounds panic.
+		if v > uint64(len(p)) {
+			return hdr, nil, nil, fmt.Errorf("%w: group stream length %d exceeds %d payload bytes", ErrCorruptChunk, v, len(p))
 		}
 		lengths[i] = int(v)
 		total += int(v)
 	}
 	if total != len(p) {
-		return nil, fmt.Errorf("%w: stream lengths sum to %d, have %d bytes", ErrCorruptChunk, total, len(p))
+		return hdr, nil, nil, fmt.Errorf("%w: stream lengths sum to %d, have %d bytes", ErrCorruptChunk, total, len(p))
 	}
+	hdr.groupSize = groupSize
+	return hdr, lengths, p, nil
+}
 
-	kv := tensor.New(layers, tokens, channels)
-	errs := make([]error, numGroups)
+// DecodeChunk decodes a chunk bitstream produced by EncodeChunk, verifying
+// integrity and geometry against the codec's bank. Token groups decode in
+// parallel.
+func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
+	hdr, lengths, payload, err := parseChunk(data)
+	if err != nil {
+		return nil, err
+	}
+	kv := tensor.New(hdr.Layers, hdr.Tokens, hdr.Channels)
+	if err := c.decodeChunkPayload(hdr, lengths, payload, kv, 0); err != nil {
+		return nil, err
+	}
+	return &Chunk{Index: hdr.Index, TokenOffset: hdr.TokenOffset, Level: hdr.Level, KV: kv}, nil
+}
+
+// DecodeChunkInto decodes a chunk bitstream directly into dst's token
+// range [dstOff, dstOff+tokens) — the zero-copy assembly path: a caller
+// reassembling a context decodes every chunk straight into one
+// preallocated destination instead of concatenating per-chunk tensors.
+// Returns the chunk's parsed header.
+func (c *Codec) DecodeChunkInto(dst *tensor.KV, dstOff int, data []byte) (ChunkHeader, error) {
+	hdr, lengths, payload, err := parseChunk(data)
+	if err != nil {
+		return hdr, err
+	}
+	if dst.Layers != hdr.Layers || dst.Channels != hdr.Channels {
+		return hdr, fmt.Errorf("%w: destination (%d,·,%d) vs chunk (%d,·,%d)",
+			ErrGeometry, dst.Layers, dst.Channels, hdr.Layers, hdr.Channels)
+	}
+	if dstOff < 0 || dstOff+hdr.Tokens > dst.Tokens {
+		return hdr, fmt.Errorf("core: chunk of %d tokens does not fit destination [%d,%d)",
+			hdr.Tokens, dstOff, dst.Tokens)
+	}
+	return hdr, c.decodeChunkPayload(hdr, lengths, payload, dst, dstOff)
+}
+
+// decodeChunkPayload decodes the group streams of a parsed chunk into
+// dst at token offset dstOff. Token groups decode in parallel batches.
+func (c *Codec) decodeChunkPayload(hdr ChunkHeader, lengths []int, payload []byte, dst *tensor.KV, dstOff int) error {
+	if hdr.Layers != c.bank.layers || hdr.Channels != c.bank.channels {
+		return fmt.Errorf("%w (chunk %d,·,%d)", ErrGeometry, hdr.Layers, hdr.Channels)
+	}
+	if hdr.groupSize != c.cfg.GroupSize {
+		return fmt.Errorf("%w: group size %d, codec uses %d", ErrCorruptChunk, hdr.groupSize, c.cfg.GroupSize)
+	}
+	if !c.cfg.ValidLevel(hdr.Level) {
+		return fmt.Errorf("%w: invalid level %d", ErrCorruptChunk, hdr.Level)
+	}
+	streams := make([][]byte, len(lengths))
+	off := 0
+	for gi, n := range lengths {
+		streams[gi] = payload[off : off+n]
+		off += n
+	}
+	_, batches := groupSpans(hdr.Tokens, hdr.groupSize, c.workers())
+	if len(batches) == 1 {
+		// Inline, but still under the codec-wide coder budget (see
+		// encodeChunkRange).
+		c.groupSem <- struct{}{}
+		err := c.decodeGroupBatch(dst, dstOff, batches[0], hdr.Level, streams)
+		<-c.groupSem
+		return err
+	}
+	errs := make([]error, len(batches))
 	var wg sync.WaitGroup
 	sem := c.groupSem
-	off := 0
-	for gi := 0; gi < numGroups; gi++ {
-		stream := p[off : off+lengths[gi]]
-		off += lengths[gi]
-		start := gi * groupSize
-		end := start + groupSize
-		if end > tokens {
-			end = tokens
-		}
+	gi := 0
+	for bi, batch := range batches {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(gi, start, end int, stream []byte) {
+		go func(bi, gi int, batch []span) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[gi] = c.decodeGroup(kv, start, end, lv, stream)
-		}(gi, start, end, stream)
+			errs[bi] = c.decodeGroupBatch(dst, dstOff, batch, hdr.Level, streams[gi:gi+len(batch)])
+		}(bi, gi, batch)
+		gi += len(batch)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return &Chunk{Index: chunkIndex, TokenOffset: tokenOffset, Level: lv, KV: kv}, nil
+	return nil
 }
 
-func (c *Codec) decodeGroup(kv *tensor.KV, start, end int, lv Level, stream []byte) error {
+// decodeGroupBatch decodes a batch of group streams covering chunk tokens
+// [g.start, g.end) into dst tokens [dstOff+g.start, dstOff+g.end). It is
+// encodeGroupBatch's mirror: decode and dequantize are fused row-wise
+// (one bulk symbol decode into pooled scratch, then one dequantize pass
+// writing the destination row in place), and the batch's groups advance
+// through each (kind, layer) block in lockstep so the block's tables are
+// fetched into cache once per batch.
+func (c *Codec) decodeGroupBatch(dst *tensor.KV, dstOff int, batch []span, lv Level, streams [][]byte) error {
 	b := c.bank
 	vq, err := quant.NewVectorwise(c.cfg.AnchorBits)
 	if err != nil {
 		return err
 	}
 	bins := c.cfg.binsFor(lv)
-	dec := ac.NewDecoder(stream)
-	channels := kv.Channels
+	channels := dst.Channels
+	sc := c.scratch.Get().(*groupScratch)
+	defer c.scratch.Put(sc)
+	syms := sc.syms
+	decs := sc.decoders(len(batch))
+	for gi := range batch {
+		decs[gi].Reset(streams[gi])
+	}
+	// Parked scratch must not pin the chunk payload the streams slice
+	// into; drop the references before the scratch returns to the pool.
+	defer func() {
+		for gi := range batch {
+			decs[gi].Reset(nil)
+		}
+	}()
 
 	for _, kind := range tensor.Kinds {
-		for l := 0; l < kv.Layers; l++ {
+		for l := 0; l < dst.Layers; l++ {
 			scales := b.anchorScales[kind][l*channels : (l+1)*channels]
-			u, err := quant.NewUniform(bins.BinFor(l, kv.Layers), c.cfg.DeltaClamp)
+			u, err := quant.NewUniform(bins.BinFor(l, dst.Layers), c.cfg.DeltaClamp)
 			if err != nil {
 				return err
 			}
-			deltaTabs := b.deltaTables[lv]
+			deltaRow := b.rowTables(lv, kind, l)
 
 			if c.cfg.DisableDelta {
-				for t := start; t < end; t++ {
-					row := kv.Row(kind, l, t)
-					for ch := 0; ch < channels; ch++ {
-						mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
-						sym, err := dec.Decode(deltaTabs[mi])
-						if err != nil {
+				for gi, g := range batch {
+					dec := decs[gi]
+					for t := g.start; t < g.end; t++ {
+						if err := dec.DecodeSymbolsMulti(deltaRow, syms); err != nil {
 							return err
 						}
-						row[ch] = u.Dequantize(u.ValueOf(sym))
+						u.DequantizeRow(syms, nil, dst.Row(kind, l, dstOff+t))
 					}
 				}
 				continue
 			}
 
-			anchorRow := kv.Row(kind, l, start)
-			ai := b.anchorIndex(kind, l)
-			for ch := 0; ch < channels; ch++ {
-				sym, err := dec.Decode(b.anchorTables[ai])
-				if err != nil {
+			anchorTab := b.anchorTables[b.anchorIndex(kind, l)]
+			for gi, g := range batch {
+				dec := decs[gi]
+				anchorRow := dst.Row(kind, l, dstOff+g.start)
+				if err := dec.DecodeSymbols(anchorTab, syms); err != nil {
 					return err
 				}
-				anchorRow[ch] = float32(vq.ValueOf(sym)) * scales[ch]
-			}
-			for t := start + 1; t < end; t++ {
-				row := kv.Row(kind, l, t)
-				for ch := 0; ch < channels; ch++ {
-					mi := b.modelIndex(kind, l, c.cfg.bucketOf(ch, channels))
-					sym, err := dec.Decode(deltaTabs[mi])
-					if err != nil {
+				vq.DequantizeRow(syms, scales, anchorRow)
+				for t := g.start + 1; t < g.end; t++ {
+					if err := dec.DecodeSymbolsMulti(deltaRow, syms); err != nil {
 						return err
 					}
-					row[ch] = anchorRow[ch] + u.Dequantize(u.ValueOf(sym))
+					u.DequantizeRow(syms, anchorRow, dst.Row(kind, l, dstOff+t))
 				}
 			}
 		}
@@ -437,12 +638,8 @@ func (c *Codec) encodeJobs(kv *tensor.KV, jobs []levelChunkJob) ([][]byte, error
 		go func(ji int, job levelChunkJob) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			part, err := kv.SliceTokens(job.lo, job.hi)
-			if err != nil {
-				errs[ji] = err
-				return
-			}
-			out[ji], errs[ji] = c.EncodeChunk(part, job.chunk, job.lo, job.lv)
+			// Encode the token range in place: no per-chunk tensor copy.
+			out[ji], errs[ji] = c.encodeChunkRange(kv, job.lo, job.hi, job.chunk, job.lo, job.lv)
 		}(ji, job)
 	}
 	wg.Wait()
@@ -455,22 +652,42 @@ func (c *Codec) encodeJobs(kv *tensor.KV, jobs []levelChunkJob) ([][]byte, error
 }
 
 // DecodeContext decodes a sequence of chunk bitstreams (possibly at mixed
-// levels) and concatenates them into the full KV cache, verifying the
-// chunks are contiguous and start at token 0.
+// levels) into the full KV cache, verifying the chunks are contiguous and
+// start at token 0. The destination is allocated once, sized from the
+// chunk headers, and every chunk decodes directly into its token range —
+// no per-chunk tensors, no concatenation pass.
 func (c *Codec) DecodeContext(chunks [][]byte) (*tensor.KV, error) {
-	parts := make([]*tensor.KV, 0, len(chunks))
-	next := 0
+	if len(chunks) == 0 {
+		return nil, errors.New("core: decode of zero chunks")
+	}
+	type parsed struct {
+		hdr     ChunkHeader
+		lengths []int
+		payload []byte
+	}
+	// One parse (and one CRC pass) per chunk: the sizing walk keeps the
+	// parsed containers for the decode walk.
+	ps := make([]parsed, len(chunks))
+	total := 0
 	for i, data := range chunks {
-		ch, err := c.DecodeChunk(data)
+		hdr, lengths, payload, err := parseChunk(data)
 		if err != nil {
 			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
 		}
-		if ch.Index != i || ch.TokenOffset != next {
+		if hdr.Index != i || hdr.TokenOffset != total {
 			return nil, fmt.Errorf("core: chunk %d out of order (index %d, offset %d, want offset %d)",
-				i, ch.Index, ch.TokenOffset, next)
+				i, hdr.Index, hdr.TokenOffset, total)
 		}
-		next += ch.KV.Tokens
-		parts = append(parts, ch.KV)
+		ps[i] = parsed{hdr: hdr, lengths: lengths, payload: payload}
+		total += hdr.Tokens
 	}
-	return tensor.ConcatTokens(parts...)
+	kv := tensor.New(c.bank.layers, total, c.bank.channels)
+	next := 0
+	for i, p := range ps {
+		if err := c.decodeChunkPayload(p.hdr, p.lengths, p.payload, kv, next); err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
+		}
+		next += p.hdr.Tokens
+	}
+	return kv, nil
 }

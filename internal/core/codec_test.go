@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 
@@ -490,5 +493,63 @@ func BenchmarkDecodeChunk(b *testing.B) {
 		if _, err := codec.DecodeChunk(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestDecodeChunkRejectsOverflowingGroupLengths: a CRC-valid container
+// whose group-length uvarints wrap int must fail with ErrCorruptChunk,
+// not panic on slice bounds.
+func TestDecodeChunkRejectsOverflowingGroupLengths(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(77, 20))
+	data, err := codec.EncodeChunk(kv, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the container with two absurd group lengths whose int sum
+	// wraps to the real payload size, then re-seal the CRC.
+	hdr, rest := data[:6], data[6:len(data)-4]
+	var vals []uint64
+	for i := 0; i < 7; i++ {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			t.Fatal("truncated header")
+		}
+		vals = append(vals, v)
+		rest = rest[n:]
+	}
+	numGroups := int(vals[6])
+	payload := rest
+	for i := 0; i < numGroups; i++ {
+		_, n := binary.Uvarint(payload)
+		payload = payload[n:]
+	}
+	if numGroups < 2 {
+		t.Fatalf("need >= 2 groups, have %d", numGroups)
+	}
+	// numGroups is validated against tokens/groupSize, so keep the real
+	// group count and forge only the lengths.
+	forged := append([]byte{}, hdr...)
+	for _, v := range vals[:7] {
+		forged = binary.AppendUvarint(forged, v)
+	}
+	huge := uint64(1) << 63
+	forged = binary.AppendUvarint(forged, huge)
+	forged = binary.AppendUvarint(forged, huge+uint64(len(payload)))
+	for i := 2; i < numGroups; i++ {
+		forged = binary.AppendUvarint(forged, 0)
+	}
+	forged = append(forged, payload...)
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(forged))
+	forged = append(forged, sum[:]...)
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("DecodeChunk panicked on forged lengths: %v", r)
+		}
+	}()
+	if _, err := codec.DecodeChunk(forged); !errors.Is(err, ErrCorruptChunk) {
+		t.Fatalf("DecodeChunk = %v, want ErrCorruptChunk", err)
 	}
 }

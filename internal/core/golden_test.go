@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// updateGolden regenerates the committed golden-bitstream corpus:
+//
+//	go test ./internal/core -run TestGoldenBitstreams -update-golden
+//
+// The fixtures pin the codec's exact output bytes: the bank, the input KV
+// and every level's chunk bitstream are committed, so any change to the
+// encoder hot path (bulk symbol coding, fused quantize loops, pooled
+// scratch) is proven bitstream-identical to the coder that produced them.
+// Only regenerate when an intentional format change invalidates them.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden bitstream fixtures")
+
+const goldenDir = "testdata"
+
+// goldenConfig is the corpus geometry: small enough to commit, but with
+// multiple token groups (including a partial trailing group), multiple
+// layer thirds, and more channels than buckets exercised.
+func goldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ChunkTokens = 50
+	return cfg
+}
+
+func goldenPath(name string) string { return filepath.Join(goldenDir, name) }
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("missing golden fixture %s (regenerate with -update-golden): %v", name, err)
+	}
+	return data
+}
+
+// goldenKV derives the corpus input tensor deterministically from the test
+// model; the committed kv.bin guards against the generator drifting.
+func goldenKV(t *testing.T) *tensor.KV {
+	t.Helper()
+	m := testModel(t)
+	return m.CalculateKV(testTokens(4242, 45)) // 4 full groups + a 5-token tail
+}
+
+func TestGoldenBitstreams(t *testing.T) {
+	if *updateGolden {
+		writeGoldenFixtures(t)
+	}
+
+	bankData := readGolden(t, "golden_bank.bin")
+	bank, err := UnmarshalBank(bankData)
+	if err != nil {
+		t.Fatalf("golden bank: %v", err)
+	}
+	codec := NewCodec(bank)
+
+	var kvBuf bytes.Buffer
+	kvBuf.Write(readGolden(t, "golden_kv.bin"))
+	kv, err := tensor.ReadKV(&kvBuf)
+	if err != nil {
+		t.Fatalf("golden kv: %v", err)
+	}
+	// The committed KV must equal the generator's output, or the corpus no
+	// longer matches its own provenance.
+	if d, err := goldenKV(t).MaxAbsDiff(kv); err != nil || d != 0 {
+		t.Errorf("golden_kv.bin no longer matches the deterministic generator output (diff %v, err %v)", d, err)
+	}
+
+	for lv := 0; lv < codec.Config().Levels(); lv++ {
+		lv := Level(lv)
+		t.Run(fmt.Sprintf("L%d", lv), func(t *testing.T) {
+			want := readGolden(t, fmt.Sprintf("golden_chunk_l%d.bin", lv))
+			got, err := codec.EncodeChunk(kv, 0, 0, lv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("EncodeChunk(L%d) produced %d bytes differing from the %d-byte golden fixture: the optimized encoder is no longer bitstream-identical",
+					lv, len(got), len(want))
+			}
+			// And the decoder must round-trip the committed bytes exactly.
+			ch, err := codec.DecodeChunk(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := codec.EncodeChunk(ch.KV, 0, 0, lv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rt, want) {
+				t.Errorf("L%d: re-encoding the decoded golden chunk is not idempotent", lv)
+			}
+		})
+	}
+}
+
+// writeGoldenFixtures regenerates the corpus from the deterministic rig.
+func writeGoldenFixtures(t *testing.T) {
+	t.Helper()
+	codec, _ := testCodec(t, goldenConfig())
+	kv := goldenKV(t)
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bankData, err := codec.Bank().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		if err := os.WriteFile(goldenPath(name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath(name), len(data))
+	}
+	write("golden_bank.bin", bankData)
+	var kvBuf bytes.Buffer
+	if _, err := kv.WriteTo(&kvBuf); err != nil {
+		t.Fatal(err)
+	}
+	write("golden_kv.bin", kvBuf.Bytes())
+	for lv := 0; lv < codec.Config().Levels(); lv++ {
+		stream, err := codec.EncodeChunk(kv, 0, 0, Level(lv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(fmt.Sprintf("golden_chunk_l%d.bin", lv), stream)
+	}
+}

@@ -132,6 +132,10 @@ type Config struct {
 	// gets a copy with its own SLO. Set Planner.Adapt for SLO-aware
 	// degradation.
 	Planner streamer.Planner
+	// PipelineDepth is the streamer's transfer-pipeline depth per request:
+	// up to this many chunk transfers in flight while decode proceeds in
+	// order (0 = streamer.DefaultPipelineDepth).
+	PipelineDepth int
 
 	// DecodeTime overrides the modelled slot-occupancy cost (context
 	// tokens, suffix tokens) → duration. Nil uses the llm cost model's
@@ -177,6 +181,11 @@ type tenantQueue struct {
 type tenantAccum struct {
 	submitted, completed, rejected, timedOut, failed, sloMet uint64
 	ttfts                                                    []time.Duration
+	// KV-load time breakdown summed over completed fetches (from
+	// streamer.FetchReport): network transfer, bitstream decode, and
+	// text-fallback recompute. Decode stall that would otherwise hide
+	// inside TTFT shows up here.
+	transfer, decode, recompute time.Duration
 }
 
 // Gateway is the serving frontend. Safe for concurrent use; Submit blocks
@@ -456,12 +465,13 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 		pl.SLO = p.req.SLO
 	}
 	return &streamer.Fetcher{
-		Source:  g.cfg.Source,
-		Codec:   g.cfg.Codec,
-		Model:   g.cfg.Model,
-		Device:  g.cfg.Device,
-		Planner: pl,
-		Start:   p.admitted,
+		Source:        g.cfg.Source,
+		Codec:         g.cfg.Codec,
+		Model:         g.cfg.Model,
+		Device:        g.cfg.Device,
+		Planner:       pl,
+		Start:         p.admitted,
+		PipelineDepth: g.cfg.PipelineDepth,
 	}
 }
 
@@ -553,6 +563,11 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 			a.sloMet++
 		}
 		a.ttfts = append(a.ttfts, ttft)
+		if out.report != nil {
+			a.transfer += out.report.TransferTime
+			a.decode += out.report.DecodeTime
+			a.recompute += out.report.RecomputeTime
+		}
 	})
 	return &Result{
 		KV:          out.kv,
@@ -611,6 +626,10 @@ type TenantStats struct {
 	SLOMet uint64
 	// TTFTs are the completed requests' TTFTs, in completion order.
 	TTFTs []time.Duration
+	// TransferTime, DecodeTime and RecomputeTime break the tenant's
+	// cumulative KV-load time into network transfer, bitstream decode,
+	// and text-fallback recompute (summed over completed requests).
+	TransferTime, DecodeTime, RecomputeTime time.Duration
 }
 
 // TTFTSummary returns the tenant's TTFT distribution in seconds.
@@ -664,7 +683,8 @@ func (g *Gateway) Stats() Stats {
 		s.Tenants[name] = TenantStats{
 			Submitted: a.submitted, Completed: a.completed, Rejected: a.rejected,
 			TimedOut: a.timedOut, Failed: a.failed, SLOMet: a.sloMet,
-			TTFTs: append([]time.Duration{}, a.ttfts...),
+			TTFTs:        append([]time.Duration{}, a.ttfts...),
+			TransferTime: a.transfer, DecodeTime: a.decode, RecomputeTime: a.recompute,
 		}
 	}
 	return s

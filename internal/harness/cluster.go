@@ -200,7 +200,7 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 	resil := &Report{
 		ID:      "X4",
 		Title:   "Delivery cluster: node failure and RAM tier (4 nodes, replication 2)",
-		Columns: []string{"Scenario", "Load time", "Failovers", "RAM hit rate"},
+		Columns: []string{"Scenario", "Load time", "Xfer / decode", "Failovers", "RAM hit rate"},
 	}
 	fl, err := newX4Fleet(4, 2, cacheBytes)
 	if err != nil {
@@ -220,7 +220,7 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 		return nil, err
 	}
 	resil.AddRow("cold fetch, all nodes up",
-		fmt.Sprintf("%.2f ms", cold.LoadTime.Seconds()*1e3), "0",
+		fmt.Sprintf("%.2f ms", cold.LoadTime.Seconds()*1e3), loadBreakdown(cold), "0",
 		fmt.Sprintf("%.0f%%", 100*fl.cacheStats().HitRate()))
 
 	warmBase := fl.cacheStats()
@@ -236,7 +236,7 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 		warmRate = float64(warmHits) / float64(warmHits+warmMisses)
 	}
 	resil.AddRow("warm fetch (repeat)",
-		fmt.Sprintf("%.2f ms", warm.LoadTime.Seconds()*1e3),
+		fmt.Sprintf("%.2f ms", warm.LoadTime.Seconds()*1e3), loadBreakdown(warm),
 		fmt.Sprintf("%d", pool.Stats().Failovers),
 		fmt.Sprintf("%.0f%%", 100*warmRate))
 
@@ -250,9 +250,19 @@ func runX4Cluster(f *Fixture) ([]*Report, error) {
 		return nil, err
 	}
 	resil.AddRow("one node down (replica failover)",
-		fmt.Sprintf("%.2f ms", degraded.LoadTime.Seconds()*1e3),
+		fmt.Sprintf("%.2f ms", degraded.LoadTime.Seconds()*1e3), loadBreakdown(degraded),
 		fmt.Sprintf("%d", pool.Stats().Failovers-failoversBefore),
 		"-")
 	resil.AddNote("chunk placement ignores the encoding level, so a chunk's text fallback and refinement streams live with its bitstreams and failover never splits a chunk across fleets")
 	return []*Report{scaling, resil}, nil
+}
+
+// loadBreakdown renders a fetch report's load-time components: network
+// transfer vs codec decode (plus text recompute when present).
+func loadBreakdown(rep *streamer.FetchReport) string {
+	if rep.RecomputeTime > 0 {
+		return fmt.Sprintf("%.1f/%.1f/%.1f ms", rep.TransferTime.Seconds()*1e3,
+			rep.DecodeTime.Seconds()*1e3, rep.RecomputeTime.Seconds()*1e3)
+	}
+	return fmt.Sprintf("%.1f/%.1f ms", rep.TransferTime.Seconds()*1e3, rep.DecodeTime.Seconds()*1e3)
 }

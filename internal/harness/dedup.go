@@ -142,7 +142,7 @@ func runX6Dedup(f *Fixture) ([]*Report, error) {
 	warm := &Report{
 		ID:      "X6",
 		Title:   "Warm-turn load time: resident prefix vs cold fetch (live ring, level 0)",
-		Columns: []string{"Path", "Chunks fetched", "Bytes", "Load time"},
+		Columns: []string{"Path", "Chunks fetched", "Bytes", "Load time", "Xfer / decode"},
 	}
 	pool := cluster.NewPool(fl.ring, cluster.WithRequestTimeout(10*time.Second))
 	defer pool.Close()
@@ -158,7 +158,8 @@ func runX6Dedup(f *Fixture) ([]*Report, error) {
 	warm.AddRow("cold (new serving node)",
 		fmt.Sprintf("%d", len(coldRep.Decisions)),
 		fmt.Sprintf("%.1f KB", float64(coldRep.BytesReceived)/1e3),
-		fmt.Sprintf("%.2f ms", coldRep.LoadTime.Seconds()*1e3))
+		fmt.Sprintf("%.2f ms", coldRep.LoadTime.Seconds()*1e3),
+		loadBreakdown(coldRep))
 	// Resident: everything but the last turn (the session held the KV).
 	resident, err := kv.SliceTokens(0, len(history)-chunkTok)
 	if err != nil {
@@ -174,7 +175,8 @@ func runX6Dedup(f *Fixture) ([]*Report, error) {
 	warm.AddRow("warm (resident through previous turn)",
 		fmt.Sprintf("%d", len(warmFetch.Decisions)),
 		fmt.Sprintf("%.1f KB", float64(warmFetch.BytesReceived)/1e3),
-		fmt.Sprintf("%.2f ms", warmFetch.LoadTime.Seconds()*1e3))
+		fmt.Sprintf("%.2f ms", warmFetch.LoadTime.Seconds()*1e3),
+		loadBreakdown(warmFetch))
 	warm.AddNote("a warm turn fetches the manifest plus only the suffix chunks its resident cache misses — on loopback the gap is small in ms but the byte ratio is what a WAN pays")
 
 	// ------------------------------------------------------------------ GC

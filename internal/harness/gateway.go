@@ -211,12 +211,12 @@ func runX5Gateway(f *Fixture) ([]*Report, error) {
 	sweep := &Report{
 		ID:      "X5",
 		Title:   "Serving gateway: throughput and tail TTFT vs arrival rate (2 decode slots, prefetch on)",
-		Columns: []string{"Nodes", "Mix", "Rate", "Done", "T/O", "Thpt", "P50 TTFT", "P99 TTFT", "SLO met"},
+		Columns: []string{"Nodes", "Mix", "Rate", "Done", "T/O", "Thpt", "P50 TTFT", "P99 TTFT", "SLO met", "Load xfer/dec"},
 	}
 	for _, mixName := range []string{"2 even", "3 skewed"} {
 		tenants := mixes[mixName]
 		for _, rate := range []float64{150, 400} {
-			rep, _, err := s.run(x5Run{
+			rep, st, err := s.run(x5Run{
 				nodes: 3, rate: rate, requests: 60, prefetch: true,
 				tenants: tenants, weights: x5Weights(tenants),
 			})
@@ -226,12 +226,12 @@ func runX5Gateway(f *Fixture) ([]*Report, error) {
 			p50, p99, slo, thpt := x5Row(rep)
 			sweep.AddRow("3", mixName, fmt.Sprintf("%.0f/s", rate),
 				fmt.Sprintf("%d/%d", rep.Completed, rep.Submitted),
-				fmt.Sprintf("%d", rep.TimedOut), thpt, p50, p99, slo)
+				fmt.Sprintf("%d", rep.TimedOut), thpt, p50, p99, slo, gatewayBreakdown(st))
 		}
 	}
 	// One single-node point at the higher rate: the fleet-size axis.
 	singleTenants := mixes["2 even"]
-	rep, _, err := s.run(x5Run{
+	rep, st, err := s.run(x5Run{
 		nodes: 1, rate: 400, requests: 60, prefetch: true,
 		tenants: singleTenants, weights: x5Weights(singleTenants),
 	})
@@ -240,8 +240,9 @@ func runX5Gateway(f *Fixture) ([]*Report, error) {
 	}
 	p50, p99, slo, thpt := x5Row(rep)
 	sweep.AddRow("1", "2 even", "400/s", fmt.Sprintf("%d/%d", rep.Completed, rep.Submitted),
-		fmt.Sprintf("%d", rep.TimedOut), thpt, p50, p99, slo)
+		fmt.Sprintf("%d", rep.TimedOut), thpt, p50, p99, slo, gatewayBreakdown(st))
 	sweep.AddNote("open-loop Poisson arrivals over a simulated %v per-chunk WAN RTT; TTFT = admission → first token (queue wait + KV load + suffix prefill); SLO %v", x5ChunkRTT, x5SLO)
+	sweep.AddNote("'Load xfer/dec' splits the cumulative KV-load time into transfer vs decode+recompute across all completed requests: which resource the fleet would have to scale")
 
 	// Prefetch-while-queued benefit: same load, fetch overlapping the
 	// queue vs fetch inside the decode slot.
@@ -271,4 +272,15 @@ func runX5Gateway(f *Fixture) ([]*Report, error) {
 	}
 	bench.AddNote("without prefetch the decode slot is held for transfer + decode, so at this rate the queue grows and tail TTFT inflates; prefetch hides the stream inside queueing delay")
 	return []*Report{sweep, bench}, nil
+}
+
+// gatewayBreakdown renders the fleet-wide KV-load time split (transfer vs
+// decode+recompute) summed over every tenant's completed requests.
+func gatewayBreakdown(st gateway.Stats) string {
+	var transfer, compute time.Duration
+	for _, ts := range st.Tenants {
+		transfer += ts.TransferTime
+		compute += ts.DecodeTime + ts.RecomputeTime
+	}
+	return fmt.Sprintf("%.0f/%.0f ms", transfer.Seconds()*1e3, compute.Seconds()*1e3)
 }

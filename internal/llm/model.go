@@ -137,6 +137,11 @@ func (m *Model) CalculateKV(tokens []Token) *tensor.KV {
 // chunk's KV tensors that have been received and decoded" (§5.3). The
 // result is bit-identical to the corresponding token range of
 // CalculateKV(append(prevTokens, newTokens...)) when prev is exact.
+//
+// prev may hold more than prevLen tokens — only its first prevLen tokens
+// are the preceding context and the AR state resumes from token
+// prevLen-1. A streaming assembler can therefore pass its full-size,
+// partially-filled destination tensor directly.
 func (m *Model) ExtendKV(prev *tensor.KV, prevLen int, newTokens []Token) (*tensor.KV, error) {
 	if prev == nil || prevLen == 0 {
 		return m.CalculateKV(newTokens), nil
@@ -147,6 +152,9 @@ func (m *Model) ExtendKV(prev *tensor.KV, prevLen int, newTokens []Token) (*tens
 	}
 	if prev.Tokens == 0 {
 		return m.CalculateKV(newTokens), nil
+	}
+	if prevLen < 0 || prevLen > prev.Tokens {
+		return nil, fmt.Errorf("llm: ExtendKV: prevLen %d outside prev cache of %d tokens", prevLen, prev.Tokens)
 	}
 	return m.extend(prev, &prevLen, newTokens), nil
 }
@@ -204,9 +212,12 @@ func (m *Model) fillLayer(out, prev *tensor.KV, offset, l int, tokens []Token) {
 			// depends on position only, so no token history is needed, and
 			// both paths round through float32 to stay bit-identical.
 			var slow float64
-			havePrev := prev != nil && prev.Tokens > 0
+			havePrev := prev != nil && offset > 0
 			if havePrev {
-				x := float64(prev.At(kind, l, prev.Tokens-1, c))
+				// The AR state lives in the last context token — row
+				// offset-1, not prev's last row: prev may be a larger,
+				// partially-filled assembly buffer.
+				x := float64(prev.At(kind, l, offset-1, c))
 				slow = x - mu - sgFast*m.dither(kd, l, c, offset-1)
 			}
 			for t, tok := range tokens {

@@ -63,6 +63,54 @@ func (u Uniform) SymbolOf(q int32) int { return int(q + u.Clamp) }
 // ValueOf converts a symbol back to the quantized value.
 func (u Uniform) ValueOf(sym int) int32 { return int32(sym) - u.Clamp }
 
+// QuantizeRow writes the AC symbols of one row into syms: with base nil,
+// syms[i] = SymbolOf(Quantize(row[i])); otherwise the row is quantized as
+// deltas against base, syms[i] = SymbolOf(Quantize(row[i]-base[i])). It is
+// the codec's fused quantize step — identical arithmetic to the scalar
+// calls, with the clamp bounds hoisted out of the loop.
+func (u Uniform) QuantizeRow(row, base []float32, syms []int) {
+	bin, clamp := u.Bin, u.Clamp
+	if base == nil {
+		for i, x := range row {
+			q := int32(math.RoundToEven(float64(x) / bin))
+			if q > clamp {
+				q = clamp
+			}
+			if q < -clamp {
+				q = -clamp
+			}
+			syms[i] = int(q + clamp)
+		}
+		return
+	}
+	for i, x := range row {
+		q := int32(math.RoundToEven(float64(x-base[i]) / bin))
+		if q > clamp {
+			q = clamp
+		}
+		if q < -clamp {
+			q = -clamp
+		}
+		syms[i] = int(q + clamp)
+	}
+}
+
+// DequantizeRow is QuantizeRow's inverse: with base nil, dst[i] =
+// Dequantize(ValueOf(syms[i])); otherwise dst[i] = base[i] + that
+// reconstruction. dst may alias neither syms nor base.
+func (u Uniform) DequantizeRow(syms []int, base, dst []float32) {
+	bin, clamp := u.Bin, u.Clamp
+	if base == nil {
+		for i, s := range syms {
+			dst[i] = float32(float64(int32(s)-clamp) * bin)
+		}
+		return
+	}
+	for i, s := range syms {
+		dst[i] = base[i] + float32(float64(int32(s)-clamp)*bin)
+	}
+}
+
 // Vectorwise is a per-vector max-scaled integer quantizer with the given
 // bit width b: each vector is scaled by maxAbs/(2^(b-1)-1) and rounded.
 // This is the "vectorwise quantization" the paper borrows from prior work
@@ -157,6 +205,43 @@ func (v Vectorwise) SymbolOf(q int32) int { return int(q + v.MaxQ()) }
 
 // ValueOf converts a symbol back to the quantized value.
 func (v Vectorwise) ValueOf(sym int) int32 { return int32(sym) - v.MaxQ() }
+
+// QuantizeRow quantizes one row with per-channel static scales, writing
+// the AC symbols into syms and the dequantized reconstructions into recon
+// (the anchor row the codec's delta tokens reference). Channel i with
+// scale 0 quantizes to 0 and reconstructs to 0. The arithmetic is
+// identical to per-channel QuantizeWithScale + SymbolOf + dequantize.
+func (v Vectorwise) QuantizeRow(row, scales []float32, syms []int, recon []float32) {
+	maxQ := v.MaxQ()
+	for i, x := range row {
+		scale := scales[i]
+		var q int32
+		if scale != 0 {
+			// Multiply by the reciprocal, as QuantizeWithScale does: x/s
+			// rounds differently from x*(1/s) in corner cases, and the
+			// bitstreams must stay identical.
+			inv := 1 / float64(scale)
+			q = int32(math.RoundToEven(float64(x) * inv))
+			if q > maxQ {
+				q = maxQ
+			}
+			if q < -maxQ {
+				q = -maxQ
+			}
+		}
+		syms[i] = int(q + maxQ)
+		recon[i] = float32(q) * scale
+	}
+}
+
+// DequantizeRow reconstructs a row from AC symbols and per-channel scales:
+// dst[i] = ValueOf(syms[i]) * scales[i].
+func (v Vectorwise) DequantizeRow(syms []int, scales, dst []float32) {
+	maxQ := v.MaxQ()
+	for i, s := range syms {
+		dst[i] = float32(int32(s)-maxQ) * scales[i]
+	}
+}
 
 // LayerGroupBins maps each layer of an L-layer model to its delta-tensor
 // bin size, implementing the paper's layer-wise quantization: layers are

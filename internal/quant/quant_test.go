@@ -276,3 +276,85 @@ func BenchmarkVectorwiseQuantize(b *testing.B) {
 		v.Quantize(vec, qs)
 	}
 }
+
+// TestUniformRowMatchesScalar: the fused row quantizer must reproduce the
+// scalar path bit for bit, with and without a delta base.
+func TestUniformRowMatchesScalar(t *testing.T) {
+	u, err := NewUniform(0.37, 127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := 257
+	row := make([]float32, n)
+	base := make([]float32, n)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64() * 40)
+		base[i] = float32(rng.NormFloat64() * 40)
+	}
+	syms := make([]int, n)
+	u.QuantizeRow(row, nil, syms)
+	for i := range row {
+		if want := u.SymbolOf(u.Quantize(row[i])); syms[i] != want {
+			t.Fatalf("raw row sym %d = %d, scalar %d", i, syms[i], want)
+		}
+	}
+	dst := make([]float32, n)
+	u.DequantizeRow(syms, nil, dst)
+	for i := range dst {
+		if want := u.Dequantize(u.ValueOf(syms[i])); dst[i] != want {
+			t.Fatalf("raw dequant %d = %v, scalar %v", i, dst[i], want)
+		}
+	}
+	u.QuantizeRow(row, base, syms)
+	for i := range row {
+		if want := u.SymbolOf(u.Quantize(row[i] - base[i])); syms[i] != want {
+			t.Fatalf("delta row sym %d = %d, scalar %d", i, syms[i], want)
+		}
+	}
+	u.DequantizeRow(syms, base, dst)
+	for i := range dst {
+		if want := base[i] + u.Dequantize(u.ValueOf(syms[i])); dst[i] != want {
+			t.Fatalf("delta dequant %d = %v, scalar %v", i, dst[i], want)
+		}
+	}
+}
+
+// TestVectorwiseRowMatchesScalar: the fused anchor-row quantizer must
+// match per-channel QuantizeWithScale exactly, including zero scales.
+func TestVectorwiseRowMatchesScalar(t *testing.T) {
+	v, err := NewVectorwise(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	n := 129
+	row := make([]float32, n)
+	scales := make([]float32, n)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64() * 5)
+		scales[i] = float32(rng.Float64() * 0.2)
+	}
+	scales[0], scales[n/2] = 0, 0 // untrained channels quantize to zero
+
+	syms := make([]int, n)
+	recon := make([]float32, n)
+	v.QuantizeRow(row, scales, syms, recon)
+	q := make([]int32, 1)
+	for i := range row {
+		v.QuantizeWithScale(row[i:i+1], scales[i], q)
+		if want := v.SymbolOf(q[0]); syms[i] != want {
+			t.Fatalf("anchor sym %d = %d, scalar %d", i, syms[i], want)
+		}
+		if want := float32(q[0]) * scales[i]; recon[i] != want {
+			t.Fatalf("anchor recon %d = %v, scalar %v", i, recon[i], want)
+		}
+	}
+	dst := make([]float32, n)
+	v.DequantizeRow(syms, scales, dst)
+	for i := range dst {
+		if want := float32(v.ValueOf(syms[i])) * scales[i]; dst[i] != want {
+			t.Fatalf("anchor dequant %d = %v, scalar %v", i, dst[i], want)
+		}
+	}
+}

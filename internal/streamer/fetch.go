@@ -3,6 +3,7 @@ package streamer
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -25,6 +26,12 @@ type ChunkSource interface {
 	GetChunkData(ctx context.Context, hash string) ([]byte, error)
 }
 
+// DefaultPipelineDepth is the transfer-pipeline depth used when a
+// Fetcher does not set one: strictly sequential transfers, the classic
+// one-chunk-ahead pipeline (decode of chunk i−1 overlaps the transfer of
+// chunk i). Depths > 1 additionally overlap transfers with each other.
+const DefaultPipelineDepth = 1
+
 // Fetcher streams a context's KV cache from a live chunk source:
 // chunk-by-chunk adaptive fetching, decoding pipelined with transmission
 // (§6), and text-fallback recompute through the model. It produces the
@@ -46,6 +53,13 @@ type Fetcher struct {
 	// serving gateway sets it to the request's admission time so queueing
 	// delay burns SLO budget and the per-chunk choices degrade accordingly.
 	Start time.Time
+	// PipelineDepth caps how many chunk transfers may be in flight at
+	// once (0 = DefaultPipelineDepth). At depth K, up to K transfers
+	// overlap while decode proceeds in order; planner decisions stay
+	// sequential — the choice for chunk i uses the throughput measured
+	// from the most recently completed transfer, which at depths > 1 may
+	// be an older chunk than i−1.
+	PipelineDepth int
 }
 
 // FetchReport describes how a live fetch went.
@@ -54,6 +68,16 @@ type FetchReport struct {
 	// being assembled (TTFT minus the prompt prefill, which the caller
 	// performs).
 	LoadTime time.Duration
+	// TransferTime is the cumulative network time of the chunk
+	// transfers. With a pipeline depth > 1, transfers overlap, so the
+	// components may sum past LoadTime; what they reveal is where the
+	// pipeline's time went — a fetch whose DecodeTime rivals its
+	// TransferTime is compute-bound, not network-bound.
+	TransferTime time.Duration
+	// DecodeTime is the cumulative codec (bitstream) decode time.
+	DecodeTime time.Duration
+	// RecomputeTime is the cumulative text-fallback recompute time.
+	RecomputeTime time.Duration
 	// Decisions records the per-chunk configuration choices (cold chunks
 	// only; resident chunks are not fetched).
 	Decisions []ChunkDecision
@@ -64,16 +88,17 @@ type FetchReport struct {
 	ResidentTokens int
 }
 
-type decodeJob struct {
-	idx     int // absolute chunk index
-	offset  int // absolute token offset
-	tokens  int
-	choice  Choice
+// transferResult is one chunk transfer's outcome, delivered to the
+// in-order decode worker.
+type transferResult struct {
 	payload []byte
+	err     error
 }
 
-// Fetch retrieves and reassembles the KV cache of contextID. Decoding of
-// chunk i−1 overlaps the transfer of chunk i via a pipeline goroutine.
+// Fetch retrieves and reassembles the KV cache of contextID. Up to
+// PipelineDepth chunk transfers run concurrently while a single worker
+// decodes completed chunks in order, directly into the preallocated
+// destination tensor.
 func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *FetchReport, error) {
 	return f.FetchFrom(ctx, contextID, nil)
 }
@@ -115,68 +140,130 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		}
 	}
 	report := &FetchReport{ResidentTokens: prefixTokens}
-	var prefix *tensor.KV
-	if prefixTokens > 0 {
-		prefix, err = resident.SliceTokens(0, prefixTokens)
-		if err != nil {
-			return nil, nil, fmt.Errorf("streamer: %w", err)
-		}
-	}
 	if fromChunk == len(infos) {
-		// Fully resident: nothing to stream.
+		// Fully resident (or a zero-chunk context): nothing to stream.
+		var prefix *tensor.KV
+		if prefixTokens > 0 {
+			prefix, err = resident.SliceTokens(0, prefixTokens)
+			if err != nil {
+				return nil, nil, fmt.Errorf("streamer: %w", err)
+			}
+		}
 		report.LoadTime = time.Since(start)
 		return prefix, report, nil
 	}
 	suffixInfos := infos[fromChunk:]
+	streamTokens := 0
+	for _, info := range suffixInfos {
+		streamTokens += info.Tokens
+	}
+	if prefixTokens+streamTokens != meta.TokenCount {
+		return nil, nil, fmt.Errorf("streamer: chunk metadata covers %d tokens, meta says %d",
+			prefixTokens+streamTokens, meta.TokenCount)
+	}
 
-	// Decode pipeline: a single worker consumes chunks in order (text
-	// recompute depends on the previous chunks' KV).
-	jobs := make(chan decodeJob, len(suffixInfos))
-	parts := make([]*tensor.KV, len(suffixInfos))
+	// The single destination: every chunk decodes (or recomputes)
+	// directly into its token range — no per-chunk tensors, no
+	// quadratic reassembly.
+	layers, channels := f.Codec.Bank().Geometry()
+	dest := tensor.New(layers, meta.TokenCount, channels)
+	if prefixTokens > 0 {
+		if err := dest.CopyTokensAt(0, resident, 0, prefixTokens); err != nil {
+			return nil, nil, fmt.Errorf("streamer: adopting resident prefix: %w", err)
+		}
+	}
+
+	n := len(suffixInfos)
+	depth := f.PipelineDepth
+	if depth < 1 {
+		depth = DefaultPipelineDepth
+	}
+	if depth > n {
+		depth = n
+	}
+
+	// fctx cancels the pipeline as a whole: an error anywhere (decode
+	// worker, transfer, planner) stops further transfers and unblocks
+	// everyone; the deferred cancel reaps in-flight transfers on return.
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	decisions := make([]ChunkDecision, n)
+	results := make([]chan transferResult, n)
+	for i := range results {
+		results[i] = make(chan transferResult, 1)
+	}
+
+	// Shared transfer telemetry. throughput/lastDone track the most
+	// recently *completed* transfer — with overlapping transfers,
+	// completions can land out of chunk order, and the planner wants the
+	// freshest measurement.
+	var telemetry struct {
+		sync.Mutex
+		throughput   float64
+		lastDone     time.Time
+		transferTime time.Duration
+		bytes        int64
+	}
+
+	// In-order decode worker: consumes transfer results strictly by
+	// chunk index (text recompute depends on the previously assembled
+	// tokens) and decodes into dest while later transfers proceed.
 	decodeErr := make(chan error, 1)
 	go func() {
 		defer close(decodeErr)
-		assembled := prefix // concatenation of resident prefix + parts decoded so far
-		assembledTokens := prefixTokens
-		for job := range jobs {
-			part, err := f.decodeOne(job, assembled, assembledTokens)
-			if err != nil {
-				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", job.idx, err)
+		offset := prefixTokens
+		for si := 0; si < n; si++ {
+			res := <-results[si]
+			i := fromChunk + si
+			if res.err != nil {
+				decodeErr <- res.err
+				cancel()
 				return
 			}
-			parts[job.idx-fromChunk] = part
-			if assembled == nil {
-				assembled = part
-			} else {
-				assembled, err = tensor.ConcatTokens(assembled, part)
-				if err != nil {
-					decodeErr <- fmt.Errorf("streamer: chunk %d: %w", job.idx, err)
-					return
-				}
+			dur, err := f.decodeInto(dest, offset, i, suffixInfos[si].Tokens, decisions[si].Choice, res.payload)
+			if err != nil {
+				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", i, err)
+				cancel()
+				return
 			}
-			assembledTokens += part.Tokens
+			decisions[si].Compute = dur
+			if decisions[si].Choice.Text {
+				report.RecomputeTime += dur
+			} else {
+				report.DecodeTime += dur
+			}
+			offset += suffixInfos[si].Tokens
 		}
 	}()
 
-	var throughput float64
-	offset := prefixTokens
-	fetchFailed := func(err error) (*tensor.KV, *FetchReport, error) {
-		close(jobs)
-		<-decodeErr // drain the worker
-		return nil, nil, err
-	}
-	for si, info := range suffixInfos {
-		i := fromChunk + si
-		// An abandoned request (deadline hit, user gone) must stop issuing
-		// chunk fetches, not stream the rest of the context to a caller
-		// that will discard it.
-		if err := ctx.Err(); err != nil {
-			return fetchFailed(fmt.Errorf("streamer: cancelled before chunk %d: %w", i, err))
+	// Issue loop: sequential planner decisions, up to `depth` transfers
+	// in flight. On failure at position si, the error is delivered into
+	// results[si]: the in-order worker reaches it after the chunks
+	// already in flight and relays the first error in chunk order.
+	inflight := make(chan struct{}, depth)
+	issue := func(si int) error {
+		select {
+		case inflight <- struct{}{}:
+		case <-fctx.Done():
+			return fmt.Errorf("streamer: cancelled before chunk %d: %w", fromChunk+si, fctx.Err())
 		}
+		if err := fctx.Err(); err != nil {
+			// An abandoned request (deadline hit, user gone) or a failed
+			// earlier chunk must stop issuing transfers, not stream the
+			// rest of the context to a caller that will discard it.
+			<-inflight
+			return fmt.Errorf("streamer: cancelled before chunk %d: %w", fromChunk+si, err)
+		}
+		i := fromChunk + si
+		telemetry.Lock()
+		tp := telemetry.throughput
+		telemetry.Unlock()
 		elapsed := time.Since(start)
-		choice, err := f.Planner.Choose(si, elapsed, throughput, suffixInfos)
+		choice, err := f.Planner.Choose(si, elapsed, tp, suffixInfos)
 		if err != nil {
-			return fetchFailed(fmt.Errorf("streamer: %w", err))
+			<-inflight
+			return fmt.Errorf("streamer: %w", err)
 		}
 		level := int(choice.Level)
 		if choice.Text {
@@ -184,68 +271,89 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		}
 		hash, err := man.ChunkHash(level, i)
 		if err != nil {
-			return fetchFailed(fmt.Errorf("streamer: %w", err))
+			<-inflight
+			return fmt.Errorf("streamer: %w", err)
 		}
-		reqStart := time.Now()
-		payload, err := f.Source.GetChunkData(ctx, hash)
-		if err != nil {
-			return fetchFailed(fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err))
-		}
-		dur := time.Since(reqStart)
-		throughput = netsim.Throughput(int64(len(payload)), dur)
-		report.Decisions = append(report.Decisions, ChunkDecision{
-			Chunk: i, Choice: choice, Bytes: int64(len(payload)),
-			Transfer: dur, Throughput: throughput,
-		})
-		report.BytesReceived += int64(len(payload))
-		jobs <- decodeJob{idx: i, offset: offset, tokens: info.Tokens, choice: choice, payload: payload}
-		offset += info.Tokens
+		decisions[si].Chunk = i
+		decisions[si].Choice = choice
+		go func() {
+			defer func() { <-inflight }()
+			reqStart := time.Now()
+			payload, err := f.Source.GetChunkData(fctx, hash)
+			if err != nil {
+				results[si] <- transferResult{err: fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err)}
+				return
+			}
+			done := time.Now()
+			dur := done.Sub(reqStart)
+			tp := netsim.Throughput(int64(len(payload)), dur)
+			decisions[si].Bytes = int64(len(payload))
+			decisions[si].Transfer = dur
+			decisions[si].Throughput = tp
+			telemetry.Lock()
+			if done.After(telemetry.lastDone) {
+				telemetry.lastDone = done
+				telemetry.throughput = tp
+			}
+			telemetry.transferTime += dur
+			telemetry.bytes += int64(len(payload))
+			telemetry.Unlock()
+			results[si] <- transferResult{payload: payload}
+		}()
+		return nil
 	}
-	close(jobs)
+	for si := range suffixInfos {
+		if err := issue(si); err != nil {
+			// Hand the failure to the worker at the position it will
+			// reach; it relays the first error in chunk order.
+			results[si] <- transferResult{err: err}
+			break
+		}
+	}
 	if err := <-decodeErr; err != nil {
 		return nil, nil, err
 	}
 
-	all := make([]*tensor.KV, 0, len(parts)+1)
-	if prefix != nil {
-		all = append(all, prefix)
-	}
-	all = append(all, parts...)
-	kv, err := tensor.ConcatTokens(all...)
-	if err != nil {
-		return nil, nil, fmt.Errorf("streamer: reassembling: %w", err)
-	}
-	if kv.Tokens != meta.TokenCount {
-		return nil, nil, fmt.Errorf("streamer: reassembled %d tokens, meta says %d", kv.Tokens, meta.TokenCount)
-	}
+	report.TransferTime = telemetry.transferTime
+	report.BytesReceived = telemetry.bytes
+	report.Decisions = decisions
 	report.LoadTime = time.Since(start)
-	return kv, report, nil
+	return dest, report, nil
 }
 
-// decodeOne turns one fetched payload into a KV part. prev is the
-// concatenation of all previously decoded parts (needed for text
-// recompute), covering prevTokens tokens.
-func (f *Fetcher) decodeOne(job decodeJob, prev *tensor.KV, prevTokens int) (*tensor.KV, error) {
-	if job.choice.Text {
-		tokens, err := llm.DecodeTokens(job.payload)
+// decodeInto turns one fetched payload into dest's token range
+// [offset, offset+tokens), returning the decode/recompute duration.
+func (f *Fetcher) decodeInto(dest *tensor.KV, offset, idx, tokens int, choice Choice, payload []byte) (time.Duration, error) {
+	begin := time.Now()
+	if choice.Text {
+		toks, err := llm.DecodeTokens(payload)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		if len(tokens) != job.tokens {
-			return nil, fmt.Errorf("text payload has %d tokens, meta says %d", len(tokens), job.tokens)
+		if len(toks) != tokens {
+			return 0, fmt.Errorf("text payload has %d tokens, meta says %d", len(toks), tokens)
 		}
-		return f.Model.ExtendKV(prev, prevTokens, tokens)
+		// The assembled prefix lives in dest's first `offset` tokens;
+		// ExtendKV resumes the model state from there.
+		part, err := f.Model.ExtendKV(dest, offset, toks)
+		if err != nil {
+			return 0, err
+		}
+		if err := dest.CopyTokensAt(offset, part, 0, part.Tokens); err != nil {
+			return 0, err
+		}
+		return time.Since(begin), nil
 	}
-	ch, err := f.Codec.DecodeChunk(job.payload)
+	hdr, err := f.Codec.DecodeChunkInto(dest, offset, payload)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	if ch.Index != job.idx || ch.TokenOffset != job.offset {
-		return nil, fmt.Errorf("chunk metadata mismatch: got (%d,%d), want (%d,%d)",
-			ch.Index, ch.TokenOffset, job.idx, job.offset)
+	if hdr.Index != idx || hdr.TokenOffset != offset {
+		return 0, fmt.Errorf("chunk metadata mismatch: got (%d,%d), want (%d,%d)",
+			hdr.Index, hdr.TokenOffset, idx, offset)
 	}
-	if ch.KV.Tokens != job.tokens {
-		return nil, fmt.Errorf("chunk has %d tokens, meta says %d", ch.KV.Tokens, job.tokens)
+	if hdr.Tokens != tokens {
+		return 0, fmt.Errorf("chunk has %d tokens, meta says %d", hdr.Tokens, tokens)
 	}
-	return ch.KV, nil
+	return time.Since(begin), nil
 }

@@ -138,6 +138,36 @@ func (kv *KV) SliceTokens(from, to int) (*KV, error) {
 	return out, nil
 }
 
+// CopyTokensAt copies tokens [srcFrom, srcTo) of src into kv starting at
+// token dstOff, across all layers and channels. It is the writable
+// token-range counterpart of SliceTokens: a caller assembling a context
+// allocates the destination once and copies (or decodes) each part into
+// place, instead of concatenating per-part tensors — the O(n²)
+// reassembly pattern this replaces.
+func (kv *KV) CopyTokensAt(dstOff int, src *KV, srcFrom, srcTo int) error {
+	if src.Layers != kv.Layers || src.Channels != kv.Channels {
+		return fmt.Errorf("tensor: copy source has shape (%d,·,%d), want (%d,·,%d)",
+			src.Layers, src.Channels, kv.Layers, kv.Channels)
+	}
+	if srcFrom < 0 || srcTo > src.Tokens || srcFrom > srcTo {
+		return fmt.Errorf("tensor: source token range [%d,%d) out of range 0..%d", srcFrom, srcTo, src.Tokens)
+	}
+	n := srcTo - srcFrom
+	if dstOff < 0 || dstOff+n > kv.Tokens {
+		return fmt.Errorf("tensor: %d tokens do not fit destination at offset %d (have %d)", n, dstOff, kv.Tokens)
+	}
+	for l := 0; l < kv.Layers; l++ {
+		for _, kind := range Kinds {
+			srcData := src.Data(kind)
+			dstData := kv.Data(kind)
+			sBase := (l*src.Tokens + srcFrom) * kv.Channels
+			dBase := (l*kv.Tokens + dstOff) * kv.Channels
+			copy(dstData[dBase:dBase+n*kv.Channels], srcData[sBase:sBase+n*kv.Channels])
+		}
+	}
+	return nil
+}
+
 // ConcatTokens concatenates the given caches along the token dimension.
 // All parts must share layer and channel dimensions. It is the inverse of
 // splitting a cache into chunks: decoded chunks are concatenated to

@@ -341,3 +341,73 @@ func BenchmarkWriteTo(b *testing.B) {
 		}
 	}
 }
+
+func TestCopyTokensAt(t *testing.T) {
+	src := New(3, 7, 5)
+	for i := range src.K {
+		src.K[i] = float32(i)
+		src.V[i] = -float32(i)
+	}
+	dst := New(3, 12, 5)
+	if err := dst.CopyTokensAt(4, src, 2, 6); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < 3; l++ {
+		for dt := 0; dt < 12; dt++ {
+			for c := 0; c < 5; c++ {
+				var wantK, wantV float32
+				if dt >= 4 && dt < 8 {
+					st := dt - 4 + 2
+					wantK = src.At(Key, l, st, c)
+					wantV = src.At(Value, l, st, c)
+				}
+				if got := dst.At(Key, l, dt, c); got != wantK {
+					t.Fatalf("K(%d,%d,%d) = %v, want %v", l, dt, c, got, wantK)
+				}
+				if got := dst.At(Value, l, dt, c); got != wantV {
+					t.Fatalf("V(%d,%d,%d) = %v, want %v", l, dt, c, got, wantV)
+				}
+			}
+		}
+	}
+
+	// Piecewise CopyTokensAt must equal ConcatTokens.
+	a, b := New(2, 3, 4), New(2, 5, 4)
+	rng := func(s []float32, base float32) {
+		for i := range s {
+			s[i] = base + float32(i)*0.5
+		}
+	}
+	rng(a.K, 1)
+	rng(a.V, 100)
+	rng(b.K, 1000)
+	rng(b.V, 10000)
+	want, err := ConcatTokens(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(2, 8, 4)
+	if err := got.CopyTokensAt(0, a, 0, a.Tokens); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.CopyTokensAt(a.Tokens, b, 0, b.Tokens); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := want.MaxAbsDiff(got); err != nil || d != 0 {
+		t.Fatalf("piecewise copy differs from concat (diff %v, err %v)", d, err)
+	}
+
+	// Validation.
+	if err := dst.CopyTokensAt(0, New(2, 3, 5), 0, 3); err == nil {
+		t.Error("accepted layer mismatch")
+	}
+	if err := dst.CopyTokensAt(0, src, 3, 9); err == nil {
+		t.Error("accepted out-of-range source slice")
+	}
+	if err := dst.CopyTokensAt(9, src, 0, 7); err == nil {
+		t.Error("accepted overflowing destination range")
+	}
+	if err := dst.CopyTokensAt(-1, src, 0, 1); err == nil {
+		t.Error("accepted negative destination offset")
+	}
+}
