@@ -24,6 +24,7 @@ package cachegen
 import (
 	"context"
 	"fmt"
+	"net"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/llm"
+	"repro/internal/netsim"
 	"repro/internal/storage"
 	"repro/internal/streamer"
 	"repro/internal/tensor"
@@ -295,8 +297,30 @@ func NewServer(st Store, opts ...ServerOption) *Server { return transport.NewSer
 // WithEgressRate shapes server sends to bps bits/second.
 func WithEgressRate(bps float64) ServerOption { return transport.WithEgressRate(bps) }
 
+// WithEgressTrace shapes server sends along a time-varying bandwidth
+// trace, replayed per connection from its accept time.
+func WithEgressTrace(tr Trace) ServerOption { return transport.WithEgressTrace(tr) }
+
 // WithBank makes the server distribute the codec's model bank to clients.
 func WithBank(bank []byte) ServerOption { return transport.WithBank(bank) }
 
 // Dial connects a transport client to a server address.
 func Dial(addr string) (*Client, error) { return transport.Dial(addr) }
+
+// DialShaped connects a transport client whose receive path is paced by
+// a bandwidth trace — the client-side way to replay constrained links
+// against an unshaped server.
+func DialShaped(addr string, tr Trace) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cachegen: dial %s: %w", addr, err)
+	}
+	sh := transport.NewIngressShaper(conn, 0)
+	sh.SetTrace(tr)
+	return transport.NewClient(sh), nil
+}
+
+// ParseTrace parses the CLIs' -bandwidth-trace syntax: comma-separated
+// RATE[:DURATION] segments ("2Gbps:2s,0.2Gbps:2s,1Gbps"), the last
+// holding forever.
+func ParseTrace(s string) (Trace, error) { return netsim.ParseTrace(s) }

@@ -18,6 +18,7 @@ import (
 
 	cachegen "repro"
 	"repro/internal/llm"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	slo := flag.Duration("slo", 0, "TTFT SLO enabling adaptation (0 = fixed default level)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "overall request timeout")
 	pipelineDepth := flag.Int("pipeline-depth", 4, "chunk transfers in flight while decode proceeds in order (1 = strictly sequential)")
+	bwTrace := flag.String("bandwidth-trace", "", "replay a bandwidth trace on the receive path, as RATE[:DUR],... (e.g. 2Gbps:2s,0.2Gbps:2s,1Gbps)")
+	noStream := flag.Bool("no-stream", false, "force per-chunk request/response instead of the server-push stream")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("cachegen-client: ")
@@ -44,9 +47,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	client, err := cachegen.Dial(*addr)
-	if err != nil {
-		log.Fatal(err)
+	var client *cachegen.Client
+	if *bwTrace != "" {
+		trace, err := cachegen.ParseTrace(*bwTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client, err = cachegen.DialShaped(*addr, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var err error
+		client, err = cachegen.Dial(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	defer client.Close()
 
@@ -65,25 +81,36 @@ func main() {
 
 	planner := cachegen.Planner{Adapt: *slo > 0, SLO: *slo, DefaultLevel: 1}
 	fetcher := &cachegen.Fetcher{
-		Source:        client,
-		Codec:         codec,
-		Model:         model,
-		Device:        cachegen.A40x4(),
-		Planner:       planner,
-		PipelineDepth: *pipelineDepth,
+		Source:           client,
+		Codec:            codec,
+		Model:            model,
+		Device:           cachegen.A40x4(),
+		Planner:          planner,
+		PipelineDepth:    *pipelineDepth,
+		DisableStreaming: *noStream,
 	}
 	kv, report, err := fetcher.Fetch(ctx, *contextID)
 	if err != nil {
 		log.Fatalf("fetching %s: %v", *contextID, err)
 	}
-	log.Printf("loaded %s: %d tokens in %v (%.1f MB on the wire; transfer %v, decode %v, recompute %v)",
-		*contextID, kv.Tokens, report.LoadTime.Round(time.Millisecond),
+	path := "request/response"
+	if report.Streamed {
+		path = "server-push stream"
+	}
+	log.Printf("loaded %s: %d tokens in %v via %s (%.1f MB on the wire; transfer %v, decode %v, recompute %v)",
+		*contextID, kv.Tokens, report.LoadTime.Round(time.Millisecond), path,
 		float64(report.BytesReceived)/1e6,
 		report.TransferTime.Round(time.Millisecond),
 		report.DecodeTime.Round(time.Millisecond),
 		report.RecomputeTime.Round(time.Millisecond))
+	log.Printf("bandwidth estimate %s; %d level switches, %d in-flight cancels; per-level bytes %v",
+		metrics.FormatBandwidth(report.Bandwidth), report.Switches, report.Cancels, report.LevelBytes)
 	for _, d := range report.Decisions {
-		log.Printf("  chunk %d: %s, %7d bytes, %v", d.Chunk, d.Choice, d.Bytes,
+		extra := ""
+		if d.Abandoned > 0 {
+			extra = " (+" + metrics.FormatBytes(d.Abandoned) + " abandoned)"
+		}
+		log.Printf("  chunk %d: %s, %7d bytes%s, %v", d.Chunk, d.Choice, d.Bytes, extra,
 			d.Transfer.Round(time.Millisecond))
 	}
 

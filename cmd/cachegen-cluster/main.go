@@ -30,6 +30,7 @@ import (
 
 	cachegen "repro"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 )
 
@@ -50,6 +51,7 @@ func main() {
 	dir := flag.String("dir", "", "root directory for per-node file stores (empty = in-memory)")
 	ramMB := flag.Int("ram-cache-mb", 64, "per-node RAM tier budget in MB (0 = disabled)")
 	egress := flag.Float64("egress-gbps", 0, "per-connection egress shaping in Gbps (0 = unlimited)")
+	bwTrace := flag.String("bandwidth-trace", "", "per-node egress bandwidth trace as RATE[:DUR],... (e.g. 2Gbps:2s,0.2Gbps); overrides -egress-gbps")
 	modelName := flag.String("model", "Mistral-7B", "model for the published demo contexts")
 	channels := flag.Int("channels", 32, "synthesised KV channels")
 	nContexts := flag.Int("contexts", 2, "demo contexts published across the ring")
@@ -113,6 +115,13 @@ func main() {
 	srvOpts = append(srvOpts, cachegen.WithBank(bank))
 	if *egress > 0 {
 		srvOpts = append(srvOpts, cachegen.WithEgressRate(netsim.Gbps(*egress)))
+	}
+	if *bwTrace != "" {
+		tr, err := cachegen.ParseTrace(*bwTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srvOpts = append(srvOpts, cachegen.WithEgressTrace(tr))
 	}
 	for i := 0; i < *nodes; i++ {
 		var store cachegen.Store = cachegen.NewMemStore()
@@ -362,9 +371,14 @@ func runDemo(model *cachegen.Model, codec *cachegen.Codec, ring *cachegen.Ring, 
 			if err != nil {
 				return fmt.Errorf("%s fetch of %s: %w", label, id, err)
 			}
-			log.Printf("%s fetch %s: %d tokens in %v (%.1f MB, %d failovers so far)",
+			path := "req/resp"
+			if report.Streamed {
+				path = "stream"
+			}
+			log.Printf("%s fetch %s: %d tokens in %v (%.1f MB via %s, est %s, %d failovers so far)",
 				label, id, kv.Tokens, report.LoadTime.Round(time.Millisecond),
-				float64(report.BytesReceived)/1e6, pool.Stats().Failovers)
+				float64(report.BytesReceived)/1e6, path,
+				metrics.FormatBandwidth(report.Bandwidth), pool.Stats().Failovers)
 		}
 		return nil
 	}

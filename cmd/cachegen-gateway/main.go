@@ -75,6 +75,7 @@ func main() {
 	maxPrefetch := flag.Int("max-prefetch", 0, "concurrent background prefetch bound (0 = 4x slots, <0 = unbounded)")
 	pipelineDepth := flag.Int("pipeline-depth", 4, "chunk transfers in flight per request while decode proceeds in order")
 	tenantsFlag := flag.String("tenants", "gold:4,silver:2,bronze:1", "tenant list as name:weight,... (weight = WRR share and traffic share)")
+	bwTrace := flag.String("bandwidth-trace", "", "per-node egress bandwidth trace as RATE[:DUR],... (e.g. 200Mbps:1s,40Mbps); exercises mid-stream adaptation")
 	rate := flag.Float64("rate", 200, "offered load in requests/second (open-loop Poisson)")
 	requests := flag.Int("requests", 120, "total requests to generate")
 	slo := flag.Duration("slo", 250*time.Millisecond, "per-request TTFT objective")
@@ -144,6 +145,15 @@ func main() {
 	}
 
 	// Launch the ring.
+	var srvOpts []cachegen.ServerOption
+	if *bwTrace != "" {
+		tr, err := cachegen.ParseTrace(*bwTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srvOpts = append(srvOpts, cachegen.WithEgressTrace(tr))
+		log.Printf("replaying egress bandwidth trace %q on every node", *bwTrace)
+	}
 	ring := cachegen.NewRing(*replicas, 0)
 	stores := map[string]cachegen.Store{}
 	caches := map[string]*cachegen.CachingStore{}
@@ -154,7 +164,7 @@ func main() {
 		if *ramMB > 0 {
 			store = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
 		}
-		srv := cachegen.NewServer(store)
+		srv := cachegen.NewServer(store, srvOpts...)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -254,6 +264,9 @@ func main() {
 		log.Printf("tenant %-8s done %3d/%3d  TTFT p50 %6.1fms  p99 %6.1fms  max %6.1fms  SLO %3.0f%%  load xfer/dec/rec %.0f/%.0f/%.0fms",
 			name, ts.Completed, ts.Submitted, sum.Median*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate(),
 			ts.TransferTime.Seconds()*1e3, ts.DecodeTime.Seconds()*1e3, ts.RecomputeTime.Seconds()*1e3)
+		log.Printf("  %-8s %s moved (eff %s, live est %s), %d switches / %d cancels, by level %v",
+			"", metrics.FormatBytes(ts.Bytes), metrics.FormatBandwidth(ts.EffectiveBandwidth()),
+			metrics.FormatBandwidth(ts.Bandwidth), ts.Switches, ts.Cancels, ts.LevelBytes)
 	}
 	var agg cachegen.CacheStats
 	for _, c := range caches {

@@ -29,6 +29,7 @@ func main() {
 	dir := flag.String("dir", "./kvstore", "store directory (written by cachegen-encode)")
 	addr := flag.String("addr", "127.0.0.1:9099", "listen address")
 	egress := flag.Float64("egress-gbps", 0, "per-connection egress shaping in Gbps (0 = unlimited)")
+	bwTrace := flag.String("bandwidth-trace", "", "egress bandwidth trace as RATE[:DUR],... (e.g. 2Gbps:2s,0.2Gbps), replayed per connection; overrides -egress-gbps")
 	ramMB := flag.Int("ram-cache-mb", 0, "RAM tier budget in MB fronting the file store (0 = disabled)")
 	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
@@ -53,6 +54,14 @@ func main() {
 	if *egress > 0 {
 		opts = append(opts, cachegen.WithEgressRate(netsim.Gbps(*egress)))
 		log.Printf("shaping egress to %.2f Gbps", *egress)
+	}
+	if *bwTrace != "" {
+		tr, err := cachegen.ParseTrace(*bwTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, cachegen.WithEgressTrace(tr))
+		log.Printf("replaying egress bandwidth trace %q per connection", *bwTrace)
 	}
 	if bank, err := os.ReadFile(filepath.Join(*dir, "bank.bin")); err == nil {
 		opts = append(opts, cachegen.WithBank(bank))

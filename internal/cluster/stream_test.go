@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// streamRig is a fleet seeded with synthetic chunk payloads of
+// controllable sizes — the pool stream doesn't care what the bytes mean,
+// so the tests control frame counts precisely.
+type streamRig struct {
+	nodes    []*clusterNode
+	ring     *Ring
+	payloads map[int][][]byte // level → per-chunk payload
+	chunks   []transport.StreamChunk
+}
+
+func newStreamRig(t *testing.T, nodeCount, replicas, nChunks, sizeL0, sizeL1 int) *streamRig {
+	t.Helper()
+	rig := &streamRig{ring: NewRing(replicas, 0), payloads: map[int][][]byte{}}
+	stores := map[string]storage.Store{}
+	for i := 0; i < nodeCount; i++ {
+		n := startNode(t, 1<<20)
+		rig.nodes = append(rig.nodes, n)
+		stores[n.addr] = n.cache
+	}
+	sharded, err := NewShardedStore(rig.ring, stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(19))
+	rig.chunks = make([]transport.StreamChunk, nChunks)
+	for c := 0; c < nChunks; c++ {
+		rig.chunks[c] = transport.StreamChunk{Index: c, Hashes: map[int]string{}}
+	}
+	for _, lv := range []int{0, 1, storage.TextLevel} {
+		rig.payloads[lv] = make([][]byte, nChunks)
+		for c := 0; c < nChunks; c++ {
+			size := sizeL0
+			switch lv {
+			case 1:
+				size = sizeL1
+			case storage.TextLevel:
+				size = 64
+			}
+			data := make([]byte, size)
+			rng.Read(data)
+			h := storage.HashChunk(data)
+			if err := sharded.PutChunk(ctx, h, data); err != nil {
+				t.Fatal(err)
+			}
+			rig.payloads[lv][c] = data
+			rig.chunks[c].Hashes[lv] = h
+		}
+	}
+	return rig
+}
+
+func (r *streamRig) node(addr string) *clusterNode {
+	for _, n := range r.nodes {
+		if n.addr == addr {
+			return n
+		}
+	}
+	return nil
+}
+
+// drainStrict consumes a stream to EOF enforcing byte-exact continuity:
+// per position, offsets must advance seamlessly (a restart at a new
+// level resets to 0), so duplicated or missing frames fail the test.
+func drainStrict(t *testing.T, s transport.ChunkStream) (map[int][]byte, map[int]int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got := map[int][]byte{}
+	levels := map[int]int{}
+	resumed := map[int]int64{} // positions whose first frame may start past 0
+	pos := -1
+	for {
+		f, err := s.Recv(ctx)
+		if errors.Is(err, io.EOF) {
+			return got, levels
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if f.Pos < pos {
+			t.Fatalf("position went backwards: %d after %d", f.Pos, pos)
+		}
+		pos = f.Pos
+		lv, seen := levels[f.Pos]
+		switch {
+		case !seen:
+			if f.Offset != 0 {
+				resumed[f.Pos] = f.Offset // mid-chunk resume from a prior life
+			}
+		case lv != f.Level:
+			if f.Offset != 0 {
+				t.Fatalf("pos %d restarted at level %d from offset %d", f.Pos, f.Level, f.Offset)
+			}
+			got[f.Pos] = nil // cancel restart: discard the old-level prefix
+			delete(resumed, f.Pos)
+		default:
+			if want := resumed[f.Pos] + int64(len(got[f.Pos])); f.Offset != want {
+				t.Fatalf("pos %d offset %d, want %d (dup or gap)", f.Pos, f.Offset, want)
+			}
+		}
+		levels[f.Pos] = f.Level
+		got[f.Pos] = append(got[f.Pos], f.Data...)
+		if f.Last {
+			if have := resumed[f.Pos] + int64(len(got[f.Pos])); have != f.Total {
+				t.Fatalf("pos %d finished with %d bytes, total says %d", f.Pos, have, f.Total)
+			}
+		}
+	}
+}
+
+func TestPoolStreamBasic(t *testing.T) {
+	rig := newStreamRig(t, 4, 2, 6, 60_000, 15_000)
+	pool := NewPool(rig.ring)
+	defer pool.Close()
+	s, err := pool.OpenChunkStream(context.Background(), transport.StreamRequest{Chunks: rig.chunks, Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, levels := drainStrict(t, s)
+	for c := 0; c < 6; c++ {
+		if levels[c] != 0 || !bytes.Equal(got[c], rig.payloads[0][c]) {
+			t.Errorf("chunk %d: level %d, %d bytes", c, levels[c], len(got[c]))
+		}
+	}
+	// The context must actually span nodes (several runs spliced).
+	primaries := map[string]struct{}{}
+	for c := 0; c < 6; c++ {
+		primaries[rig.ring.ChunkNodes(rig.chunks[c].Hashes[0])[0]] = struct{}{}
+	}
+	if len(primaries) < 2 {
+		t.Skip("all chunks landed on one primary; splice untested with this seed")
+	}
+}
+
+// TestPoolStreamFailoverResumesOffset kills the serving node mid-chunk
+// and asserts the retry resumes from the correct byte offset on a
+// replica with no duplicated or missing frames (drainStrict enforces
+// continuity).
+func TestPoolStreamFailoverResumesOffset(t *testing.T) {
+	rig := newStreamRig(t, 4, 2, 4, 80_000, 20_000)
+	pool := NewPool(rig.ring)
+	defer pool.Close()
+	cs, err := pool.OpenChunkStream(context.Background(), transport.StreamRequest{
+		// A tight window keeps the server from racing ahead of the
+		// receiver, so the kill really lands mid-chunk on the wire.
+		Chunks: rig.chunks, Level: 0, FrameSize: 4 << 10, Window: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := cs.(*poolStream)
+	ctx := context.Background()
+
+	// Consume until mid-chunk (a frame with offset > 0 that isn't Last),
+	// then kill the node serving it.
+	got := map[int][]byte{}
+	levels := map[int]int{}
+	var killedAt struct {
+		pos    int
+		offset int64
+	}
+	var victim string
+	for victim == "" {
+		f, err := cs.Recv(ctx)
+		if err != nil {
+			t.Fatalf("Recv before kill: %v", err)
+		}
+		levels[f.Pos] = f.Level
+		got[f.Pos] = append(got[f.Pos], f.Data...)
+		if f.Offset > 0 && !f.Last {
+			ps.mu.Lock()
+			victim = ps.node
+			ps.mu.Unlock()
+			killedAt.pos = f.Pos
+			killedAt.offset = f.Offset + int64(len(f.Data))
+			rig.node(victim).srv.Close()
+		}
+	}
+
+	// Drain the rest; the in-flight chunk must resume exactly where the
+	// dead node left it.
+	sawResume := false
+	for {
+		f, err := cs.Recv(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Recv after kill: %v", err)
+		}
+		if f.Pos == killedAt.pos && !sawResume {
+			if f.Offset != killedAt.offset {
+				t.Fatalf("resume at offset %d, want %d", f.Offset, killedAt.offset)
+			}
+			sawResume = true
+		}
+		if want := int64(len(got[f.Pos])); f.Offset != want {
+			t.Fatalf("pos %d offset %d, want %d (dup or gap across failover)", f.Pos, f.Offset, want)
+		}
+		levels[f.Pos] = f.Level
+		got[f.Pos] = append(got[f.Pos], f.Data...)
+	}
+	if !sawResume {
+		t.Fatalf("in-flight chunk %d never resumed", killedAt.pos)
+	}
+	for c := 0; c < 4; c++ {
+		if !bytes.Equal(got[c], rig.payloads[0][c]) {
+			t.Errorf("chunk %d corrupted across failover (%d bytes, want %d)", c, len(got[c]), len(rig.payloads[0][c]))
+		}
+	}
+	if f := pool.Stats().Failovers; f < 1 {
+		t.Errorf("failovers = %d, want ≥1", f)
+	}
+	// The dead node's cached connection must have been discarded, not
+	// left to burn a failed attempt on the next operation routed there.
+	if open := pool.Stats().OpenConns; open > len(rig.nodes)-1 {
+		t.Errorf("%d open connections cached after a node died (max %d live nodes)", open, len(rig.nodes)-1)
+	}
+}
+
+// TestPoolStreamSwitchAndCancel steers a fleet stream mid-flight; every
+// delivered chunk must match the store payload at its delivered level,
+// and the steered positions must land at their requested levels.
+func TestPoolStreamSwitchAndCancel(t *testing.T) {
+	rig := newStreamRig(t, 3, 2, 4, 64_000, 12_000)
+	pool := NewPool(rig.ring)
+	defer pool.Close()
+	cs, err := pool.OpenChunkStream(context.Background(), transport.StreamRequest{
+		Chunks: rig.chunks, Level: 0, FrameSize: 4 << 10, Window: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// First frame: chunk 0 is in flight with ≥2 credit windows unsent, so
+	// chunks 1+ cannot have started. Cancel chunk 0 to text and switch
+	// the rest to level 1.
+	f, err := cs.Recv(ctx)
+	if err != nil || f.Pos != 0 || f.Level != 0 {
+		t.Fatalf("first frame = %+v, %v", f, err)
+	}
+	if err := cs.Cancel(0, storage.TextLevel); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	got, levels := drainStrict(t, cs)
+	// The pre-cancel level-0 frame (f) is discarded by the restart;
+	// got[0] holds only the text payload.
+	if levels[0] == storage.TextLevel {
+		if !bytes.Equal(got[0], rig.payloads[storage.TextLevel][0]) {
+			t.Errorf("cancelled chunk 0 bytes don't match the text payload")
+		}
+	} else {
+		t.Errorf("chunk 0 delivered at level %d, want text", levels[0])
+	}
+	for c := 1; c < 4; c++ {
+		if levels[c] != 1 {
+			t.Errorf("chunk %d delivered at level %d after switch", c, levels[c])
+			continue
+		}
+		if !bytes.Equal(got[c], rig.payloads[1][c]) {
+			t.Errorf("chunk %d bytes don't match its level-1 payload", c)
+		}
+	}
+	// Re-routing switched chunks to the nodes that hold their new-level
+	// payloads is healthy steering, not node failure.
+	if f := pool.Stats().Failovers; f != 0 {
+		t.Errorf("mid-run switch counted %d failovers on a healthy fleet", f)
+	}
+}
+
+// TestPoolStreamCancelPropagation: cancelling the request context ends
+// the stream promptly, and closing the pool drains every connection and
+// goroutine — the no-leak property a serving gateway depends on.
+func TestPoolStreamCancelPropagation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	rig := newStreamRig(t, 3, 2, 3, 200_000, 50_000)
+	pool := NewPool(rig.ring)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cs, err := pool.OpenChunkStream(ctx, transport.StreamRequest{
+		Chunks: rig.chunks, Level: 0, FrameSize: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := cs.Recv(ctx); err == nil {
+		t.Fatal("Recv succeeded after context cancellation")
+	}
+	cs.Close()
+
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if open := pool.Stats().OpenConns; open != 0 {
+		t.Errorf("pool drained with %d open connections", open)
+	}
+	for _, n := range rig.nodes {
+		n.srv.Close()
+	}
+	// Goroutines wind down asynchronously (server handlers, client
+	// readers); give them a bounded moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d at baseline", runtime.NumGoroutine(), baseline)
+}

@@ -186,6 +186,13 @@ type tenantAccum struct {
 	// text-fallback recompute. Decode stall that would otherwise hide
 	// inside TTFT shows up here.
 	transfer, decode, recompute time.Duration
+	// bytes is payload moved; levelBytes splits it by delivered
+	// configuration; bandwidth is the most recent fetch's live estimate;
+	// switches/cancels count mid-stream steering events.
+	bytes             int64
+	levelBytes        map[string]int64
+	bandwidth         float64
+	switches, cancels int
 }
 
 // Gateway is the serving frontend. Safe for concurrent use; Submit blocks
@@ -567,6 +574,18 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 			a.transfer += out.report.TransferTime
 			a.decode += out.report.DecodeTime
 			a.recompute += out.report.RecomputeTime
+			a.bytes += out.report.BytesReceived
+			a.switches += out.report.Switches
+			a.cancels += out.report.Cancels
+			if out.report.Bandwidth > 0 {
+				a.bandwidth = out.report.Bandwidth
+			}
+			for lv, n := range out.report.LevelBytes {
+				if a.levelBytes == nil {
+					a.levelBytes = map[string]int64{}
+				}
+				a.levelBytes[lv] += n
+			}
 		}
 	})
 	return &Result{
@@ -630,6 +649,25 @@ type TenantStats struct {
 	// cumulative KV-load time into network transfer, bitstream decode,
 	// and text-fallback recompute (summed over completed requests).
 	TransferTime, DecodeTime, RecomputeTime time.Duration
+	// Bytes is the payload moved for the tenant; LevelBytes splits it by
+	// delivered configuration ("L0", "text", …), cancel waste included.
+	Bytes      int64
+	LevelBytes map[string]int64
+	// Bandwidth is the live estimate from the tenant's most recent
+	// completed fetch, bits per second (0 before any completion).
+	Bandwidth float64
+	// Switches and Cancels count mid-stream steering events across the
+	// tenant's completed fetches.
+	Switches, Cancels int
+}
+
+// EffectiveBandwidth is the tenant's byte-weighted average delivery
+// rate: payload moved over cumulative transfer time.
+func (t TenantStats) EffectiveBandwidth() float64 {
+	if t.TransferTime <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) * 8 / t.TransferTime.Seconds()
 }
 
 // TTFTSummary returns the tenant's TTFT distribution in seconds.
@@ -680,11 +718,17 @@ func (g *Gateway) Stats() Stats {
 	g.statsMu.Lock()
 	defer g.statsMu.Unlock()
 	for name, a := range g.tenants {
+		levels := make(map[string]int64, len(a.levelBytes))
+		for lv, n := range a.levelBytes {
+			levels[lv] = n
+		}
 		s.Tenants[name] = TenantStats{
 			Submitted: a.submitted, Completed: a.completed, Rejected: a.rejected,
 			TimedOut: a.timedOut, Failed: a.failed, SLOMet: a.sloMet,
 			TTFTs:        append([]time.Duration{}, a.ttfts...),
 			TransferTime: a.transfer, DecodeTime: a.decode, RecomputeTime: a.recompute,
+			Bytes: a.bytes, LevelBytes: levels, Bandwidth: a.bandwidth,
+			Switches: a.switches, Cancels: a.cancels,
 		}
 	}
 	return s

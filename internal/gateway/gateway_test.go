@@ -464,3 +464,39 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 	}
 	t.Fatal("condition not reached in time")
 }
+
+// TestGatewayStreamingTelemetry: a completed request through the
+// fleet's server-push stream surfaces the bandwidth estimate and
+// per-level byte counters in the tenant stats.
+func TestGatewayStreamingTelemetry(t *testing.T) {
+	r := newTestRing(t, 1)
+	g, err := New(r.config(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	res, err := g.Submit(context.Background(), Request{Tenant: "acme", ContextID: r.contexts[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Streamed {
+		t.Error("gateway fetch did not take the streaming path")
+	}
+	ts := g.Stats().Tenants["acme"]
+	if ts.Bytes <= 0 || ts.Bytes != res.Report.BytesReceived {
+		t.Errorf("tenant bytes = %d, report says %d", ts.Bytes, res.Report.BytesReceived)
+	}
+	if ts.Bandwidth <= 0 {
+		t.Error("tenant bandwidth estimate missing")
+	}
+	var sum int64
+	for _, n := range ts.LevelBytes {
+		sum += n
+	}
+	if sum != ts.Bytes {
+		t.Errorf("level bytes sum to %d, want %d", sum, ts.Bytes)
+	}
+	if eff := ts.EffectiveBandwidth(); eff <= 0 {
+		t.Errorf("effective bandwidth = %v", eff)
+	}
+}

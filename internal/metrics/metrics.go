@@ -173,6 +173,24 @@ func MOS(ttft time.Duration) float64 {
 	return mos
 }
 
+// FormatBandwidth renders a bits-per-second rate the way the paper's
+// figures label link speeds (the gateway stats lines and fetch reports
+// surface the live estimator through this).
+func FormatBandwidth(bps float64) string {
+	switch {
+	case bps <= 0:
+		return "-"
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2f Gbps", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.1f Mbps", bps/1e6)
+	case bps >= 1e3:
+		return fmt.Sprintf("%.1f Kbps", bps/1e3)
+	default:
+		return fmt.Sprintf("%.0f bps", bps)
+	}
+}
+
 // FormatBytes renders a byte count the way the paper's tables do.
 func FormatBytes(n int64) string {
 	switch {

@@ -166,3 +166,22 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestFormatBandwidth(t *testing.T) {
+	cases := []struct {
+		bps  float64
+		want string
+	}{
+		{0, "-"},
+		{-5, "-"},
+		{800, "800 bps"},
+		{48_500, "48.5 Kbps"},
+		{12_400_000, "12.4 Mbps"},
+		{2_340_000_000, "2.34 Gbps"},
+	}
+	for _, c := range cases {
+		if got := FormatBandwidth(c.bps); got != c.want {
+			t.Errorf("FormatBandwidth(%g) = %q, want %q", c.bps, got, c.want)
+		}
+	}
+}

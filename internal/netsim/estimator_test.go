@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimatorEmpty(t *testing.T) {
+	e := NewEstimator(0)
+	if got := e.Estimate(); got != 0 {
+		t.Errorf("empty estimate = %v, want 0", got)
+	}
+	e.Observe(0, time.Second)  // no bytes: ignored
+	e.Observe(100, 0)          // no duration: ignored
+	e.Observe(-5, time.Second) // nonsense: ignored
+	if e.Samples() != 0 || e.Estimate() != 0 {
+		t.Errorf("degenerate samples counted: n=%d est=%v", e.Samples(), e.Estimate())
+	}
+}
+
+func TestEstimatorHarmonicMean(t *testing.T) {
+	e := NewEstimator(8)
+	// Two frames of equal size at 8 Mbps and 2 Mbps: the byte-weighted
+	// harmonic mean is total bits / total time = 2*8e6 bits / (1s+4s).
+	e.Observe(1e6, time.Second)
+	e.Observe(1e6, 4*time.Second)
+	want := 2 * 8e6 / 5.0
+	if got := e.Estimate(); got < want*0.999 || got > want*1.001 {
+		t.Errorf("estimate = %v, want %v (harmonic, not arithmetic %v)", got, want, (8e6+2e6)/2)
+	}
+}
+
+func TestEstimatorWindowSlides(t *testing.T) {
+	e := NewEstimator(4)
+	for i := 0; i < 10; i++ {
+		e.Observe(1000, time.Second) // 8 kbps
+	}
+	if e.Samples() != 4 {
+		t.Fatalf("window holds %d samples, want 4", e.Samples())
+	}
+	// Four fresh fast frames must fully displace the slow history.
+	for i := 0; i < 4; i++ {
+		e.Observe(1000, time.Millisecond) // 8 Mbps
+	}
+	want := 8e6
+	if got := e.Estimate(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("post-slide estimate = %v, want %v", got, want)
+	}
+	e.Reset()
+	if e.Samples() != 0 || e.Estimate() != 0 {
+		t.Errorf("Reset left state: n=%d est=%v", e.Samples(), e.Estimate())
+	}
+}
+
+// TestEstimatorTracksTrace drives frame transfers over a cliff trace
+// through a Link and checks the estimate converges to each segment's
+// bandwidth within a window of frames — the property the mid-stream
+// adaptation depends on.
+func TestEstimatorTracksTrace(t *testing.T) {
+	trace, err := ParseTrace("80Mbps:1s,8Mbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := NewLink(trace)
+	e := NewEstimator(16)
+	const frame = 64 << 10
+
+	// Phase 1: frames within the fast segment.
+	for i := 0; i < 20 && link.Now() < 900*time.Millisecond; i++ {
+		dur, err := link.Transfer(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Observe(frame, dur)
+	}
+	if got := e.Estimate(); got < 70e6 || got > 90e6 {
+		t.Errorf("fast-segment estimate = %.0f, want ≈80e6", got)
+	}
+
+	// Cross the cliff: after 16 post-cliff frames the window holds only
+	// slow history.
+	for link.Now() < time.Second {
+		if _, err := link.Transfer(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		dur, err := link.Transfer(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Observe(frame, dur)
+	}
+	if got := e.Estimate(); got < 7e6 || got > 9e6 {
+		t.Errorf("post-cliff estimate = %.0f, want ≈8e6", got)
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace("2Gbps:2s,0.2Gbps:2s,1Gbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 2e9}, {1900 * time.Millisecond, 2e9},
+		{2 * time.Second, 0.2e9}, {3 * time.Second, 0.2e9},
+		{4 * time.Second, 1e9}, {time.Hour, 1e9},
+	} {
+		if got := tr.BandwidthAt(tc.at); got != tc.want {
+			t.Errorf("BandwidthAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+
+	c, err := ParseTrace("500Kbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BandwidthAt(time.Minute); got != 5e5 {
+		t.Errorf("constant trace = %v, want 5e5", got)
+	}
+
+	if tr, err := ParseTrace("8e6"); err != nil || tr.BandwidthAt(0) != 8e6 {
+		t.Errorf("bare-bps trace = %v, %v", tr, err)
+	}
+
+	for _, bad := range []string{"", "fast", "1Mbps:nope,2Mbps", "0Mbps", "-3Gbps", "1Mbps:2s:3s,2Mbps", "1Mbps,2Mbps:1s,3Mbps:"} {
+		if _, err := ParseTrace(bad); err == nil {
+			t.Errorf("ParseTrace(%q) accepted", bad)
+		}
+	}
+	// A middle segment without a duration is ambiguous.
+	if _, err := ParseTrace("1Mbps,2Mbps"); err == nil {
+		t.Error("ParseTrace accepted missing middle duration")
+	}
+}

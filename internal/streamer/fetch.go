@@ -58,8 +58,24 @@ type Fetcher struct {
 	// overlap while decode proceeds in order; planner decisions stay
 	// sequential — the choice for chunk i uses the throughput measured
 	// from the most recently completed transfer, which at depths > 1 may
-	// be an older chunk than i−1.
+	// be an older chunk than i−1. On the streaming path the depth bounds
+	// how many completed chunks may queue ahead of the in-order decoder
+	// before backpressure pauses the sender.
 	PipelineDepth int
+	// DisableStreaming forces the per-chunk request/response path even
+	// when Source supports the multiplexed server-push stream — the
+	// chunk-granularity baseline, and the bit-for-bit reference the
+	// harness checks the streamed KV against.
+	DisableStreaming bool
+	// FrameSize bounds the stream's DATA frames (0 = the transport
+	// default, 64 KiB).
+	FrameSize int
+	// EstimatorWindow is the bandwidth estimator's frame window on the
+	// streaming path (0 = netsim.DefaultEstimatorWindow).
+	EstimatorWindow int
+	// DecisionFrames is how many DATA frames arrive between adaptation
+	// decision points (0 = DefaultDecisionFrames).
+	DecisionFrames int
 }
 
 // FetchReport describes how a live fetch went.
@@ -81,11 +97,36 @@ type FetchReport struct {
 	// Decisions records the per-chunk configuration choices (cold chunks
 	// only; resident chunks are not fetched).
 	Decisions []ChunkDecision
-	// BytesReceived is the total payload size fetched.
+	// BytesReceived is the total payload size fetched, including bytes
+	// of chunks later abandoned by a mid-stream cancel.
 	BytesReceived int64
 	// ResidentTokens is the prefix served from the caller's resident KV
 	// instead of the network (FetchFrom); 0 for a cold fetch.
 	ResidentTokens int
+	// Streamed reports the multiplexed server-push path was used (frame-
+	// granularity estimation and mid-stream steering); false means the
+	// per-chunk request/response path.
+	Streamed bool
+	// Bandwidth is the live bandwidth estimate at the end of the fetch in
+	// bits per second: the frame estimator's windowed harmonic mean on
+	// the streaming path, the last completed transfer's average otherwise.
+	Bandwidth float64
+	// LevelBytes counts received payload bytes by delivered configuration
+	// ("L0", "L1", …, "text"), cancel waste included.
+	LevelBytes map[string]int64
+	// Switches counts mid-stream level switches; Cancels counts in-flight
+	// chunks abandoned and re-sent cheaper. Both are 0 on the
+	// request/response path, which can only adapt at chunk boundaries.
+	Switches, Cancels int
+}
+
+// addLevelBytes accumulates one delivery's bytes into the per-level
+// counters.
+func (r *FetchReport) addLevelBytes(level string, n int64) {
+	if r.LevelBytes == nil {
+		r.LevelBytes = map[string]int64{}
+	}
+	r.LevelBytes[level] += n
 }
 
 // transferResult is one chunk transfer's outcome, delivered to the
@@ -171,6 +212,16 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		if err := dest.CopyTokensAt(0, resident, 0, prefixTokens); err != nil {
 			return nil, nil, fmt.Errorf("streamer: adopting resident prefix: %w", err)
 		}
+	}
+
+	// The multiplexed server-push path when the source speaks it: one
+	// stream open, frame-fed bandwidth estimation, mid-chunk steering.
+	if src, ok := f.Source.(StreamSource); ok && !f.DisableStreaming {
+		if err := f.fetchStreaming(ctx, src, start, man, suffixInfos, fromChunk, prefixTokens, dest, report); err != nil {
+			return nil, nil, err
+		}
+		report.LoadTime = time.Since(start)
+		return dest, report, nil
 	}
 
 	n := len(suffixInfos)
@@ -317,6 +368,12 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 	report.TransferTime = telemetry.transferTime
 	report.BytesReceived = telemetry.bytes
 	report.Decisions = decisions
+	for _, d := range decisions {
+		report.addLevelBytes(d.Choice.String(), d.Bytes)
+	}
+	telemetry.Lock()
+	report.Bandwidth = telemetry.throughput
+	telemetry.Unlock()
 	report.LoadTime = time.Since(start)
 	return dest, report, nil
 }

@@ -1,0 +1,342 @@
+package streamer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// StreamSource is a ChunkSource that additionally speaks the multiplexed
+// server-push stream protocol: a transport.Client (one connection) or a
+// cluster.Pool (a fleet with failover). A Fetcher whose Source implements
+// it streams frame-by-frame and steers mid-chunk; otherwise it falls
+// back to per-chunk request/response.
+type StreamSource interface {
+	ChunkSource
+	OpenChunkStream(ctx context.Context, req transport.StreamRequest) (transport.ChunkStream, error)
+}
+
+// DefaultDecisionFrames is how many DATA frames arrive between
+// adaptation decision points when the Fetcher does not set one. At the
+// 64 KiB default frame size this re-plans every 256 KB — dozens of
+// times inside a paper-sized chunk, against once per chunk before.
+const DefaultDecisionFrames = 4
+
+// levelChoice maps a wire delivery level to the planner's Choice.
+func levelChoice(level int) Choice {
+	if level == storage.TextLevel {
+		return Choice{Text: true}
+	}
+	return Choice{Level: core.Level(level)}
+}
+
+// choiceLevel maps a planner Choice to its wire delivery level.
+func choiceLevel(c Choice) int {
+	if c.Text {
+		return storage.TextLevel
+	}
+	return int(c.Level)
+}
+
+// choiceBytes is a chunk's payload size under a choice.
+func choiceBytes(info ChunkInfo, c Choice) int64 {
+	if c.Text {
+		return info.TextBytes
+	}
+	return info.SizesByLevel[c.Level]
+}
+
+// streamChunks builds the manifest slice a stream open carries: every
+// stored real level plus the text pseudo-level, per suffix chunk.
+func streamChunks(man storage.Manifest, fromChunk, n int) ([]transport.StreamChunk, error) {
+	chunks := make([]transport.StreamChunk, n)
+	for si := 0; si < n; si++ {
+		idx := fromChunk + si
+		hashes := map[int]string{}
+		for lv := 0; lv < man.Meta.Levels; lv++ {
+			h, err := man.ChunkHash(lv, idx)
+			if err != nil {
+				return nil, fmt.Errorf("streamer: %w", err)
+			}
+			hashes[lv] = h
+		}
+		if h, err := man.ChunkHash(storage.TextLevel, idx); err == nil {
+			hashes[storage.TextLevel] = h
+		}
+		chunks[si] = transport.StreamChunk{Index: idx, Hashes: hashes}
+	}
+	return chunks, nil
+}
+
+// readyChunk is one fully received chunk handed to the decode worker.
+type readyChunk struct {
+	si      int
+	level   int
+	payload []byte
+}
+
+// fetchStreaming is the multiplexed delivery path: one stream open, the
+// server pushing ~frame-sized slices, a bandwidth estimator fed per
+// frame, and the planner consulted at frame-batch decision points — it
+// can re-level chunks that have not started (SWITCH) and abandon the
+// in-flight chunk when resending it at the planner's fresh choice is
+// cheaper than finishing it (CANCEL). Decode stays pipelined: completed
+// chunks decode in order into dest (the PR 4 zero-copy path) on a worker
+// while later frames keep arriving, and the bounded hand-off channel
+// plus the stream's credit window make a slow decoder pause the sender
+// instead of buffering the context.
+func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start time.Time,
+	man storage.Manifest, suffixInfos []ChunkInfo, fromChunk, prefixTokens int,
+	dest *tensor.KV, report *FetchReport) error {
+
+	n := len(suffixInfos)
+	chunks, err := streamChunks(man, fromChunk, n)
+	if err != nil {
+		return err
+	}
+
+	// The first decision has no measurement; the planner falls back to
+	// its prior or default level.
+	initial, err := f.Planner.Choose(0, time.Since(start), 0, suffixInfos)
+	if err != nil {
+		return fmt.Errorf("streamer: %w", err)
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stream, err := src.OpenChunkStream(fctx, transport.StreamRequest{
+		Chunks:    chunks,
+		Level:     choiceLevel(initial),
+		FrameSize: f.FrameSize,
+	})
+	if err != nil {
+		return fmt.Errorf("streamer: opening chunk stream: %w", err)
+	}
+	defer stream.Close()
+
+	depth := f.PipelineDepth
+	if depth < 1 {
+		depth = DefaultPipelineDepth
+	}
+
+	decisions := make([]ChunkDecision, n)
+
+	// In-order decode worker: text recompute depends on the previously
+	// assembled tokens, so chunks decode strictly by index while frames
+	// for later chunks keep arriving.
+	completed := make(chan readyChunk, depth)
+	decodeErr := make(chan error, 1)
+	var decodeStats struct {
+		sync.Mutex
+		decode, recompute time.Duration
+	}
+	go func() {
+		defer close(decodeErr)
+		offset := prefixTokens
+		for si := 0; si < n; si++ {
+			var rc readyChunk
+			var ok bool
+			select {
+			case rc, ok = <-completed:
+			case <-fctx.Done():
+				return
+			}
+			if !ok {
+				return // receive loop failed; it reports the error
+			}
+			choice := levelChoice(rc.level)
+			dur, err := f.decodeInto(dest, offset, fromChunk+si, suffixInfos[si].Tokens, choice, rc.payload)
+			if err != nil {
+				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", fromChunk+si, err)
+				cancel()
+				return
+			}
+			decisions[si].Compute = dur
+			decodeStats.Lock()
+			if choice.Text {
+				decodeStats.recompute += dur
+			} else {
+				decodeStats.decode += dur
+			}
+			decodeStats.Unlock()
+			offset += suffixInfos[si].Tokens
+		}
+	}()
+
+	window := f.EstimatorWindow
+	if window <= 0 {
+		window = netsim.DefaultEstimatorWindow
+	}
+	est := netsim.NewEstimator(window)
+	decisionEvery := f.DecisionFrames
+	if decisionEvery <= 0 {
+		decisionEvery = DefaultDecisionFrames
+	}
+
+	recvErr := func() error { // the receive loop proper
+		curLevel := choiceLevel(initial) // stream level for not-yet-started chunks
+		var (
+			buf           []byte
+			asmLevel      int
+			asmTotal      int64
+			chunkFirst    time.Time // first frame of the chunk, any attempt
+			lastFrame     = time.Now()
+			framesSince   int
+			cancelPending = false // a cancel for the in-flight chunk is in the air
+			abandoned     int64
+			// Time this loop spent blocked handing completed chunks to the
+			// decoder. When decode falls behind PipelineDepth, credit dries
+			// up and the sender pauses; that pause rides on the next
+			// frame's arrival gap and must not be read as link slowness.
+			stall, chunkStall time.Duration
+		)
+		for si := 0; si < n; {
+			frame, err := stream.Recv(fctx)
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("streamer: stream ended after %d of %d chunks", si, n)
+			}
+			if err != nil {
+				return fmt.Errorf("streamer: chunk stream: %w", err)
+			}
+			// Wire arrival time, stamped by the connection's reader (frames
+			// queued in the inbox keep accurate timestamps), minus the time
+			// this loop itself spent blocked on the decoder — the sender's
+			// credit pause surfaces in the first gap after a stall, and
+			// over-subtraction only skips the sample (Observe ignores ≤0).
+			now := frame.Arrived
+			if now.IsZero() {
+				now = time.Now()
+			}
+			prev := lastFrame
+			est.Observe(int64(len(frame.Data)), now.Sub(prev)-stall)
+			if frame.Pos != si {
+				return fmt.Errorf("streamer: stream delivered position %d, expected %d", frame.Pos, si)
+			}
+			if buf == nil {
+				// The chunk's transfer clock starts where the previous
+				// frame ended, so its own first frame's wire time counts —
+				// minus any decode-handoff stall inside that first gap.
+				chunkFirst = prev
+				chunkStall = stall
+			}
+			stall = 0
+			lastFrame = now
+			if frame.Offset == 0 {
+				if buf != nil && asmLevel != frame.Level {
+					// The cancel landed: the old level's prefix is waste.
+					abandoned += int64(len(buf))
+				}
+				buf = make([]byte, 0, frame.Total)
+				asmLevel = frame.Level
+				asmTotal = frame.Total
+				cancelPending = false
+			}
+			buf = append(buf, frame.Data...)
+			report.BytesReceived += int64(len(frame.Data))
+			report.addLevelBytes(levelChoice(frame.Level).String(), int64(len(frame.Data)))
+
+			if frame.Last {
+				transfer := now.Sub(chunkFirst) - chunkStall
+				if transfer < 0 {
+					transfer = 0
+				}
+				decisions[si] = ChunkDecision{
+					Chunk:      fromChunk + si,
+					Choice:     levelChoice(asmLevel),
+					Bytes:      int64(len(buf)),
+					Abandoned:  abandoned,
+					Transfer:   transfer,
+					Throughput: est.Estimate(),
+				}
+				report.TransferTime += transfer
+				pushStart := time.Now()
+				select {
+				case completed <- readyChunk{si: si, level: asmLevel, payload: buf}:
+				case <-fctx.Done():
+					return fmt.Errorf("streamer: %w", fctx.Err())
+				}
+				stall += time.Since(pushStart)
+				si++
+				buf = nil
+				abandoned = 0
+				framesSince = 0
+				continue
+			}
+
+			framesSince++
+			if framesSince < decisionEvery {
+				continue
+			}
+			framesSince = 0
+			tput := est.Estimate()
+			if tput <= 0 {
+				continue
+			}
+			elapsed := time.Since(start)
+			// Re-level chunks that have not started.
+			if si+1 < n {
+				next, err := f.Planner.Choose(si+1, elapsed, tput, suffixInfos)
+				if err != nil {
+					return fmt.Errorf("streamer: %w", err)
+				}
+				if lv := choiceLevel(next); lv != curLevel {
+					if err := stream.Switch(lv); err != nil {
+						return fmt.Errorf("streamer: switch: %w", err)
+					}
+					curLevel = lv
+					report.Switches++
+				}
+			}
+			// Abandon the in-flight chunk when resending it whole at the
+			// planner's fresh choice is cheaper than finishing it.
+			if !cancelPending && buf != nil {
+				fresh, err := f.Planner.Choose(si, elapsed, tput, suffixInfos)
+				if err != nil {
+					return fmt.Errorf("streamer: %w", err)
+				}
+				if lv := choiceLevel(fresh); lv != asmLevel {
+					remaining := asmTotal - int64(len(buf))
+					if choiceBytes(suffixInfos[si], fresh) < remaining {
+						if err := stream.Cancel(si, lv); err != nil {
+							return fmt.Errorf("streamer: cancel: %w", err)
+						}
+						cancelPending = true
+						report.Cancels++
+					}
+				}
+			}
+		}
+		return nil
+	}()
+	if recvErr != nil {
+		cancel()
+		// A decode failure cancels fctx, which surfaces in the receive
+		// loop as a context error; the worker's error is the root cause
+		// and must win over the cancellation it triggered.
+		if derr := <-decodeErr; derr != nil {
+			return derr
+		}
+		return recvErr
+	}
+	if err := <-decodeErr; err != nil {
+		return err
+	}
+
+	decodeStats.Lock()
+	report.DecodeTime = decodeStats.decode
+	report.RecomputeTime = decodeStats.recompute
+	decodeStats.Unlock()
+	report.Decisions = decisions
+	report.Bandwidth = est.Estimate()
+	report.Streamed = true
+	return nil
+}

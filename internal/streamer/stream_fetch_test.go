@@ -1,0 +1,377 @@
+package streamer
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TestFetchStreamedBitForBit: the multiplexed server-push path must
+// reassemble exactly the KV the request/response path does — same
+// bytes, same decode — on a static link at a fixed level.
+func TestFetchStreamedBitForBit(t *testing.T) {
+	s := newStack(t)
+	mk := func(disable bool) *Fetcher {
+		return &Fetcher{
+			Source:           s.client,
+			Codec:            s.codec,
+			Model:            s.model,
+			Device:           llm.A40x4(),
+			Planner:          Planner{Adapt: false, DefaultLevel: 0},
+			DisableStreaming: disable,
+		}
+	}
+	ctx := context.Background()
+	streamed, sRep, err := mk(false).Fetch(ctx, "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, lRep, err := mk(true).Fetch(ctx, "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sRep.Streamed {
+		t.Error("stream-capable source did not take the streaming path")
+	}
+	if lRep.Streamed {
+		t.Error("DisableStreaming still streamed")
+	}
+	diff, err := streamed.MaxAbsDiff(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 0 {
+		t.Errorf("streamed KV differs from request/response KV: max |Δ| = %g", diff)
+	}
+	if sRep.BytesReceived != lRep.BytesReceived {
+		t.Errorf("streamed moved %d bytes, request/response %d", sRep.BytesReceived, lRep.BytesReceived)
+	}
+	if sRep.Bandwidth <= 0 {
+		t.Error("streamed report has no bandwidth estimate")
+	}
+	if got := sRep.LevelBytes["L0"]; got != sRep.BytesReceived {
+		t.Errorf("level byte counters: L0 = %d, want %d", got, sRep.BytesReceived)
+	}
+	if len(sRep.Decisions) != s.meta.NumChunks() {
+		t.Errorf("streamed decisions = %d, want %d", len(sRep.Decisions), s.meta.NumChunks())
+	}
+	var totalTransfer time.Duration
+	for _, d := range sRep.Decisions {
+		if d.Choice.Text || d.Choice.Level != 0 {
+			t.Errorf("chunk %d streamed at %s, want L0", d.Chunk, d.Choice)
+		}
+		// Per-chunk Transfer subtracts decode-handoff stalls and may
+		// legitimately clamp to zero for a tiny chunk on loopback; it
+		// must never be negative, and the fetch as a whole must have
+		// measured wire time.
+		if d.Throughput <= 0 || d.Transfer < 0 {
+			t.Errorf("chunk %d missing transfer telemetry: %+v", d.Chunk, d)
+		}
+		totalTransfer += d.Transfer
+	}
+	if totalTransfer <= 0 {
+		t.Error("no wire time measured across the whole streamed fetch")
+	}
+}
+
+// TestFetchStreamedResident: the warm-prefix path streams only the cold
+// suffix and still matches the cold fetch bit for bit.
+func TestFetchStreamedResident(t *testing.T) {
+	s := newStack(t)
+	f := &Fetcher{
+		Source:  s.client,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: Planner{Adapt: false, DefaultLevel: 0},
+	}
+	ctx := context.Background()
+	cold, _, err := f.Fetch(ctx, "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resident, err := cold.SliceTokens(0, 160) // two whole chunks of 80
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, rep, err := f.FetchFrom(ctx, "ctx-1", resident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResidentTokens != 160 || !rep.Streamed {
+		t.Errorf("warm fetch: resident %d, streamed %v", rep.ResidentTokens, rep.Streamed)
+	}
+	if len(rep.Decisions) != s.meta.NumChunks()-2 {
+		t.Errorf("warm fetch streamed %d chunks, want %d", len(rep.Decisions), s.meta.NumChunks()-2)
+	}
+	diff, err := warm.MaxAbsDiff(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 0 {
+		t.Errorf("warm streamed KV differs from cold: max |Δ| = %g", diff)
+	}
+}
+
+// TestFetchStreamedAdaptiveUnderTrace runs the full adaptive loop over a
+// live traced link: the fetch must succeed and the report must carry the
+// frame-granularity telemetry.
+func TestFetchStreamedAdaptiveUnderTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	s := newStack(t)
+	trace, err := netsim.ParseTrace("40Mbps:150ms,2Mbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(s.store, transport.WithEgressTrace(trace))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	f := &Fetcher{
+		Source: client,
+		Codec:  s.codec,
+		Model:  s.model,
+		Device: llm.A40x4(),
+		Planner: Planner{
+			Adapt: true, SLO: 2 * time.Second, DefaultLevel: 0,
+			PriorBandwidth: 40e6,
+		},
+		FrameSize:      4 << 10,
+		DecisionFrames: 2,
+	}
+	kv, rep, err := f.Fetch(context.Background(), "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.Tokens != len(s.tokens) {
+		t.Fatalf("assembled %d tokens, want %d", kv.Tokens, len(s.tokens))
+	}
+	if !rep.Streamed || rep.Bandwidth <= 0 {
+		t.Errorf("report = streamed %v bandwidth %.0f", rep.Streamed, rep.Bandwidth)
+	}
+	if len(rep.LevelBytes) == 0 {
+		t.Error("no per-level byte counters")
+	}
+}
+
+// synthetic chunk metadata for the virtual-time cliff comparison.
+func cliffChunks(n int) []ChunkInfo {
+	infos := make([]ChunkInfo, n)
+	for i := range infos {
+		infos[i] = ChunkInfo{
+			Tokens:       1500,
+			SizesByLevel: []int64{30e6, 15e6, 7.5e6},
+			TextBytes:    6000,
+			Recompute:    time.Second,
+		}
+	}
+	return infos
+}
+
+// TestSimulateFramesBeatsChunkGranularityOnCliff is the X7 acceptance
+// property in miniature: under a mid-chunk bandwidth cliff, the
+// frame-granularity estimator (which cancels the doomed in-flight chunk)
+// must beat the chunk-granularity estimator (which is blind until the
+// chunk lands) on TTFT.
+func TestSimulateFramesBeatsChunkGranularityOnCliff(t *testing.T) {
+	chunks := cliffChunks(8)
+	trace, err := netsim.ParseTrace("2Gbps:300ms,0.02Gbps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := Planner{
+		Adapt: true, SLO: 4 * time.Second, DefaultLevel: 1,
+		PriorBandwidth: netsim.Gbps(2), RTT: 20 * time.Millisecond,
+	}
+	base := SimInput{
+		Chunks:      chunks,
+		TotalTokens: 8 * 1500,
+		Planner:     planner,
+		Model:       llm.Mistral7B(),
+		Device:      llm.A40x4(),
+	}
+
+	legacyIn := base
+	legacyIn.Link = netsim.NewLink(trace)
+	legacy, err := Simulate(legacyIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frameIn := base
+	frameIn.Link = netsim.NewLink(trace)
+	frameIn.FrameBytes = 256 << 10
+	frame, err := Simulate(frameIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if frame.Cancels < 1 {
+		t.Errorf("frame mode never cancelled the doomed in-flight chunk (cancels=%d)", frame.Cancels)
+	}
+	if frame.AbandonedBytes <= 0 {
+		t.Errorf("frame mode reports no abandoned bytes despite %d cancels", frame.Cancels)
+	}
+	if frame.TTFT >= legacy.TTFT {
+		t.Errorf("frame granularity TTFT %v not better than chunk granularity %v", frame.TTFT, legacy.TTFT)
+	}
+	// The win must be structural (the cancelled chunk's stall), not noise.
+	if frame.TTFT > legacy.TTFT*7/10 {
+		t.Errorf("frame TTFT %v vs legacy %v: expected a >30%% win from the cancel", frame.TTFT, legacy.TTFT)
+	}
+	t.Logf("cliff TTFT: chunk-granularity %v, frame-granularity %v (%d cancels, %.1f MB abandoned)",
+		legacy.TTFT.Round(time.Millisecond), frame.TTFT.Round(time.Millisecond),
+		frame.Cancels, float64(frame.AbandonedBytes)/1e6)
+}
+
+// TestSimulateFramesMatchesLegacyOnStableLink: with no bandwidth
+// variation and adaptation off, frame mode moves the same bytes and
+// lands within per-chunk RTT bookkeeping of the legacy model.
+func TestSimulateFramesMatchesLegacyOnStableLink(t *testing.T) {
+	chunks := cliffChunks(4)
+	planner := Planner{Adapt: false, DefaultLevel: 1}
+	base := SimInput{
+		Chunks:      chunks,
+		TotalTokens: 4 * 1500,
+		Planner:     planner,
+		Model:       llm.Mistral7B(),
+		Device:      llm.A40x4(),
+	}
+	legacyIn := base
+	legacyIn.Link = netsim.NewLink(netsim.Constant(netsim.Gbps(1)))
+	legacy, err := Simulate(legacyIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameIn := base
+	frameIn.Link = netsim.NewLink(netsim.Constant(netsim.Gbps(1)))
+	frameIn.FrameBytes = 64 << 10
+	frame, err := Simulate(frameIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.BytesSent != legacy.BytesSent {
+		t.Errorf("frame mode moved %d bytes, legacy %d", frame.BytesSent, legacy.BytesSent)
+	}
+	if frame.Cancels != 0 || frame.AbandonedBytes != 0 {
+		t.Errorf("stable link produced cancels: %d / %d bytes", frame.Cancels, frame.AbandonedBytes)
+	}
+	// Same transfers, same decode: TTFTs within a few percent.
+	ratio := float64(frame.TTFT) / float64(legacy.TTFT)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("stable-link TTFT diverged: frame %v vs legacy %v", frame.TTFT, legacy.TTFT)
+	}
+}
+
+// TestStreamChunksSkipsMissingText: contexts published without a text
+// pseudo-level still stream (the planner just can't pick text).
+func TestStreamChunksSkipsMissingText(t *testing.T) {
+	man := storage.Manifest{
+		Meta: storage.ContextMeta{
+			ContextID: "x", Model: "m", TokenCount: 100,
+			ChunkTokens: []int{50, 50}, Levels: 1,
+			SizesBytes: [][]int64{{10, 10}},
+		},
+		Hashes: map[int][]string{0: {"a", "b"}},
+	}
+	chunks, err := streamChunks(man, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 2 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	if _, ok := chunks[0].Hashes[storage.TextLevel]; ok {
+		t.Error("text hash invented for a context without one")
+	}
+	if chunks[1].Hashes[0] != "b" {
+		t.Errorf("chunk 1 level-0 hash = %q", chunks[1].Hashes[0])
+	}
+}
+
+// TestFetchStreamedDecodeErrorSurfaces: a corrupt chunk payload must
+// surface as the decode failure, not as the context cancellation the
+// failing worker triggers to stop the stream.
+func TestFetchStreamedDecodeErrorSurfaces(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+
+	// Rebuild the store with chunk 1's level-0 payload corrupted under
+	// its original content address (PutChunk ignores writes to existing
+	// hashes, so a fresh store is needed).
+	corrupt := storage.NewMemStore()
+	badHash, err := s.man.ChunkHash(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range s.man.Hashes {
+		for _, h := range row {
+			if h == badHash {
+				if err := corrupt.PutChunk(ctx, h, []byte("garbage bitstream")); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			data, err := s.store.GetChunk(ctx, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := corrupt.PutChunk(ctx, h, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := corrupt.PutManifest(ctx, s.man); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := transport.NewServer(corrupt)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	f := &Fetcher{
+		Source:  client,
+		Codec:   s.codec,
+		Model:   s.model,
+		Device:  llm.A40x4(),
+		Planner: Planner{Adapt: false, DefaultLevel: 0},
+	}
+	_, _, err = f.Fetch(ctx, "ctx-1")
+	if err == nil {
+		t.Fatal("fetch of a corrupt chunk succeeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("decode failure masked as cancellation: %v", err)
+	}
+	if !strings.Contains(err.Error(), "chunk 1") {
+		t.Errorf("error does not name the corrupt chunk: %v", err)
+	}
+}

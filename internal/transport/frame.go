@@ -5,10 +5,18 @@
 // fetch context chunks (§4: "streaming the encoded KV bitstream through a
 // network connection of varying throughput").
 //
-// The protocol speaks the content-addressed store's vocabulary: clients
-// fetch a context's manifest by id and chunk payloads by hash, and the
-// management ops (delete, sweep, usage) drive the fleet's reference-
-// counted garbage collection remotely.
+// The protocol has two planes sharing one connection. The control plane
+// is strict request/response in the content-addressed store's vocabulary:
+// clients fetch a context's manifest by id and chunk payloads by hash,
+// and the management ops (delete, sweep, usage) drive the fleet's
+// reference-counted garbage collection remotely. The delivery plane is a
+// multiplexed server-push stream: the client opens a context stream with
+// a manifest slice and an initial encoding level, the server pushes
+// bounded DATA frames, and the client steers mid-stream with SWITCH
+// (re-level chunks not yet started), CANCEL (abandon the in-flight chunk
+// and restart it cheaper), and CREDIT (backpressure) frames — the
+// sub-chunk granularity the §5.3 adaptation loop needs to react to
+// bandwidth shifts while a chunk is still in the air.
 //
 // The virtual-time experiments (internal/netsim) bypass sockets entirely;
 // this package is the live path, exercised by the integration tests and
@@ -16,6 +24,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,7 +32,9 @@ import (
 	"time"
 )
 
-// frame types.
+// frame types. 0x01–0x0C are the request/response control-plane verbs;
+// 0x10–0x17 are the stream plane, every one carrying a stream id as its
+// first payload field.
 const (
 	typeReqManifest  byte = 0x01
 	typeRespManifest byte = 0x02
@@ -37,7 +48,17 @@ const (
 	typeRespSweep    byte = 0x0A // payload: JSON storage.SweepResult
 	typeReqUsage     byte = 0x0B
 	typeRespUsage    byte = 0x0C // payload: JSON storage.Usage
-	typeError        byte = 0x7F
+
+	typeStreamOpen   byte = 0x10 // C→S: JSON streamOpen (manifest slice + initial level)
+	typeStreamCredit byte = 0x11 // C→S: uvarint id, uvarint bytes granted
+	typeStreamSwitch byte = 0x12 // C→S: uvarint id, varint level (chunks not yet started)
+	typeStreamCancel byte = 0x13 // C→S: uvarint id, uvarint pos, varint level (restart in-flight chunk)
+	typeStreamClose  byte = 0x14 // C→S: uvarint id (abandon the whole stream)
+	typeStreamData   byte = 0x15 // S→C: data header + payload slice
+	typeStreamEnd    byte = 0x16 // S→C: uvarint id (all chunks delivered)
+	typeStreamError  byte = 0x17 // S→C: uvarint id, error text
+
+	typeError byte = 0x7F
 )
 
 // MaxFramePayload bounds a single frame. Chunk bitstreams are tens of MB
@@ -45,7 +66,16 @@ const (
 // while rejecting nonsense lengths from corrupt peers.
 const MaxFramePayload = 1 << 30
 
+// frameAllocStep bounds how much readFrame allocates ahead of bytes that
+// have actually arrived. A length prefix is attacker-controlled; the
+// bytes behind it are not, so a peer claiming a huge frame and hanging
+// up costs one step of memory, not MaxFramePayload.
+const frameAllocStep = 1 << 20
+
 var frameMagic = [2]byte{'C', 'G'}
+
+// frameHeaderSize is the fixed frame prefix: magic(2) + type(1) + len(4).
+const frameHeaderSize = 7
 
 // ErrProtocol reports a malformed frame or unexpected message.
 var ErrProtocol = errors.New("transport: protocol error")
@@ -81,11 +111,32 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > MaxFramePayload {
 		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrProtocol, n)
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err = readPayload(r, int(n))
+	if err != nil {
 		return 0, nil, fmt.Errorf("transport: reading frame payload: %w", err)
 	}
 	return hdr[2], payload, nil
+}
+
+// readPayload reads an n-byte frame payload, growing the buffer only as
+// data arrives so a lying length prefix cannot force a huge allocation.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= frameAllocStep {
+		p := make([]byte, n)
+		if _, err := io.ReadFull(r, p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, frameAllocStep))
+	m, err := io.Copy(buf, io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, err
+	}
+	if m < int64(n) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf.Bytes(), nil
 }
 
 // sweep request payload: varint duration in nanoseconds.

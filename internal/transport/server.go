@@ -6,23 +6,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
-	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/storage"
 )
 
-// Server serves chunk and metadata requests from a storage.Store over the
-// frame protocol — the storage-server side of get_kv (§6). Each accepted
-// connection is handled on its own goroutine; requests within a
-// connection are processed sequentially (the streamer fetches chunks one
-// by one, §5.3).
+// Server serves chunk and metadata requests from a storage.Store over
+// the frame protocol — the storage-server side of get_kv (§6). Each
+// accepted connection is handled on its own goroutine. Control-plane
+// requests within a connection are processed sequentially (responses
+// stay in request order); each open chunk stream pushes DATA frames from
+// its own goroutine, interleaved with responses through a per-connection
+// write lock, so a long stream never blocks the control plane.
 type Server struct {
-	store  storage.Store
-	egress float64 // per-connection egress shaping, bits/s (≤0 = unlimited)
-	bank   []byte  // serialised codec model bank served to clients
-	logf   func(format string, args ...any)
+	store       storage.Store
+	egress      float64      // per-connection egress shaping, bits/s (≤0 = unlimited)
+	egressTrace netsim.Trace // per-connection egress trace replay (overrides egress)
+	bank        []byte       // serialised codec model bank served to clients
+	logf        func(format string, args ...any)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -37,6 +39,14 @@ type ServerOption func(*Server)
 // emulating a constrained storage-to-GPU link.
 func WithEgressRate(bps float64) ServerOption {
 	return func(s *Server) { s.egress = bps }
+}
+
+// WithEgressTrace shapes every connection's sends along a time-varying
+// bandwidth trace, each connection replaying the trace from its accept
+// time — the live-socket twin of the netsim experiments, so a harness
+// run and a real client can face the same bandwidth cliff.
+func WithEgressTrace(tr netsim.Trace) ServerOption {
+	return func(s *Server) { s.egressTrace = tr }
 }
 
 // WithLogger sets a log function (default: log.Printf-compatible no-op).
@@ -139,295 +149,408 @@ func (s *Server) HandleConn(conn net.Conn) {
 	s.handle(conn)
 }
 
+// serverConn is one connection's state: the shared write side and the
+// open streams pushed over it.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	streams map[uint64]*serverStream
+	wg      sync.WaitGroup // stream pushers
+}
+
 func (s *Server) handle(conn net.Conn) {
+	var w net.Conn = conn
+	if s.egressTrace != nil {
+		sh := NewShaper(conn, 0)
+		sh.SetTrace(s.egressTrace)
+		w = sh
+	} else if s.egress > 0 {
+		w = NewShaper(conn, s.egress)
+	}
+	sc := &serverConn{
+		srv:     s,
+		conn:    conn,
+		bw:      bufio.NewWriterSize(w, 64<<10),
+		streams: map[uint64]*serverStream{},
+	}
 	defer func() {
+		// Wake every pusher so it observes the teardown, then reap them
+		// before the connection is forgotten — no pusher survives its
+		// connection.
+		sc.mu.Lock()
+		for _, st := range sc.streams {
+			st.close()
+		}
+		sc.mu.Unlock()
 		conn.Close()
+		sc.wg.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 
-	var w net.Conn = conn
-	if s.egress > 0 {
-		w = NewShaper(conn, s.egress)
-	}
 	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(w, 64<<10)
-
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
 			return // disconnect or garbage; drop the connection
 		}
-		if err := s.dispatch(bw, typ, payload); err != nil {
+		if err := sc.dispatch(typ, payload); err != nil {
 			s.logf("transport: connection %v: %v", conn.RemoteAddr(), err)
-			return
-		}
-		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(w *bufio.Writer, typ byte, payload []byte) error {
+// write sends one frame through the connection's shared write side.
+func (sc *serverConn) write(typ byte, payload []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if err := writeFrame(sc.bw, typ, payload); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// dispatch handles one inbound frame: stream-plane frames steer or open
+// streams; everything else is a control-plane request answered in line.
+func (sc *serverConn) dispatch(typ byte, payload []byte) error {
+	switch typ {
+	case typeStreamOpen:
+		return sc.openStream(payload)
+	case typeStreamCredit:
+		id, n, err := decodeCredit(payload)
+		if err != nil {
+			return err
+		}
+		if st := sc.stream(id); st != nil {
+			st.grant(n)
+		}
+		return nil
+	case typeStreamSwitch:
+		id, level, err := decodeSwitch(payload)
+		if err != nil {
+			return err
+		}
+		if st := sc.stream(id); st != nil {
+			st.switchLevel(level)
+		}
+		return nil
+	case typeStreamCancel:
+		id, pos, level, err := decodeCancel(payload)
+		if err != nil {
+			return err
+		}
+		if st := sc.stream(id); st != nil {
+			st.cancel(pos, level)
+		}
+		return nil
+	case typeStreamClose:
+		id, rest, err := decodeStreamID(payload)
+		if err != nil || len(rest) != 0 {
+			return fmt.Errorf("%w: bad stream close", ErrProtocol)
+		}
+		if st := sc.stream(id); st != nil {
+			st.close()
+		}
+		return nil
+	default:
+		rtyp, rpayload := sc.srv.respond(typ, payload)
+		return sc.write(rtyp, rpayload)
+	}
+}
+
+// respond computes the control-plane response for one request frame.
+func (s *Server) respond(typ byte, payload []byte) (byte, []byte) {
 	ctx := context.Background()
+	fail := func(err error) (byte, []byte) { return typeError, []byte(err.Error()) }
+	asJSON := func(rtyp byte, v any) (byte, []byte) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return fail(err)
+		}
+		return rtyp, data
+	}
 	switch typ {
 	case typeReqManifest:
 		man, err := s.store.GetManifest(ctx, string(payload))
 		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+			return fail(err)
 		}
-		data, err := json.Marshal(man)
-		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
-		}
-		return writeFrame(w, typeRespManifest, data)
+		return asJSON(typeRespManifest, man)
 
 	case typeReqChunk:
 		data, err := s.store.GetChunk(ctx, string(payload))
 		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+			return fail(err)
 		}
-		return writeFrame(w, typeRespChunk, data)
+		return typeRespChunk, data
 
 	case typeReqBank:
 		if len(s.bank) == 0 {
-			return writeFrame(w, typeError, []byte("no model bank configured"))
+			return typeError, []byte("no model bank configured")
 		}
-		return writeFrame(w, typeRespBank, s.bank)
+		return typeRespBank, s.bank
 
 	case typeReqDelete:
 		if err := s.store.DeleteContext(ctx, string(payload)); err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+			return fail(err)
 		}
-		return writeFrame(w, typeRespDelete, nil)
+		return typeRespDelete, nil
 
 	case typeReqSweep:
 		minAge, err := decodeSweepReq(payload)
 		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+			return fail(err)
 		}
 		res, err := s.store.Sweep(ctx, minAge)
 		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+			return fail(err)
 		}
-		data, err := json.Marshal(res)
-		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
-		}
-		return writeFrame(w, typeRespSweep, data)
+		return asJSON(typeRespSweep, res)
 
 	case typeReqUsage:
 		u, err := s.store.Usage(ctx)
 		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+			return fail(err)
 		}
-		data, err := json.Marshal(u)
-		if err != nil {
-			return writeFrame(w, typeError, []byte(err.Error()))
+		return asJSON(typeRespUsage, u)
+
+	default:
+		return typeError, []byte(fmt.Sprintf("unknown frame type 0x%02x", typ))
+	}
+}
+
+func (sc *serverConn) stream(id uint64) *serverStream {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.streams[id]
+}
+
+func (sc *serverConn) removeStream(id uint64) {
+	sc.mu.Lock()
+	delete(sc.streams, id)
+	sc.mu.Unlock()
+}
+
+// openStream validates a stream open and starts its pusher.
+func (sc *serverConn) openStream(payload []byte) error {
+	var open streamOpen
+	if err := json.Unmarshal(payload, &open); err != nil {
+		return fmt.Errorf("%w: bad stream open: %v", ErrProtocol, err)
+	}
+	if len(open.Chunks) == 0 || len(open.Chunks) > 1<<20 {
+		return fmt.Errorf("%w: stream open with %d chunks", ErrProtocol, len(open.Chunks))
+	}
+	if open.FrameSize <= 0 || open.FrameSize > MaxStreamFrame {
+		return fmt.Errorf("%w: stream frame size %d", ErrProtocol, open.FrameSize)
+	}
+	if open.Window < int64(open.FrameSize) {
+		return fmt.Errorf("%w: stream window %d below frame size", ErrProtocol, open.Window)
+	}
+	st := &serverStream{
+		id:        open.ID,
+		frameSize: open.FrameSize,
+		chunks:    open.Chunks,
+		credit:    open.Window,
+		level:     open.Level,
+	}
+	st.cond = sync.NewCond(&st.mu)
+	sc.mu.Lock()
+	if _, dup := sc.streams[open.ID]; dup {
+		sc.mu.Unlock()
+		return fmt.Errorf("%w: duplicate stream id %d", ErrProtocol, open.ID)
+	}
+	sc.streams[open.ID] = st
+	sc.wg.Add(1)
+	sc.mu.Unlock()
+	go sc.push(st)
+	return nil
+}
+
+// serverStream is the sender side of one open chunk stream.
+type serverStream struct {
+	id        uint64
+	frameSize int
+	chunks    []streamOpenChunk
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	credit int64
+	level  int // delivery level for chunks not yet started
+	// cancel of the in-flight chunk: pending restart at restartLevel.
+	restartPending bool
+	restartLevel   int
+	current        int // pusher's current chunk position
+	closed         bool
+}
+
+// grant adds credit (a CREDIT frame arrived).
+func (st *serverStream) grant(n int64) {
+	if n <= 0 {
+		return
+	}
+	st.mu.Lock()
+	st.credit += n
+	st.mu.Unlock()
+	st.cond.Signal()
+}
+
+// switchLevel re-levels chunks not yet started.
+func (st *serverStream) switchLevel(level int) {
+	st.mu.Lock()
+	st.level = level
+	st.mu.Unlock()
+}
+
+// cancel abandons the chunk at pos if it is in flight (restarting it at
+// level), or re-levels it for later if not yet started. Positions
+// already delivered are left alone — the client holds their bytes.
+func (st *serverStream) cancel(pos, level int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch {
+	case pos < st.current || pos >= len(st.chunks):
+		return
+	case pos == st.current:
+		st.restartPending = true
+		st.restartLevel = level
+		st.cond.Signal()
+	default:
+		st.chunks[pos].Level = &level
+	}
+}
+
+// close wakes and stops the pusher.
+func (st *serverStream) close() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+	st.cond.Signal()
+}
+
+// creditAction is what waitCredit tells the pusher to do next.
+type creditAction int
+
+const (
+	creditSend creditAction = iota
+	creditRestart
+	creditStop
+)
+
+// waitCredit blocks until n bytes of credit are available, the chunk is
+// cancelled, or the stream is torn down.
+func (st *serverStream) waitCredit(n int64) (creditAction, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.closed {
+			return creditStop, 0
 		}
-		return writeFrame(w, typeRespUsage, data)
-
-	default:
-		return writeFrame(w, typeError, []byte(fmt.Sprintf("unknown frame type 0x%02x", typ)))
-	}
-}
-
-// RemoteError is an error reported by the server.
-type RemoteError struct{ Msg string }
-
-// Error implements error.
-func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
-
-// Client fetches metadata and chunks from a Server. It is safe for
-// concurrent use; requests are serialised over the single connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-}
-
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
-	}
-}
-
-// Dial connects to a server at a TCP address.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	return NewClient(conn), nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends one request frame and reads one response frame, honoring
-// the context deadline via the connection deadline.
-func (c *Client) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	deadline, ok := ctx.Deadline()
-	if ok {
-		if err := c.conn.SetDeadline(deadline); err != nil {
-			return 0, nil, fmt.Errorf("transport: %w", err)
+		if st.restartPending {
+			st.restartPending = false
+			return creditRestart, st.restartLevel
 		}
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := ctx.Err(); err != nil {
-		return 0, nil, err
-	}
-	if err := writeFrame(c.bw, typ, payload); err != nil {
-		return 0, nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, nil, fmt.Errorf("transport: flush: %w", err)
-	}
-	rtyp, rpayload, err := readFrame(c.br)
-	if err != nil {
-		return 0, nil, fmt.Errorf("transport: reading response: %w", err)
-	}
-	return rtyp, rpayload, nil
-}
-
-// remoteErr maps a server-reported error string back to a typed error:
-// not-found and corrupt-manifest conditions re-wrap their sentinel so
-// callers (and the cluster pool's failover logic) can distinguish
-// "context missing" from "node broken" across the wire.
-func remoteErr(msg string) error {
-	if strings.Contains(msg, "not found") {
-		return fmt.Errorf("%w: %s", storage.ErrNotFound, msg)
-	}
-	if strings.Contains(msg, "corrupt manifest") {
-		return fmt.Errorf("%w: %s", storage.ErrCorruptManifest, msg)
-	}
-	return &RemoteError{Msg: msg}
-}
-
-// GetManifest fetches a context's manifest.
-func (c *Client) GetManifest(ctx context.Context, contextID string) (storage.Manifest, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqManifest, []byte(contextID))
-	if err != nil {
-		return storage.Manifest{}, err
-	}
-	switch typ {
-	case typeRespManifest:
-		var man storage.Manifest
-		if err := json.Unmarshal(payload, &man); err != nil {
-			return storage.Manifest{}, fmt.Errorf("%w: bad manifest payload: %v", ErrProtocol, err)
+		if st.credit >= n {
+			st.credit -= n
+			return creditSend, 0
 		}
-		return man, nil
-	case typeError:
-		return storage.Manifest{}, remoteErr(string(payload))
-	default:
-		return storage.Manifest{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
+		st.cond.Wait()
 	}
 }
 
-// GetMeta fetches a context's metadata (a manifest round trip; kept for
-// callers that only need the layout).
-func (c *Client) GetMeta(ctx context.Context, contextID string) (storage.ContextMeta, error) {
-	man, err := c.GetManifest(ctx, contextID)
-	if err != nil {
-		return storage.ContextMeta{}, err
+// startChunk records the pusher's position and returns the chunk plus
+// its starting level (per-chunk override, else the stream level). The
+// copy is taken under the lock because cancel writes the element's
+// Level field concurrently.
+func (st *serverStream) startChunk(pos int) (streamOpenChunk, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.current = pos
+	st.restartPending = false
+	ch := st.chunks[pos]
+	if ch.Level != nil {
+		return ch, *ch.Level
 	}
-	return man.Meta, nil
+	return ch, st.level
 }
 
-// DeleteContext drops a context's manifest on the server, releasing its
-// payload references for the node's sweeper.
-func (c *Client) DeleteContext(ctx context.Context, contextID string) error {
-	typ, payload, err := c.roundTrip(ctx, typeReqDelete, []byte(contextID))
-	if err != nil {
-		return err
-	}
-	switch typ {
-	case typeRespDelete:
-		return nil
-	case typeError:
-		return remoteErr(string(payload))
-	default:
-		return fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-	}
-}
+// push delivers every chunk of one stream in order, honoring credit,
+// mid-stream level switches and in-flight cancels. It owns the stream's
+// registry entry and exits on teardown or a dead connection.
+func (sc *serverConn) push(st *serverStream) {
+	defer sc.wg.Done()
+	defer sc.removeStream(st.id)
+	ctx := context.Background()
+	scratch := make([]byte, 0, st.frameSize+64)
 
-// Sweep runs one garbage-collection sweep on the server with the given
-// grace age and returns its accounting.
-func (c *Client) Sweep(ctx context.Context, minAge time.Duration) (storage.SweepResult, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqSweep, encodeSweepReq(minAge))
-	if err != nil {
-		return storage.SweepResult{}, err
+	fail := func(msg string) {
+		payload := append(encodeStreamID(st.id), msg...)
+		_ = sc.write(typeStreamError, payload)
 	}
-	switch typ {
-	case typeRespSweep:
-		var res storage.SweepResult
-		if err := json.Unmarshal(payload, &res); err != nil {
-			return storage.SweepResult{}, fmt.Errorf("%w: bad sweep payload: %v", ErrProtocol, err)
+
+	for pos := 0; pos < len(st.chunks); pos++ {
+		ch, level := st.startChunk(pos)
+		resumeAt := ch.Offset // first delivery of this chunk may resume
+		for {
+			hash, ok := ch.Hashes[level]
+			if !ok {
+				fail(fmt.Sprintf("chunk %d has no payload at level %d", ch.Index, level))
+				return
+			}
+			payload, err := sc.srv.store.GetChunk(ctx, hash)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			total := int64(len(payload))
+			offset := resumeAt
+			resumeAt = 0 // a restart re-sends from the top
+			if offset > total {
+				fail(fmt.Sprintf("chunk %d resume offset %d beyond payload size %d", ch.Index, offset, total))
+				return
+			}
+			restarted := false
+			for {
+				n := total - offset
+				if n > int64(st.frameSize) {
+					n = int64(st.frameSize)
+				}
+				action, restartLevel := st.waitCredit(n)
+				if action == creditStop {
+					return
+				}
+				if action == creditRestart {
+					if restartLevel == level {
+						// Restarting at the same level would only resend
+						// bytes the client already holds; keep going.
+						continue
+					}
+					level = restartLevel
+					restarted = true
+					break
+				}
+				hdr := dataHeader{id: st.id, pos: pos, level: level,
+					offset: offset, total: total, last: offset+n == total}
+				scratch = appendDataHeader(scratch[:0], hdr)
+				scratch = append(scratch, payload[offset:offset+n]...)
+				if err := sc.write(typeStreamData, scratch); err != nil {
+					return // connection dead; teardown reaps us
+				}
+				offset += n
+				if offset == total {
+					break
+				}
+			}
+			if !restarted {
+				break // chunk fully delivered
+			}
 		}
-		return res, nil
-	case typeError:
-		return storage.SweepResult{}, remoteErr(string(payload))
-	default:
-		return storage.SweepResult{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
 	}
-}
-
-// Usage reports the server store's physical footprint.
-func (c *Client) Usage(ctx context.Context) (storage.Usage, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqUsage, nil)
-	if err != nil {
-		return storage.Usage{}, err
-	}
-	switch typ {
-	case typeRespUsage:
-		var u storage.Usage
-		if err := json.Unmarshal(payload, &u); err != nil {
-			return storage.Usage{}, fmt.Errorf("%w: bad usage payload: %v", ErrProtocol, err)
-		}
-		return u, nil
-	case typeError:
-		return storage.Usage{}, remoteErr(string(payload))
-	default:
-		return storage.Usage{}, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-	}
-}
-
-// GetBank fetches the server's serialised codec model bank.
-func (c *Client) GetBank(ctx context.Context) ([]byte, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqBank, nil)
-	if err != nil {
-		return nil, err
-	}
-	switch typ {
-	case typeRespBank:
-		return payload, nil
-	case typeError:
-		return nil, &RemoteError{Msg: string(payload)}
-	default:
-		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-	}
-}
-
-// GetChunkData fetches one chunk payload by content hash.
-func (c *Client) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
-	typ, payload, err := c.roundTrip(ctx, typeReqChunk, []byte(hash))
-	if err != nil {
-		return nil, err
-	}
-	switch typ {
-	case typeRespChunk:
-		return payload, nil
-	case typeError:
-		return nil, remoteErr(string(payload))
-	default:
-		return nil, fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, typ)
-	}
+	_ = sc.write(typeStreamEnd, encodeStreamID(st.id))
 }

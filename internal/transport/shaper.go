@@ -5,26 +5,43 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/netsim"
 )
 
-// Shaper throttles writes through a net.Conn to a configurable bandwidth
+// Shaper throttles bytes through a net.Conn to a configurable bandwidth
 // using a token bucket, so the live socket path can emulate the
 // constrained links of the evaluation (0.4–400 Gbps in Fig 11) on
-// loopback. The rate may be changed while in use — that is how the demo
-// binaries replay bandwidth traces.
+// loopback. The rate may be changed while in use — including while a
+// Write is blocked mid-transfer, which is how bandwidth traces replay:
+// the pacing loop re-reads the rate every refill quantum, so a SetRate
+// (or a trace step) takes effect within shaperQuantum, not after the
+// current payload drains. NewShaper paces writes (a server emulating a
+// constrained egress link); NewIngressShaper paces reads (a client
+// emulating a constrained downlink from an unshaped server).
 type Shaper struct {
 	net.Conn
 
-	mu     sync.Mutex
-	bps    float64   // bits per second
-	tokens float64   // available bytes
-	burst  float64   // bucket depth in bytes
-	last   time.Time // last refill
+	shapeReads bool // pace Read instead of Write
+
+	mu         sync.Mutex
+	bps        float64   // bits per second
+	tokens     float64   // available bytes
+	burst      float64   // bucket depth in bytes
+	last       time.Time // last refill
+	trace      netsim.Trace
+	traceStart time.Time
 }
 
-// shaperSlice is the write granularity; small enough that rate changes
+// shaperSlice is the pacing granularity; small enough that rate changes
 // take effect quickly, large enough to keep syscall overhead low.
 const shaperSlice = 16 << 10
+
+// shaperQuantum bounds one pacing sleep. A blocked transfer re-examines
+// the rate (and any trace) at this cadence, so a mid-write SetRate is
+// honored on the next refill instead of after a sleep computed from the
+// old rate.
+const shaperQuantum = 10 * time.Millisecond
 
 // NewShaper wraps conn, limiting writes to bps bits per second. A zero or
 // negative bps means unlimited.
@@ -34,12 +51,38 @@ func NewShaper(conn net.Conn, bps float64) *Shaper {
 	return s
 }
 
-// SetRate changes the target bandwidth (bits per second; ≤0 = unlimited).
+// NewIngressShaper wraps conn, pacing reads to bps bits per second —
+// the receiver-side emulation of a constrained link, used by the client
+// CLI to replay bandwidth traces against an unshaped server.
+func NewIngressShaper(conn net.Conn, bps float64) *Shaper {
+	s := NewShaper(conn, bps)
+	s.shapeReads = true
+	return s
+}
+
+// SetRate changes the target bandwidth (bits per second; ≤0 = unlimited)
+// and clears any trace.
 func (s *Shaper) SetRate(bps float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.refillLocked(time.Now())
+	s.trace = nil
 	s.setRate(bps)
+}
+
+// SetTrace replays a time-varying bandwidth trace, t=0 anchored now.
+// The trace is sampled every refill, so its steps take effect within
+// shaperQuantum even mid-transfer.
+func (s *Shaper) SetTrace(tr netsim.Trace) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refillLocked(now)
+	s.trace = tr
+	s.traceStart = now
+	if tr != nil {
+		s.setRate(tr.BandwidthAt(0))
+	}
 }
 
 func (s *Shaper) setRate(bps float64) {
@@ -65,6 +108,11 @@ func (s *Shaper) Rate() float64 {
 }
 
 func (s *Shaper) refillLocked(now time.Time) {
+	if s.trace != nil {
+		if bps := s.trace.BandwidthAt(now.Sub(s.traceStart)); bps != s.bps {
+			s.setRate(bps)
+		}
+	}
 	if s.bps <= 0 {
 		return
 	}
@@ -79,23 +127,28 @@ func (s *Shaper) refillLocked(now time.Time) {
 }
 
 // take blocks until n bytes of budget are available, then consumes them.
-func (s *Shaper) take(n int) error {
+// Sleeps are bounded by shaperQuantum so a concurrent SetRate (or a
+// trace step) is honored promptly.
+func (s *Shaper) take(n int) {
 	for {
 		s.mu.Lock()
-		if s.bps <= 0 {
-			s.mu.Unlock()
-			return nil
-		}
 		now := time.Now()
 		s.refillLocked(now)
+		if s.bps <= 0 {
+			s.mu.Unlock()
+			return
+		}
 		if s.tokens >= float64(n) {
 			s.tokens -= float64(n)
 			s.mu.Unlock()
-			return nil
+			return
 		}
 		need := float64(n) - s.tokens
 		wait := time.Duration(need / (s.bps / 8) * float64(time.Second))
 		s.mu.Unlock()
+		if wait > shaperQuantum {
+			wait = shaperQuantum
+		}
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
@@ -104,17 +157,19 @@ func (s *Shaper) take(n int) error {
 }
 
 // Write implements net.Conn, pacing the payload through the token bucket
-// in slices.
+// in slices (unless this is an ingress shaper, which passes writes
+// through).
 func (s *Shaper) Write(p []byte) (int, error) {
+	if s.shapeReads {
+		return s.Conn.Write(p)
+	}
 	var written int
 	for len(p) > 0 {
 		n := len(p)
 		if n > shaperSlice {
 			n = shaperSlice
 		}
-		if err := s.take(n); err != nil {
-			return written, err
-		}
+		s.take(n)
 		m, err := s.Conn.Write(p[:n])
 		written += m
 		if err != nil {
@@ -123,4 +178,20 @@ func (s *Shaper) Write(p []byte) (int, error) {
 		p = p[m:]
 	}
 	return written, nil
+}
+
+// Read implements net.Conn; an ingress shaper paces delivery of received
+// bytes through the token bucket.
+func (s *Shaper) Read(p []byte) (int, error) {
+	if !s.shapeReads {
+		return s.Conn.Read(p)
+	}
+	if len(p) > shaperSlice {
+		p = p[:shaperSlice]
+	}
+	n, err := s.Conn.Read(p)
+	if n > 0 {
+		s.take(n)
+	}
+	return n, err
 }
