@@ -103,3 +103,4 @@ func BenchmarkX3ChunkLengthAblation(b *testing.B)  { benchExperiment(b, "X3") }
 func BenchmarkX4DeliveryCluster(b *testing.B)      { benchExperiment(b, "X4") }
 func BenchmarkX5ServingGateway(b *testing.B)       { benchExperiment(b, "X5") }
 func BenchmarkX6ContentStore(b *testing.B)         { benchExperiment(b, "X6") }
+func BenchmarkX10ChaosMatrix(b *testing.B)         { benchExperiment(b, "X10") }

@@ -28,15 +28,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/llm"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/storage"
 	"repro/internal/streamer"
 	"repro/internal/tensor"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // Version identifies this build of the reproduction (reported by the
@@ -324,3 +327,73 @@ func DialShaped(addr string, tr Trace) (*Client, error) {
 // RATE[:DURATION] segments ("2Gbps:2s,0.2Gbps:2s,1Gbps"), the last
 // holding forever.
 func ParseTrace(s string) (Trace, error) { return netsim.ParseTrace(s) }
+
+// Workload traces and chaos injection: replayable scenario traces
+// (internal/workload) and timed fault schedules against a live fleet
+// (internal/chaos). See the X10 experiment for the two composed.
+type (
+	// WorkloadTrace is a complete replayable scenario: the contexts to
+	// publish and the arrival schedule.
+	WorkloadTrace = workload.Trace
+	// WorkloadSource is the request schedule Replay consumes.
+	WorkloadSource = workload.Source
+	// WorkloadParams configures the named scenario builders.
+	WorkloadParams = workload.Params
+	// WorkloadArrival is one scheduled session arrival.
+	WorkloadArrival = workload.Arrival
+	// WorkloadContext describes one context a scenario publishes.
+	WorkloadContext = workload.ContextSpec
+	// ReplayOptions configures Replay.
+	ReplayOptions = gateway.ReplayOptions
+
+	// ChaosSchedule is a timed sequence of fault events.
+	ChaosSchedule = chaos.Schedule
+	// ChaosEvent is one fault: a class, an offset, an optional heal.
+	ChaosEvent = chaos.Event
+	// ChaosTarget is the fleet surface faults are injected through.
+	ChaosTarget = chaos.Target
+	// ChaosInjector arms a schedule against a target.
+	ChaosInjector = chaos.Injector
+	// LocalFleet is a ready-made restartable ChaosTarget over local
+	// transport servers.
+	LocalFleet = chaos.LocalFleet
+	// LatencyStore wraps a Store with injectable per-op latency (the
+	// slow-disk fault hook).
+	LatencyStore = storage.LatencyStore
+	// ChaosCounters tallies injected faults and their observed effects.
+	ChaosCounters = metrics.ChaosCounters
+	// ChaosSnapshot is a point-in-time copy of ChaosCounters.
+	ChaosSnapshot = metrics.ChaosSnapshot
+)
+
+// WorkloadBuilders maps scenario names ("rag-burst", "agentic",
+// "longdoc-qa", "flash-crowd") to their trace builders.
+func WorkloadBuilders() map[string]func(WorkloadParams) *WorkloadTrace { return workload.Builders() }
+
+// ResolveTrace turns a CLI trace argument — a scenario name or a trace
+// file path — into a trace.
+func ResolveTrace(nameOrPath string, p WorkloadParams) (*WorkloadTrace, error) {
+	return workload.Resolve(nameOrPath, p)
+}
+
+// LoadTrace reads and validates a JSON trace file.
+func LoadTrace(path string) (*WorkloadTrace, error) { return workload.Load(path) }
+
+// Replay publishes a trace's contexts and replays its arrival schedule
+// against the gateway, blocking until every session resolves.
+func Replay(ctx context.Context, g *Gateway, src WorkloadSource, opts ReplayOptions) (*LoadReport, error) {
+	return gateway.Replay(ctx, g, src, opts)
+}
+
+// ParseChaosSchedule parses the CLIs' -chaos syntax: ';'-separated
+// "class@offset[+heal][:param]" events ("kill@500ms+1s; corrupt@0s:0.25").
+func ParseChaosSchedule(spec string, seed int64) (ChaosSchedule, error) {
+	return chaos.ParseSchedule(spec, seed)
+}
+
+// NewChaosInjector returns an injector firing schedules at the target;
+// counters (optional) tally what fired.
+func NewChaosInjector(t ChaosTarget, c *ChaosCounters) *ChaosInjector { return chaos.New(t, c) }
+
+// NewLatencyStore wraps a store with injectable per-op latency.
+func NewLatencyStore(inner Store) *LatencyStore { return storage.NewLatencyStore(inner) }

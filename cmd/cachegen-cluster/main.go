@@ -58,6 +58,7 @@ func main() {
 	tokens := flag.Int("tokens", 2000, "tokens per demo context")
 	demo := flag.Bool("demo", false, "run the client-path demo (parallel fetch, failover, warm refetch) and exit")
 	gcSmoke := flag.Bool("gc-smoke", false, "run the GC smoke test (publish two overlapping contexts, delete one, sweep, verify) and exit")
+	chaosFlag := flag.String("chaos", "", "fault schedule armed when serving starts, as class@offset[+heal][:param];... (e.g. \"kill@500ms+1s; slow-disk@0s:2ms\")")
 	gcInterval := flag.Duration("gc-interval", time.Minute, "idle sweeper period per node (0 = disabled)")
 	gcGrace := flag.Duration("gc-grace", 5*time.Minute, "GC grace age: unreferenced chunks younger than this survive a sweep")
 	version := flag.Bool("version", false, "print the version and exit")
@@ -107,9 +108,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Launch the fleet.
+	// Launch the fleet. Every node's base store sits behind a latency
+	// shim and the whole fleet behind a chaos.LocalFleet, so a -chaos
+	// schedule can kill, restart, partition, slow or corrupt nodes while
+	// the ring serves.
 	ring := cachegen.NewRing(*replicas, *vnodes)
 	stores := map[string]cachegen.Store{}
+	serving := map[string]cachegen.Store{}
 	fleet := make([]*node, 0, *nodes)
 	var srvOpts []cachegen.ServerOption
 	srvOpts = append(srvOpts, cachegen.WithBank(bank))
@@ -123,17 +128,23 @@ func main() {
 		}
 		srvOpts = append(srvOpts, cachegen.WithEgressTrace(tr))
 	}
+	fl := &cachegen.LocalFleet{}
+	fl.NewServer = func(node string) *cachegen.Server {
+		return cachegen.NewServer(serving[node], srvOpts...)
+	}
 	for i := 0; i < *nodes; i++ {
-		var store cachegen.Store = cachegen.NewMemStore()
+		var base cachegen.Store = cachegen.NewMemStore()
 		if *dir != "" {
-			store, err = cachegen.NewFileStore(filepath.Join(*dir, fmt.Sprintf("node-%02d", i)))
+			base, err = cachegen.NewFileStore(filepath.Join(*dir, fmt.Sprintf("node-%02d", i)))
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
+		disk := cachegen.NewLatencyStore(base)
+		var store cachegen.Store = disk
 		n := &node{}
 		if *ramMB > 0 {
-			n.cache = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
+			n.cache = cachegen.NewCachingStore(disk, int64(*ramMB)<<20)
 			store = n.cache
 		}
 		n.store = store
@@ -145,6 +156,8 @@ func main() {
 		}
 		n.addr = n.ln.Addr().String()
 		stores[n.addr] = store
+		serving[n.addr] = store
+		fl.Register(n.addr, disk, n.srv)
 		fleet = append(fleet, n)
 	}
 	sharded, err := cachegen.NewShardedStore(ring, stores)
@@ -162,14 +175,45 @@ func main() {
 		}(n)
 	}
 
+	// The chaos schedule (if any) is armed when the serving phase begins
+	// — demo, gc-smoke, or open-ended serving — so fault offsets count
+	// from t=0 of the phase, not from fleet launch.
+	counters := &cachegen.ChaosCounters{}
+	inj := cachegen.NewChaosInjector(fl, counters)
+	armChaos := func() {
+		if *chaosFlag == "" {
+			return
+		}
+		sched, err := cachegen.ParseChaosSchedule(*chaosFlag, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("arming chaos schedule %q", *chaosFlag)
+		if err := inj.Start(sched); err != nil {
+			log.Fatal(err)
+		}
+	}
+	finishChaos := func() {
+		if *chaosFlag == "" {
+			return
+		}
+		if err := inj.Finish(); err != nil {
+			log.Printf("chaos: %v", err)
+		}
+		if snap := counters.Snapshot(); !snap.Zero() {
+			log.Printf("chaos: %s", snap.String())
+		}
+	}
+
 	bg := context.Background()
 	if *gcSmoke {
-		if err := runGCSmoke(bg, model, codec, ring, sharded); err != nil {
+		armChaos()
+		err := runGCSmoke(bg, model, codec, ring, sharded)
+		finishChaos()
+		if err != nil {
 			log.Fatalf("gc-smoke FAILED: %v", err)
 		}
-		for _, n := range fleet {
-			n.srv.Close()
-		}
+		fl.Close()
 		wg.Wait()
 		log.Printf("gc-smoke PASSED")
 		return
@@ -223,9 +267,7 @@ func main() {
 
 	closeFleet := func() {
 		close(sweepStop)
-		for _, n := range fleet {
-			n.srv.Close()
-		}
+		fl.Close()
 		wg.Wait()
 		for _, n := range fleet {
 			if n.cache != nil {
@@ -237,20 +279,24 @@ func main() {
 	}
 
 	if *demo {
-		if err := runDemo(model, codec, ring, fleet, ids); err != nil {
-			closeFleet()
+		armChaos()
+		err := runDemo(model, codec, ring, fleet, ids)
+		finishChaos()
+		closeFleet()
+		if err != nil {
 			log.Fatal(err)
 		}
-		closeFleet()
 		return
 	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	armChaos()
 	log.Printf("serving; chunks are sharded, so fetch through a cachegen.Pool over all nodes "+
 		"(a plain cachegen-client sees only one node's shard); idle sweeper every %v, Ctrl-C to stop", *gcInterval)
 	sig := <-sigCh
 	log.Printf("received %v, shutting down", sig)
+	finishChaos()
 	closeFleet()
 	log.Printf("bye")
 }

@@ -7,11 +7,18 @@
 // SLO attainment, gateway counters, and the fleet's aggregate RAM-tier
 // stats, then exits.
 //
+// Instead of the Poisson generator, -workload-trace replays a named
+// scenario ("rag-burst", "agentic", "longdoc-qa", "flash-crowd") or a
+// JSON trace file; -chaos arms a fault schedule (node kills, partitions,
+// slow disks, bandwidth cliffs, wire corruption) against the live fleet
+// while either workload runs.
+//
 // Usage:
 //
 //	cachegen-gateway -demo
 //	cachegen-gateway -nodes 4 -slots 4 -rate 300 -requests 200 \
 //	    -tenants gold:4,silver:2,bronze:1 -slo 150ms
+//	cachegen-gateway -workload-trace rag-burst -chaos "kill@150ms+450ms"
 package main
 
 import (
@@ -20,11 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	cachegen "repro"
@@ -87,6 +92,8 @@ func main() {
 	modelName := flag.String("model", "Mistral-7B", "model for the published contexts")
 	channels := flag.Int("channels", 32, "synthesised KV channels")
 	seed := flag.Int64("seed", 1, "workload seed")
+	traceFlag := flag.String("workload-trace", "", "replay a workload trace (scenario name or trace file) instead of the Poisson generator")
+	chaosFlag := flag.String("chaos", "", "fault schedule armed at workload start, as class@offset[+heal][:param];... (e.g. \"kill@500ms+1s; corrupt@0s:0.25\")")
 	demo := flag.Bool("demo", false, "run the preset mixed-tenant burst (small, fast) and exit")
 	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
@@ -119,6 +126,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// A trace brings its own tenants and contexts: the gateway's tenant
+	// weights come from the trace's arrival schedule (uniform), and
+	// Replay publishes the trace's contexts itself.
+	var trace *cachegen.WorkloadTrace
+	if *traceFlag != "" {
+		trace, err = cachegen.ResolveTrace(*traceFlag, cachegen.WorkloadParams{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = specs[:0]
+		seen := map[string]bool{}
+		for _, a := range trace.Arrivals() {
+			if !seen[a.Tenant] {
+				seen[a.Tenant] = true
+				specs = append(specs, tenantSpec{name: a.Tenant, weight: 1})
+			}
+		}
+	}
+	var sched cachegen.ChaosSchedule
+	if *chaosFlag != "" {
+		sched, err = cachegen.ParseChaosSchedule(*chaosFlag, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// Model, codec, bank — one per LLM (§5.2).
 	cfg, err := cachegen.ModelByName(*modelName)
 	if err != nil {
@@ -132,7 +165,10 @@ func main() {
 		log.Fatal(err)
 	}
 	lengthScale := float64(*tokens) / 9400.0
-	total := 2 + *nContexts*len(specs)
+	total := 2
+	if trace == nil {
+		total += *nContexts * len(specs)
+	}
 	ctxs := dataset.LongChat().Contexts(total, lengthScale)
 	var trainToks [][]cachegen.Token
 	for _, c := range ctxs[:2] {
@@ -154,41 +190,41 @@ func main() {
 		srvOpts = append(srvOpts, cachegen.WithEgressTrace(tr))
 		log.Printf("replaying egress bandwidth trace %q on every node", *bwTrace)
 	}
+	// Every node sits behind a latency shim (the slow-disk fault hook)
+	// and inside a chaos.LocalFleet, so a -chaos schedule can kill,
+	// restart, partition, slow or corrupt it mid-run.
 	ring := cachegen.NewRing(*replicas, 0)
 	stores := map[string]cachegen.Store{}
 	caches := map[string]*cachegen.CachingStore{}
-	var servers []*cachegen.Server
-	var wg sync.WaitGroup
+	serving := map[string]cachegen.Store{}
+	fl := &cachegen.LocalFleet{}
+	fl.NewServer = func(node string) *cachegen.Server {
+		return cachegen.NewServer(serving[node], srvOpts...)
+	}
+	defer fl.Close()
 	for i := 0; i < *nodes; i++ {
-		var store cachegen.Store = cachegen.NewMemStore()
+		disk := cachegen.NewLatencyStore(cachegen.NewMemStore())
+		var store cachegen.Store = disk
 		if *ramMB > 0 {
-			store = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
+			store = cachegen.NewCachingStore(disk, int64(*ramMB)<<20)
 		}
-		srv := cachegen.NewServer(store, srvOpts...)
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		addr, err := fl.Launch("127.0.0.1:0", disk, cachegen.NewServer(store, srvOpts...))
 		if err != nil {
 			log.Fatal(err)
 		}
-		addr := ln.Addr().String()
 		if c, ok := store.(*cachegen.CachingStore); ok {
 			caches[addr] = c
 		}
 		stores[addr] = store
-		servers = append(servers, srv)
-		wg.Add(1)
-		go func(srv *cachegen.Server, ln net.Listener) {
-			defer wg.Done()
-			if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
-				log.Printf("node %s: %v", ln.Addr(), err)
-			}
-		}(srv, ln)
+		serving[addr] = store
 	}
 	sharded, err := cachegen.NewShardedStore(ring, stores)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Publish per-tenant contexts.
+	// Publish per-tenant contexts (the Poisson path; a trace's contexts
+	// are published by Replay).
 	bg := context.Background()
 	profiles := make([]cachegen.TenantProfile, 0, len(specs))
 	weights := map[string]int{}
@@ -199,22 +235,26 @@ func main() {
 			SLO: *slo, Deadline: *deadline,
 			Turns: *turns, ThinkTime: *think,
 		}
-		for j := 0; j < *nContexts; j++ {
-			id := fmt.Sprintf("%s-%02d", spec.name, j)
-			if _, err := cachegen.Publish(bg, sharded, codec, model, id, ctxs[next].Tokens); err != nil {
-				log.Fatal(err)
+		if trace == nil {
+			for j := 0; j < *nContexts; j++ {
+				id := fmt.Sprintf("%s-%02d", spec.name, j)
+				if _, err := cachegen.Publish(bg, sharded, codec, model, id, ctxs[next].Tokens); err != nil {
+					log.Fatal(err)
+				}
+				next++
+				p.ContextIDs = append(p.ContextIDs, id)
 			}
-			next++
-			p.ContextIDs = append(p.ContextIDs, id)
+			log.Printf("tenant %s: weight %d, %d contexts of ~%d tokens", spec.name, spec.weight, *nContexts, *tokens)
 		}
 		profiles = append(profiles, p)
 		weights[spec.name] = spec.weight
-		log.Printf("tenant %s: weight %d, %d contexts of ~%d tokens", spec.name, spec.weight, *nContexts, *tokens)
 	}
 
 	// Gateway over the fleet.
+	counters := &cachegen.ChaosCounters{}
 	pool := cachegen.NewPool(ring)
 	defer pool.Close()
+	fl.OnHeal = func(node string) { pool.Invalidate(node) }
 	gw, err := cachegen.NewGateway(cachegen.GatewayConfig{
 		Slots:       *slots,
 		QueueLimit:  *queueLimit,
@@ -228,17 +268,45 @@ func main() {
 		Model:         model,
 		Device:        cachegen.A40x4(),
 		Planner:       cachegen.Planner{Adapt: true, DefaultLevel: 1},
+		Chaos:         counters,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	log.Printf("driving %d requests at %.0f/s across %d tenants (%d nodes, %d slots, prefetch %v)...",
-		*requests, *rate, len(specs), *nodes, *slots, *prefetch)
-	w := cachegen.Workload{Rate: *rate, Requests: *requests, Tenants: profiles, Seed: *seed}
-	rep, err := w.Run(bg, gw)
+	// Both workload paths arm the chaos schedule at their arrival
+	// clock's t=0, so fault offsets line up with arrival offsets.
+	inj := cachegen.NewChaosInjector(fl, counters)
+	armChaos := func() {
+		if *chaosFlag == "" {
+			return
+		}
+		log.Printf("arming chaos schedule %q (seed %d)", *chaosFlag, *seed)
+		if err := inj.Start(sched); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var rep *cachegen.LoadReport
+	if trace != nil {
+		log.Printf("replaying trace %q: %d contexts, %d arrivals over %v across %d tenants (%d nodes, %d slots)...",
+			trace.Name(), len(trace.Contexts()), len(trace.Arrivals()), trace.Duration().Round(time.Millisecond),
+			len(specs), *nodes, *slots)
+		rep, err = cachegen.Replay(bg, gw, trace, cachegen.ReplayOptions{Publisher: sharded, Started: armChaos})
+	} else {
+		log.Printf("driving %d requests at %.0f/s across %d tenants (%d nodes, %d slots, prefetch %v)...",
+			*requests, *rate, len(specs), *nodes, *slots, *prefetch)
+		w := cachegen.Workload{Rate: *rate, Requests: *requests, Tenants: profiles, Seed: *seed}
+		armChaos()
+		rep, err = w.Run(bg, gw)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *chaosFlag != "" {
+		if err := inj.Finish(); err != nil {
+			log.Printf("chaos: %v", err)
+		}
 	}
 
 	// Report.
@@ -264,9 +332,13 @@ func main() {
 		log.Printf("tenant %-8s done %3d/%3d  TTFT p50 %6.1fms  p99 %6.1fms  max %6.1fms  SLO %3.0f%%  load xfer/dec/rec %.0f/%.0f/%.0fms",
 			name, ts.Completed, ts.Submitted, sum.Median*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate(),
 			ts.TransferTime.Seconds()*1e3, ts.DecodeTime.Seconds()*1e3, ts.RecomputeTime.Seconds()*1e3)
-		log.Printf("  %-8s %s moved (eff %s, live est %s), %d switches / %d cancels, by level %v",
+		corrupt := ""
+		if ts.CorruptRejected > 0 {
+			corrupt = fmt.Sprintf(", %d corrupt payloads rejected", ts.CorruptRejected)
+		}
+		log.Printf("  %-8s %s moved (eff %s, live est %s), %d switches / %d cancels, by level %v%s",
 			"", metrics.FormatBytes(ts.Bytes), metrics.FormatBandwidth(ts.EffectiveBandwidth()),
-			metrics.FormatBandwidth(ts.Bandwidth), ts.Switches, ts.Cancels, ts.LevelBytes)
+			metrics.FormatBandwidth(ts.Bandwidth), ts.Switches, ts.Cancels, ts.LevelBytes, corrupt)
 	}
 	var agg cachegen.CacheStats
 	for _, c := range caches {
@@ -278,9 +350,7 @@ func main() {
 	}
 	ps := pool.Stats()
 	log.Printf("pool: %d dials, %d failovers, %d open connections", ps.Dials, ps.Failovers, ps.OpenConns)
-
-	for _, srv := range servers {
-		srv.Close()
+	if snap := counters.Snapshot(); !snap.Zero() {
+		log.Printf("chaos: %s", snap.String())
 	}
-	wg.Wait()
 }

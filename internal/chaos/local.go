@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// LocalFleet is a ready-made Target over in-process transport servers —
+// the fleet shape the harness and the CLIs launch. Each node is a
+// transport.Server over a storage.LatencyStore (the slow-disk shim;
+// wrap it in a RAM tier or not, the shim handle is what Register
+// takes), listening on a fixed address so a killed node restarts in
+// place. The production fault hooks do all the work: nothing here forks
+// server or store code paths.
+type LocalFleet struct {
+	// NewServer rebuilds a node's server on Restart, serving the same
+	// store it served before the kill (apply the same ServerOptions the
+	// original had). Nil means the fleet cannot restart nodes, and
+	// Kill-class heals report an error.
+	NewServer func(node string) *transport.Server
+	// OnHeal, when set, is called after a restart or partition heal —
+	// the hook for cluster.Pool.Invalidate, so clients retry the node
+	// immediately instead of sitting out the dial backoff.
+	OnHeal func(node string)
+
+	mu      sync.Mutex
+	addrs   []string
+	disks   map[string]*storage.LatencyStore
+	servers map[string]*transport.Server
+}
+
+// Register adds one already-serving node: its bound address, its
+// slow-disk shim, and its server.
+func (f *LocalFleet) Register(addr string, disk *storage.LatencyStore, srv *transport.Server) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.disks == nil {
+		f.disks = map[string]*storage.LatencyStore{}
+		f.servers = map[string]*transport.Server{}
+	}
+	if _, dup := f.servers[addr]; !dup {
+		f.addrs = append(f.addrs, addr)
+	}
+	f.disks[addr] = disk
+	f.servers[addr] = srv
+}
+
+// Launch listens on addr ("127.0.0.1:0" for an ephemeral port), serves
+// srv on it, registers the node, and returns the bound address.
+func (f *LocalFleet) Launch(addr string, disk *storage.LatencyStore, srv *transport.Server) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	bound := ln.Addr().String()
+	f.Register(bound, disk, srv)
+	return bound, nil
+}
+
+// Close stops every node's server.
+func (f *LocalFleet) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, srv := range f.servers {
+		srv.Close()
+	}
+}
+
+// Disk returns a node's slow-disk shim (nil for unknown nodes) — what a
+// NewServer callback serves when the node has no RAM tier.
+func (f *LocalFleet) Disk(node string) *storage.LatencyStore {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.disks[node]
+}
+
+func (f *LocalFleet) server(node string) (*transport.Server, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	srv, ok := f.servers[node]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown node %s", node)
+	}
+	return srv, nil
+}
+
+// Nodes implements Target.
+func (f *LocalFleet) Nodes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.addrs...)
+}
+
+// Kill implements Target: the node's server goes away mid-stream,
+// severing its live connections.
+func (f *LocalFleet) Kill(node string) error {
+	srv, err := f.server(node)
+	if err != nil {
+		return err
+	}
+	return srv.Close()
+}
+
+// Restart implements Target: a fresh server on the same address over
+// the same store.
+func (f *LocalFleet) Restart(node string) error {
+	f.mu.Lock()
+	newServer := f.NewServer
+	_, known := f.servers[node]
+	f.mu.Unlock()
+	if !known {
+		return fmt.Errorf("chaos: unknown node %s", node)
+	}
+	if newServer == nil {
+		return fmt.Errorf("chaos: fleet cannot restart node %s (no NewServer)", node)
+	}
+	srv := newServer(node)
+	ln, err := net.Listen("tcp", node)
+	if err != nil {
+		return fmt.Errorf("chaos: relistening on %s: %w", node, err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	f.mu.Lock()
+	f.servers[node] = srv
+	f.mu.Unlock()
+	if f.OnHeal != nil {
+		f.OnHeal(node)
+	}
+	return nil
+}
+
+// SetPartitioned implements Target.
+func (f *LocalFleet) SetPartitioned(node string, on bool) error {
+	srv, err := f.server(node)
+	if err != nil {
+		return err
+	}
+	srv.SetPartitioned(on)
+	if !on && f.OnHeal != nil {
+		f.OnHeal(node)
+	}
+	return nil
+}
+
+// SetDiskLatency implements Target.
+func (f *LocalFleet) SetDiskLatency(node string, d time.Duration) error {
+	disk := f.Disk(node)
+	if disk == nil {
+		return fmt.Errorf("chaos: unknown node %s", node)
+	}
+	disk.SetLatency(d, d)
+	return nil
+}
+
+// SetEgressTrace implements Target.
+func (f *LocalFleet) SetEgressTrace(node string, tr netsim.Trace) error {
+	srv, err := f.server(node)
+	if err != nil {
+		return err
+	}
+	srv.SetEgressTrace(tr)
+	return nil
+}
+
+// SetCorruption implements Target.
+func (f *LocalFleet) SetCorruption(node string, rate float64, seed int64) error {
+	srv, err := f.server(node)
+	if err != nil {
+		return err
+	}
+	srv.SetCorruption(rate, seed)
+	return nil
+}
+
+// CorruptionInjected implements Target.
+func (f *LocalFleet) CorruptionInjected(node string) uint64 {
+	srv, err := f.server(node)
+	if err != nil {
+		return 0
+	}
+	return srv.CorruptionInjected()
+}
+
+var _ Target = (*LocalFleet)(nil)

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TestLocalFleetKillRestart drives a one-node LocalFleet through the
+// full kill/restart cycle over real TCP: a fetch works, the kill severs
+// the node, the restart brings a fresh server up on the same address
+// serving the same store, and OnHeal fires so a pool could clear its
+// backoff.
+func TestLocalFleetKillRestart(t *testing.T) {
+	ctx := context.Background()
+	disk := storage.NewLatencyStore(storage.NewMemStore())
+	payload := []byte("kv-chunk-payload")
+	hash := storage.HashChunk(payload)
+	if err := disk.PutChunk(ctx, hash, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	healed := make(chan string, 1)
+	fl := &LocalFleet{OnHeal: func(node string) { healed <- node }}
+	fl.NewServer = func(node string) *transport.Server {
+		return transport.NewServer(fl.Disk(node))
+	}
+	defer fl.Close()
+	addr, err := fl.Launch("127.0.0.1:0", disk, transport.NewServer(disk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes := fl.Nodes(); len(nodes) != 1 || nodes[0] != addr {
+		t.Fatalf("Nodes() = %v, want [%s]", nodes, addr)
+	}
+	if fl.Disk(addr) != disk {
+		t.Fatal("Disk() did not return the registered shim")
+	}
+
+	fetch := func() ([]byte, error) {
+		c, err := transport.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		return c.GetChunkData(ctx, hash)
+	}
+	got, err := fetch()
+	if err != nil {
+		t.Fatalf("fetch before kill: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("fetched payload differs")
+	}
+
+	if err := fl.Kill(addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fetch(); err == nil {
+		t.Fatal("fetch succeeded against a killed node")
+	}
+
+	if err := fl.Restart(addr); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case node := <-healed:
+		if node != addr {
+			t.Fatalf("OnHeal(%s), want %s", node, addr)
+		}
+	default:
+		t.Fatal("Restart did not call OnHeal")
+	}
+	got, err = fetch()
+	if err != nil {
+		t.Fatalf("fetch after restart: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("restarted node serves different payload")
+	}
+
+	// The disk shim stays the live fault hook across the restart.
+	if err := fl.SetDiskLatency(addr, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	if _, err := fetch(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(begin); d < 20*time.Millisecond {
+		t.Fatalf("slow-disk fetch took %v, want >= 20ms", d)
+	}
+}
+
+// TestLocalFleetErrors: unknown nodes are reported, and a fleet without
+// a NewServer callback refuses to restart rather than wedging.
+func TestLocalFleetErrors(t *testing.T) {
+	fl := &LocalFleet{}
+	for _, err := range []error{
+		fl.Kill("ghost"),
+		fl.Restart("ghost"),
+		fl.SetPartitioned("ghost", true),
+		fl.SetDiskLatency("ghost", time.Millisecond),
+		fl.SetCorruption("ghost", 0.5, 1),
+	} {
+		if err == nil {
+			t.Fatal("unknown node accepted")
+		}
+	}
+
+	disk := storage.NewLatencyStore(storage.NewMemStore())
+	addr, err := fl.Launch("127.0.0.1:0", disk, transport.NewServer(disk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	if err := fl.Restart(addr); err == nil {
+		t.Fatal("restart without NewServer accepted")
+	}
+}

@@ -204,6 +204,28 @@ func (p *Pool) client(ctx context.Context, node string) (*transport.Client, erro
 	return c, nil
 }
 
+// Invalidate drops a node's cached connection and clears its
+// negative-cache entry, so the next request redials immediately instead
+// of waiting out the backoff window. Chaos healing calls this when a
+// killed node restarts or a partition lifts, mirroring how an operator's
+// health prober would fast-path a recovered node back into rotation.
+func (p *Pool) Invalidate(node string) {
+	p.mu.Lock()
+	n := p.nodes[node]
+	p.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	c := n.client
+	n.client = nil
+	n.failedAt = time.Time{}
+	n.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // discard drops a node's cached connection after a transport failure so
 // the next request to that node redials instead of reusing a dead socket.
 func (p *Pool) discard(node string, c *transport.Client) {

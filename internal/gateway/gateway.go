@@ -141,6 +141,11 @@ type Config struct {
 	// tokens, suffix tokens) → duration. Nil uses the llm cost model's
 	// marginal prefill time on Device. Harness runs inject a scaled cost.
 	DecodeTime func(contextTokens, suffixTokens int) time.Duration
+
+	// Chaos, when set, receives the fetchers' integrity-rejection ticks
+	// (metrics.ChaosCounters.CorruptFramesRejected), so a chaos run's
+	// fleet-wide tally includes rejections from fetches that then failed.
+	Chaos *metrics.ChaosCounters
 }
 
 // pending states: dispatch and abandonment race on a CAS so a request is
@@ -193,6 +198,9 @@ type tenantAccum struct {
 	levelBytes        map[string]int64
 	bandwidth         float64
 	switches, cancels int
+	// corruptRejected counts payloads the tenant's fetches rejected on
+	// integrity grounds (completed fetches; CRC caught them in time).
+	corruptRejected int
 }
 
 // Gateway is the serving frontend. Safe for concurrent use; Submit blocks
@@ -479,6 +487,7 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 		Planner:       pl,
 		Start:         p.admitted,
 		PipelineDepth: g.cfg.PipelineDepth,
+		Chaos:         g.cfg.Chaos,
 	}
 }
 
@@ -577,6 +586,7 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 			a.bytes += out.report.BytesReceived
 			a.switches += out.report.Switches
 			a.cancels += out.report.Cancels
+			a.corruptRejected += out.report.CorruptRejected
 			if out.report.Bandwidth > 0 {
 				a.bandwidth = out.report.Bandwidth
 			}
@@ -659,6 +669,10 @@ type TenantStats struct {
 	// Switches and Cancels count mid-stream steering events across the
 	// tenant's completed fetches.
 	Switches, Cancels int
+	// CorruptRejected counts payloads rejected on integrity grounds
+	// (CRC/header validation) across the tenant's completed fetches —
+	// nonzero under wire-corruption chaos, always zero silently decoded.
+	CorruptRejected int
 }
 
 // EffectiveBandwidth is the tenant's byte-weighted average delivery
@@ -729,6 +743,7 @@ func (g *Gateway) Stats() Stats {
 			TransferTime: a.transfer, DecodeTime: a.decode, RecomputeTime: a.recompute,
 			Bytes: a.bytes, LevelBytes: levels, Bandwidth: a.bandwidth,
 			Switches: a.switches, Cancels: a.cancels,
+			CorruptRejected: a.corruptRejected,
 		}
 	}
 	return s

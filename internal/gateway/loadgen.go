@@ -5,10 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
-	"repro/internal/tensor"
+	"repro/internal/workload"
 )
 
 // TenantProfile describes one tenant's traffic in a generated workload.
@@ -105,6 +104,12 @@ func (r *LoadReport) AllTTFTs() []time.Duration {
 // Run drives the workload against the gateway and blocks until every
 // generated session resolves. Cancelling ctx stops generating new
 // arrivals and abandons the in-flight ones.
+//
+// The generator itself lives in internal/workload: Run materialises the
+// Poisson schedule as a workload.Trace (preserving the historical
+// per-seed draw order, so a given Seed still produces the request
+// sequence it always did) and replays it through the same Replay path
+// every trace-driven scenario uses.
 func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 	if w.Rate <= 0 {
 		return nil, fmt.Errorf("gateway: workload rate %v must be positive", w.Rate)
@@ -115,8 +120,8 @@ func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 	if len(w.Tenants) == 0 {
 		return nil, errors.New("gateway: workload has no tenants")
 	}
-	totalShare := 0
-	for _, t := range w.Tenants {
+	tenants := make([]workload.PoissonTenant, len(w.Tenants))
+	for i, t := range w.Tenants {
 		if t.Name == "" || len(t.ContextIDs) == 0 {
 			return nil, fmt.Errorf("gateway: tenant %q needs a name and contexts", t.Name)
 		}
@@ -126,114 +131,25 @@ func (w Workload) Run(ctx context.Context, g *Gateway) (*LoadReport, error) {
 		if t.Turns < 0 {
 			return nil, fmt.Errorf("gateway: tenant %q has negative turn count", t.Name)
 		}
-		totalShare += t.Share
+		tenants[i] = workload.PoissonTenant{
+			Name: t.Name, Share: t.Share, ContextIDs: t.ContextIDs,
+			SLO: t.SLO, Deadline: t.Deadline, SuffixTokens: t.SuffixTokens,
+			Turns: t.Turns, ThinkTime: t.ThinkTime,
+		}
 	}
-
-	rng := rand.New(rand.NewSource(w.Seed))
-	rep := &LoadReport{Offered: w.Rate, TTFTs: map[string][]time.Duration{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	start := time.Now()
-
-	for i := 0; i < w.Requests; i++ {
-		if i > 0 {
-			time.Sleep(expDelay(rng, w.Rate))
-		}
-		if ctx.Err() != nil {
-			break
-		}
-		t := pickTenant(rng, w.Tenants, totalShare)
-		req := Request{
-			Tenant:       t.Name,
-			ContextID:    t.ContextIDs[rng.Intn(len(t.ContextIDs))],
-			SLO:          t.SLO,
-			Deadline:     t.Deadline,
-			SuffixTokens: t.SuffixTokens,
-		}
-		turns := t.Turns
-		if turns < 1 {
-			turns = 1
-		}
-		rep.Sessions++
-		sessionSeed := rng.Int63() // per-session think-time stream
-		wg.Add(1)
-		go func(req Request, turns int, think time.Duration, seed int64) {
-			defer wg.Done()
-			srng := rand.New(rand.NewSource(seed))
-			var resident *tensor.KV
-			for turn := 1; turn <= turns; turn++ {
-				if turn > 1 {
-					if think > 0 {
-						time.Sleep(expDuration(srng, think))
-					}
-					if ctx.Err() != nil {
-						return
-					}
-				}
-				req.Resident = resident
-				mu.Lock()
-				rep.Submitted++
-				mu.Unlock()
-				res, err := g.Submit(ctx, req)
-				mu.Lock()
-				switch {
-				case err == nil:
-					rep.Completed++
-					if res.SLOMet {
-						rep.SLOMet++
-					}
-					if res.PrefetchHit {
-						rep.PrefetchHits++
-					}
-					rep.TTFTs[req.Tenant] = append(rep.TTFTs[req.Tenant], res.TTFT)
-					if turn > 1 {
-						rep.WarmTurns++
-						rep.WarmTTFTs = append(rep.WarmTTFTs, res.TTFT)
-					}
-				case errors.Is(err, ErrRejected):
-					rep.Rejected++
-				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-					rep.TimedOut++
-				default:
-					rep.Failed++
-				}
-				mu.Unlock()
-				if err != nil {
-					return // a failed turn ends the session
-				}
-				resident = res.KV
-			}
-		}(req, turns, t.ThinkTime, sessionSeed)
+	tr, err := workload.Poisson(w.Rate, w.Requests, tenants, w.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
 	}
-	wg.Wait()
-	rep.Duration = time.Since(start)
-	return rep, nil
-}
-
-// expDelay draws one exponential inter-arrival gap, capped at 5× the mean
-// so one unlucky draw cannot stall the whole run.
-func expDelay(rng *rand.Rand, rate float64) time.Duration {
-	return expDuration(rng, time.Duration(float64(time.Second)/rate))
+	return Replay(ctx, g, tr, ReplayOptions{Offered: w.Rate})
 }
 
 // expDuration draws an exponential duration with the given mean, capped
-// at 5× the mean.
+// at 5× the mean so one unlucky draw cannot stall a whole session.
 func expDuration(rng *rand.Rand, mean time.Duration) time.Duration {
 	d := time.Duration(rng.ExpFloat64() * float64(mean))
 	if max := 5 * mean; d > max {
 		d = max
 	}
 	return d
-}
-
-// pickTenant draws a tenant proportionally to its share.
-func pickTenant(rng *rand.Rand, tenants []TenantProfile, total int) TenantProfile {
-	n := rng.Intn(total)
-	for _, t := range tenants {
-		n -= t.Share
-		if n < 0 {
-			return t
-		}
-	}
-	return tenants[len(tenants)-1]
 }

@@ -1,0 +1,212 @@
+package gateway
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// TestReplayTrace replays a hand-built trace — published contexts, a
+// multi-turn chat arrival, two tenants — against a live ring and checks
+// the report's accounting.
+func TestReplayTrace(t *testing.T) {
+	r := newTestRing(t, 0)
+	g, err := New(r.config(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	tr := &workload.Trace{
+		TraceName: "replay-test",
+		ContextList: []workload.ContextSpec{
+			{ID: "tr-a", Tokens: 128, Seed: 1},
+			{ID: "tr-b", Tokens: 128, Seed: 2},
+		},
+		ArrivalList: []workload.Arrival{
+			{At: 0, Tenant: "t1", ContextID: "tr-a", Seed: 10},
+			{At: workload.Duration(5 * time.Millisecond), Tenant: "t2", ContextID: "tr-b", Seed: 11},
+			{At: workload.Duration(10 * time.Millisecond), Tenant: "t1", ContextID: "tr-a",
+				Turns: 3, ThinkTime: workload.Duration(time.Millisecond), Seed: 12},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(context.Background(), g, tr, ReplayOptions{Publisher: r.sharded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 3 {
+		t.Fatalf("Sessions = %d, want 3", rep.Sessions)
+	}
+	if want := 1 + 1 + 3; rep.Submitted != want || rep.Completed != want {
+		t.Fatalf("Submitted/Completed = %d/%d, want %d/%d", rep.Submitted, rep.Completed, want, want)
+	}
+	if rep.WarmTurns != 2 {
+		t.Fatalf("WarmTurns = %d, want 2", rep.WarmTurns)
+	}
+	if len(rep.TTFTs["t1"]) != 4 || len(rep.TTFTs["t2"]) != 1 {
+		t.Fatalf("per-tenant TTFTs = %d/%d, want 4/1", len(rep.TTFTs["t1"]), len(rep.TTFTs["t2"]))
+	}
+	// The trace's contexts were published by Replay itself.
+	if _, err := r.sharded.GetManifest(context.Background(), "tr-a"); err != nil {
+		t.Fatalf("trace context not published: %v", err)
+	}
+}
+
+// TestReplayAgentic: an agentic arrival creates its context through
+// gateway.Session, appends every turn, and the published context ends
+// at the full history length.
+func TestReplayAgentic(t *testing.T) {
+	r := newTestRing(t, 0)
+	g, err := New(r.config(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const turns, appendTokens = 3, 64
+	tr := &workload.Trace{
+		TraceName: "agentic-test",
+		ArrivalList: []workload.Arrival{
+			{At: 0, Tenant: "t1", ContextID: "agent-0",
+				Turns: turns, AppendTokens: appendTokens, Seed: 21},
+		},
+	}
+	rep, err := Replay(context.Background(), g, tr, ReplayOptions{Publisher: r.sharded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 {
+		t.Fatalf("Sessions = %d, want 1", rep.Sessions)
+	}
+	// Turn 1 is the create-publish (not gateway-served); turns 2..n are.
+	if want := turns - 1; rep.Completed != want || rep.WarmTurns != want {
+		t.Fatalf("Completed/WarmTurns = %d/%d, want %d/%d", rep.Completed, rep.WarmTurns, want, want)
+	}
+	man, err := r.sharded.GetManifest(context.Background(), "agent-0")
+	if err != nil {
+		t.Fatalf("agentic context not published: %v", err)
+	}
+	if got, want := man.Meta.TokenCount, turns*appendTokens; got != want {
+		t.Fatalf("published context has %d tokens, want %d", got, want)
+	}
+}
+
+// TestReplayRequiresPublisher: a trace that publishes contexts cannot
+// replay without a publish-side store.
+func TestReplayRequiresPublisher(t *testing.T) {
+	r := newTestRing(t, 1)
+	g, err := New(r.config(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tr := &workload.Trace{
+		TraceName:   "no-pub",
+		ContextList: []workload.ContextSpec{{ID: "x", Tokens: 64, Seed: 1}},
+		ArrivalList: []workload.Arrival{{At: 0, Tenant: "t", ContextID: "x"}},
+	}
+	if _, err := Replay(context.Background(), g, tr, ReplayOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "publisher") {
+		t.Fatalf("Replay without publisher = %v, want publisher error", err)
+	}
+}
+
+// blockingStore wraps a Store and, once armed, parks every PutChunk
+// until the operation's ctx dies — the observable behaviour of a node
+// that was killed after serving the warm fetch but before accepting the
+// append-publish.
+type blockingStore struct {
+	storage.Store
+	mu    sync.Mutex
+	armed bool
+}
+
+func (b *blockingStore) arm() {
+	b.mu.Lock()
+	b.armed = true
+	b.mu.Unlock()
+}
+
+func (b *blockingStore) PutChunk(ctx context.Context, hash string, data []byte) error {
+	b.mu.Lock()
+	armed := b.armed
+	b.mu.Unlock()
+	if armed {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return b.Store.PutChunk(ctx, hash, data)
+}
+
+func (b *blockingStore) PutManifest(ctx context.Context, m storage.Manifest) error {
+	b.mu.Lock()
+	armed := b.armed
+	b.mu.Unlock()
+	if armed {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return b.Store.PutManifest(ctx, m)
+}
+
+// TestSessionCancelBetweenFetchAndAppend is the chaos-node-kill leak
+// check: a session whose append-publish hangs (node killed between the
+// warm fetch and the append) must unwind completely on ctx
+// cancellation — Turn returns the context error and no goroutine stays
+// parked in the publish path.
+func TestSessionCancelBetweenFetchAndAppend(t *testing.T) {
+	r := newTestRing(t, 0)
+	g, err := New(r.config(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	pub := &blockingStore{Store: r.sharded}
+	s, err := g.NewSession(pub, "t1", "leak-ctx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn 1 publishes normally; the context now exists.
+	if _, err := s.Turn(context.Background(), workload.TurnTokens(1, 1, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Kill the publish path: turn 2's warm fetch succeeds, then the
+	// append-publish parks on the dead node until the ctx dies.
+	pub.arm()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Turn(ctx, workload.TurnTokens(1, 2, 64))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the turn reach the parked publish
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Turn with a dead publish path returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Turn did not return after cancellation")
+	}
+
+	// Every goroutine the turn spawned (prefetch, publish workers) must
+	// unwind; allow the runtime a moment to reap them.
+	waitFor(t, 5*time.Second, func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}

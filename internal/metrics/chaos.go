@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// ChaosCounters tallies fault injections and the system's observed
+// recoveries, one pair per fault class. The chaos injector increments
+// the injection side as it fires events; heals and survivals come from
+// the injector's heal timers and from the data path (corrupt frames
+// rejected is fed by the fetchers' CRC rejections). All counters are
+// atomic — injector, gateway workers and reporters share one instance.
+type ChaosCounters struct {
+	NodeKills             atomic.Uint64 // node processes killed
+	NodeRestarts          atomic.Uint64 // killed nodes brought back
+	Partitions            atomic.Uint64 // partitions imposed
+	PartitionsHealed      atomic.Uint64 // partitions lifted
+	SlowDisks             atomic.Uint64 // slow-disk faults imposed
+	SlowDisksHealed       atomic.Uint64 // slow-disk faults lifted
+	BandwidthCliffs       atomic.Uint64 // bandwidth cliffs imposed
+	BandwidthCliffsHealed atomic.Uint64 // bandwidth cliffs lifted
+	CorruptFramesInjected atomic.Uint64 // payloads corrupted on the wire
+	CorruptFramesRejected atomic.Uint64 // corrupt payloads caught by CRC
+}
+
+// ChaosSnapshot is a point-in-time copy of ChaosCounters, for reports.
+type ChaosSnapshot struct {
+	NodeKills             uint64
+	NodeRestarts          uint64
+	Partitions            uint64
+	PartitionsHealed      uint64
+	SlowDisks             uint64
+	SlowDisksHealed       uint64
+	BandwidthCliffs       uint64
+	BandwidthCliffsHealed uint64
+	CorruptFramesInjected uint64
+	CorruptFramesRejected uint64
+}
+
+// Snapshot copies the current counter values.
+func (c *ChaosCounters) Snapshot() ChaosSnapshot {
+	return ChaosSnapshot{
+		NodeKills:             c.NodeKills.Load(),
+		NodeRestarts:          c.NodeRestarts.Load(),
+		Partitions:            c.Partitions.Load(),
+		PartitionsHealed:      c.PartitionsHealed.Load(),
+		SlowDisks:             c.SlowDisks.Load(),
+		SlowDisksHealed:       c.SlowDisksHealed.Load(),
+		BandwidthCliffs:       c.BandwidthCliffs.Load(),
+		BandwidthCliffsHealed: c.BandwidthCliffsHealed.Load(),
+		CorruptFramesInjected: c.CorruptFramesInjected.Load(),
+		CorruptFramesRejected: c.CorruptFramesRejected.Load(),
+	}
+}
+
+// Zero reports whether no fault was ever recorded.
+func (s ChaosSnapshot) Zero() bool { return s == ChaosSnapshot{} }
+
+// String renders the non-zero fault classes compactly, e.g.
+// "kills 2 (restarted 2) · partitions 1 (healed 1) · corrupt 8/8 rejected".
+func (s ChaosSnapshot) String() string {
+	var parts []string
+	if s.NodeKills > 0 || s.NodeRestarts > 0 {
+		parts = append(parts, fmt.Sprintf("kills %d (restarted %d)", s.NodeKills, s.NodeRestarts))
+	}
+	if s.Partitions > 0 || s.PartitionsHealed > 0 {
+		parts = append(parts, fmt.Sprintf("partitions %d (healed %d)", s.Partitions, s.PartitionsHealed))
+	}
+	if s.SlowDisks > 0 || s.SlowDisksHealed > 0 {
+		parts = append(parts, fmt.Sprintf("slow-disks %d (healed %d)", s.SlowDisks, s.SlowDisksHealed))
+	}
+	if s.BandwidthCliffs > 0 || s.BandwidthCliffsHealed > 0 {
+		parts = append(parts, fmt.Sprintf("bw-cliffs %d (healed %d)", s.BandwidthCliffs, s.BandwidthCliffsHealed))
+	}
+	if s.CorruptFramesInjected > 0 || s.CorruptFramesRejected > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt %d/%d rejected", s.CorruptFramesRejected, s.CorruptFramesInjected))
+	}
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	return strings.Join(parts, " · ")
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -104,6 +105,9 @@ func (e *Estimator) Reset() {
 //	2Gbps:2s,0.2Gbps:2s,1Gbps   — the paper's Fig 7 pattern
 //	200Mbps:1s,5Mbps            — a bandwidth cliff after one second
 func ParseTrace(s string) (Trace, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("netsim: empty bandwidth trace %q", s)
+	}
 	var times []time.Duration
 	var bps []float64
 	at := time.Duration(0)
@@ -111,7 +115,10 @@ func ParseTrace(s string) (Trace, error) {
 	for i, part := range parts {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			// A silently skipped empty segment would drop the previous
+			// segment's duration ("2Gbps:2s," degrading to a constant
+			// 2 Gbps trace), so stray commas are an error.
+			return nil, fmt.Errorf("netsim: trace %q: segment %d is empty (stray comma?)", s, i+1)
 		}
 		rateStr, durStr, hasDur := strings.Cut(part, ":")
 		rate, err := parseRate(strings.TrimSpace(rateStr))
@@ -122,16 +129,16 @@ func ParseTrace(s string) (Trace, error) {
 		bps = append(bps, rate)
 		if hasDur {
 			d, err := time.ParseDuration(strings.TrimSpace(durStr))
-			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("netsim: trace segment %q: bad duration %q", part, durStr)
+			if err != nil {
+				return nil, fmt.Errorf("netsim: trace segment %q: bad duration %q (need a unit, e.g. \"500ms\"): %v", part, durStr, err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("netsim: trace segment %q: duration %v must be positive", part, d)
 			}
 			at += d
 		} else if i != len(parts)-1 {
 			return nil, fmt.Errorf("netsim: trace segment %q: only the last segment may omit its duration", part)
 		}
-	}
-	if len(bps) == 0 {
-		return nil, fmt.Errorf("netsim: empty bandwidth trace %q", s)
 	}
 	if len(bps) == 1 {
 		return Constant(bps[0]), nil
@@ -155,7 +162,10 @@ func parseRate(s string) (float64, error) {
 	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad rate %q", s)
+		return 0, fmt.Errorf("bad rate %q (use e.g. \"200Mbps\", \"0.4Gbps\", or bare bits per second)", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("rate must be finite, got %g", v)
 	}
 	if v <= 0 {
 		return 0, fmt.Errorf("rate must be positive, got %g", v)

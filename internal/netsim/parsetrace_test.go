@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseTraceMalformed covers the hardened rejection paths: every
+// malformed trace must produce a descriptive error rather than a
+// degenerate (constant / NaN / truncated) trace.
+func TestParseTraceMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring the error must contain
+	}{
+		{"empty", "", "empty bandwidth trace"},
+		{"whitespace only", "   ", "empty bandwidth trace"},
+		{"trailing comma", "2Gbps:2s,", "empty (stray comma?)"},
+		{"leading comma", ",2Gbps", "empty (stray comma?)"},
+		{"double comma", "2Gbps:2s,,1Gbps", "empty (stray comma?)"},
+		{"blank middle segment", "2Gbps:2s, ,1Gbps", "empty (stray comma?)"},
+		{"zero rate", "0Mbps", "rate must be positive"},
+		{"negative rate", "-3Gbps:1s,1Gbps", "rate must be positive"},
+		{"nan rate", "NaNMbps", "rate must be finite"},
+		{"inf rate", "+InfGbps", "rate must be finite"},
+		{"bare nan", "nan", "rate must be finite"},
+		{"garbage rate", "fast", "bad rate"},
+		{"unit only", "Mbps", "bad rate"},
+		{"zero duration", "1Mbps:0s,2Mbps", "must be positive"},
+		{"negative duration", "1Mbps:-2s,2Mbps", "must be positive"},
+		{"duration missing unit", "1Mbps:5,2Mbps", "bad duration"},
+		{"garbage duration", "1Mbps:soon,2Mbps", "bad duration"},
+		{"empty duration", "1Mbps:,2Mbps", "bad duration"},
+		{"missing middle duration", "1Mbps,2Mbps", "only the last segment"},
+		{"extra colon", "1Mbps:2s:3s,2Mbps", "bad duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseTrace(tc.in)
+			if err == nil {
+				t.Fatalf("ParseTrace(%q) accepted, got trace with BandwidthAt(0)=%v",
+					tc.in, tr.BandwidthAt(0))
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseTrace(%q) error %q does not contain %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseTraceWellFormed pins down the accepted grammar, including
+// whitespace tolerance and case-insensitive unit suffixes.
+func TestParseTraceWellFormed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		at   time.Duration
+		want float64
+	}{
+		{"constant", "500Kbps", time.Minute, 5e5},
+		{"bare bps", "8e6", 0, 8e6},
+		{"case-insensitive unit", "1GBPS", 0, 1e9},
+		{"spaces around segments", " 2Gbps:2s , 1Gbps ", 3 * time.Second, 1e9},
+		{"fractional rate", "0.2Gbps", 0, 2e8},
+		{"cliff holds after last step", "200Mbps:1s,5Mbps", time.Hour, 5e6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseTrace(tc.in)
+			if err != nil {
+				t.Fatalf("ParseTrace(%q): %v", tc.in, err)
+			}
+			if got := tr.BandwidthAt(tc.at); got != tc.want {
+				t.Fatalf("ParseTrace(%q).BandwidthAt(%v) = %v, want %v", tc.in, tc.at, got, tc.want)
+			}
+		})
+	}
+}

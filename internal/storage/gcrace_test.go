@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFileStoreSweepVsConcurrentPublish: an aggressive sweeper running
+// against a slow disk must never reclaim a payload a concurrent publish
+// is about to reference. Publishes follow the streamer's commit order —
+// chunks first, manifest last — with TouchChunk freshening dedup'd
+// payloads, so the window where a payload exists unreferenced is as
+// wide as the disk is slow; the GC grace age is what keeps those
+// in-flight payloads safe. Run with -race for the full effect.
+func TestFileStoreSweepVsConcurrentPublish(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewLatencyStore(fs)
+	// The slow-disk fault: every chunk write stalls, stretching the
+	// chunks-written-manifest-pending window across many sweeps.
+	s.SetLatency(500*time.Microsecond, 500*time.Microsecond)
+	ctx := context.Background()
+
+	const grace = 250 * time.Millisecond
+	var sweeps atomic.Int64
+	done := make(chan struct{})
+	var sweeperWG sync.WaitGroup
+	sweeperWG.Add(1)
+	go func() {
+		defer sweeperWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := s.Sweep(ctx, grace); err != nil {
+				t.Errorf("concurrent sweep: %v", err)
+				return
+			}
+			sweeps.Add(1)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Every context shares one payload (the dedup'd corpus prefix) and
+	// writes its own unique ones, across several concurrent publishers.
+	shared := []byte("race|shared-prefix")
+	sharedHash := HashChunk(shared)
+	const publishers, perPublisher = 4, 5
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				id := fmt.Sprintf("race/%d-%d", p, i)
+				m := Manifest{Meta: testMeta(id), Hashes: map[int][]string{}}
+				for _, lv := range []int{0, 1, TextLevel} {
+					row := make([]string, m.Meta.NumChunks())
+					for c := range row {
+						if lv == 0 && c == 0 {
+							// The dedup path: freshen instead of rewriting.
+							ok, err := s.TouchChunk(ctx, sharedHash)
+							if err != nil {
+								t.Errorf("%s: TouchChunk: %v", id, err)
+								return
+							}
+							if !ok {
+								if err := s.PutChunk(ctx, sharedHash, shared); err != nil {
+									t.Errorf("%s: PutChunk shared: %v", id, err)
+									return
+								}
+							}
+							row[c] = sharedHash
+							continue
+						}
+						payload := []byte(fmt.Sprintf("%s|%d|%d", id, lv, c))
+						h := HashChunk(payload)
+						if err := s.PutChunk(ctx, h, payload); err != nil {
+							t.Errorf("%s: PutChunk: %v", id, err)
+							return
+						}
+						row[c] = h
+					}
+					m.Hashes[lv] = row
+				}
+				if err := s.PutManifest(ctx, m); err != nil {
+					t.Errorf("%s: PutManifest: %v", id, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(done)
+	sweeperWG.Wait()
+	if sweeps.Load() == 0 {
+		t.Fatal("sweeper never ran while publishes were in flight")
+	}
+
+	// The invariant: every published manifest's payloads are intact —
+	// shared prefix included — no matter how the sweeps interleaved.
+	ids, err := s.ListContexts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != publishers*perPublisher {
+		t.Fatalf("%d contexts survived, want %d", len(ids), publishers*perPublisher)
+	}
+	for _, id := range ids {
+		m, err := s.GetManifest(ctx, id)
+		if err != nil {
+			t.Fatalf("manifest %s: %v", id, err)
+		}
+		for lv, row := range m.Hashes {
+			for c, h := range row {
+				if _, err := s.GetChunk(ctx, h); err != nil {
+					t.Errorf("%s (lv %d, c %d): published payload reclaimed: %v", id, lv, c, err)
+				}
+			}
+		}
+	}
+	t.Logf("%d sweeps raced %d publishes", sweeps.Load(), publishers*perPublisher)
+}

@@ -2,12 +2,14 @@ package streamer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/llm"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/storage"
 	"repro/internal/tensor"
@@ -76,6 +78,19 @@ type Fetcher struct {
 	// DecisionFrames is how many DATA frames arrive between adaptation
 	// decision points (0 = DefaultDecisionFrames).
 	DecisionFrames int
+	// Chaos, when set, receives a CorruptFramesRejected tick for every
+	// payload the fetch rejects on integrity grounds — the fleet-wide
+	// tally survives even when the fetch itself fails, which the
+	// per-request FetchReport does not.
+	Chaos *metrics.ChaosCounters
+}
+
+// rejectCorrupt accounts one integrity rejection.
+func (f *Fetcher) rejectCorrupt(report *FetchReport) {
+	report.CorruptRejected++
+	if f.Chaos != nil {
+		f.Chaos.CorruptFramesRejected.Add(1)
+	}
 }
 
 // FetchReport describes how a live fetch went.
@@ -118,6 +133,12 @@ type FetchReport struct {
 	// chunks abandoned and re-sent cheaper. Both are 0 on the
 	// request/response path, which can only adapt at chunk boundaries.
 	Switches, Cancels int
+	// CorruptRejected counts payloads that failed integrity checks
+	// (CRC/header validation) and were rejected rather than decoded. The
+	// request/response path refetches such a chunk once before failing;
+	// the streaming path fails the fetch, since the stream's frames are
+	// already past.
+	CorruptRejected int
 }
 
 // addLevelBytes accumulates one delivery's bytes into the per-level
@@ -273,6 +294,24 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 				return
 			}
 			dur, err := f.decodeInto(dest, offset, i, suffixInfos[si].Tokens, decisions[si].Choice, res.payload)
+			if errors.Is(err, core.ErrCorruptChunk) {
+				// A payload that fails its integrity checks is wire or
+				// storage corruption, not a protocol failure: reject the
+				// bytes and refetch the chunk once by its content hash.
+				f.rejectCorrupt(report)
+				level := int(decisions[si].Choice.Level)
+				if decisions[si].Choice.Text {
+					level = storage.TextLevel
+				}
+				if hash, herr := man.ChunkHash(level, i); herr == nil {
+					if payload, ferr := f.Source.GetChunkData(fctx, hash); ferr == nil {
+						telemetry.Lock()
+						telemetry.bytes += int64(len(payload))
+						telemetry.Unlock()
+						dur, err = f.decodeInto(dest, offset, i, suffixInfos[si].Tokens, decisions[si].Choice, payload)
+					}
+				}
+			}
 			if err != nil {
 				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", i, err)
 				cancel()
@@ -385,10 +424,12 @@ func (f *Fetcher) decodeInto(dest *tensor.KV, offset, idx, tokens int, choice Ch
 	if choice.Text {
 		toks, err := llm.DecodeTokens(payload)
 		if err != nil {
-			return 0, err
+			// A text payload that does not parse is corrupt in transit or
+			// at rest; classify it so callers can refetch.
+			return 0, fmt.Errorf("%w: text payload: %v", core.ErrCorruptChunk, err)
 		}
 		if len(toks) != tokens {
-			return 0, fmt.Errorf("text payload has %d tokens, meta says %d", len(toks), tokens)
+			return 0, fmt.Errorf("%w: text payload has %d tokens, meta says %d", core.ErrCorruptChunk, len(toks), tokens)
 		}
 		// The assembled prefix lives in dest's first `offset` tokens;
 		// ExtendKV resumes the model state from there.

@@ -156,6 +156,13 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 			choice := levelChoice(rc.level)
 			dur, err := f.decodeInto(dest, offset, fromChunk+si, suffixInfos[si].Tokens, choice, rc.payload)
 			if err != nil {
+				if errors.Is(err, core.ErrCorruptChunk) {
+					// The corrupt bytes are rejected, never decoded. The
+					// stream's frames for this chunk are already consumed, so
+					// the fetch fails here; the caller may retry on the
+					// request/response path, which refetches by content hash.
+					f.rejectCorrupt(report)
+				}
 				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", fromChunk+si, err)
 				cancel()
 				return

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netsim"
 	"repro/internal/storage"
@@ -26,10 +28,21 @@ type Server struct {
 	bank        []byte       // serialised codec model bank served to clients
 	logf        func(format string, args ...any)
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu          sync.Mutex
+	ln          net.Listener
+	conns       map[net.Conn]struct{}
+	shapers     map[net.Conn]*Shaper
+	closed      bool
+	partitioned bool
+
+	// Wire-corruption fault injection (chaos): a seeded rng decides per
+	// served chunk whether to flip one byte of a copy. The counter is how
+	// the chaos report proves every injected corruption was caught by the
+	// client's CRC rather than silently decoded.
+	corruptMu   sync.Mutex
+	corruptRate float64
+	corruptRng  *rand.Rand
+	corrupted   atomic.Uint64
 }
 
 // ServerOption configures a Server.
@@ -64,11 +77,99 @@ func WithBank(bank []byte) ServerOption {
 
 // NewServer returns a server over the given store.
 func NewServer(store storage.Store, opts ...ServerOption) *Server {
-	s := &Server{store: store, conns: map[net.Conn]struct{}{}, logf: func(string, ...any) {}}
+	s := &Server{
+		store:   store,
+		conns:   map[net.Conn]struct{}{},
+		shapers: map[net.Conn]*Shaper{},
+		logf:    func(string, ...any) {},
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s
+}
+
+// SetPartitioned simulates a network partition: while on, established
+// connections are severed and new ones are dropped at accept, so clients
+// see dial/connection errors exactly as they would from an unreachable
+// region. Turning it off heals the partition; clients reconnect on their
+// next attempt.
+func (s *Server) SetPartitioned(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partitioned = on
+	if on {
+		for c := range s.conns {
+			c.Close()
+		}
+	}
+}
+
+// Partitioned reports whether the server is currently partitioned.
+func (s *Server) Partitioned() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partitioned
+}
+
+// SetEgressRate changes every connection's egress shaping (bits per
+// second; ≤0 = unlimited) while the server runs — live and future
+// connections alike. It clears any egress trace.
+func (s *Server) SetEgressRate(bps float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.egress = bps
+	s.egressTrace = nil
+	for _, sh := range s.shapers {
+		sh.SetRate(bps)
+	}
+}
+
+// SetEgressTrace replays a time-varying bandwidth trace on every
+// connection, t=0 anchored now — the chaos subsystem's bandwidth cliff.
+// A nil trace reverts to the static egress rate.
+func (s *Server) SetEgressTrace(tr netsim.Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.egressTrace = tr
+	for _, sh := range s.shapers {
+		if tr != nil {
+			sh.SetTrace(tr)
+		} else {
+			sh.SetRate(s.egress)
+		}
+	}
+}
+
+// SetCorruption makes the server flip one byte in a fraction rate
+// (0..1) of served chunk payloads, both request/response and streamed,
+// using a deterministic rng seeded with seed. The flip happens in a
+// copy, so the store's bytes stay intact — this models wire or NIC
+// corruption, which the client-side CRC must catch. Rate ≤0 heals.
+func (s *Server) SetCorruption(rate float64, seed int64) {
+	s.corruptMu.Lock()
+	defer s.corruptMu.Unlock()
+	s.corruptRate = rate
+	s.corruptRng = rand.New(rand.NewSource(seed))
+}
+
+// CorruptionInjected reports how many served payloads were corrupted.
+func (s *Server) CorruptionInjected() uint64 { return s.corrupted.Load() }
+
+// maybeCorrupt returns payload, or a copy with one byte flipped when the
+// corruption fault decides to strike.
+func (s *Server) maybeCorrupt(payload []byte) []byte {
+	s.corruptMu.Lock()
+	if s.corruptRate <= 0 || len(payload) == 0 || s.corruptRng.Float64() >= s.corruptRate {
+		s.corruptMu.Unlock()
+		return payload
+	}
+	i := s.corruptRng.Intn(len(payload))
+	s.corruptMu.Unlock()
+	out := append([]byte(nil), payload...)
+	out[i] ^= 0xff
+	s.corrupted.Add(1)
+	return out
 }
 
 // Serve accepts connections on ln until Close. It always returns a
@@ -164,18 +265,26 @@ type serverConn struct {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	var w net.Conn = conn
-	if s.egressTrace != nil {
-		sh := NewShaper(conn, 0)
-		sh.SetTrace(s.egressTrace)
-		w = sh
-	} else if s.egress > 0 {
-		w = NewShaper(conn, s.egress)
+	// Every connection goes through a Shaper (a zero-rate shaper is a
+	// passthrough) so SetEgressRate/SetEgressTrace can re-shape live
+	// connections — how the chaos bandwidth-cliff fault lands mid-stream.
+	s.mu.Lock()
+	if s.partitioned {
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		return
 	}
+	sh := NewShaper(conn, s.egress)
+	if s.egressTrace != nil {
+		sh.SetTrace(s.egressTrace)
+	}
+	s.shapers[conn] = sh
+	s.mu.Unlock()
 	sc := &serverConn{
 		srv:     s,
 		conn:    conn,
-		bw:      bufio.NewWriterSize(w, 64<<10),
+		bw:      bufio.NewWriterSize(sh, 64<<10),
 		streams: map[uint64]*serverStream{},
 	}
 	defer func() {
@@ -191,6 +300,7 @@ func (s *Server) handle(conn net.Conn) {
 		sc.wg.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		delete(s.shapers, conn)
 		s.mu.Unlock()
 	}()
 
@@ -289,7 +399,7 @@ func (s *Server) respond(typ byte, payload []byte) (byte, []byte) {
 		if err != nil {
 			return fail(err)
 		}
-		return typeRespChunk, data
+		return typeRespChunk, s.maybeCorrupt(data)
 
 	case typeReqBank:
 		if len(s.bank) == 0 {
@@ -508,6 +618,7 @@ func (sc *serverConn) push(st *serverStream) {
 				fail(err.Error())
 				return
 			}
+			payload = sc.srv.maybeCorrupt(payload)
 			total := int64(len(payload))
 			offset := resumeAt
 			resumeAt = 0 // a restart re-sends from the top

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBuildersValidAndDeterministic: every named builder produces a
+// valid trace, and the same seed reproduces it field-for-field.
+func TestBuildersValidAndDeterministic(t *testing.T) {
+	for name, build := range Builders() {
+		t.Run(name, func(t *testing.T) {
+			a := build(Params{Seed: 42})
+			if err := a.Validate(); err != nil {
+				t.Fatalf("builder produced invalid trace: %v", err)
+			}
+			if a.TraceName != name {
+				t.Fatalf("trace name %q, want %q", a.TraceName, name)
+			}
+			b := build(Params{Seed: 42})
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("same seed produced different traces")
+			}
+			c := build(Params{Seed: 43})
+			if reflect.DeepEqual(a, c) {
+				t.Fatal("different seeds produced identical traces")
+			}
+		})
+	}
+}
+
+// TestRAGBurstSharedPrefix: every context in the burst shares the corpus
+// prefix bit-for-bit, while tails differ.
+func TestRAGBurstSharedPrefix(t *testing.T) {
+	tr := RAGBurst(Params{Seed: 1})
+	if len(tr.ContextList) < 2 {
+		t.Fatalf("want ≥ 2 contexts, got %d", len(tr.ContextList))
+	}
+	first := tr.ContextList[0]
+	want := CorpusTokens(first.PrefixID, first.PrefixTokens)
+	for _, c := range tr.ContextList {
+		toks := c.BuildTokens()
+		if len(toks) != c.Tokens {
+			t.Fatalf("context %s: built %d tokens, want %d", c.ID, len(toks), c.Tokens)
+		}
+		if !reflect.DeepEqual(toks[:c.PrefixTokens], want) {
+			t.Fatalf("context %s does not share the corpus prefix", c.ID)
+		}
+	}
+	a := tr.ContextList[0].BuildTokens()
+	b := tr.ContextList[1].BuildTokens()
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("distinct contexts built identical token streams")
+	}
+}
+
+// TestAgenticArrivals: agentic arrivals carry turns, think time and
+// append sizes, and reference contexts the sessions create themselves.
+func TestAgenticArrivals(t *testing.T) {
+	tr := Agentic(Params{Seed: 9})
+	if len(tr.ContextList) != 0 {
+		t.Fatalf("agentic trace pre-publishes %d contexts, want 0", len(tr.ContextList))
+	}
+	for i, a := range tr.ArrivalList {
+		if a.Turns < 2 {
+			t.Fatalf("arrival %d has %d turns, want ≥ 2", i, a.Turns)
+		}
+		if a.AppendTokens <= 0 {
+			t.Fatalf("arrival %d has no append tokens", i)
+		}
+	}
+	// Turn content is a pure function of (seed, turn).
+	x := TurnTokens(7, 2, 32)
+	y := TurnTokens(7, 2, 32)
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("TurnTokens not deterministic")
+	}
+	if reflect.DeepEqual(x, TurnTokens(7, 3, 32)) {
+		t.Fatal("different turns produced identical content")
+	}
+}
+
+// TestFlashCrowdShape: all arrivals hit the single hot context and the
+// spike lands early.
+func TestFlashCrowdShape(t *testing.T) {
+	tr := FlashCrowd(Params{Seed: 3, Requests: 16, Window: 700 * time.Millisecond})
+	if len(tr.ContextList) != 1 {
+		t.Fatalf("flash crowd has %d contexts, want 1", len(tr.ContextList))
+	}
+	early := 0
+	for _, a := range tr.ArrivalList {
+		if a.ContextID != tr.ContextList[0].ID {
+			t.Fatalf("arrival targets %q, want the hot context", a.ContextID)
+		}
+		if a.At.D() <= 140*time.Millisecond {
+			early++
+		}
+	}
+	if early < len(tr.ArrivalList)/2 {
+		t.Fatalf("only %d/%d arrivals in the spike window", early, len(tr.ArrivalList))
+	}
+}
+
+// TestJSONRoundTrip: Save → Load reproduces the trace exactly, including
+// the human-readable duration encoding.
+func TestJSONRoundTrip(t *testing.T) {
+	orig := LongDocQA(Params{Seed: 5})
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatal("trace changed across Save/Load round trip")
+	}
+}
+
+// TestParseRejectsBadTraces: malformed traces come back with descriptive
+// errors, not degenerate schedules.
+func TestParseRejectsBadTraces(t *testing.T) {
+	cases := []struct {
+		name, json, want string
+	}{
+		{"no name", `{"arrivals":[{"at":"0s","tenant":"a","context_id":"c"}]}`, "no name"},
+		{"no arrivals", `{"name":"x"}`, "no arrivals"},
+		{"bare number duration", `{"name":"x","arrivals":[{"at":5,"tenant":"a","context_id":"c"}]}`, "duration"},
+		{"unitless duration", `{"name":"x","arrivals":[{"at":"5","tenant":"a","context_id":"c"}]}`, "duration"},
+		{"negative offset", `{"name":"x","arrivals":[{"at":"-1s","tenant":"a","context_id":"c"}]}`, "negative offset"},
+		{"missing tenant", `{"name":"x","arrivals":[{"at":"0s","context_id":"c"}]}`, "tenant"},
+		{"duplicate context", `{"name":"x","contexts":[{"id":"c","tokens":8},{"id":"c","tokens":8}],"arrivals":[{"at":"0s","tenant":"a","context_id":"c"}]}`, "duplicate"},
+		{"zero-token context", `{"name":"x","contexts":[{"id":"c","tokens":0}],"arrivals":[{"at":"0s","tenant":"a","context_id":"c"}]}`, "tokens"},
+		{"prefix exceeds tokens", `{"name":"x","contexts":[{"id":"c","tokens":8,"prefix_id":"p","prefix_tokens":9}],"arrivals":[{"at":"0s","tenant":"a","context_id":"c"}]}`, "prefix"},
+		{"unpublished context", `{"name":"x","contexts":[{"id":"c","tokens":8}],"arrivals":[{"at":"0s","tenant":"a","context_id":"other"}]}`, "unpublished"},
+		{"negative turns", `{"name":"x","arrivals":[{"at":"0s","tenant":"a","context_id":"c","turns":-1}]}`, "turn count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatal("malformed trace accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSortsArrivals: a valid but unsorted file is sorted on load
+// rather than rejected (hand-written traces need not be pre-sorted).
+func TestParseSortsArrivals(t *testing.T) {
+	tr, err := Parse([]byte(`{"name":"x","arrivals":[
+		{"at":"20ms","tenant":"a","context_id":"c"},
+		{"at":"5ms","tenant":"b","context_id":"c"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ArrivalList[0].At.D() != 5*time.Millisecond {
+		t.Fatal("arrivals not sorted on parse")
+	}
+	if tr.Duration() != 20*time.Millisecond {
+		t.Fatalf("Duration = %v, want 20ms", tr.Duration())
+	}
+}
+
+// TestPoissonBuilder: validation errors propagate, shares are respected
+// in aggregate, and the schedule is sorted and seeded.
+func TestPoissonBuilder(t *testing.T) {
+	if _, err := Poisson(0, 10, []PoissonTenant{{Name: "a", Share: 1, ContextIDs: []string{"c"}}}, 1); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := Poisson(100, 10, nil, 1); err == nil {
+		t.Fatal("no tenants accepted")
+	}
+	tenants := []PoissonTenant{
+		{Name: "heavy", Share: 3, ContextIDs: []string{"c1", "c2"}, SLO: 100 * time.Millisecond},
+		{Name: "light", Share: 1, ContextIDs: []string{"c3"}},
+	}
+	tr, err := Poisson(200, 400, tenants, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, a := range tr.ArrivalList {
+		counts[a.Tenant]++
+	}
+	if counts["heavy"] <= counts["light"] {
+		t.Fatalf("share-3 tenant drew %d arrivals vs share-1's %d", counts["heavy"], counts["light"])
+	}
+	again, err := Poisson(200, 400, tenants, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, again) {
+		t.Fatal("same seed produced different poisson traces")
+	}
+}
+
+// TestResolve: a builder name builds with the params, any other string
+// is a trace file path, and junk reports both interpretations.
+func TestResolve(t *testing.T) {
+	byName, err := Resolve("rag-burst", Params{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byName, RAGBurst(Params{Seed: 9})) {
+		t.Fatal("Resolve(\"rag-burst\") differs from RAGBurst")
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := Agentic(Params{Seed: 3}).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	byPath, err := Resolve(path, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byPath.TraceName != "agentic" {
+		t.Fatalf("Resolve(%s) loaded trace %q", path, byPath.TraceName)
+	}
+
+	_, err = Resolve("no-such-scenario", Params{})
+	if err == nil {
+		t.Fatal("junk trace argument accepted")
+	}
+	for _, want := range []string{"rag-burst", "flash-crowd", "no-such-scenario"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Resolve error %q does not mention %q", err, want)
+		}
+	}
+}
