@@ -37,6 +37,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/storage"
 	"repro/internal/streamer"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -397,3 +398,51 @@ func NewChaosInjector(t ChaosTarget, c *ChaosCounters) *ChaosInjector { return c
 
 // NewLatencyStore wraps a store with injectable per-op latency.
 func NewLatencyStore(inner Store) *LatencyStore { return storage.NewLatencyStore(inner) }
+
+// Telemetry-plane re-exports: the live metrics registry every component
+// feeds, the per-request tracer behind the TTFT-attribution traces, and
+// the /debug exposition server the CLIs mount behind -telemetry-addr.
+type (
+	// TelemetryRegistry is a lock-cheap live metrics registry (atomic
+	// counters, gauges, log-bucketed streaming histograms).
+	TelemetryRegistry = telemetry.Registry
+	// Tracer records one span tree per gateway request.
+	Tracer = telemetry.Tracer
+	// Span is one phase of a traced request.
+	Span = telemetry.Span
+	// SpanRecord is one completed span as held by a Tracer.
+	SpanRecord = telemetry.SpanRecord
+	// TraceAttr is one key/value annotation on a span.
+	TraceAttr = telemetry.Attr
+	// TelemetryCounter is a monotonically increasing atomic counter.
+	TelemetryCounter = telemetry.Counter
+	// TelemetryGauge is a settable atomic float gauge.
+	TelemetryGauge = telemetry.Gauge
+	// TelemetryHistogram is a log-bucketed streaming histogram giving
+	// P50/P95/P99 without storing samples.
+	TelemetryHistogram = telemetry.Histogram
+	// DebugServer is the /debug exposition HTTP server.
+	DebugServer = telemetry.DebugServer
+)
+
+// NewTelemetryRegistry returns an empty live metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTracer returns a tracer holding the most recent capacity span
+// records (0 = a generous default).
+func NewTracer(capacity int) *Tracer { return telemetry.NewTracer(capacity) }
+
+// ServeDebug mounts the /debug exposition (Prometheus text, plain-text
+// dashboard, trace export, pprof) on addr and serves in the background.
+func ServeDebug(addr string, reg *TelemetryRegistry, tr *Tracer) (*DebugServer, error) {
+	return telemetry.ServeDebug(addr, reg, tr)
+}
+
+// RegisterChaos mirrors a ChaosCounters' tallies into the registry.
+func RegisterChaos(reg *TelemetryRegistry, c *ChaosCounters) { telemetry.RegisterChaos(reg, c) }
+
+// WithServerTelemetry registers a transport server's live instruments.
+func WithServerTelemetry(reg *TelemetryRegistry) ServerOption { return transport.WithTelemetry(reg) }
+
+// WithPoolTelemetry mirrors a cluster pool's counters into the registry.
+func WithPoolTelemetry(reg *TelemetryRegistry) PoolOption { return cluster.WithTelemetry(reg) }

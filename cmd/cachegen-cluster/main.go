@@ -61,6 +61,7 @@ func main() {
 	chaosFlag := flag.String("chaos", "", "fault schedule armed when serving starts, as class@offset[+heal][:param];... (e.g. \"kill@500ms+1s; slow-disk@0s:2ms\")")
 	gcInterval := flag.Duration("gc-interval", time.Minute, "idle sweeper period per node (0 = disabled)")
 	gcGrace := flag.Duration("gc-grace", 5*time.Minute, "GC grace age: unreferenced chunks younger than this survive a sweep")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /debug metrics+pprof exposition on this address (e.g. :9100; empty = disabled)")
 	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 	log.SetFlags(0)
@@ -116,8 +117,12 @@ func main() {
 	stores := map[string]cachegen.Store{}
 	serving := map[string]cachegen.Store{}
 	fleet := make([]*node, 0, *nodes)
+	var reg *cachegen.TelemetryRegistry
+	if *telemetryAddr != "" {
+		reg = cachegen.NewTelemetryRegistry()
+	}
 	var srvOpts []cachegen.ServerOption
-	srvOpts = append(srvOpts, cachegen.WithBank(bank))
+	srvOpts = append(srvOpts, cachegen.WithBank(bank), cachegen.WithServerTelemetry(reg))
 	if *egress > 0 {
 		srvOpts = append(srvOpts, cachegen.WithEgressRate(netsim.Gbps(*egress)))
 	}
@@ -146,6 +151,7 @@ func main() {
 		if *ramMB > 0 {
 			n.cache = cachegen.NewCachingStore(disk, int64(*ramMB)<<20)
 			store = n.cache
+			n.cache.Register(reg, "node", fmt.Sprintf("%s:%d", *host, *portBase+i))
 		}
 		n.store = store
 		n.srv = cachegen.NewServer(store, srvOpts...)
@@ -175,10 +181,20 @@ func main() {
 		}(n)
 	}
 
+	if *telemetryAddr != "" {
+		dbg, err := cachegen.ServeDebug(*telemetryAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("telemetry exposition on http://%s/debug/metrics", dbg.Addr())
+	}
+
 	// The chaos schedule (if any) is armed when the serving phase begins
 	// — demo, gc-smoke, or open-ended serving — so fault offsets count
 	// from t=0 of the phase, not from fleet launch.
 	counters := &cachegen.ChaosCounters{}
+	cachegen.RegisterChaos(reg, counters)
 	inj := cachegen.NewChaosInjector(fl, counters)
 	armChaos := func() {
 		if *chaosFlag == "" {

@@ -94,6 +94,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	traceFlag := flag.String("workload-trace", "", "replay a workload trace (scenario name or trace file) instead of the Poisson generator")
 	chaosFlag := flag.String("chaos", "", "fault schedule armed at workload start, as class@offset[+heal][:param];... (e.g. \"kill@500ms+1s; corrupt@0s:0.25\")")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /debug metrics+pprof exposition on this address (e.g. :9100; empty = disabled)")
+	traceOut := flag.String("trace-out", "", "write the request traces here at exit (.jsonl = JSON-lines, else Chrome trace_event JSON for Perfetto)")
 	demo := flag.Bool("demo", false, "run the preset mixed-tenant burst (small, fast) and exit")
 	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
@@ -180,8 +182,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Telemetry plane: one registry shared by every component of this
+	// process's fleet, one tracer for the request span trees. Both stay
+	// nil (free) unless their flag asks for them.
+	var reg *cachegen.TelemetryRegistry
+	if *telemetryAddr != "" {
+		reg = cachegen.NewTelemetryRegistry()
+	}
+	var tracer *cachegen.Tracer
+	if *traceOut != "" || *telemetryAddr != "" {
+		tracer = cachegen.NewTracer(0)
+	}
+
 	// Launch the ring.
-	var srvOpts []cachegen.ServerOption
+	srvOpts := []cachegen.ServerOption{cachegen.WithServerTelemetry(reg)}
 	if *bwTrace != "" {
 		tr, err := cachegen.ParseTrace(*bwTrace)
 		if err != nil {
@@ -214,6 +228,7 @@ func main() {
 		}
 		if c, ok := store.(*cachegen.CachingStore); ok {
 			caches[addr] = c
+			c.Register(reg, "node", addr)
 		}
 		stores[addr] = store
 		serving[addr] = store
@@ -252,7 +267,8 @@ func main() {
 
 	// Gateway over the fleet.
 	counters := &cachegen.ChaosCounters{}
-	pool := cachegen.NewPool(ring)
+	cachegen.RegisterChaos(reg, counters)
+	pool := cachegen.NewPool(ring, cachegen.WithPoolTelemetry(reg))
 	defer pool.Close()
 	fl.OnHeal = func(node string) { pool.Invalidate(node) }
 	gw, err := cachegen.NewGateway(cachegen.GatewayConfig{
@@ -269,9 +285,19 @@ func main() {
 		Device:        cachegen.A40x4(),
 		Planner:       cachegen.Planner{Adapt: true, DefaultLevel: 1},
 		Chaos:         counters,
+		Telemetry:     reg,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *telemetryAddr != "" {
+		dbg, err := cachegen.ServeDebug(*telemetryAddr, reg, tracer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("telemetry exposition on http://%s/debug/metrics", dbg.Addr())
 	}
 
 	// Both workload paths arm the chaos schedule at their arrival
@@ -319,7 +345,7 @@ func main() {
 	if rep.WarmTurns > 0 {
 		warm := metrics.Summarize(metrics.Seconds(rep.WarmTTFTs))
 		log.Printf("warm turns: %d served against a resident prefix, P50 TTFT %.1f ms / P99 %.1f ms",
-			rep.WarmTurns, warm.Median*1e3, warm.P99*1e3)
+			rep.WarmTurns, warm.P50()*1e3, warm.P99*1e3)
 	}
 	names := make([]string, 0, len(st.Tenants))
 	for name := range st.Tenants {
@@ -330,7 +356,7 @@ func main() {
 		ts := st.Tenants[name]
 		sum := ts.TTFTSummary()
 		log.Printf("tenant %-8s done %3d/%3d  TTFT p50 %6.1fms  p99 %6.1fms  max %6.1fms  SLO %3.0f%%  load xfer/dec/rec %.0f/%.0f/%.0fms",
-			name, ts.Completed, ts.Submitted, sum.Median*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate(),
+			name, ts.Completed, ts.Submitted, sum.P50()*1e3, sum.P99*1e3, sum.Max*1e3, 100*ts.SLORate(),
 			ts.TransferTime.Seconds()*1e3, ts.DecodeTime.Seconds()*1e3, ts.RecomputeTime.Seconds()*1e3)
 		corrupt := ""
 		if ts.CorruptRejected > 0 {
@@ -352,5 +378,11 @@ func main() {
 	log.Printf("pool: %d dials, %d failovers, %d open connections", ps.Dials, ps.Failovers, ps.OpenConns)
 	if snap := counters.Snapshot(); !snap.Zero() {
 		log.Printf("chaos: %s", snap.String())
+	}
+	if *traceOut != "" {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d span records to %s (dropped %d beyond the ring)", tracer.Len(), *traceOut, tracer.Dropped())
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 	egress := flag.Float64("egress-gbps", 0, "per-connection egress shaping in Gbps (0 = unlimited)")
 	bwTrace := flag.String("bandwidth-trace", "", "egress bandwidth trace as RATE[:DUR],... (e.g. 2Gbps:2s,0.2Gbps), replayed per connection; overrides -egress-gbps")
 	ramMB := flag.Int("ram-cache-mb", 0, "RAM tier budget in MB fronting the file store (0 = disabled)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /debug metrics+pprof exposition on this address (e.g. :9100; empty = disabled)")
 	version := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 	log.SetFlags(0)
@@ -40,6 +41,11 @@ func main() {
 		return
 	}
 
+	var reg *cachegen.TelemetryRegistry
+	if *telemetryAddr != "" {
+		reg = cachegen.NewTelemetryRegistry()
+	}
+
 	store, err := cachegen.NewFileStore(*dir)
 	if err != nil {
 		log.Fatal(err)
@@ -47,10 +53,11 @@ func main() {
 	var cache *cachegen.CachingStore
 	if *ramMB > 0 {
 		cache = cachegen.NewCachingStore(store, int64(*ramMB)<<20)
+		cache.Register(reg)
 		store = cache
 		log.Printf("RAM tier enabled: %d MB", *ramMB)
 	}
-	opts := []cachegen.ServerOption{}
+	opts := []cachegen.ServerOption{cachegen.WithServerTelemetry(reg)}
 	if *egress > 0 {
 		opts = append(opts, cachegen.WithEgressRate(netsim.Gbps(*egress)))
 		log.Printf("shaping egress to %.2f Gbps", *egress)
@@ -71,6 +78,14 @@ func main() {
 	}
 
 	srv := cachegen.NewServer(store, opts...)
+	if *telemetryAddr != "" {
+		dbg, err := cachegen.ServeDebug(*telemetryAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("telemetry exposition on http://%s/debug/metrics", dbg.Addr())
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {

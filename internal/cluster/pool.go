@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -83,6 +84,27 @@ func WithDialFunc(d DialFunc) PoolOption {
 // per-attempt bound.
 func WithRequestTimeout(d time.Duration) PoolOption {
 	return func(p *Pool) { p.reqTimeout = d }
+}
+
+// WithTelemetry mirrors the pool's counters (dials, failovers, open
+// connections) into a live metrics registry as function gauges over the
+// same atomics Stats() reads — one accounting, two exposures. Nil reg
+// is a no-op.
+func WithTelemetry(reg *telemetry.Registry) PoolOption {
+	return func(p *Pool) {
+		if reg == nil {
+			return
+		}
+		reg.GaugeFunc("cachegen_cluster_dials_total", "connections opened (reconnects included)", func() float64 {
+			return float64(p.dials.Load())
+		})
+		reg.GaugeFunc("cachegen_cluster_failovers_total", "fetch attempts moved past a failed node", func() float64 {
+			return float64(p.failovers.Load())
+		})
+		reg.GaugeFunc("cachegen_cluster_open_conns", "live per-node connections", func() float64 {
+			return float64(p.Stats().OpenConns)
+		})
+	}
 }
 
 // attemptCtx derives the per-attempt context.
@@ -271,6 +293,9 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 		}
 		if i > 0 {
 			p.failovers.Add(1)
+			telemetry.Event(ctx, "failover",
+				telemetry.Attr{Key: "what", Value: what},
+				telemetry.Attr{Key: "node", Value: node})
 		}
 		err := p.withNode(ctx, node, op)
 		if err != nil {
@@ -283,6 +308,9 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 			}
 			continue
 		}
+		// Stamp the serving node on the request's span, so a trace shows
+		// which replica ultimately answered (last writer wins per key).
+		telemetry.Annotate(ctx, "node", node)
 		return nil
 	}
 	return fmt.Errorf("cluster: %s failed on all %d replicas: %w", what, len(nodes), lastErr)

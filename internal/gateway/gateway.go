@@ -34,6 +34,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/streamer"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -146,6 +147,17 @@ type Config struct {
 	// (metrics.ChaosCounters.CorruptFramesRejected), so a chaos run's
 	// fleet-wide tally includes rejections from fetches that then failed.
 	Chaos *metrics.ChaosCounters
+
+	// Telemetry, when set, receives the gateway's live instruments
+	// (admission counters, queue-depth gauges, TTFT and queue-wait
+	// histograms — aggregate and per-tenant). Nil costs nothing: every
+	// instrument is nil-safe.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records one span tree per request — admission,
+	// queue wait, fetch (with the streamer's per-chunk transfer/decode
+	// children), prefill — exportable as JSON-lines or Chrome
+	// trace_event JSON. Nil disables tracing with zero allocation.
+	Tracer *telemetry.Tracer
 }
 
 // pending states: dispatch and abandonment race on a CAS so a request is
@@ -166,6 +178,7 @@ type fetchOutcome struct {
 type pending struct {
 	req         Request
 	ctx         context.Context
+	span        *telemetry.Span // root request span (nil when untraced)
 	admitted    time.Time
 	state       atomic.Int32
 	seq         uint64        // slot-grant sequence, set by the dispatcher
@@ -230,6 +243,61 @@ type Gateway struct {
 
 	statsMu sync.Mutex
 	tenants map[string]*tenantAccum
+
+	tele gwInstruments
+}
+
+// gwInstruments is the gateway's slice of the live metrics registry.
+// Every field is nil when Config.Telemetry is nil; every method on a
+// nil instrument is a no-op, so the serving path never branches on
+// whether telemetry is wired.
+type gwInstruments struct {
+	reg       *telemetry.Registry // kept for lazy per-tenant histograms
+	admitted  *telemetry.Counter
+	rejected  *telemetry.Counter
+	timedOut  *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	hits      *telemetry.Counter
+	ttft      *telemetry.Histogram
+	queueWait *telemetry.Histogram
+	bandwidth *telemetry.Gauge
+}
+
+// register wires the gateway's instruments into reg (nil-safe).
+func (g *Gateway) register(reg *telemetry.Registry) {
+	g.tele = gwInstruments{
+		reg:       reg,
+		admitted:  reg.Counter("cachegen_gateway_admitted_total", "requests past admission control"),
+		rejected:  reg.Counter("cachegen_gateway_rejected_total", "requests rejected at the queue bound"),
+		timedOut:  reg.Counter("cachegen_gateway_timed_out_total", "requests abandoned on deadline"),
+		completed: reg.Counter("cachegen_gateway_completed_total", "requests served to first token"),
+		failed:    reg.Counter("cachegen_gateway_failed_total", "requests whose fetch errored"),
+		hits:      reg.Counter("cachegen_gateway_prefetch_hits_total", "completions whose KV was resident at slot grant"),
+		ttft:      reg.Histogram("cachegen_gateway_ttft_seconds", "admission to first output token"),
+		queueWait: reg.Histogram("cachegen_gateway_queue_wait_seconds", "admission to decode-slot grant"),
+		bandwidth: reg.Gauge("cachegen_gateway_bandwidth_bps", "live estimate from the most recent fetch frames"),
+	}
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cachegen_gateway_queue_depth", "requests queued, not yet scheduled", func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(g.queued)
+	})
+	reg.GaugeFunc("cachegen_gateway_free_slots", "idle decode slots", func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(g.freeSlots)
+	})
+}
+
+// tenantTTFT returns the per-tenant labeled TTFT histogram (nil when
+// telemetry is off). Registration is idempotent, so the registry lookup
+// doubles as the cache.
+func (g *Gateway) tenantTTFT(tenant string) *telemetry.Histogram {
+	return g.tele.reg.Histogram("cachegen_gateway_ttft_seconds", "admission to first output token", "tenant", tenant)
 }
 
 // New validates the configuration and returns a ready gateway.
@@ -254,6 +322,7 @@ func New(cfg Config) (*Gateway, error) {
 		tenants:   map[string]*tenantAccum{},
 		freeSlots: cfg.Slots,
 	}
+	g.register(cfg.Telemetry)
 	bound := cfg.MaxPrefetch
 	if bound == 0 {
 		bound = 4 * cfg.Slots
@@ -289,9 +358,21 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
 	reqCtx, cancel := g.requestContext(ctx, req)
 	defer cancel()
 
+	// One span tree per request. The root span rides in the request
+	// context, so the streamer's per-chunk transfer/decode phases land
+	// under it; each terminal path below stamps the outcome attribute.
+	var rootSpan *telemetry.Span
+	if tr := g.cfg.Tracer; tr != nil {
+		reqCtx, rootSpan = tr.StartRequest(reqCtx, "request",
+			telemetry.Attr{Key: "tenant", Value: req.Tenant},
+			telemetry.Attr{Key: "context", Value: req.ContextID})
+		defer rootSpan.End()
+	}
+
 	p := &pending{
 		req:      req,
 		ctx:      reqCtx,
+		span:     rootSpan,
 		admitted: time.Now(),
 		granted:  make(chan struct{}),
 		fetched:  make(chan fetchOutcome, 1),
@@ -308,6 +389,8 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
 	if g.cfg.QueueLimit > 0 && g.queued >= g.cfg.QueueLimit {
 		g.mu.Unlock()
 		g.rejected.Add(1)
+		g.tele.rejected.Inc()
+		rootSpan.SetAttr("outcome", "rejected")
 		g.statsTenant(req.Tenant).add(func(a *tenantAccum) { a.submitted++; a.rejected++ })
 		return nil, fmt.Errorf("gateway: tenant %q context %q: %w", req.Tenant, req.ContextID, ErrRejected)
 	}
@@ -320,6 +403,7 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
 	g.admitted.Add(1)
 	g.dispatchLocked()
 	g.mu.Unlock()
+	g.tele.admitted.Inc()
 	g.statsTenant(req.Tenant).add(func(a *tenantAccum) { a.submitted++ })
 
 	if g.cfg.Prefetch {
@@ -345,6 +429,8 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
 					return nil, g.timeout(p, "while queued")
 				}
 				g.failed.Add(1)
+				g.tele.failed.Inc()
+				rootSpan.SetAttr("outcome", "failed")
 				g.statsTenant(req.Tenant).add(func(a *tenantAccum) { a.failed++ })
 				return nil, fmt.Errorf("gateway: tenant %q context %q: %w", req.Tenant, req.ContextID, out.err)
 			}
@@ -480,14 +566,15 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 		pl.SLO = p.req.SLO
 	}
 	return &streamer.Fetcher{
-		Source:        g.cfg.Source,
-		Codec:         g.cfg.Codec,
-		Model:         g.cfg.Model,
-		Device:        g.cfg.Device,
-		Planner:       pl,
-		Start:         p.admitted,
-		PipelineDepth: g.cfg.PipelineDepth,
-		Chaos:         g.cfg.Chaos,
+		Source:         g.cfg.Source,
+		Codec:          g.cfg.Codec,
+		Model:          g.cfg.Model,
+		Device:         g.cfg.Device,
+		Planner:        pl,
+		Start:          p.admitted,
+		PipelineDepth:  g.cfg.PipelineDepth,
+		Chaos:          g.cfg.Chaos,
+		BandwidthGauge: g.tele.bandwidth,
 	}
 }
 
@@ -519,7 +606,16 @@ func (g *Gateway) runFetch(p *pending, background bool) {
 			return
 		}
 	}
-	kv, report, err := g.fetcher(p).FetchFrom(p.ctx, p.req.ContextID, p.req.Resident)
+	// A child "fetch" span groups the streamer's per-chunk phases and
+	// separates a prefetch that started while queued from the slot phase.
+	ctx := p.ctx
+	var fsp *telemetry.Span
+	if p.span != nil {
+		fsp = p.span.Child("fetch", telemetry.Attr{Key: "background", Value: background})
+		ctx = telemetry.With(ctx, fsp)
+	}
+	kv, report, err := g.fetcher(p).FetchFrom(ctx, p.req.ContextID, p.req.Resident)
+	fsp.End()
 	p.fetched <- fetchOutcome{kv: kv, report: report, err: err}
 }
 
@@ -528,6 +624,10 @@ func (g *Gateway) runFetch(p *pending, background bool) {
 func (g *Gateway) serve(p *pending) (*Result, error) {
 	defer g.releaseSlot()
 	grant := time.Now()
+	// The queue phase is over; record it as a span (admission → grant)
+	// and feed the live histogram from the same interval.
+	p.span.Record("queue", p.admitted, grant.Sub(p.admitted))
+	g.tele.queueWait.ObserveDuration(grant.Sub(p.admitted))
 
 	var out fetchOutcome
 	prefetchHit := false
@@ -552,11 +652,14 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 			return nil, g.timeout(p, "fetching")
 		}
 		g.failed.Add(1)
+		g.tele.failed.Inc()
+		p.span.SetAttr("outcome", "failed")
 		g.statsTenant(p.req.Tenant).add(func(a *tenantAccum) { a.failed++ })
 		return nil, fmt.Errorf("gateway: tenant %q context %q: %w", p.req.Tenant, p.req.ContextID, out.err)
 	}
 
 	decode := g.decodeCost(out.kv.Tokens, p.req.SuffixTokens)
+	prefillStart := time.Now()
 	timer := time.NewTimer(decode)
 	select {
 	case <-timer.C:
@@ -564,14 +667,25 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 		timer.Stop()
 		return nil, g.timeout(p, "decoding")
 	}
+	p.span.Record("prefill", prefillStart, decode)
 
 	ttft := time.Since(p.admitted)
 	sloMet := p.req.SLO <= 0 || ttft <= p.req.SLO
 	g.completed.Add(1)
+	g.tele.completed.Inc()
+	g.tele.ttft.ObserveDuration(ttft)
+	g.tenantTTFT(p.req.Tenant).ObserveDuration(ttft)
+	if p.span != nil {
+		p.span.SetAttr("outcome", "completed")
+		p.span.SetAttr("ttft_ms", float64(ttft)/float64(time.Millisecond))
+		p.span.SetAttr("prefetch_hit", prefetchHit)
+		p.span.SetAttr("slo_met", sloMet)
+	}
 	if prefetchHit {
 		// Counted at completion, not at grant, so PrefetchHits never
 		// exceeds Completed in reports.
 		g.prefetchHits.Add(1)
+		g.tele.hits.Inc()
 	}
 	g.statsTenant(p.req.Tenant).add(func(a *tenantAccum) {
 		a.completed++
@@ -622,6 +736,11 @@ func (g *Gateway) decodeCost(contextTokens, suffixTokens int) time.Duration {
 // timeout accounts one abandoned request and returns its error.
 func (g *Gateway) timeout(p *pending, where string) error {
 	g.timedOut.Add(1)
+	g.tele.timedOut.Inc()
+	if p.span != nil {
+		p.span.SetAttr("outcome", "timed_out")
+		p.span.SetAttr("where", where)
+	}
 	g.statsTenant(p.req.Tenant).add(func(a *tenantAccum) { a.timedOut++ })
 	return fmt.Errorf("gateway: tenant %q context %q abandoned %s: %w",
 		p.req.Tenant, p.req.ContextID, where, p.ctx.Err())

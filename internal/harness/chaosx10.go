@@ -277,7 +277,7 @@ func x10Row(scenario, fault string, out *x10Outcome) []string {
 	p50, p99, slo := "-", "-", "-"
 	if rep.Completed > 0 {
 		sum := metrics.Summarize(metrics.Seconds(rep.AllTTFTs()))
-		p50 = fmt.Sprintf("%.1f ms", sum.Median*1e3)
+		p50 = fmt.Sprintf("%.1f ms", sum.P50()*1e3)
 		p99 = fmt.Sprintf("%.1f ms", sum.P99*1e3)
 		slo = fmt.Sprintf("%.0f%%", 100*rep.SLORate())
 	}

@@ -189,7 +189,7 @@ func (s *x5Stack) run(r x5Run) (*gateway.LoadReport, gateway.Stats, error) {
 
 func x5Row(rep *gateway.LoadReport) (p50, p99 string, slo string, thpt string) {
 	sum := metrics.Summarize(metrics.Seconds(rep.AllTTFTs()))
-	return fmt.Sprintf("%.1f ms", sum.Median*1e3),
+	return fmt.Sprintf("%.1f ms", sum.P50()*1e3),
 		fmt.Sprintf("%.1f ms", sum.P99*1e3),
 		fmt.Sprintf("%.0f%%", 100*rep.SLORate()),
 		fmt.Sprintf("%.0f/s", rep.Throughput())

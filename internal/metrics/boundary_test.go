@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// The format helpers switch units on >= comparisons, so the exact
+// powers of ten must land in the larger unit, one below must not.
+func TestFormatBandwidthBoundaries(t *testing.T) {
+	cases := []struct {
+		bps  float64
+		want string
+	}{
+		{1e3, "1.0 Kbps"},
+		{999, "999 bps"},
+		{1e6, "1.0 Mbps"},
+		{999_999, "1000.0 Kbps"},
+		{1e9, "1.00 Gbps"},
+		{999_999_999, "1000.0 Mbps"},
+		{0, "-"},
+		{-1e9, "-"},
+	}
+	for _, c := range cases {
+		if got := FormatBandwidth(c.bps); got != c.want {
+			t.Errorf("FormatBandwidth(%g) = %q, want %q", c.bps, got, c.want)
+		}
+	}
+}
+
+func TestFormatBytesBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{1e3, "1 KB"},
+		{999, "999 B"},
+		{1e6, "1 MB"},
+		{999_999, "1000 KB"},
+		{1e9, "1.00 GB"},
+		{999_999_999, "1000 MB"},
+		{0, "0 B"},
+		// Negative counts never match a >= threshold and fall through to
+		// the raw-byte case; they must not render as a huge unsigned unit.
+		{-2048, "-2048 B"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSummaryP50Alias(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.P50() != s.Median || s.P50() != 2 {
+		t.Errorf("P50() = %g, Median = %g, want both 2", s.P50(), s.Median)
+	}
+}
+
+// TestChaosCountersConcurrentSnapshot hammers the counters from writer
+// goroutines while a reader snapshots — the race detector proves the
+// atomics make Snapshot safe, and each final count must equal what the
+// writers added.
+func TestChaosCountersConcurrentSnapshot(t *testing.T) {
+	var c ChaosCounters
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := c.Snapshot()
+			// Injections only grow; a snapshot must never observe more
+			// rejections than injections the way the writers order them.
+			if s.CorruptFramesRejected > s.CorruptFramesInjected {
+				t.Error("snapshot saw rejections ahead of injections")
+				return
+			}
+			_ = s.String()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.NodeKills.Add(1)
+				c.CorruptFramesInjected.Add(1)
+				c.CorruptFramesRejected.Add(1)
+				c.Partitions.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	s := c.Snapshot()
+	if s.NodeKills != writers*perWriter || s.Partitions != writers*perWriter ||
+		s.CorruptFramesInjected != writers*perWriter || s.CorruptFramesRejected != writers*perWriter {
+		t.Errorf("final snapshot lost updates: %+v", s)
+	}
+	if s.Zero() {
+		t.Error("non-empty counters reported Zero")
+	}
+}

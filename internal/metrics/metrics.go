@@ -20,6 +20,10 @@ type Summary struct {
 	P99              float64
 }
 
+// P50 returns the median under the name the percentile fields use, so
+// report code reads s.P50 alongside s.P95 and s.P99.
+func (s Summary) P50() float64 { return s.Median }
+
 // Summarize computes summary statistics. An empty sample yields zeros.
 func Summarize(xs []float64) Summary {
 	s := Summary{N: len(xs)}
@@ -28,23 +32,34 @@ func Summarize(xs []float64) Summary {
 	}
 	sorted := append([]float64{}, xs...)
 	sort.Float64s(sorted)
-	var sum float64
-	for _, x := range sorted {
-		sum += x
-	}
-	s.Mean = sum / float64(s.N)
-	var v float64
-	for _, x := range sorted {
-		d := x - s.Mean
-		v += d * d
-	}
-	s.Std = math.Sqrt(v / float64(s.N))
+	mean, variance := meanVariance(sorted)
+	s.Mean = mean
+	s.Std = math.Sqrt(variance)
 	s.Min = sorted[0]
 	s.Max = sorted[s.N-1]
 	s.Median = Percentile(sorted, 0.5)
 	s.P95 = Percentile(sorted, 0.95)
 	s.P99 = Percentile(sorted, 0.99)
 	return s
+}
+
+// meanVariance computes the sample mean and population variance in one
+// pass pair — the single implementation behind Summarize and Variance.
+func meanVariance(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return mean, v / float64(len(xs))
 }
 
 // Seconds converts a duration sample to float seconds, the unit Summarize
@@ -79,20 +94,8 @@ func Percentile(sorted []float64, p float64) float64 {
 
 // Variance returns the population variance of a sample.
 func Variance(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, x := range xs {
-		sum += x
-	}
-	mean := sum / float64(len(xs))
-	var v float64
-	for _, x := range xs {
-		d := x - mean
-		v += d * d
-	}
-	return v / float64(len(xs))
+	_, v := meanVariance(xs)
+	return v
 }
 
 // CDF is an empirical cumulative distribution function.

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultEstimatorWindow is the number of recent frames an Estimator
@@ -32,6 +34,7 @@ type Estimator struct {
 	n       int         // samples held
 	bytes   int64       // Σ bytes over the window
 	elapsed time.Duration
+	gauge   *telemetry.Gauge // live-registry mirror of Estimate(), optional
 }
 
 type estSample struct {
@@ -68,6 +71,17 @@ func (e *Estimator) Observe(n int64, dur time.Duration) {
 	e.head = (e.head + 1) % e.window
 	e.bytes += n
 	e.elapsed += dur
+	if e.gauge != nil && e.elapsed > 0 {
+		e.gauge.Set(float64(e.bytes) * 8 / e.elapsed.Seconds())
+	}
+}
+
+// SetGauge mirrors every windowed estimate into a live-registry gauge
+// as frames are observed (nil detaches; a nil gauge costs one branch).
+func (e *Estimator) SetGauge(g *telemetry.Gauge) {
+	e.mu.Lock()
+	e.gauge = g
+	e.mu.Unlock()
 }
 
 // Estimate returns the windowed bandwidth estimate in bits per second,

@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // CachingStore fronts a Store (typically a FileStore on a storage node)
@@ -78,6 +80,31 @@ func NewCachingStore(inner Store, maxBytes int64) *CachingStore {
 		ll:       list.New(),
 		items:    map[string]*list.Element{},
 	}
+}
+
+// Register mirrors the cache's counters into a live metrics registry as
+// function gauges over the same state Stats() reads. labels (alternating
+// key, value — typically "node", addr) distinguish the RAM tiers of a
+// fleet sharing one registry. Nil reg is a no-op.
+func (s *CachingStore) Register(reg *telemetry.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cachegen_cache_hits_total", "RAM-tier chunk hits", func() float64 {
+		return float64(s.Stats().Hits)
+	}, labels...)
+	reg.GaugeFunc("cachegen_cache_misses_total", "RAM-tier chunk misses", func() float64 {
+		return float64(s.Stats().Misses)
+	}, labels...)
+	reg.GaugeFunc("cachegen_cache_evictions_total", "RAM-tier evictions", func() float64 {
+		return float64(s.Stats().Evictions)
+	}, labels...)
+	reg.GaugeFunc("cachegen_cache_bytes", "RAM-tier resident payload bytes", func() float64 {
+		return float64(s.Stats().Bytes)
+	}, labels...)
+	reg.GaugeFunc("cachegen_cache_hit_rate", "hits/(hits+misses)", func() float64 {
+		return s.Stats().HitRate()
+	}, labels...)
 }
 
 // Stats returns the current counters.

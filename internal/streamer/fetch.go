@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -83,6 +84,10 @@ type Fetcher struct {
 	// tally survives even when the fetch itself fails, which the
 	// per-request FetchReport does not.
 	Chaos *metrics.ChaosCounters
+	// BandwidthGauge, when set, receives the streaming path's live
+	// bandwidth estimate (bits per second) as frames arrive — the
+	// telemetry registry's view of netsim.Estimator. Nil is fine.
+	BandwidthGauge *telemetry.Gauge
 }
 
 // rejectCorrupt accounts one integrity rejection.
@@ -99,11 +104,18 @@ type FetchReport struct {
 	// being assembled (TTFT minus the prompt prefill, which the caller
 	// performs).
 	LoadTime time.Duration
-	// TransferTime is the cumulative network time of the chunk
-	// transfers. With a pipeline depth > 1, transfers overlap, so the
-	// components may sum past LoadTime; what they reveal is where the
-	// pipeline's time went — a fetch whose DecodeTime rivals its
-	// TransferTime is compute-bound, not network-bound.
+	// TransferTime, DecodeTime and RecomputeTime are an exclusive
+	// wall-clock attribution of the load: every instant of the fetch is
+	// charged to at most one component, sourced from the same phase
+	// intervals the request tracer records as spans. DecodeTime and
+	// RecomputeTime are the in-order worker's (serial, disjoint) compute
+	// intervals; TransferTime is the union of the transfer intervals
+	// minus the instants compute was running — the network time the
+	// pipeline could not hide. Their sum therefore never exceeds
+	// LoadTime, at any pipeline depth; the remainder is idle/queue time.
+	// A fetch whose DecodeTime rivals its TransferTime is compute-bound,
+	// not network-bound. Per-chunk raw transfer durations (overlapping
+	// at depth > 1) live in Decisions[].Transfer.
 	TransferTime time.Duration
 	// DecodeTime is the cumulative codec (bitstream) decode time.
 	DecodeTime time.Duration
@@ -179,10 +191,13 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 	if !f.Start.IsZero() {
 		start = f.Start
 	}
+	sp := telemetry.FromContext(ctx)
+	manStart := time.Now()
 	man, err := f.Source.GetManifest(ctx, contextID)
 	if err != nil {
 		return nil, nil, fmt.Errorf("streamer: fetching manifest: %w", err)
 	}
+	sp.Record("manifest", manStart, time.Since(manStart))
 	meta := man.Meta
 	infos, err := BuildChunkInfos(meta, f.Model.Config(), f.Device, 1)
 	if err != nil {
@@ -266,16 +281,17 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		results[i] = make(chan transferResult, 1)
 	}
 
-	// Shared transfer telemetry. throughput/lastDone track the most
+	// Shared transfer bookkeeping. throughput/lastDone track the most
 	// recently *completed* transfer — with overlapping transfers,
 	// completions can land out of chunk order, and the planner wants the
-	// freshest measurement.
-	var telemetry struct {
+	// freshest measurement. Phase intervals (and their trace spans) go
+	// through the fetch timeline, which apply() reduces into the report.
+	tl := &fetchTimeline{}
+	var xfer struct {
 		sync.Mutex
-		throughput   float64
-		lastDone     time.Time
-		transferTime time.Duration
-		bytes        int64
+		throughput float64
+		lastDone   time.Time
+		bytes      int64
 	}
 
 	// In-order decode worker: consumes transfer results strictly by
@@ -299,15 +315,26 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 				// storage corruption, not a protocol failure: reject the
 				// bytes and refetch the chunk once by its content hash.
 				f.rejectCorrupt(report)
+				if sp != nil {
+					sp.Event("corrupt-reject", telemetry.Attr{Key: "chunk", Value: i})
+				}
 				level := int(decisions[si].Choice.Level)
 				if decisions[si].Choice.Text {
 					level = storage.TextLevel
 				}
 				if hash, herr := man.ChunkHash(level, i); herr == nil {
+					refetchStart := time.Now()
 					if payload, ferr := f.Source.GetChunkData(fctx, hash); ferr == nil {
-						telemetry.Lock()
-						telemetry.bytes += int64(len(payload))
-						telemetry.Unlock()
+						// The refetch is transfer time and payload bytes like
+						// any other: it must not vanish from the attribution.
+						var attrs []telemetry.Attr
+						if sp != nil {
+							attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "refetch", Value: true}, {Key: "bytes", Value: len(payload)}}
+						}
+						tl.add(sp, phaseTransfer, "transfer", refetchStart, time.Now(), attrs)
+						xfer.Lock()
+						xfer.bytes += int64(len(payload))
+						xfer.Unlock()
 						dur, err = f.decodeInto(dest, offset, i, suffixInfos[si].Tokens, decisions[si].Choice, payload)
 					}
 				}
@@ -318,11 +345,16 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 				return
 			}
 			decisions[si].Compute = dur
+			kind, name := phaseDecode, "decode"
 			if decisions[si].Choice.Text {
-				report.RecomputeTime += dur
-			} else {
-				report.DecodeTime += dur
+				kind, name = phaseRecompute, "recompute"
 			}
+			decodeEnd := time.Now()
+			var attrs []telemetry.Attr
+			if sp != nil {
+				attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "level", Value: decisions[si].Choice.String()}}
+			}
+			tl.add(sp, kind, name, decodeEnd.Add(-dur), decodeEnd, attrs)
 			offset += suffixInfos[si].Tokens
 		}
 	}()
@@ -346,9 +378,9 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 			return fmt.Errorf("streamer: cancelled before chunk %d: %w", fromChunk+si, err)
 		}
 		i := fromChunk + si
-		telemetry.Lock()
-		tp := telemetry.throughput
-		telemetry.Unlock()
+		xfer.Lock()
+		tp := xfer.throughput
+		xfer.Unlock()
 		elapsed := time.Since(start)
 		choice, err := f.Planner.Choose(si, elapsed, tp, suffixInfos)
 		if err != nil {
@@ -366,6 +398,9 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		}
 		decisions[si].Chunk = i
 		decisions[si].Choice = choice
+		if sp != nil {
+			sp.Event("plan", telemetry.Attr{Key: "chunk", Value: i}, telemetry.Attr{Key: "level", Value: choice.String()})
+		}
 		go func() {
 			defer func() { <-inflight }()
 			reqStart := time.Now()
@@ -380,14 +415,18 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 			decisions[si].Bytes = int64(len(payload))
 			decisions[si].Transfer = dur
 			decisions[si].Throughput = tp
-			telemetry.Lock()
-			if done.After(telemetry.lastDone) {
-				telemetry.lastDone = done
-				telemetry.throughput = tp
+			var attrs []telemetry.Attr
+			if sp != nil {
+				attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "level", Value: choice.String()}, {Key: "bytes", Value: len(payload)}}
 			}
-			telemetry.transferTime += dur
-			telemetry.bytes += int64(len(payload))
-			telemetry.Unlock()
+			tl.add(sp, phaseTransfer, "transfer", reqStart, done, attrs)
+			xfer.Lock()
+			if done.After(xfer.lastDone) {
+				xfer.lastDone = done
+				xfer.throughput = tp
+			}
+			xfer.bytes += int64(len(payload))
+			xfer.Unlock()
 			results[si] <- transferResult{payload: payload}
 		}()
 		return nil
@@ -404,15 +443,15 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		return nil, nil, err
 	}
 
-	report.TransferTime = telemetry.transferTime
-	report.BytesReceived = telemetry.bytes
+	tl.apply(report)
+	report.BytesReceived = xfer.bytes
 	report.Decisions = decisions
 	for _, d := range decisions {
 		report.addLevelBytes(d.Choice.String(), d.Bytes)
 	}
-	telemetry.Lock()
-	report.Bandwidth = telemetry.throughput
-	telemetry.Unlock()
+	xfer.Lock()
+	report.Bandwidth = xfer.throughput
+	xfer.Unlock()
 	report.LoadTime = time.Since(start)
 	return dest, report, nil
 }

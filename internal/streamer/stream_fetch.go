@@ -5,12 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -103,12 +103,17 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 	if err != nil {
 		return err
 	}
+	sp := telemetry.FromContext(ctx)
+	tl := &fetchTimeline{}
 
 	// The first decision has no measurement; the planner falls back to
 	// its prior or default level.
 	initial, err := f.Planner.Choose(0, time.Since(start), 0, suffixInfos)
 	if err != nil {
 		return fmt.Errorf("streamer: %w", err)
+	}
+	if sp != nil {
+		sp.Event("plan", telemetry.Attr{Key: "chunk", Value: fromChunk}, telemetry.Attr{Key: "level", Value: initial.String()})
 	}
 
 	fctx, cancel := context.WithCancel(ctx)
@@ -135,10 +140,6 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 	// for later chunks keep arriving.
 	completed := make(chan readyChunk, depth)
 	decodeErr := make(chan error, 1)
-	var decodeStats struct {
-		sync.Mutex
-		decode, recompute time.Duration
-	}
 	go func() {
 		defer close(decodeErr)
 		offset := prefixTokens
@@ -168,13 +169,16 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 				return
 			}
 			decisions[si].Compute = dur
-			decodeStats.Lock()
+			kind, name := phaseDecode, "decode"
 			if choice.Text {
-				decodeStats.recompute += dur
-			} else {
-				decodeStats.decode += dur
+				kind, name = phaseRecompute, "recompute"
 			}
-			decodeStats.Unlock()
+			decodeEnd := time.Now()
+			var attrs []telemetry.Attr
+			if sp != nil {
+				attrs = []telemetry.Attr{{Key: "chunk", Value: fromChunk + si}, {Key: "level", Value: choice.String()}}
+			}
+			tl.add(sp, kind, name, decodeEnd.Add(-dur), decodeEnd, attrs)
 			offset += suffixInfos[si].Tokens
 		}
 	}()
@@ -184,6 +188,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 		window = netsim.DefaultEstimatorWindow
 	}
 	est := netsim.NewEstimator(window)
+	est.SetGauge(f.BandwidthGauge)
 	decisionEvery := f.DecisionFrames
 	if decisionEvery <= 0 {
 		decisionEvery = DefaultDecisionFrames
@@ -264,7 +269,20 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 					Transfer:   transfer,
 					Throughput: est.Estimate(),
 				}
-				report.TransferTime += transfer
+				// The timeline takes the chunk's raw wall interval (first to
+				// last frame, stall included): any overlap with the decode
+				// worker's intervals — which is what the stall is — comes
+				// back out in apply()'s exclusive attribution. The stall-
+				// subtracted figure stays in Decisions[].Transfer.
+				var attrs []telemetry.Attr
+				if sp != nil {
+					attrs = []telemetry.Attr{
+						{Key: "chunk", Value: fromChunk + si},
+						{Key: "level", Value: levelChoice(asmLevel).String()},
+						{Key: "bytes", Value: len(buf)},
+					}
+				}
+				tl.add(sp, phaseTransfer, "transfer", chunkFirst, now, attrs)
 				pushStart := time.Now()
 				select {
 				case completed <- readyChunk{si: si, level: asmLevel, payload: buf}:
@@ -301,6 +319,10 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 					}
 					curLevel = lv
 					report.Switches++
+					if sp != nil {
+						sp.Event("switch", telemetry.Attr{Key: "level", Value: levelChoice(lv).String()},
+							telemetry.Attr{Key: "bandwidth_bps", Value: tput})
+					}
 				}
 			}
 			// Abandon the in-flight chunk when resending it whole at the
@@ -318,6 +340,10 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 						}
 						cancelPending = true
 						report.Cancels++
+						if sp != nil {
+							sp.Event("cancel", telemetry.Attr{Key: "chunk", Value: fromChunk + si},
+								telemetry.Attr{Key: "level", Value: levelChoice(lv).String()})
+						}
 					}
 				}
 			}
@@ -338,10 +364,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 		return err
 	}
 
-	decodeStats.Lock()
-	report.DecodeTime = decodeStats.decode
-	report.RecomputeTime = decodeStats.recompute
-	decodeStats.Unlock()
+	tl.apply(report)
 	report.Decisions = decisions
 	report.Bandwidth = est.Estimate()
 	report.Streamed = true

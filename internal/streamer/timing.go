@@ -1,0 +1,139 @@
+package streamer
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The fetch timeline is the single source of truth for a FetchReport's
+// time attribution and for the spans the tracer records: every
+// transfer, decode, and recompute phase is captured once as a wall-
+// clock interval, mirrored verbatim into the request's trace, and
+// reduced at fetch end into the report's components. The reduction
+// attributes each wall-clock instant to at most one component —
+// DecodeTime and RecomputeTime are the (serial, disjoint) compute
+// intervals, and TransferTime is the transfer intervals' union minus
+// the instants compute was running — so
+//
+//	TransferTime + DecodeTime + RecomputeTime ≤ LoadTime
+//
+// holds by construction at any pipeline depth, where the old
+// accumulate-every-transfer accounting could sum past the wall clock.
+
+type phaseKind uint8
+
+const (
+	phaseTransfer phaseKind = iota
+	phaseDecode
+	phaseRecompute
+)
+
+type phaseInterval struct {
+	kind       phaseKind
+	start, end time.Time
+}
+
+// fetchTimeline collects one fetch's phase intervals. Safe for
+// concurrent use: transfer goroutines and the decode worker append
+// concurrently.
+type fetchTimeline struct {
+	mu    sync.Mutex
+	ivals []phaseInterval
+}
+
+// add records one phase interval and mirrors it as a child span of sp
+// (nil-safe). Callers build attrs only when sp is non-nil so the
+// disabled-tracing path constructs nothing.
+func (tl *fetchTimeline) add(sp *telemetry.Span, kind phaseKind, name string, start, end time.Time, attrs []telemetry.Attr) {
+	if end.Before(start) {
+		end = start
+	}
+	tl.mu.Lock()
+	tl.ivals = append(tl.ivals, phaseInterval{kind: kind, start: start, end: end})
+	tl.mu.Unlock()
+	sp.Record(name, start, end.Sub(start), attrs...)
+}
+
+// unionIntervals merges sorted-or-not intervals into a disjoint,
+// sorted cover. Input is consumed.
+func unionIntervals(ivals []phaseInterval) []phaseInterval {
+	if len(ivals) == 0 {
+		return nil
+	}
+	sort.Slice(ivals, func(i, j int) bool { return ivals[i].start.Before(ivals[j].start) })
+	out := ivals[:1]
+	for _, iv := range ivals[1:] {
+		last := &out[len(out)-1]
+		if !iv.start.After(last.end) {
+			if iv.end.After(last.end) {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// sumIntervals totals a disjoint interval set.
+func sumIntervals(ivals []phaseInterval) time.Duration {
+	var total time.Duration
+	for _, iv := range ivals {
+		total += iv.end.Sub(iv.start)
+	}
+	return total
+}
+
+// overlap returns the total intersection of two disjoint, sorted
+// interval sets.
+func overlap(a, b []phaseInterval) time.Duration {
+	var total time.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		start := a[i].start
+		if b[j].start.After(start) {
+			start = b[j].start
+		}
+		end := a[i].end
+		if b[j].end.Before(end) {
+			end = b[j].end
+		}
+		if end.After(start) {
+			total += end.Sub(start)
+		}
+		if a[i].end.Before(b[j].end) {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// apply reduces the timeline into the report's exclusive attribution.
+func (tl *fetchTimeline) apply(report *FetchReport) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	var transfers, busy []phaseInterval
+	for _, iv := range tl.ivals {
+		switch iv.kind {
+		case phaseTransfer:
+			transfers = append(transfers, iv)
+		case phaseDecode:
+			report.DecodeTime += iv.end.Sub(iv.start)
+			busy = append(busy, iv)
+		case phaseRecompute:
+			report.RecomputeTime += iv.end.Sub(iv.start)
+			busy = append(busy, iv)
+		}
+	}
+	tu := unionIntervals(transfers)
+	bu := unionIntervals(busy)
+	report.TransferTime = sumIntervals(tu) - overlap(tu, bu)
+	if report.TransferTime < 0 {
+		report.TransferTime = 0
+	}
+}

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cachegen_test_total", "a counter").Add(3)
+	tr := NewTracer(64)
+	_, sp := tr.StartRequest(context.Background(), "request")
+	sp.End()
+
+	srv, err := ServeDebug("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/debug/metrics"); !strings.Contains(out, "cachegen_test_total 3") {
+		t.Errorf("/debug/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/dash"); !strings.Contains(out, "cachegen_test_total") {
+		t.Errorf("/debug/dash missing counter:\n%s", out)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &doc); err != nil {
+		t.Errorf("/debug/trace is not valid trace_event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 { // one span → b + e
+		t.Errorf("trace has %d events, want 2", len(doc.TraceEvents))
+	}
+	if out := get("/debug/trace.jsonl"); !strings.Contains(out, `"name":"request"`) {
+		t.Errorf("/debug/trace.jsonl missing span:\n%s", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", out)
+	}
+	if out := get("/"); !strings.Contains(out, "/debug/metrics") {
+		t.Errorf("index page missing endpoint list:\n%s", out)
+	}
+}

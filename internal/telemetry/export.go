@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// jsonlRecord is the JSON-lines shape of one record: flat, one object
+// per line, attrs folded into a map for grep/jq friendliness.
+type jsonlRecord struct {
+	Trace   uint64         `json:"trace"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteJSONL writes every retained record as one JSON object per line,
+// in start-time order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	recs := t.Snapshot()
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(jsonlRecord{
+			Trace: r.Trace, ID: r.ID, Parent: r.Parent, Name: r.Name,
+			StartNS: r.Start.UnixNano(), DurNS: int64(r.Dur), Attrs: attrMap(r.Attrs),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEvent is one entry of the Chrome trace_event format ("JSON
+// object format"), the file chrome://tracing and Perfetto open
+// directly. Timed spans export as async begin/end pairs ("b"/"e")
+// keyed by span id, so overlapping chunk transfers at pipeline depth
+// > 1 render as parallel tracks instead of violating duration-event
+// nesting; instant events export as "i".
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   uint64         `json:"pid"`
+	TID   uint64         `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteTraceEvents writes the retained records as a Chrome trace_event
+// JSON document. Each request tree gets its own track (tid = trace id);
+// timestamps are relative to the earliest retained record.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	recs := t.Snapshot()
+	var base time.Time
+	for _, r := range recs {
+		if base.IsZero() || r.Start.Before(base) {
+			base = r.Start
+		}
+	}
+	us := func(at time.Time) float64 { return float64(at.Sub(base)) / float64(time.Microsecond) }
+	events := make([]traceEvent, 0, 2*len(recs))
+	for _, r := range recs {
+		args := attrMap(r.Attrs)
+		if r.Dur == 0 {
+			events = append(events, traceEvent{
+				Name: r.Name, Cat: "event", Phase: "i", Scope: "t",
+				TS: us(r.Start), PID: 1, TID: r.Trace, Args: args,
+			})
+			continue
+		}
+		id := fmt.Sprintf("0x%x", r.ID)
+		events = append(events,
+			traceEvent{Name: r.Name, Cat: "span", Phase: "b", ID: id,
+				TS: us(r.Start), PID: 1, TID: r.Trace, Args: args},
+			traceEvent{Name: r.Name, Cat: "span", Phase: "e", ID: id,
+				TS: us(r.Start.Add(r.Dur)), PID: 1, TID: r.Trace},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile dumps the trace to path, choosing the format by extension:
+// ".jsonl" writes JSON-lines, anything else (".json", the -trace-out
+// default) writes the Chrome trace_event document.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".jsonl") {
+		werr = t.WriteJSONL(f)
+	} else {
+		werr = t.WriteTraceEvents(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,418 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Instrument naming scheme: cachegen_<component>_<what>[_<unit>], with
+// Prometheus conventions for units and suffixes — counters end in
+// _total, durations in _seconds, sizes in _bytes, rates in _bps.
+// Label pairs (tenant, node, …) are passed as alternating key, value
+// strings at registration and render into the series name.
+
+// Counter is a monotonically increasing atomic counter. All methods
+// are no-ops on a nil receiver (the disabled-registry path).
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 level. Nil-safe like Counter.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by d (CAS loop; gauges are not contended).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket geometry: log-spaced buckets, histBucketsPerOctave
+// per power of two, covering [2^histMinExp, 2^histMaxExp). Values in
+// seconds, bytes, or bits/s all fit: ~0.23 ns up to ~4.3e9. The bucket
+// width factor is 2^(1/4) ≈ 1.19, so a quantile read from a bucket's
+// geometric midpoint is within ±9% of any sample in that bucket —
+// "one bucket" of resolution without storing samples.
+const (
+	histBucketsPerOctave = 4
+	histMinExp           = -32
+	histMaxExp           = 32
+	histBuckets          = (histMaxExp - histMinExp) * histBucketsPerOctave
+)
+
+// BucketFactor is the ratio between adjacent histogram bucket bounds.
+var BucketFactor = math.Pow(2, 1.0/histBucketsPerOctave)
+
+// Histogram is a lock-free streaming histogram over log-spaced buckets:
+// Observe is a couple of atomic adds, and P50/P95/P99 come from the
+// bucket counts without retaining samples. Nil-safe like Counter.
+type Histogram struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	under   atomic.Uint64 // v <= 0 or below the first bucket
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps v to its bucket (values past the top land in the
+// last bucket; ≤0 and below-range values are counted separately).
+func bucketIndex(v float64) int {
+	i := int(math.Floor(math.Log2(v) * histBucketsPerOctave))
+	i -= histMinExp * histBucketsPerOctave
+	if i < 0 {
+		return -1
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns bucket i's [lo, hi) value range.
+func bucketBounds(i int) (lo, hi float64) {
+	exp := float64(i)/histBucketsPerOctave + histMinExp
+	return math.Pow(2, exp), math.Pow(2, exp+1.0/histBucketsPerOctave)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	if v <= 0 {
+		h.under.Add(1)
+		return
+	}
+	if i := bucketIndex(v); i >= 0 {
+		h.buckets[i].Add(1)
+	} else {
+		h.under.Add(1)
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the geometric
+// midpoint of the bucket holding that rank — within one bucket width
+// of the true order statistic. Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := h.under.Load()
+	if cum >= rank {
+		return 0
+	}
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return 0
+}
+
+type instrumentKind int
+
+const (
+	kindCounter instrumentKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// instrument is one registered series.
+type instrument struct {
+	name   string // family name
+	labels string // rendered `{k="v",...}` or ""
+	help   string
+	kind   instrumentKind
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+func (in *instrument) series() string { return in.name + in.labels }
+
+// Registry holds named instruments for exposition. Registration is
+// idempotent — asking for an existing name+labels returns the same
+// instrument, so components re-register freely. A nil *Registry is the
+// disabled registry: it hands out nil instruments, whose methods no-op.
+type Registry struct {
+	mu   sync.RWMutex
+	inst map[string]*instrument
+	ord  []*instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{inst: map[string]*instrument{}}
+}
+
+// renderLabels turns alternating key, value strings into the
+// Prometheus series suffix `{k="v",...}`, keys sorted.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, (len(labels)+1)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	if len(labels)%2 != 0 {
+		pairs = append(pairs, kv{labels[len(labels)-1], ""})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the instrument for name+labels, creating it via make
+// if absent. Kind mismatches on an existing series panic: that is a
+// programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind instrumentKind, labels []string, make func(*instrument)) *instrument {
+	key := name + renderLabels(labels)
+	r.mu.RLock()
+	in, ok := r.inst[key]
+	r.mu.RUnlock()
+	if ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as a different kind", key))
+		}
+		return in
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok = r.inst[key]; ok {
+		if in.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as a different kind", key))
+		}
+		return in
+	}
+	in = &instrument{name: name, labels: renderLabels(labels), help: help, kind: kind}
+	make(in)
+	r.inst[key] = in
+	r.ord = append(r.ord, in)
+	return in
+}
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, labels, func(in *instrument) { in.c = &Counter{} }).c
+}
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, labels, func(in *instrument) { in.g = &Gauge{} }).g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time — the bridge for components that already keep their own atomic
+// counters (cache stats, pool stats, chaos counters).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindGaugeFunc, labels, func(in *instrument) { in.fn = fn })
+}
+
+// Histogram registers (or returns) a log-bucketed streaming histogram.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, labels, func(in *instrument) { in.h = &Histogram{} }).h
+}
+
+// snapshotOrd copies the registration-ordered instrument list.
+func (r *Registry) snapshotOrd() []*instrument {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*instrument(nil), r.ord...)
+}
+
+// quantiles exposed for histograms, in Prometheus summary form.
+var exportQuantiles = []struct {
+	q     float64
+	label string
+}{{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+
+// mergeLabel splices an extra k="v" pair into a rendered label set.
+func mergeLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// WritePrometheus writes every instrument in Prometheus text
+// exposition format (histograms as summaries with P50/P95/P99
+// quantile series plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	seen := map[string]bool{}
+	for _, in := range r.snapshotOrd() {
+		if !seen[in.name] {
+			seen[in.name] = true
+			if in.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help)
+			}
+			typ := "gauge"
+			switch in.kind {
+			case kindCounter:
+				typ = "counter"
+			case kindHistogram:
+				typ = "summary"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", in.name, typ)
+		}
+		switch in.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", in.series(), in.c.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %g\n", in.series(), in.g.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "%s %g\n", in.series(), in.fn())
+		case kindHistogram:
+			for _, eq := range exportQuantiles {
+				fmt.Fprintf(w, "%s%s %g\n", in.name, mergeLabel(in.labels, "quantile", eq.label), in.h.Quantile(eq.q))
+			}
+			fmt.Fprintf(w, "%s_sum%s %g\n", in.name, in.labels, in.h.Sum())
+			fmt.Fprintf(w, "%s_count%s %d\n", in.name, in.labels, in.h.Count())
+		}
+	}
+}
+
+// WriteDashboard writes a plain-text human dashboard: one aligned line
+// per series, histograms as count/mean/P50/P95/P99.
+func (r *Registry) WriteDashboard(w io.Writer) {
+	ord := r.snapshotOrd()
+	width := 0
+	for _, in := range ord {
+		if n := len(in.series()); n > width {
+			width = n
+		}
+	}
+	for _, in := range ord {
+		switch in.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%-*s  %d\n", width, in.series(), in.c.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%-*s  %g\n", width, in.series(), in.g.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(w, "%-*s  %g\n", width, in.series(), in.fn())
+		case kindHistogram:
+			n := in.h.Count()
+			mean := 0.0
+			if n > 0 {
+				mean = in.h.Sum() / float64(n)
+			}
+			fmt.Fprintf(w, "%-*s  n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g\n",
+				width, in.series(), n, mean,
+				in.h.Quantile(0.5), in.h.Quantile(0.95), in.h.Quantile(0.99))
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package telemetry is the serving stack's observability plane: a
+// per-request tracer whose span trees attribute TTFT to admission,
+// queueing, planning, per-chunk transfer and decode (exportable as
+// JSON-lines or a Chrome trace_event file for chrome://tracing and
+// Perfetto), and a lock-cheap live metrics registry (atomic counters,
+// gauges, and log-bucketed streaming histograms) exposed over a /debug
+// HTTP endpoint in Prometheus text format alongside a plain-text
+// dashboard and pprof.
+//
+// Everything is nil-safe by design: a nil *Tracer starts nil *Spans, a
+// nil *Registry hands out nil instruments, and every method on a nil
+// receiver is a no-op. Components therefore instrument unconditionally;
+// with telemetry disabled the hot path pays a nil check and nothing
+// else — no allocation, no lock (proven by BenchmarkDisabledSpan).
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity bounds how many finished span records a Tracer
+// retains when no capacity is configured: the newest records win, so a
+// long-running server keeps the most recent requests' trees.
+const DefaultTraceCapacity = 1 << 14
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is one finished span or instant event as the tracer stores
+// it. Dur == 0 marks an instant event (SWITCH, CANCEL, failover);
+// anything else is a timed phase.
+type SpanRecord struct {
+	// Trace groups the records of one request tree (the root span's ID).
+	Trace uint64 `json:"trace"`
+	// ID is unique across the tracer's lifetime; Parent is 0 for roots.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Start  time.Time
+	Dur    time.Duration `json:"dur"`
+	Attrs  []Attr        `json:"attrs,omitempty"`
+}
+
+// Tracer collects finished span records into a bounded ring. Safe for
+// concurrent use. The zero value is not usable; a nil *Tracer is — it
+// is the disabled tracer, and starting spans on it yields nil spans.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu      sync.Mutex
+	recs    []SpanRecord // ring buffer
+	next    int          // next write position
+	full    bool         // ring has wrapped
+	dropped uint64       // records overwritten after wrap
+}
+
+// NewTracer returns a tracer retaining up to capacity finished records
+// (≤0 = DefaultTraceCapacity), newest winning.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{recs: make([]SpanRecord, 0, capacity)}
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full && len(t.recs) < cap(t.recs) {
+		t.recs = append(t.recs, r)
+		return
+	}
+	t.full = true
+	t.recs[t.next] = r
+	t.next = (t.next + 1) % len(t.recs)
+	t.dropped++
+}
+
+// Snapshot copies the retained records in arrival order.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.recs))
+	if !t.full {
+		return append(out, t.recs...)
+	}
+	out = append(out, t.recs[t.next:]...)
+	return append(out, t.recs[:t.next]...)
+}
+
+// Len reports how many records the tracer currently retains.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.recs)
+}
+
+// Dropped reports how many records the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset drops every retained record.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recs = t.recs[:0]
+	t.next, t.full = 0, false
+}
+
+// Span is one live phase of a request tree. All methods are safe on a
+// nil receiver (the disabled-tracing fast path) and for concurrent use
+// — the fetch pipeline's receive loop and decode worker annotate the
+// same fetch span from different goroutines.
+type Span struct {
+	tracer *Tracer
+	trace  uint64
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// StartRequest begins a new root span (one request tree) and returns a
+// context carrying it. On a nil tracer it returns ctx unchanged and a
+// nil span.
+func (t *Tracer) StartRequest(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	id := t.ids.Add(1)
+	s := &Span{tracer: t, trace: id, id: id, name: name, start: time.Now(), attrs: attrs}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+type spanKey struct{}
+
+// FromContext returns the span carried by ctx, or nil. The lookup
+// allocates nothing, so hot paths call it once and branch on nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// With returns ctx carrying s. A nil span returns ctx unchanged, so the
+// disabled path never allocates a derived context.
+func With(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// Start begins a child of the span carried by ctx and returns a context
+// carrying the child. Without a span in ctx it returns ctx unchanged
+// and nil — the zero-allocation disabled path.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	s := FromContext(ctx)
+	if s == nil {
+		return ctx, nil
+	}
+	child := s.Child(name, attrs...)
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// Child begins a sub-span. Nil-safe: a nil parent yields a nil child.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer: s.tracer, trace: s.trace, parent: s.id,
+		id: s.tracer.ids.Add(1), name: name, start: time.Now(), attrs: attrs,
+	}
+}
+
+// End finishes the span and hands its record to the tracer. Safe to
+// call more than once; only the first End records.
+func (s *Span) End() {
+	s.EndAt(time.Now())
+}
+
+// EndAt is End with an explicit end instant (callers that measured the
+// phase themselves keep the record identical to their measurement).
+func (s *Span) EndAt(end time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	dur := end.Sub(s.start)
+	if dur <= 0 {
+		dur = 1 // a timed phase is never mistaken for an instant event
+	}
+	s.tracer.record(SpanRecord{
+		Trace: s.trace, ID: s.id, Parent: s.parent,
+		Name: s.name, Start: s.start, Dur: dur, Attrs: attrs,
+	})
+}
+
+// SetAttr annotates the span (last write per key wins at export time is
+// not guaranteed; callers use distinct keys). Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Event records an instant event (Dur 0) under the span: a SWITCH, a
+// CANCEL, a failover. Nil-safe.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.tracer.record(SpanRecord{
+		Trace: s.trace, ID: s.tracer.ids.Add(1), Parent: s.id,
+		Name: name, Start: time.Now(), Attrs: attrs,
+	})
+}
+
+// Record adds an already-measured child phase: the caller supplies the
+// exact start and duration, so the trace and any report derived from
+// the same measurement cannot drift apart. Nil-safe.
+func (s *Span) Record(name string, start time.Time, dur time.Duration, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	if dur <= 0 {
+		dur = 1
+	}
+	s.tracer.record(SpanRecord{
+		Trace: s.trace, ID: s.tracer.ids.Add(1), Parent: s.id,
+		Name: name, Start: start, Dur: dur, Attrs: attrs,
+	})
+}
+
+// Event records an instant event on the span carried by ctx, if any.
+func Event(ctx context.Context, name string, attrs ...Attr) {
+	FromContext(ctx).Event(name, attrs...)
+}
+
+// Annotate adds an attribute to the span carried by ctx, if any.
+func Annotate(ctx context.Context, key string, value any) {
+	FromContext(ctx).SetAttr(key, value)
+}

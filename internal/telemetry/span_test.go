@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(64)
+	ctx, root := tr.StartRequest(context.Background(), "request", Attr{Key: "tenant", Value: "a"})
+	if root == nil {
+		t.Fatal("root span is nil")
+	}
+	if got := FromContext(ctx); got != root {
+		t.Fatal("context does not carry the root span")
+	}
+	cctx, child := Start(ctx, "fetch")
+	if child == nil || FromContext(cctx) != child {
+		t.Fatal("child span not carried")
+	}
+	child.Event("switch", Attr{Key: "level", Value: 2})
+	child.Record("transfer", time.Now().Add(-time.Millisecond), time.Millisecond, Attr{Key: "chunk", Value: 0})
+	child.End()
+	root.End()
+	root.End() // double End must not double-record
+
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4: %+v", len(recs), recs)
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		if r.Trace != root.id {
+			t.Errorf("record %q trace %d, want %d", r.Name, r.Trace, root.id)
+		}
+	}
+	if byName["switch"].Dur != 0 {
+		t.Error("event has nonzero duration")
+	}
+	if byName["switch"].Parent != child.id {
+		t.Error("event not parented under the child span")
+	}
+	if byName["fetch"].Parent != root.id {
+		t.Error("child not parented under the root")
+	}
+	if byName["transfer"].Dur != time.Millisecond {
+		t.Errorf("recorded phase duration %v, want 1ms", byName["transfer"].Dur)
+	}
+	if len(byName["request"].Attrs) != 1 || byName["request"].Attrs[0].Key != "tenant" {
+		t.Errorf("root attrs lost: %+v", byName["request"].Attrs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRequest(context.Background(), "request")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("nil tracer derived a new context")
+	}
+	ctx2, child := Start(ctx, "fetch")
+	if child != nil || ctx2 != ctx {
+		t.Fatal("Start without a span must return inputs unchanged")
+	}
+	// All of these must be safe no-ops.
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.Event("e")
+	sp.Record("r", time.Now(), time.Second)
+	sp.Child("c").End()
+	Event(ctx, "e")
+	Annotate(ctx, "k", "v")
+	if tr.Snapshot() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer holds records")
+	}
+	tr.Reset()
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.StartRequest(context.Background(), "request")
+	_ = ctx
+	for i := 0; i < 10; i++ {
+		root.Event("e", Attr{Key: "i", Value: i})
+	}
+	root.End()
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	// Newest records win: the last retained record is the root's End.
+	if recs[len(recs)-1].Name != "request" {
+		t.Errorf("last record %q, want the root span", recs[len(recs)-1].Name)
+	}
+	if tr.Dropped() != 7 {
+		t.Errorf("dropped %d, want 7", tr.Dropped())
+	}
+}
+
+func TestConcurrentAnnotation(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	_, root := tr.StartRequest(context.Background(), "request")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				root.SetAttr("k", g)
+				root.Event("e")
+				root.Record("p", time.Now(), time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+	if n := tr.Len(); n != 8*50*2+1 {
+		t.Errorf("retained %d records, want %d", n, 8*50*2+1)
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	tr := NewTracer(64)
+	ctx, root := tr.StartRequest(context.Background(), "request")
+	_, fetch := Start(ctx, "fetch")
+	fetch.Record("transfer", time.Now(), 2*time.Millisecond, Attr{Key: "chunk", Value: 1})
+	fetch.Event("switch", Attr{Key: "level", Value: 3})
+	fetch.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace_event output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+			t.Errorf("event %v has bad ts", ev)
+		}
+	}
+	// 3 timed spans (request, fetch, transfer) → 3 b + 3 e; 1 instant.
+	if phases["b"] != 3 || phases["e"] != 3 || phases["i"] != 1 {
+		t.Errorf("phase counts %v, want b:3 e:3 i:1", phases)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(64)
+	_, root := tr.StartRequest(context.Background(), "request", Attr{Key: "tenant", Value: "a"})
+	root.Event("switch", Attr{Key: "level", Value: 2})
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		if rec["trace"] == nil || rec["name"] == nil {
+			t.Errorf("line %q missing fields", line)
+		}
+	}
+}

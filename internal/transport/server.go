@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Server serves chunk and metadata requests from a storage.Store over
@@ -27,6 +28,15 @@ type Server struct {
 	egressTrace netsim.Trace // per-connection egress trace replay (overrides egress)
 	bank        []byte       // serialised codec model bank served to clients
 	logf        func(format string, args ...any)
+
+	// tele is the server's slice of a live metrics registry; its nil
+	// instruments no-op when telemetry is not wired.
+	tele struct {
+		streams *telemetry.Counter
+		frames  *telemetry.Counter
+		bytes   *telemetry.Counter
+		control *telemetry.Counter
+	}
 
 	mu          sync.Mutex
 	ln          net.Listener
@@ -73,6 +83,25 @@ func WithLogger(logf func(format string, args ...any)) ServerOption {
 // once per LLM, offline).
 func WithBank(bank []byte) ServerOption {
 	return func(s *Server) { s.bank = append([]byte{}, bank...) }
+}
+
+// WithTelemetry registers the server's live instruments — open
+// connections, streams opened, DATA frames/bytes pushed, control-plane
+// requests — into reg. Nil reg (or omitting the option) costs nothing.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) {
+		s.tele.streams = reg.Counter("cachegen_transport_streams_opened_total", "server-push chunk streams opened")
+		s.tele.frames = reg.Counter("cachegen_transport_frames_pushed_total", "DATA frames pushed to clients")
+		s.tele.bytes = reg.Counter("cachegen_transport_pushed_bytes_total", "DATA payload bytes pushed to clients")
+		s.tele.control = reg.Counter("cachegen_transport_control_requests_total", "control-plane requests answered")
+		if reg != nil {
+			reg.GaugeFunc("cachegen_transport_conns", "open client connections", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(len(s.conns))
+			})
+		}
+	}
 }
 
 // NewServer returns a server over the given store.
@@ -370,6 +399,7 @@ func (sc *serverConn) dispatch(typ byte, payload []byte) error {
 		}
 		return nil
 	default:
+		sc.srv.tele.control.Inc()
 		rtyp, rpayload := sc.srv.respond(typ, payload)
 		return sc.write(rtyp, rpayload)
 	}
@@ -479,6 +509,7 @@ func (sc *serverConn) openStream(payload []byte) error {
 	sc.streams[open.ID] = st
 	sc.wg.Add(1)
 	sc.mu.Unlock()
+	sc.srv.tele.streams.Inc()
 	go sc.push(st)
 	return nil
 }
@@ -653,6 +684,8 @@ func (sc *serverConn) push(st *serverStream) {
 				if err := sc.write(typeStreamData, scratch); err != nil {
 					return // connection dead; teardown reaps us
 				}
+				sc.srv.tele.frames.Inc()
+				sc.srv.tele.bytes.Add(n)
 				offset += n
 				if offset == total {
 					break
