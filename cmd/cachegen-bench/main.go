@@ -21,7 +21,13 @@
 // mb_per_s dropping more than -max-mbps-drop (default 25%) or
 // allocs_per_op rising more than -max-alloc-growth (default 10%) is a
 // hard failure; ns_per_op changes only warn, because wall-clock noise on
-// shared CI runners is too high to gate on.
+// shared CI runners is too high to gate on. The multicore section is
+// compared the same way, but only when the baseline was produced at the
+// same GOMAXPROCS — cross-core-count mb_per_s comparisons are
+// meaningless. On hosts with at least four cores the gate additionally
+// requires decode_context_l1 to scale: the multicore run must reach
+// -min-decode-scale (default 2.5) times the single-core throughput,
+// which is what the lane-interleaved v2 container exists to buy.
 package main
 
 import (
@@ -201,9 +207,52 @@ func runSuite() (map[string]result, error) {
 	return out, nil
 }
 
-// check compares the fresh single-core results against a baseline
-// artifact, returning the number of hard regressions.
-func check(fresh map[string]result, baselinePath string, maxDrop, maxAllocGrowth float64) int {
+// checkSection compares one section's fresh results against the same
+// section of the baseline, returning the number of hard regressions.
+// label prefixes log lines so single-core and multicore failures are
+// distinguishable.
+func checkSection(label string, fresh, base map[string]result, maxDrop, maxAllocGrowth float64) int {
+	hard := 0
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			log.Printf("FAIL %s%s: present in baseline but not in this run", label, name)
+			hard++
+			continue
+		}
+		if b.MBPerS > 0 && f.MBPerS < b.MBPerS*(1-maxDrop/100) {
+			log.Printf("FAIL %s%s: %.1f MB/s is a >%.0f%% drop from baseline %.1f MB/s",
+				label, name, f.MBPerS, maxDrop, b.MBPerS)
+			hard++
+		}
+		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxAllocGrowth/100) {
+			log.Printf("FAIL %s%s: %d allocs/op exceeds baseline %d by >%.0f%%",
+				label, name, f.AllocsPerOp, b.AllocsPerOp, maxAllocGrowth)
+			hard++
+		}
+		if b.NsPerOp > 0 && float64(f.NsPerOp) > float64(b.NsPerOp)*1.25 {
+			log.Printf("warn %s%s: %d ns/op vs baseline %d (wall clock only; not gating)",
+				label, name, f.NsPerOp, b.NsPerOp)
+		}
+	}
+	return hard
+}
+
+// check compares a fresh artifact against a baseline artifact,
+// returning the number of hard regressions. The single-core section
+// always gates; the multicore section gates only when the baseline was
+// measured at the same GOMAXPROCS (throughput at different core counts
+// is not comparable). When the host has at least minScaleCores cores,
+// the multicore decode_context_l1 run must additionally reach minScale
+// times the single-core throughput — the gate that keeps the
+// lane-parallel decode path actually parallel.
+func check(fresh *artifact, baselinePath string, maxDrop, maxAllocGrowth, minScale float64) int {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		log.Fatalf("reading baseline: %v", err)
@@ -212,40 +261,55 @@ func check(fresh map[string]result, baselinePath string, maxDrop, maxAllocGrowth
 	if err := json.Unmarshal(data, &base); err != nil {
 		log.Fatalf("parsing baseline: %v", err)
 	}
-	hard := 0
-	names := make([]string, 0, len(base.Benchmarks))
-	for name := range base.Benchmarks {
-		names = append(names, name)
+	hard := checkSection("", fresh.Benchmarks, base.Benchmarks, maxDrop, maxAllocGrowth)
+	checked := len(base.Benchmarks)
+
+	switch {
+	case fresh.Multicore == nil:
+		log.Printf("note: no multicore section this run (single-core host); scaling gate skipped")
+	case base.Multicore == nil:
+		log.Printf("note: baseline has no multicore section; multicore numbers not gated")
+	case base.Multicore.GOMAXPROCS != fresh.Multicore.GOMAXPROCS:
+		log.Printf("note: baseline multicore section is gomaxprocs %d, this host ran %d; not comparable, skipping",
+			base.Multicore.GOMAXPROCS, fresh.Multicore.GOMAXPROCS)
+	default:
+		hard += checkSection("multicore/", fresh.Multicore.Benchmarks, base.Multicore.Benchmarks,
+			maxDrop, maxAllocGrowth)
+		checked += len(base.Multicore.Benchmarks)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		b := base.Benchmarks[name]
-		f, ok := fresh[name]
-		if !ok {
-			log.Printf("FAIL %s: present in baseline but not in this run", name)
-			hard++
-			continue
-		}
-		if b.MBPerS > 0 && f.MBPerS < b.MBPerS*(1-maxDrop/100) {
-			log.Printf("FAIL %s: %.1f MB/s is a >%.0f%% drop from baseline %.1f MB/s",
-				name, f.MBPerS, maxDrop, b.MBPerS)
-			hard++
-		}
-		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxAllocGrowth/100) {
-			log.Printf("FAIL %s: %d allocs/op exceeds baseline %d by >%.0f%%",
-				name, f.AllocsPerOp, b.AllocsPerOp, maxAllocGrowth)
-			hard++
-		}
-		if b.NsPerOp > 0 && float64(f.NsPerOp) > float64(b.NsPerOp)*1.25 {
-			log.Printf("warn %s: %d ns/op vs baseline %d (wall clock only; not gating)",
-				name, f.NsPerOp, b.NsPerOp)
+
+	if fresh.Multicore != nil && minScale > 0 {
+		if fresh.Multicore.GOMAXPROCS < minScaleCores {
+			log.Printf("note: %d cores < %d; decode scaling measured but not gated",
+				fresh.Multicore.GOMAXPROCS, minScaleCores)
+		} else {
+			s, m := fresh.Benchmarks["decode_context_l1"], fresh.Multicore.Benchmarks["decode_context_l1"]
+			ratio := 0.0
+			if s.MBPerS > 0 {
+				ratio = m.MBPerS / s.MBPerS
+			}
+			if ratio < minScale {
+				log.Printf("FAIL decode_context_l1: %.2fx multicore scaling at gomaxprocs %d is below the required %.2fx (%.1f -> %.1f MB/s)",
+					ratio, fresh.Multicore.GOMAXPROCS, minScale, s.MBPerS, m.MBPerS)
+				hard++
+			} else {
+				log.Printf("decode_context_l1 scaling ok: %.2fx at gomaxprocs %d (%.1f -> %.1f MB/s)",
+					ratio, fresh.Multicore.GOMAXPROCS, s.MBPerS, m.MBPerS)
+			}
 		}
 	}
+
 	if hard == 0 {
-		log.Printf("baseline check passed: %d benchmarks within bounds of %s", len(names), baselinePath)
+		log.Printf("baseline check passed: %d benchmarks within bounds of %s", checked, baselinePath)
 	}
 	return hard
 }
+
+// minScaleCores is the smallest core count where the -min-decode-scale
+// gate is enforced: below four cores the theoretical ceiling sits too
+// close to the required ratio for the gate to separate a real
+// serialization bug from scheduler noise.
+const minScaleCores = 4
 
 func main() {
 	out := flag.String("out", "BENCH_codec.json", "output path for the JSON artifact")
@@ -254,6 +318,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline artifact to compare against; regressions exit non-zero")
 	maxDrop := flag.Float64("max-mbps-drop", 25, "hard-fail when a benchmark's mb_per_s drops more than this percentage below baseline")
 	maxAllocGrowth := flag.Float64("max-alloc-growth", 10, "hard-fail when allocs_per_op grows more than this percentage above baseline")
+	minScale := flag.Float64("min-decode-scale", 2.5, "with -baseline, hard-fail when multicore decode_context_l1 throughput is below this multiple of single-core; enforced only on hosts with >=4 cores (0 disables)")
 	multicore := flag.Bool("multicore", true, "also run the suite at the host's core count (skipped on single-core hosts)")
 	flag.Parse()
 	log.SetFlags(0)
@@ -323,7 +388,7 @@ func main() {
 	log.Printf("wrote %s (%d benchmarks: %v)", *out, len(names), names)
 
 	if *baseline != "" {
-		if hard := check(single, *baseline, *maxDrop, *maxAllocGrowth); hard > 0 {
+		if hard := check(&art, *baseline, *maxDrop, *maxAllocGrowth, *minScale); hard > 0 {
 			pprof.StopCPUProfile() // flush before the hard exit
 			log.Fatalf("%d hard perf regression(s) against %s", hard, *baseline)
 		}

@@ -62,6 +62,11 @@ type Event struct {
 	// Corrupt (a bandwidth cliff or lossy wire is a path property, not a
 	// node property).
 	Node string
+	// Region scopes a Partition to every node carrying that region
+	// label (the target must implement RegionTarget). Mutually
+	// exclusive with Node; only Partition supports it — severing a
+	// whole region is a real network failure mode, killing one is not.
+	Region string
 	// Latency is the added per-operation store latency (SlowDisk).
 	Latency time.Duration
 	// Trace is the egress bandwidth during the fault (Cliff).
@@ -78,6 +83,9 @@ func (e Event) String() string {
 	if e.Node != "" {
 		s += fmt.Sprintf("(%s)", e.Node)
 	}
+	if e.Region != "" {
+		s += fmt.Sprintf("(region=%s)", e.Region)
+	}
 	return s
 }
 
@@ -88,6 +96,14 @@ func (e Event) validate() error {
 	}
 	if e.Heal < 0 {
 		return fmt.Errorf("chaos: event %s with negative heal delay", e.Class)
+	}
+	if e.Region != "" {
+		if e.Class != Partition {
+			return fmt.Errorf("chaos: region scoping is only for %s events, not %s", Partition, e.Class)
+		}
+		if e.Node != "" {
+			return fmt.Errorf("chaos: event pins both node %q and region %q", e.Node, e.Region)
+		}
 	}
 	switch e.Class {
 	case Kill, Partition:
@@ -155,6 +171,16 @@ type Target interface {
 	// CorruptionInjected returns the node's cumulative count of payloads
 	// it has corrupted.
 	CorruptionInjected(node string) uint64
+}
+
+// RegionTarget is the optional extension a Target implements when its
+// nodes carry region labels; region-scoped events (Event.Region) need
+// it to resolve their victims.
+type RegionTarget interface {
+	Target
+	// Region returns the node's region label ("" for an unlabelled
+	// node).
+	Region(node string) string
 }
 
 // action is one timed step: impose or lift one event on its victims.
@@ -249,6 +275,22 @@ func (in *Injector) Start(s Schedule) error {
 
 // resolve picks an event's victim nodes.
 func (in *Injector) resolve(e Event, nodes []string, rng *rand.Rand) ([]string, error) {
+	if e.Region != "" {
+		rt, ok := in.target.(RegionTarget)
+		if !ok {
+			return nil, fmt.Errorf("event targets region %q but the target has no region labels", e.Region)
+		}
+		var victims []string
+		for _, n := range nodes {
+			if rt.Region(n) == e.Region {
+				victims = append(victims, n)
+			}
+		}
+		if len(victims) == 0 {
+			return nil, fmt.Errorf("no nodes in region %q", e.Region)
+		}
+		return victims, nil
+	}
 	if e.Node != "" {
 		for _, n := range nodes {
 			if n == e.Node {

@@ -74,6 +74,16 @@ func (f *fakeTarget) snapshot() []string {
 	return append([]string(nil), f.calls...)
 }
 
+// regionFakeTarget labels the fake's nodes with regions, making it a
+// RegionTarget. The bare fakeTarget stays region-less so the
+// unsupported-target path is testable.
+type regionFakeTarget struct {
+	*fakeTarget
+	regions map[string]string
+}
+
+func (f *regionFakeTarget) Region(n string) string { return f.regions[n] }
+
 // TestInjectorFullSchedule drives one event of every class through a
 // fake fleet and checks the calls, the heals, and the counters.
 func TestInjectorFullSchedule(t *testing.T) {
@@ -202,6 +212,47 @@ func TestInjectorPinnedNode(t *testing.T) {
 	}
 }
 
+// TestInjectorRegionPartition: a region-scoped partition severs every
+// node carrying the label (and only those), heals them all, and fails
+// fast when the region is empty or the target has no region labels.
+func TestInjectorRegionPartition(t *testing.T) {
+	ft := newFakeTarget("n1", "n2", "n3")
+	target := &regionFakeTarget{fakeTarget: ft, regions: map[string]string{"n1": "eu", "n2": "us", "n3": "eu"}}
+	inj := New(target, nil)
+	s := Schedule{Events: []Event{{Class: Partition, At: 0, Heal: 5 * time.Millisecond, Region: "eu"}}}
+	if err := inj.Start(s); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(s.Duration() + 20*time.Millisecond)
+	if err := inj.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range ft.snapshot() {
+		got[c] = true
+	}
+	for _, want := range []string{"partition n1 true", "partition n3 true", "partition n1 false", "partition n3 false"} {
+		if !got[want] {
+			t.Errorf("missing call %q in %v", want, ft.snapshot())
+		}
+	}
+	if got["partition n2 true"] {
+		t.Errorf("partition leaked outside region eu: %v", ft.snapshot())
+	}
+
+	inj2 := New(target, nil)
+	err := inj2.Start(Schedule{Events: []Event{{Class: Partition, Region: "mars"}}})
+	if err == nil || !strings.Contains(err.Error(), "no nodes in region") {
+		t.Fatalf("empty region: err = %v", err)
+	}
+
+	inj3 := New(newFakeTarget("n1"), nil)
+	err = inj3.Start(Schedule{Events: []Event{{Class: Partition, Region: "eu"}}})
+	if err == nil || !strings.Contains(err.Error(), "no region labels") {
+		t.Fatalf("region-less target: err = %v", err)
+	}
+}
+
 // TestInjectorErrorsSurface: a failing target call shows up in Finish's
 // joined error instead of vanishing.
 func TestInjectorErrorsSurface(t *testing.T) {
@@ -229,6 +280,8 @@ func TestInjectorValidation(t *testing.T) {
 		{"slow-disk without latency", Event{Class: SlowDisk}, "latency"},
 		{"cliff without trace", Event{Class: Cliff}, "trace"},
 		{"corrupt rate over 1", Event{Class: Corrupt, Rate: 1.5}, "outside"},
+		{"region on kill", Event{Class: Kill, Region: "eu"}, "region scoping"},
+		{"node and region", Event{Class: Partition, Node: "n1", Region: "eu"}, "both node"},
 		{"unknown class", Event{Class: "meteor"}, "unknown fault class"},
 	}
 	for _, tc := range cases {
@@ -302,6 +355,46 @@ func TestParseSchedule(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseScheduleRegion covers the region=<label> partition scope:
+// the accepted forms and every rejection.
+func TestParseScheduleRegion(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		// want is the parsed Region on success; err the error substring
+		// on failure.
+		want string
+		err  string
+	}{
+		{name: "region scope", spec: "partition@100ms:region=eu", want: "eu"},
+		{name: "region with heal", spec: "partition@0s+250ms:region=us-east", want: "us-east"},
+		{name: "plain partition still works", spec: "partition@0s", want: ""},
+		{name: "empty label", spec: "partition@0s:region=", err: "empty region label"},
+		{name: "not a region param", spec: "partition@0s:n1", err: "region=<label>"},
+		{name: "region on kill", spec: "kill@0s:region=eu", err: "no parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseSchedule(tc.spec, 1)
+			if tc.err != "" {
+				if err == nil {
+					t.Fatal("malformed spec accepted")
+				}
+				if !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("error %q does not mention %q", err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Events[0].Region; got != tc.want {
+				t.Fatalf("Region = %q, want %q", got, tc.want)
 			}
 		})
 	}

@@ -83,6 +83,18 @@ type span struct{ start, end int }
 // batch rather than once per group. (The bank's tables for one level are
 // megabytes; per-group sweeps made every group a full pass over them.)
 func groupSpans(tokens, groupSize, workers int) ([]span, [][]span) {
+	groups := tokenGroups(tokens, groupSize)
+	lanes := laneSpans(len(groups), workers)
+	batches := make([][]span, len(lanes))
+	for i, ln := range lanes {
+		batches[i] = groups[ln.start:ln.end]
+	}
+	return groups, batches
+}
+
+// tokenGroups returns the token-group spans of a chunk of `tokens`
+// tokens: ⌈tokens/groupSize⌉ contiguous ranges, the last possibly short.
+func tokenGroups(tokens, groupSize int) []span {
 	numGroups := (tokens + groupSize - 1) / groupSize
 	groups := make([]span, numGroups)
 	for gi := range groups {
@@ -93,18 +105,27 @@ func groupSpans(tokens, groupSize, workers int) ([]span, [][]span) {
 		}
 		groups[gi] = span{start, end}
 	}
-	if workers > numGroups {
-		workers = numGroups
+	return groups
+}
+
+// laneSpans partitions numGroups consecutive groups into at most `lanes`
+// contiguous, non-empty index ranges. The split is a pure function of
+// its arguments — both the encoder (laying out the wire lane table) and
+// the decoder (reconstructing it from the lane count) must produce the
+// same partition.
+func laneSpans(numGroups, lanes int) []span {
+	if lanes > numGroups {
+		lanes = numGroups
 	}
-	batches := make([][]span, 0, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * numGroups / workers
-		hi := (w + 1) * numGroups / workers
+	out := make([]span, 0, lanes)
+	for w := 0; w < lanes; w++ {
+		lo := w * numGroups / lanes
+		hi := (w + 1) * numGroups / lanes
 		if lo < hi {
-			batches = append(batches, groups[lo:hi])
+			out = append(out, span{lo, hi})
 		}
 	}
-	return groups, batches
+	return out
 }
 
 // Bank returns the codec's model bank.
@@ -129,23 +150,54 @@ type Chunk struct {
 // ErrCorruptChunk is returned when a chunk bitstream fails validation.
 var ErrCorruptChunk = errors.New("core: corrupt chunk bitstream")
 
+// ErrShortChunk reports that a chunk prefix does not yet hold enough
+// bytes for the requested operation. Unlike ErrCorruptChunk it is not a
+// verdict on the data: a streaming caller feeding ParseChunkPrefix as
+// DATA frames land retries once more bytes arrive.
+var ErrShortChunk = errors.New("core: chunk prefix incomplete")
+
 const (
-	chunkMagic   = "CGC1"
-	chunkVersion = 1
+	chunkMagicV1   = "CGC1"
+	chunkVersionV1 = 1
+	chunkMagicV2   = "CGC2"
+	chunkVersionV2 = 2
+
+	// FormatV1 is the legacy chunk container: one serial payload guarded
+	// by a whole-container CRC, decodable only once fully received.
+	FormatV1 = 1
+	// FormatV2 is the lane-interleaved container: the payload is split
+	// into independently decodable coder lanes with a per-lane CRC table
+	// in the (separately checksummed) header, so lanes decode out of
+	// order, in parallel, and from a partial prefix of the container.
+	FormatV2 = 2
+
+	// maxWireLanes bounds the wire-declared lane count of a v2 container
+	// before the lane table is allocated.
+	maxWireLanes = 1 << 12
 )
 
 // EncodeChunk encodes one chunk's KV tensor (all layers and channels of a
-// contiguous token range, §5.3) at the given level. chunkIndex and
-// tokenOffset travel in the header so the receiver can reassemble and, for
-// text fallback, resume recomputation at the right position.
+// contiguous token range, §5.3) at the given level, producing a v2
+// (lane-interleaved) container. chunkIndex and tokenOffset travel in the
+// header so the receiver can reassemble and, for text fallback, resume
+// recomputation at the right position.
 func (c *Codec) EncodeChunk(kv *tensor.KV, chunkIndex, tokenOffset int, lv Level) ([]byte, error) {
-	return c.encodeChunkRange(kv, 0, kv.Tokens, chunkIndex, tokenOffset, lv)
+	return c.encodeChunkRange(kv, 0, kv.Tokens, chunkIndex, tokenOffset, lv, FormatV2)
+}
+
+// EncodeChunkV1 encodes one chunk as a legacy CGC1 container. The group
+// streams are bit-identical to EncodeChunk's — only the container layout
+// differs — so v1 and v2 encodings of the same tokens decode to the same
+// KV. Retained for mixed-format fleets and the golden-corpus compat
+// tests; new encodes use EncodeChunk.
+func (c *Codec) EncodeChunkV1(kv *tensor.KV, chunkIndex, tokenOffset int, lv Level) ([]byte, error) {
+	return c.encodeChunkRange(kv, 0, kv.Tokens, chunkIndex, tokenOffset, lv, FormatV1)
 }
 
 // encodeChunkRange encodes tokens [lo, hi) of kv as one chunk, reading
 // rows in place — the context encoders hand it sub-ranges of the full
 // tensor without materialising per-chunk copies.
-func (c *Codec) encodeChunkRange(kv *tensor.KV, lo, hi, chunkIndex, tokenOffset int, lv Level) ([]byte, error) {
+func (c *Codec) encodeChunkRange(kv *tensor.KV, lo, hi, chunkIndex, tokenOffset int, lv Level, format int) ([]byte, error) {
 	if err := c.bank.CheckGeometry(kv); err != nil {
 		return nil, err
 	}
@@ -206,21 +258,29 @@ func (c *Codec) encodeChunkRange(kv *tensor.KV, lo, hi, chunkIndex, tokenOffset 
 		}
 	}
 
-	// Assemble the container in one exact-capacity buffer.
+	if format == FormatV1 {
+		return assembleChunkV1(streams, kv, tokens, chunkIndex, tokenOffset, g, lv), nil
+	}
+	return c.assembleChunkV2(streams, kv, tokens, chunkIndex, tokenOffset, g, lv), nil
+}
+
+// assembleChunkV1 lays out the legacy CGC1 container: header uvarints,
+// per-group stream lengths, concatenated streams, whole-container CRC.
+func assembleChunkV1(streams [][]byte, kv *tensor.KV, tokens, chunkIndex, tokenOffset, groupSize int, lv Level) []byte {
 	payload := 0
 	for _, s := range streams {
 		payload += len(s)
 	}
-	out := make([]byte, 0, chunkHeaderSize(numGroups)+payload)
-	out = append(out, chunkMagic...)
-	out = append(out, chunkVersion, byte(lv))
+	out := make([]byte, 0, chunkHeaderSize(len(streams))+payload)
+	out = append(out, chunkMagicV1...)
+	out = append(out, chunkVersionV1, byte(lv))
 	out = binary.AppendUvarint(out, uint64(chunkIndex))
 	out = binary.AppendUvarint(out, uint64(tokenOffset))
 	out = binary.AppendUvarint(out, uint64(kv.Layers))
 	out = binary.AppendUvarint(out, uint64(tokens))
 	out = binary.AppendUvarint(out, uint64(kv.Channels))
-	out = binary.AppendUvarint(out, uint64(g))
-	out = binary.AppendUvarint(out, uint64(numGroups))
+	out = binary.AppendUvarint(out, uint64(groupSize))
+	out = binary.AppendUvarint(out, uint64(len(streams)))
 	for _, s := range streams {
 		out = binary.AppendUvarint(out, uint64(len(s)))
 	}
@@ -229,10 +289,64 @@ func (c *Codec) encodeChunkRange(kv *tensor.KV, lo, hi, chunkIndex, tokenOffset 
 	}
 	var sum [4]byte
 	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(out))
-	return append(out, sum[:]...), nil
+	return append(out, sum[:]...)
+}
+
+// assembleChunkV2 lays out the lane-interleaved CGC2 container:
+//
+//	"CGC2" | version | level
+//	uvarints: chunkIndex, tokenOffset, layers, tokens, channels, groupSize, lanes
+//	lanes × uint32: CRC-32 (IEEE) of each lane's payload bytes
+//	numGroups × uvarint: per-group stream lengths
+//	uint32: CRC-32 (IEEE) of every header byte above
+//	payload: group streams concatenated in group (= lane) order
+//
+// The header CRC plus the per-lane CRCs cover every container byte, so
+// the trailing whole-container checksum of v1 is gone — and with it the
+// need to hold the full container before any byte can be trusted. The
+// lane partition is pinned in the wire format (Config.CoderLanes at
+// encode time), never derived from the decoder's worker count, so the
+// container bytes are deterministic for a given config.
+func (c *Codec) assembleChunkV2(streams [][]byte, kv *tensor.KV, tokens, chunkIndex, tokenOffset, groupSize int, lv Level) []byte {
+	payload := 0
+	for _, s := range streams {
+		payload += len(s)
+	}
+	wantLanes := c.cfg.CoderLanes
+	if wantLanes <= 0 {
+		wantLanes = DefaultConfig().CoderLanes
+	}
+	lanes := laneSpans(len(streams), wantLanes)
+	out := make([]byte, 0, chunkHeaderSizeV2(len(streams), len(lanes))+payload)
+	out = append(out, chunkMagicV2...)
+	out = append(out, chunkVersionV2, byte(lv))
+	out = binary.AppendUvarint(out, uint64(chunkIndex))
+	out = binary.AppendUvarint(out, uint64(tokenOffset))
+	out = binary.AppendUvarint(out, uint64(kv.Layers))
+	out = binary.AppendUvarint(out, uint64(tokens))
+	out = binary.AppendUvarint(out, uint64(kv.Channels))
+	out = binary.AppendUvarint(out, uint64(groupSize))
+	out = binary.AppendUvarint(out, uint64(len(lanes)))
+	for _, ln := range lanes {
+		crc := uint32(0)
+		for _, s := range streams[ln.start:ln.end] {
+			crc = crc32.Update(crc, crc32.IEEETable, s)
+		}
+		out = binary.BigEndian.AppendUint32(out, crc)
+	}
+	for _, s := range streams {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	return out
 }
 
 func chunkHeaderSize(groups int) int { return 64 + 4*groups }
+
+func chunkHeaderSizeV2(groups, lanes int) int { return 80 + 5*groups + 4*lanes }
 
 func (c *Codec) workers() int {
 	if c.cfg.Workers > 0 {
@@ -333,29 +447,103 @@ type ChunkHeader struct {
 	Layers      int
 	Tokens      int
 	Channels    int
+	// Format is the container layout the chunk was parsed from
+	// (FormatV1 or FormatV2).
+	Format int
+	// Lanes is the number of independently decodable coder lanes. For a
+	// v2 container this is the wire-declared lane count; a v1 container
+	// has no lane table, so its single serial payload is split into the
+	// decoder's runtime batches and Lanes reports that batch count.
+	Lanes int
 
 	groupSize int // wire-declared token-group length, checked against the codec
 }
 
-// parseChunk validates the container (CRC, magic, version, geometry
-// plausibility) and returns the header, the per-group stream lengths and
-// the concatenated group payload.
-func parseChunk(data []byte) (ChunkHeader, []int, []byte, error) {
-	var hdr ChunkHeader
-	if len(data) < len(chunkMagic)+2+4 {
-		return hdr, nil, nil, fmt.Errorf("%w: %d bytes", ErrCorruptChunk, len(data))
+// maxChunkTokens bounds the wire-declared token count of a chunk before
+// any allocation is sized from it.
+const maxChunkTokens = 1 << 22
+
+// ParsedChunk indexes a chunk container for lane-granular decode: which
+// token groups belong to which lane, and where each group's stream lives
+// in the container. Parsing validates everything structural (magic,
+// version, header checksum, length-table consistency); payload integrity
+// is verified per lane at decode time (v2) or already covered by the
+// container CRC (v1). A ParsedChunk is immutable and may have its lanes
+// decoded concurrently.
+type ParsedChunk struct {
+	Header ChunkHeader
+
+	total    int      // declared container length in bytes
+	groups   []span   // token-group spans (chunk-relative token ranges)
+	groupOff []int    // len(groups)+1 absolute byte offsets of each group's stream
+	lanes    []span   // lane → [start, end) group-index ranges
+	laneCRC  []uint32 // v2: per-lane payload CRCs; nil for v1 (container CRC already verified)
+}
+
+// Lanes returns the number of independently decodable coder lanes.
+func (p *ParsedChunk) Lanes() int { return len(p.lanes) }
+
+// Size returns the full container length in bytes.
+func (p *ParsedChunk) Size() int { return p.total }
+
+// LaneEnd returns the container byte offset at which the lane's payload
+// is complete: once a prefix holds at least LaneEnd(lane) bytes, that
+// lane can decode. Lanes occupy consecutive payload ranges, so a growing
+// prefix completes lanes in order 0, 1, 2, …
+func (p *ParsedChunk) LaneEnd(lane int) int { return p.groupOff[p.lanes[lane].end] }
+
+// ParseChunk validates and indexes a complete chunk container of either
+// format.
+func (c *Codec) ParseChunk(data []byte) (*ParsedChunk, error) {
+	return c.ParseChunkPrefix(data, len(data))
+}
+
+// ParseChunkPrefix parses a chunk container of which only the first
+// len(data) of `total` bytes have arrived. It returns ErrShortChunk when
+// the prefix is too short to hold the header — the caller retries with
+// more bytes — and ErrCorruptChunk on a structural verdict that more
+// bytes cannot fix. A v2 header parses as soon as it has fully arrived
+// (lanes then decode incrementally via DecodeLaneInto as their payload
+// ranges land); a v1 container carries only a trailing whole-container
+// checksum, so it parses — and decodes — only complete.
+func (c *Codec) ParseChunkPrefix(data []byte, total int) (*ParsedChunk, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: declared size %d", ErrCorruptChunk, total)
+	}
+	if len(data) > total {
+		return nil, fmt.Errorf("%w: %d bytes exceed declared size %d", ErrCorruptChunk, len(data), total)
+	}
+	if len(data) < 6 {
+		if len(data) < total {
+			return nil, ErrShortChunk
+		}
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptChunk, len(data))
+	}
+	magic, version := string(data[:4]), data[4]
+	switch {
+	case magic == chunkMagicV2 && version == chunkVersionV2:
+		return c.parseChunkV2(data, total)
+	case magic == chunkMagicV1 && version == chunkVersionV1:
+		if len(data) < total {
+			return nil, ErrShortChunk
+		}
+		return c.parseChunkV1(data)
+	default:
+		return nil, fmt.Errorf("%w: bad magic %q version %d", ErrCorruptChunk, data[:4], version)
+	}
+}
+
+// parseChunkV1 validates a complete legacy container (whole-container
+// CRC, header, length table) and indexes it as runtime-batch lanes.
+func (c *Codec) parseChunkV1(data []byte) (*ParsedChunk, error) {
+	if len(data) < len(chunkMagicV1)+2+4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorruptChunk, len(data))
 	}
 	body, sum := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(sum) {
-		return hdr, nil, nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptChunk)
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptChunk)
 	}
-	if string(body[:4]) != chunkMagic {
-		return hdr, nil, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptChunk, body[:4])
-	}
-	if body[4] != chunkVersion {
-		return hdr, nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptChunk, body[4])
-	}
-	hdr.Level = Level(body[5])
+	hdr := ChunkHeader{Format: FormatV1, Level: Level(body[5])}
 	p := body[6:]
 	read := func() (uint64, error) {
 		v, n := binary.Uvarint(p)
@@ -369,7 +557,7 @@ func parseChunk(data []byte) (ChunkHeader, []int, []byte, error) {
 	for i := range vals {
 		v, err := read()
 		if err != nil {
-			return hdr, nil, nil, err
+			return nil, err
 		}
 		vals[i] = v
 	}
@@ -377,47 +565,166 @@ func parseChunk(data []byte) (ChunkHeader, []int, []byte, error) {
 	hdr.Layers, hdr.Tokens, hdr.Channels = int(vals[2]), int(vals[3]), int(vals[4])
 	groupSize, numGroups := int(vals[5]), int(vals[6])
 
-	const maxChunkTokens = 1 << 22
 	if hdr.Tokens > maxChunkTokens {
-		return hdr, nil, nil, fmt.Errorf("%w: implausible chunk of %d tokens", ErrCorruptChunk, hdr.Tokens)
+		return nil, fmt.Errorf("%w: implausible chunk of %d tokens", ErrCorruptChunk, hdr.Tokens)
 	}
 	if groupSize <= 0 || hdr.Tokens <= 0 || numGroups != (hdr.Tokens+groupSize-1)/groupSize {
-		return hdr, nil, nil, fmt.Errorf("%w: %d tokens / %d groups inconsistent", ErrCorruptChunk, hdr.Tokens, numGroups)
+		return nil, fmt.Errorf("%w: %d tokens / %d groups inconsistent", ErrCorruptChunk, hdr.Tokens, numGroups)
 	}
 
-	lengths := make([]int, numGroups)
+	groupOff := make([]int, numGroups+1)
 	total := 0
-	for i := range lengths {
+	for i := 0; i < numGroups; i++ {
 		v, err := read()
 		if err != nil {
-			return hdr, nil, nil, err
+			return nil, err
 		}
 		// Bound each length by the remaining payload before converting:
 		// a 2^63-scale uvarint would wrap int and slip past the sum
 		// check below into a slice-bounds panic.
 		if v > uint64(len(p)) {
-			return hdr, nil, nil, fmt.Errorf("%w: group stream length %d exceeds %d payload bytes", ErrCorruptChunk, v, len(p))
+			return nil, fmt.Errorf("%w: group stream length %d exceeds %d payload bytes", ErrCorruptChunk, v, len(p))
 		}
-		lengths[i] = int(v)
 		total += int(v)
+		groupOff[i+1] = total
 	}
 	if total != len(p) {
-		return hdr, nil, nil, fmt.Errorf("%w: stream lengths sum to %d, have %d bytes", ErrCorruptChunk, total, len(p))
+		return nil, fmt.Errorf("%w: stream lengths sum to %d, have %d bytes", ErrCorruptChunk, total, len(p))
 	}
 	hdr.groupSize = groupSize
-	return hdr, lengths, p, nil
+	// Rebase the group offsets onto the container: the payload starts
+	// where the header ended.
+	payloadStart := len(body) - total
+	for i := range groupOff {
+		groupOff[i] += payloadStart
+	}
+	pc := &ParsedChunk{
+		Header:   hdr,
+		total:    len(data),
+		groups:   tokenGroups(hdr.Tokens, groupSize),
+		groupOff: groupOff,
+		lanes:    laneSpans(numGroups, c.workers()),
+	}
+	pc.Header.Lanes = len(pc.lanes)
+	return pc, nil
 }
 
-// DecodeChunk decodes a chunk bitstream produced by EncodeChunk, verifying
-// integrity and geometry against the codec's bank. Token groups decode in
-// parallel.
+// parseChunkV2 parses a lane-interleaved container from a (possibly
+// partial) prefix. The header — everything up to and including its own
+// CRC — must have arrived; the payload need not.
+func (c *Codec) parseChunkV2(data []byte, total int) (*ParsedChunk, error) {
+	short := func(what string) error {
+		if len(data) < total {
+			return ErrShortChunk
+		}
+		return fmt.Errorf("%w: truncated %s", ErrCorruptChunk, what)
+	}
+	hdr := ChunkHeader{Format: FormatV2, Level: Level(data[5])}
+	pos := 6
+	read := func(what string) (uint64, error) {
+		if pos >= len(data) {
+			return 0, short(what)
+		}
+		v, n := binary.Uvarint(data[pos:])
+		if n == 0 {
+			return 0, short(what)
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("%w: %s overflows uvarint", ErrCorruptChunk, what)
+		}
+		pos += n
+		return v, nil
+	}
+	var vals [7]uint64
+	names := [7]string{"chunk index", "token offset", "layers", "tokens", "channels", "group size", "lanes"}
+	for i := range vals {
+		v, err := read(names[i])
+		if err != nil {
+			return nil, err
+		}
+		// Bound every header field before int conversion: a 2^63-scale
+		// value would wrap negative and slip past the checks below.
+		if v > maxChunkTokens<<8 {
+			return nil, fmt.Errorf("%w: implausible %s %d", ErrCorruptChunk, names[i], v)
+		}
+		vals[i] = v
+	}
+	hdr.Index, hdr.TokenOffset = int(vals[0]), int(vals[1])
+	hdr.Layers, hdr.Tokens, hdr.Channels = int(vals[2]), int(vals[3]), int(vals[4])
+	groupSize, numLanes := int(vals[5]), int(vals[6])
+
+	if hdr.Tokens > maxChunkTokens {
+		return nil, fmt.Errorf("%w: implausible chunk of %d tokens", ErrCorruptChunk, hdr.Tokens)
+	}
+	if groupSize <= 0 || hdr.Tokens <= 0 {
+		return nil, fmt.Errorf("%w: %d tokens / group size %d", ErrCorruptChunk, hdr.Tokens, groupSize)
+	}
+	numGroups := (hdr.Tokens + groupSize - 1) / groupSize
+	if numLanes < 1 || numLanes > numGroups || numLanes > maxWireLanes {
+		return nil, fmt.Errorf("%w: %d lanes for %d groups", ErrCorruptChunk, numLanes, numGroups)
+	}
+
+	if len(data) < pos+4*numLanes {
+		return nil, short("lane table")
+	}
+	laneCRC := make([]uint32, numLanes)
+	for i := range laneCRC {
+		laneCRC[i] = binary.BigEndian.Uint32(data[pos:])
+		pos += 4
+	}
+
+	groupOff := make([]int, numGroups+1)
+	sum := 0
+	for i := 0; i < numGroups; i++ {
+		v, err := read("group length")
+		if err != nil {
+			return nil, err
+		}
+		if v > uint64(total) {
+			return nil, fmt.Errorf("%w: group stream length %d exceeds container size %d", ErrCorruptChunk, v, total)
+		}
+		sum += int(v)
+		if sum > total {
+			return nil, fmt.Errorf("%w: stream lengths overflow container size %d", ErrCorruptChunk, total)
+		}
+		groupOff[i+1] = sum
+	}
+	if len(data) < pos+4 {
+		return nil, short("header checksum")
+	}
+	if crc32.ChecksumIEEE(data[:pos]) != binary.BigEndian.Uint32(data[pos:]) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrCorruptChunk)
+	}
+	pos += 4
+	if sum != total-pos {
+		return nil, fmt.Errorf("%w: stream lengths sum to %d, payload is %d bytes", ErrCorruptChunk, sum, total-pos)
+	}
+	for i := range groupOff {
+		groupOff[i] += pos
+	}
+	hdr.groupSize = groupSize
+	hdr.Lanes = numLanes
+	return &ParsedChunk{
+		Header:   hdr,
+		total:    total,
+		groups:   tokenGroups(hdr.Tokens, groupSize),
+		groupOff: groupOff,
+		lanes:    laneSpans(numGroups, numLanes),
+		laneCRC:  laneCRC,
+	}, nil
+}
+
+// DecodeChunk decodes a chunk bitstream produced by EncodeChunk (either
+// container format), verifying integrity and geometry against the
+// codec's bank. Coder lanes decode in parallel.
 func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
-	hdr, lengths, payload, err := parseChunk(data)
+	p, err := c.ParseChunk(data)
 	if err != nil {
 		return nil, err
 	}
+	hdr := p.Header
 	kv := tensor.New(hdr.Layers, hdr.Tokens, hdr.Channels)
-	if err := c.decodeChunkPayload(hdr, lengths, payload, kv, 0); err != nil {
+	if err := c.decodeParsed(kv, 0, p, data); err != nil {
 		return nil, err
 	}
 	return &Chunk{Index: hdr.Index, TokenOffset: hdr.TokenOffset, Level: hdr.Level, KV: kv}, nil
@@ -429,26 +736,37 @@ func (c *Codec) DecodeChunk(data []byte) (*Chunk, error) {
 // preallocated destination instead of concatenating per-chunk tensors.
 // Returns the chunk's parsed header.
 func (c *Codec) DecodeChunkInto(dst *tensor.KV, dstOff int, data []byte) (ChunkHeader, error) {
-	hdr, lengths, payload, err := parseChunk(data)
+	p, err := c.ParseChunk(data)
 	if err != nil {
-		return hdr, err
+		return ChunkHeader{}, err
+	}
+	return p.Header, c.decodeParsed(dst, dstOff, p, data)
+}
+
+// DecodeParsedInto is DecodeChunkInto for a caller that already parsed
+// the container (to inspect its header or lane layout before deciding
+// where the payload lands). data must be the complete container p was
+// parsed from; every lane decodes, in parallel when the codec has more
+// than one worker.
+func (c *Codec) DecodeParsedInto(dst *tensor.KV, dstOff int, p *ParsedChunk, data []byte) error {
+	return c.decodeParsed(dst, dstOff, p, data)
+}
+
+// checkParsed verifies a parsed chunk against the codec's configuration
+// and the destination's geometry — the per-chunk (not per-lane) half of
+// decode validation.
+func (c *Codec) checkParsed(dst *tensor.KV, dstOff int, p *ParsedChunk) error {
+	hdr := &p.Header
+	if hdr.Layers != c.bank.layers || hdr.Channels != c.bank.channels {
+		return fmt.Errorf("%w (chunk %d,·,%d)", ErrGeometry, hdr.Layers, hdr.Channels)
 	}
 	if dst.Layers != hdr.Layers || dst.Channels != hdr.Channels {
-		return hdr, fmt.Errorf("%w: destination (%d,·,%d) vs chunk (%d,·,%d)",
+		return fmt.Errorf("%w: destination (%d,·,%d) vs chunk (%d,·,%d)",
 			ErrGeometry, dst.Layers, dst.Channels, hdr.Layers, hdr.Channels)
 	}
 	if dstOff < 0 || dstOff+hdr.Tokens > dst.Tokens {
-		return hdr, fmt.Errorf("core: chunk of %d tokens does not fit destination [%d,%d)",
+		return fmt.Errorf("core: chunk of %d tokens does not fit destination [%d,%d)",
 			hdr.Tokens, dstOff, dst.Tokens)
-	}
-	return hdr, c.decodeChunkPayload(hdr, lengths, payload, dst, dstOff)
-}
-
-// decodeChunkPayload decodes the group streams of a parsed chunk into
-// dst at token offset dstOff. Token groups decode in parallel batches.
-func (c *Codec) decodeChunkPayload(hdr ChunkHeader, lengths []int, payload []byte, dst *tensor.KV, dstOff int) error {
-	if hdr.Layers != c.bank.layers || hdr.Channels != c.bank.channels {
-		return fmt.Errorf("%w (chunk %d,·,%d)", ErrGeometry, hdr.Layers, hdr.Channels)
 	}
 	if hdr.groupSize != c.cfg.GroupSize {
 		return fmt.Errorf("%w: group size %d, codec uses %d", ErrCorruptChunk, hdr.groupSize, c.cfg.GroupSize)
@@ -456,34 +774,81 @@ func (c *Codec) decodeChunkPayload(hdr ChunkHeader, lengths []int, payload []byt
 	if !c.cfg.ValidLevel(hdr.Level) {
 		return fmt.Errorf("%w: invalid level %d", ErrCorruptChunk, hdr.Level)
 	}
-	streams := make([][]byte, len(lengths))
-	off := 0
-	for gi, n := range lengths {
-		streams[gi] = payload[off : off+n]
-		off += n
+	return nil
+}
+
+// DecodeLaneInto decodes one coder lane of a parsed chunk into dst's
+// token range — the out-of-order unit of the fetch pipeline. data must
+// be (a prefix of) the container p was parsed from, holding at least
+// LaneEnd(lane) bytes. Lanes of one chunk may decode concurrently and in
+// any order: each lane writes a disjoint set of destination token rows.
+// For a v2 container the lane's payload CRC is verified here; a v1
+// container was already verified whole at parse.
+func (c *Codec) DecodeLaneInto(dst *tensor.KV, dstOff int, p *ParsedChunk, lane int, data []byte) error {
+	if lane < 0 || lane >= len(p.lanes) {
+		return fmt.Errorf("core: lane %d out of range 0..%d", lane, len(p.lanes)-1)
 	}
-	_, batches := groupSpans(hdr.Tokens, hdr.groupSize, c.workers())
-	if len(batches) == 1 {
-		// Inline, but still under the codec-wide coder budget (see
-		// encodeChunkRange).
-		c.groupSem <- struct{}{}
-		err := c.decodeGroupBatch(dst, dstOff, batches[0], hdr.Level, streams)
-		<-c.groupSem
+	if err := c.checkParsed(dst, dstOff, p); err != nil {
 		return err
 	}
-	errs := make([]error, len(batches))
+	if len(data) < p.LaneEnd(lane) {
+		return fmt.Errorf("%w: lane %d needs %d bytes, have %d", ErrShortChunk, lane, p.LaneEnd(lane), len(data))
+	}
+	c.groupSem <- struct{}{}
+	defer func() { <-c.groupSem }()
+	return c.decodeLane(dst, dstOff, p, lane, data)
+}
+
+// decodeLane is DecodeLaneInto after validation: the caller holds a
+// groupSem slot and has checked geometry and data length.
+func (c *Codec) decodeLane(dst *tensor.KV, dstOff int, p *ParsedChunk, lane int, data []byte) error {
+	ln := p.lanes[lane]
+	start, end := p.groupOff[ln.start], p.groupOff[ln.end]
+	if p.laneCRC != nil && crc32.ChecksumIEEE(data[start:end]) != p.laneCRC[lane] {
+		return fmt.Errorf("%w: lane %d checksum mismatch", ErrCorruptChunk, lane)
+	}
+	batch := p.groups[ln.start:ln.end]
+	streams := make([][]byte, len(batch))
+	for i := range batch {
+		gi := ln.start + i
+		streams[i] = data[p.groupOff[gi]:p.groupOff[gi+1]]
+	}
+	return c.decodeGroupBatch(dst, dstOff, batch, p.Header.Level, streams)
+}
+
+// decodeParsed decodes every lane of a parsed chunk into dst at token
+// offset dstOff, in parallel when the codec has more than one worker.
+func (c *Codec) decodeParsed(dst *tensor.KV, dstOff int, p *ParsedChunk, data []byte) error {
+	if err := c.checkParsed(dst, dstOff, p); err != nil {
+		return err
+	}
+	if len(data) < p.total {
+		return fmt.Errorf("%w: have %d of %d container bytes", ErrShortChunk, len(data), p.total)
+	}
+	if len(p.lanes) == 1 || c.workers() == 1 {
+		// Inline, but still under the codec-wide coder budget (see
+		// encodeChunkRange).
+		for lane := range p.lanes {
+			c.groupSem <- struct{}{}
+			err := c.decodeLane(dst, dstOff, p, lane, data)
+			<-c.groupSem
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(p.lanes))
 	var wg sync.WaitGroup
 	sem := c.groupSem
-	gi := 0
-	for bi, batch := range batches {
+	for lane := range p.lanes {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(bi, gi int, batch []span) {
+		go func(lane int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[bi] = c.decodeGroupBatch(dst, dstOff, batch, hdr.Level, streams[gi:gi+len(batch)])
-		}(bi, gi, batch)
-		gi += len(batch)
+			errs[lane] = c.decodeLane(dst, dstOff, p, lane, data)
+		}(lane)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -639,7 +1004,7 @@ func (c *Codec) encodeJobs(kv *tensor.KV, jobs []levelChunkJob) ([][]byte, error
 			defer wg.Done()
 			defer func() { <-sem }()
 			// Encode the token range in place: no per-chunk tensor copy.
-			out[ji], errs[ji] = c.encodeChunkRange(kv, job.lo, job.hi, job.chunk, job.lo, job.lv)
+			out[ji], errs[ji] = c.encodeChunkRange(kv, job.lo, job.hi, job.chunk, job.lo, job.lv, FormatV2)
 		}(ji, job)
 	}
 	wg.Wait()
@@ -660,34 +1025,71 @@ func (c *Codec) DecodeContext(chunks [][]byte) (*tensor.KV, error) {
 	if len(chunks) == 0 {
 		return nil, errors.New("core: decode of zero chunks")
 	}
-	type parsed struct {
-		hdr     ChunkHeader
-		lengths []int
-		payload []byte
-	}
-	// One parse (and one CRC pass) per chunk: the sizing walk keeps the
-	// parsed containers for the decode walk.
-	ps := make([]parsed, len(chunks))
+	// One parse per chunk: the sizing walk keeps the parsed containers
+	// for the decode walk.
+	ps := make([]*ParsedChunk, len(chunks))
 	total := 0
 	for i, data := range chunks {
-		hdr, lengths, payload, err := parseChunk(data)
+		p, err := c.ParseChunk(data)
 		if err != nil {
 			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
 		}
-		if hdr.Index != i || hdr.TokenOffset != total {
+		if p.Header.Index != i || p.Header.TokenOffset != total {
 			return nil, fmt.Errorf("core: chunk %d out of order (index %d, offset %d, want offset %d)",
-				i, hdr.Index, hdr.TokenOffset, total)
+				i, p.Header.Index, p.Header.TokenOffset, total)
 		}
-		ps[i] = parsed{hdr: hdr, lengths: lengths, payload: payload}
-		total += hdr.Tokens
+		ps[i] = p
+		total += p.Header.Tokens
 	}
 	kv := tensor.New(c.bank.layers, total, c.bank.channels)
-	next := 0
+	if c.workers() == 1 {
+		off := 0
+		for i, p := range ps {
+			if err := c.decodeParsed(kv, off, p, chunks[i]); err != nil {
+				return nil, fmt.Errorf("core: chunk %d: %w", i, err)
+			}
+			off += p.Header.Tokens
+		}
+		return kv, nil
+	}
+	// Fan out every (chunk, lane) pair at once rather than walking
+	// chunks serially: each lane writes a disjoint destination range, so
+	// the whole context's lane population — not one chunk's — is what
+	// keeps the cores busy. This is where decode throughput scales with
+	// GOMAXPROCS past a single chunk's lane count.
+	errs := make([]error, len(ps))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := c.groupSem
+	off := 0
 	for i, p := range ps {
-		if err := c.decodeChunkPayload(p.hdr, p.lengths, p.payload, kv, next); err != nil {
+		if err := c.checkParsed(kv, off, p); err != nil {
+			errs[i] = err
+			off += p.Header.Tokens
+			continue
+		}
+		for lane := 0; lane < p.Lanes(); lane++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i, lane, off int, p *ParsedChunk) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := c.decodeLane(kv, off, p, lane, chunks[i]); err != nil {
+					mu.Lock()
+					if errs[i] == nil {
+						errs[i] = err
+					}
+					mu.Unlock()
+				}
+			}(i, lane, off, p)
+		}
+		off += p.Header.Tokens
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
 			return nil, fmt.Errorf("core: chunk %d: %w", i, err)
 		}
-		next += p.hdr.Tokens
 	}
 	return kv, nil
 }

@@ -496,60 +496,182 @@ func BenchmarkDecodeChunk(b *testing.B) {
 	}
 }
 
-// TestDecodeChunkRejectsOverflowingGroupLengths: a CRC-valid container
-// whose group-length uvarints wrap int must fail with ErrCorruptChunk,
-// not panic on slice bounds.
+// TestDecodeChunkRejectsOverflowingGroupLengths: a checksum-valid
+// container whose group-length uvarints wrap int must fail with
+// ErrCorruptChunk, not panic on slice bounds — in both container
+// formats, each re-sealed with its own CRC so the forgery reaches the
+// length checks.
 func TestDecodeChunkRejectsOverflowingGroupLengths(t *testing.T) {
 	codec, m := testCodec(t, smallConfig())
 	kv := m.CalculateKV(testTokens(77, 20))
-	data, err := codec.EncodeChunk(kv, 0, 0, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Rebuild the container with two absurd group lengths whose int sum
-	// wraps to the real payload size, then re-seal the CRC.
-	hdr, rest := data[:6], data[6:len(data)-4]
-	var vals []uint64
-	for i := 0; i < 7; i++ {
-		v, n := binary.Uvarint(rest)
-		if n <= 0 {
-			t.Fatal("truncated header")
-		}
-		vals = append(vals, v)
-		rest = rest[n:]
-	}
-	numGroups := int(vals[6])
-	payload := rest
-	for i := 0; i < numGroups; i++ {
-		_, n := binary.Uvarint(payload)
-		payload = payload[n:]
-	}
-	if numGroups < 2 {
-		t.Fatalf("need >= 2 groups, have %d", numGroups)
-	}
-	// numGroups is validated against tokens/groupSize, so keep the real
-	// group count and forge only the lengths.
-	forged := append([]byte{}, hdr...)
-	for _, v := range vals[:7] {
-		forged = binary.AppendUvarint(forged, v)
-	}
-	huge := uint64(1) << 63
-	forged = binary.AppendUvarint(forged, huge)
-	forged = binary.AppendUvarint(forged, huge+uint64(len(payload)))
-	for i := 2; i < numGroups; i++ {
-		forged = binary.AppendUvarint(forged, 0)
-	}
-	forged = append(forged, payload...)
-	var sum [4]byte
-	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(forged))
-	forged = append(forged, sum[:]...)
-
 	defer func() {
 		if r := recover(); r != nil {
 			t.Fatalf("DecodeChunk panicked on forged lengths: %v", r)
 		}
 	}()
-	if _, err := codec.DecodeChunk(forged); !errors.Is(err, ErrCorruptChunk) {
-		t.Fatalf("DecodeChunk = %v, want ErrCorruptChunk", err)
+
+	huge := uint64(1) << 63
+	readVals := func(t *testing.T, p []byte, n int) ([]uint64, []byte) {
+		t.Helper()
+		vals := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			v, k := binary.Uvarint(p)
+			if k <= 0 {
+				t.Fatal("truncated header")
+			}
+			vals = append(vals, v)
+			p = p[k:]
+		}
+		return vals, p
+	}
+
+	t.Run("v1", func(t *testing.T) {
+		data, err := codec.EncodeChunkV1(kv, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild the container with two absurd group lengths whose int
+		// sum wraps to the real payload size, then re-seal the CRC.
+		hdr := data[:6]
+		vals, rest := readVals(t, data[6:len(data)-4], 7)
+		numGroups := int(vals[6])
+		payload := rest
+		for i := 0; i < numGroups; i++ {
+			_, n := binary.Uvarint(payload)
+			payload = payload[n:]
+		}
+		if numGroups < 2 {
+			t.Fatalf("need >= 2 groups, have %d", numGroups)
+		}
+		// numGroups is validated against tokens/groupSize, so keep the
+		// real group count and forge only the lengths.
+		forged := append([]byte{}, hdr...)
+		for _, v := range vals {
+			forged = binary.AppendUvarint(forged, v)
+		}
+		forged = binary.AppendUvarint(forged, huge)
+		forged = binary.AppendUvarint(forged, huge+uint64(len(payload)))
+		for i := 2; i < numGroups; i++ {
+			forged = binary.AppendUvarint(forged, 0)
+		}
+		forged = append(forged, payload...)
+		var sum [4]byte
+		binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(forged))
+		forged = append(forged, sum[:]...)
+		if _, err := codec.DecodeChunk(forged); !errors.Is(err, ErrCorruptChunk) {
+			t.Fatalf("DecodeChunk = %v, want ErrCorruptChunk", err)
+		}
+	})
+
+	t.Run("v2", func(t *testing.T) {
+		data, err := codec.EncodeChunk(kv, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Take the v2 container apart: fixed prefix, 7 header uvarints
+		// (the last is the lane count), the lane-CRC table, the group
+		// lengths, the header CRC, then the payload.
+		hdr := data[:6]
+		vals, rest := readVals(t, data[6:], 7)
+		groupSize, lanes := int(vals[5]), int(vals[6])
+		numGroups := (int(vals[3]) + groupSize - 1) / groupSize
+		laneTab := rest[:4*lanes]
+		_, rest = readVals(t, rest[4*lanes:], numGroups)
+		payload := rest[4:] // skip the header CRC
+		if numGroups < 2 {
+			t.Fatalf("need >= 2 groups, have %d", numGroups)
+		}
+		// Forge int-wrapping lengths and re-seal the header CRC: the
+		// length bound must reject before any offset arithmetic runs.
+		forged := append([]byte{}, hdr...)
+		for _, v := range vals {
+			forged = binary.AppendUvarint(forged, v)
+		}
+		forged = append(forged, laneTab...)
+		forged = binary.AppendUvarint(forged, huge)
+		forged = binary.AppendUvarint(forged, huge+uint64(len(payload)))
+		for i := 2; i < numGroups; i++ {
+			forged = binary.AppendUvarint(forged, 0)
+		}
+		forged = binary.BigEndian.AppendUint32(forged, crc32.ChecksumIEEE(forged))
+		forged = append(forged, payload...)
+		if _, err := codec.DecodeChunk(forged); !errors.Is(err, ErrCorruptChunk) {
+			t.Fatalf("DecodeChunk = %v, want ErrCorruptChunk", err)
+		}
+	})
+}
+
+// TestParseChunkPrefixIncremental drives the streaming consumer's
+// contract directly: feeding ever-longer prefixes of a v2 container to
+// ParseChunkPrefix must return ErrShortChunk until the header has
+// arrived, then a ParsedChunk whose lanes become decodable exactly when
+// their LaneEnd offset is covered — and the lane-assembled KV must be
+// bit-identical to the whole-chunk decode.
+func TestParseChunkPrefixIncremental(t *testing.T) {
+	codec, m := testCodec(t, smallConfig())
+	kv := m.CalculateKV(testTokens(78, 40))
+	data, err := codec.EncodeChunk(kv, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := codec.DecodeChunk(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var p *ParsedChunk
+	headerLen := 0
+	for n := 0; n <= len(data); n++ {
+		got, err := codec.ParseChunkPrefix(data[:n], len(data))
+		if err == nil {
+			p = got
+			headerLen = n
+			break
+		}
+		if !errors.Is(err, ErrShortChunk) {
+			t.Fatalf("prefix of %d bytes: %v, want ErrShortChunk", n, err)
+		}
+	}
+	if p == nil {
+		t.Fatal("no prefix parsed")
+	}
+	if p.Lanes() < 2 {
+		t.Fatalf("want multiple lanes, got %d", p.Lanes())
+	}
+	if p.Size() != len(data) {
+		t.Fatalf("Size() = %d, want %d", p.Size(), len(data))
+	}
+
+	dst := tensor.New(kv.Layers, p.Header.Tokens, kv.Channels)
+	for lane := 0; lane < p.Lanes(); lane++ {
+		end := p.LaneEnd(lane)
+		if end <= headerLen || end > len(data) {
+			t.Fatalf("lane %d ends at %d outside (%d,%d]", lane, end, headerLen, len(data))
+		}
+		// One byte short of the lane's range: must refuse as short.
+		if err := codec.DecodeLaneInto(dst, 0, p, lane, data[:end-1]); !errors.Is(err, ErrShortChunk) {
+			t.Fatalf("lane %d with short prefix: %v, want ErrShortChunk", lane, err)
+		}
+		if err := codec.DecodeLaneInto(dst, 0, p, lane, data[:end]); err != nil {
+			t.Fatalf("lane %d: %v", lane, err)
+		}
+	}
+	d, err := whole.KV.MaxAbsDiff(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("lane-assembled KV differs from whole-chunk decode (max abs diff %v)", d)
+	}
+
+	// A flipped payload bit must surface as that lane's corruption.
+	bad := append([]byte{}, data...)
+	bad[headerLen] ^= 0x40
+	pb, err := codec.ParseChunkPrefix(bad, len(bad))
+	if err != nil {
+		t.Fatalf("header should still parse: %v", err)
+	}
+	if err := codec.DecodeLaneInto(dst, 0, pb, 0, bad); !errors.Is(err, ErrCorruptChunk) {
+		t.Fatalf("corrupt lane 0 decode = %v, want ErrCorruptChunk", err)
 	}
 }

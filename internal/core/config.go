@@ -57,6 +57,14 @@ type Config struct {
 	DeltaClamp int32
 	// Workers caps encode/decode parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// CoderLanes is the number of independently decodable coder lanes a
+	// v2 chunk container is partitioned into (clipped to the chunk's
+	// token-group count). Lanes are a container-layout property, not a
+	// coding property: the per-group arithmetic-coded streams are
+	// bit-identical at any lane count, only the header's lane table
+	// changes — so, like Workers, CoderLanes is excluded from the bank
+	// fingerprint. 0 means 16.
+	CoderLanes int
 
 	// Ablation switches (Figure 15). Production use leaves them false.
 	//
@@ -81,6 +89,7 @@ func DefaultConfig() Config {
 		ChunkTokens:      1500,
 		ChannelBuckets:   128,
 		DeltaClamp:       127,
+		CoderLanes:       16,
 	}
 }
 
@@ -109,6 +118,9 @@ func (c Config) Normalize() (Config, error) {
 	if c.DeltaClamp == 0 {
 		c.DeltaClamp = d.DeltaClamp
 	}
+	if c.CoderLanes == 0 {
+		c.CoderLanes = d.CoderLanes
+	}
 	switch {
 	case c.GroupSize < 2:
 		return c, fmt.Errorf("core: group size %d < 2", c.GroupSize)
@@ -121,6 +133,8 @@ func (c Config) Normalize() (Config, error) {
 		return c, fmt.Errorf("core: channel buckets %d < 1", c.ChannelBuckets)
 	case c.DeltaClamp < 1:
 		return c, fmt.Errorf("core: delta clamp %d < 1", c.DeltaClamp)
+	case c.CoderLanes < 1 || c.CoderLanes > maxWireLanes:
+		return c, fmt.Errorf("core: coder lanes %d outside [1,%d]", c.CoderLanes, maxWireLanes)
 	}
 	for i, m := range c.LevelMultipliers {
 		if m <= 0 {

@@ -104,7 +104,79 @@ func TestGoldenBitstreams(t *testing.T) {
 	}
 }
 
+// TestGoldenV1Compat pins the legacy read path: the committed CGC1
+// fixtures (written before the v2 lane-interleaved container shipped)
+// must keep decoding through today's codec to exactly the KV the v2
+// encoding decodes to, and the retained v1 encoder must still reproduce
+// their bytes. There is deliberately no -update-golden escape hatch
+// here: the golden_chunk_v1_l*.bin fixtures are never regenerated —
+// breaking them means breaking every v1 bitstream already in a store.
+func TestGoldenV1Compat(t *testing.T) {
+	bank, err := UnmarshalBank(readGolden(t, "golden_bank.bin"))
+	if err != nil {
+		t.Fatalf("golden bank: %v", err)
+	}
+	codec := NewCodec(bank)
+	var kvBuf bytes.Buffer
+	kvBuf.Write(readGolden(t, "golden_kv.bin"))
+	kv, err := tensor.ReadKV(&kvBuf)
+	if err != nil {
+		t.Fatalf("golden kv: %v", err)
+	}
+
+	for lv := 0; lv < codec.Config().Levels(); lv++ {
+		lv := Level(lv)
+		t.Run(fmt.Sprintf("L%d", lv), func(t *testing.T) {
+			v1 := readGolden(t, fmt.Sprintf("golden_chunk_v1_l%d.bin", lv))
+			p, err := codec.ParseChunk(v1)
+			if err != nil {
+				t.Fatalf("v1 fixture no longer parses: %v", err)
+			}
+			if p.Header.Format != FormatV1 {
+				t.Fatalf("v1 fixture parsed as format %d", p.Header.Format)
+			}
+			fromV1, err := codec.DecodeChunk(v1)
+			if err != nil {
+				t.Fatalf("v1 fixture no longer decodes: %v", err)
+			}
+			// The v2 encoding of the same tokens must decode to the
+			// byte-identical KV: lanes change the container layout, not
+			// the coded streams.
+			v2, err := codec.EncodeChunk(kv, 0, 0, lv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromV2, err := codec.DecodeChunk(v2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b1, b2 bytes.Buffer
+			if _, err := fromV1.KV.WriteTo(&b1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fromV2.KV.WriteTo(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Errorf("L%d: v1 fixture and v2 encoding decode to different KV bytes", lv)
+			}
+			// And the retained v1 encoder must still be bit-exact
+			// against the fixture written before v2 existed.
+			re, err := codec.EncodeChunkV1(kv, 0, 0, lv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, v1) {
+				t.Errorf("L%d: EncodeChunkV1 no longer reproduces the committed v1 fixture (%d vs %d bytes)",
+					lv, len(re), len(v1))
+			}
+		})
+	}
+}
+
 // writeGoldenFixtures regenerates the corpus from the deterministic rig.
+// It rewrites only the current-format fixtures — the golden_chunk_v1_*
+// compat corpus is frozen and has no regeneration path.
 func writeGoldenFixtures(t *testing.T) {
 	t.Helper()
 	codec, _ := testCodec(t, goldenConfig())

@@ -262,6 +262,9 @@ type gwInstruments struct {
 	ttft      *telemetry.Histogram
 	queueWait *telemetry.Histogram
 	bandwidth *telemetry.Gauge
+	// decodeLanes tracks coder-lane decodes in flight across every live
+	// fetch — the fleet's instantaneous decode parallelism.
+	decodeLanes *telemetry.Gauge
 }
 
 // register wires the gateway's instruments into reg (nil-safe).
@@ -277,6 +280,8 @@ func (g *Gateway) register(reg *telemetry.Registry) {
 		ttft:      reg.Histogram("cachegen_gateway_ttft_seconds", "admission to first output token"),
 		queueWait: reg.Histogram("cachegen_gateway_queue_wait_seconds", "admission to decode-slot grant"),
 		bandwidth: reg.Gauge("cachegen_gateway_bandwidth_bps", "live estimate from the most recent fetch frames"),
+		decodeLanes: reg.Gauge("cachegen_codec_decode_lanes_inflight",
+			"coder-lane decodes currently running or queued on the codec worker pool"),
 	}
 	if reg == nil {
 		return
@@ -575,6 +580,7 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 		PipelineDepth:  g.cfg.PipelineDepth,
 		Chaos:          g.cfg.Chaos,
 		BandwidthGauge: g.tele.bandwidth,
+		LanesGauge:     g.tele.decodeLanes,
 	}
 }
 

@@ -45,6 +45,12 @@ type ContextMeta struct {
 	Levels      int       `json:"levels"`               // number of encoding levels
 	SizesBytes  [][]int64 `json:"sizes_bytes"`          // [level][chunk] payload sizes
 	TextBytes   []int64   `json:"text_bytes,omitempty"` // per-chunk text payload sizes
+	// Format is the chunk container format version the publisher wrote
+	// (core.FormatV1/FormatV2). Advisory: every payload self-describes
+	// via its magic bytes and decoders dispatch on those, so a manifest
+	// may even name chunks of mixed vintage. 0 means a pre-format-field
+	// publisher, i.e. v1.
+	Format int `json:"format,omitempty"`
 
 	// Incremental-streaming extension (DESIGN.md §5b): refinement streams
 	// upgrading the coarsest level to RefineTargets[i], stored under

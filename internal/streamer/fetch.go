@@ -58,12 +58,13 @@ type Fetcher struct {
 	Start time.Time
 	// PipelineDepth caps how many chunk transfers may be in flight at
 	// once (0 = DefaultPipelineDepth). At depth K, up to K transfers
-	// overlap while decode proceeds in order; planner decisions stay
-	// sequential — the choice for chunk i uses the throughput measured
-	// from the most recently completed transfer, which at depths > 1 may
-	// be an older chunk than i−1. On the streaming path the depth bounds
-	// how many completed chunks may queue ahead of the in-order decoder
-	// before backpressure pauses the sender.
+	// overlap while completed chunks decode out of order (decode never
+	// holds a transfer slot); planner decisions stay sequential — the
+	// choice for chunk i uses the throughput measured from the most
+	// recently completed transfer, which at depths > 1 may be an older
+	// chunk than i−1. On the streaming path the depth bounds how many
+	// completed chunks may queue ahead of the in-order finalizer before
+	// backpressure pauses the sender.
 	PipelineDepth int
 	// DisableStreaming forces the per-chunk request/response path even
 	// when Source supports the multiplexed server-push stream — the
@@ -88,6 +89,18 @@ type Fetcher struct {
 	// bandwidth estimate (bits per second) as frames arrive — the
 	// telemetry registry's view of netsim.Estimator. Nil is fine.
 	BandwidthGauge *telemetry.Gauge
+	// LanesGauge, when set, tracks coder-lane decodes in flight across
+	// the fetch (cachegen_codec_decode_lanes_inflight): incremented as a
+	// chunk's lanes are handed to the codec pool, decremented as they
+	// finish — the waterfall's view of decode parallelism. Nil is fine.
+	LanesGauge *telemetry.Gauge
+}
+
+// laneGaugeAdd moves the in-flight lane gauge by d (nil-safe).
+func (f *Fetcher) laneGaugeAdd(d float64) {
+	if f.LanesGauge != nil {
+		f.LanesGauge.Add(d)
+	}
 }
 
 // rejectCorrupt accounts one integrity rejection.
@@ -107,17 +120,21 @@ type FetchReport struct {
 	// TransferTime, DecodeTime and RecomputeTime are an exclusive
 	// wall-clock attribution of the load: every instant of the fetch is
 	// charged to at most one component, sourced from the same phase
-	// intervals the request tracer records as spans. DecodeTime and
-	// RecomputeTime are the in-order worker's (serial, disjoint) compute
-	// intervals; TransferTime is the union of the transfer intervals
-	// minus the instants compute was running — the network time the
-	// pipeline could not hide. Their sum therefore never exceeds
-	// LoadTime, at any pipeline depth; the remainder is idle/queue time.
-	// A fetch whose DecodeTime rivals its TransferTime is compute-bound,
-	// not network-bound. Per-chunk raw transfer durations (overlapping
-	// at depth > 1) live in Decisions[].Transfer.
+	// intervals the request tracer records as spans. DecodeTime is the
+	// union of the decode intervals — chunks and their coder lanes
+	// decode out of order and in parallel, so overlapped instants are
+	// charged once; RecomputeTime is the recompute union minus any
+	// decode overlap; TransferTime is the union of the transfer
+	// intervals minus the instants compute was running — the network
+	// time the pipeline could not hide. Their sum therefore never
+	// exceeds LoadTime, at any pipeline depth or decode parallelism; the
+	// remainder is idle/queue time. A fetch whose DecodeTime rivals its
+	// TransferTime is compute-bound, not network-bound. Per-chunk raw
+	// transfer durations (overlapping at depth > 1) live in
+	// Decisions[].Transfer.
 	TransferTime time.Duration
-	// DecodeTime is the cumulative codec (bitstream) decode time.
+	// DecodeTime is the wall-clock time bitstream decode was running
+	// (union, not sum, of the possibly-parallel decode intervals).
 	DecodeTime time.Duration
 	// RecomputeTime is the cumulative text-fallback recompute time.
 	RecomputeTime time.Duration
@@ -162,17 +179,11 @@ func (r *FetchReport) addLevelBytes(level string, n int64) {
 	r.LevelBytes[level] += n
 }
 
-// transferResult is one chunk transfer's outcome, delivered to the
-// in-order decode worker.
-type transferResult struct {
-	payload []byte
-	err     error
-}
-
 // Fetch retrieves and reassembles the KV cache of contextID. Up to
-// PipelineDepth chunk transfers run concurrently while a single worker
-// decodes completed chunks in order, directly into the preallocated
-// destination tensor.
+// PipelineDepth chunk transfers run concurrently while completed chunks
+// decode out of order — each chunk's coder lanes fanned across the
+// codec's worker pool — directly into the preallocated destination
+// tensor.
 func (f *Fetcher) Fetch(ctx context.Context, contextID string) (*tensor.KV, *FetchReport, error) {
 	return f.FetchFrom(ctx, contextID, nil)
 }
@@ -276,9 +287,20 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 	defer cancel()
 
 	decisions := make([]ChunkDecision, n)
-	results := make([]chan transferResult, n)
-	for i := range results {
-		results[i] = make(chan transferResult, 1)
+	// offsets[si] is chunk si's destination token offset — precomputed so
+	// out-of-order decode tasks know where their bytes land without any
+	// running cursor. assembled[si] closes once chunk si has fully landed
+	// in dest: bitstream chunks never wait on it, but a text chunk's
+	// recompute resumes the model from the assembled prefix and so waits
+	// on every predecessor.
+	offsets := make([]int, n)
+	for si, off := 0, prefixTokens; si < n; si++ {
+		offsets[si] = off
+		off += suffixInfos[si].Tokens
+	}
+	assembled := make([]chan struct{}, n)
+	for i := range assembled {
+		assembled[i] = make(chan struct{})
 	}
 
 	// Shared transfer bookkeeping. throughput/lastDone track the most
@@ -294,75 +316,97 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		bytes      int64
 	}
 
-	// In-order decode worker: consumes transfer results strictly by
-	// chunk index (text recompute depends on the previously assembled
-	// tokens) and decodes into dest while later transfers proceed.
-	decodeErr := make(chan error, 1)
-	go func() {
-		defer close(decodeErr)
-		offset := prefixTokens
-		for si := 0; si < n; si++ {
-			res := <-results[si]
-			i := fromChunk + si
-			if res.err != nil {
-				decodeErr <- res.err
-				cancel()
-				return
-			}
-			dur, err := f.decodeInto(dest, offset, i, suffixInfos[si].Tokens, decisions[si].Choice, res.payload)
-			if errors.Is(err, core.ErrCorruptChunk) {
-				// A payload that fails its integrity checks is wire or
-				// storage corruption, not a protocol failure: reject the
-				// bytes and refetch the chunk once by its content hash.
-				f.rejectCorrupt(report)
-				if sp != nil {
-					sp.Event("corrupt-reject", telemetry.Attr{Key: "chunk", Value: i})
-				}
-				level := int(decisions[si].Choice.Level)
-				if decisions[si].Choice.Text {
-					level = storage.TextLevel
-				}
-				if hash, herr := man.ChunkHash(level, i); herr == nil {
-					refetchStart := time.Now()
-					if payload, ferr := f.Source.GetChunkData(fctx, hash); ferr == nil {
-						// The refetch is transfer time and payload bytes like
-						// any other: it must not vanish from the attribution.
-						var attrs []telemetry.Attr
-						if sp != nil {
-							attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "refetch", Value: true}, {Key: "bytes", Value: len(payload)}}
-						}
-						tl.add(sp, phaseTransfer, "transfer", refetchStart, time.Now(), attrs)
-						xfer.Lock()
-						xfer.bytes += int64(len(payload))
-						xfer.Unlock()
-						dur, err = f.decodeInto(dest, offset, i, suffixInfos[si].Tokens, decisions[si].Choice, payload)
-					}
-				}
-			}
-			if err != nil {
-				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", i, err)
-				cancel()
-				return
-			}
-			decisions[si].Compute = dur
-			kind, name := phaseDecode, "decode"
-			if decisions[si].Choice.Text {
-				kind, name = phaseRecompute, "recompute"
-			}
-			decodeEnd := time.Now()
-			var attrs []telemetry.Attr
-			if sp != nil {
-				attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "level", Value: decisions[si].Choice.String()}}
-			}
-			tl.add(sp, kind, name, decodeEnd.Add(-dur), decodeEnd, attrs)
-			offset += suffixInfos[si].Tokens
+	// Chunks decode out of order, so the first failure chronologically is
+	// the real one: it cancels the fetch, and the context errors that
+	// cancellation induces in the remaining tasks arrive later and are
+	// dropped.
+	var firstErr struct {
+		sync.Mutex
+		err error
+	}
+	fail := func(err error) {
+		firstErr.Lock()
+		if firstErr.err == nil {
+			firstErr.err = err
+			cancel()
 		}
-	}()
+		firstErr.Unlock()
+	}
+
+	// finishChunk turns one completed transfer into assembled tokens. It
+	// runs on the transfer's own goroutine after the transfer slot is
+	// released, so chunk decodes overlap each other and later transfers;
+	// within a chunk the codec fans the coder lanes across its worker
+	// pool. Exactly one decode/recompute span per chunk is recorded.
+	finishChunk := func(si int, payload []byte) {
+		i := fromChunk + si
+		choice := decisions[si].Choice
+		if choice.Text {
+			for j := 0; j < si; j++ {
+				select {
+				case <-assembled[j]:
+				case <-fctx.Done():
+					fail(fmt.Errorf("streamer: chunk %d: %w", i, fctx.Err()))
+					return
+				}
+			}
+		}
+		dur, lanes, err := f.decodeInto(dest, offsets[si], i, suffixInfos[si].Tokens, choice, payload)
+		if errors.Is(err, core.ErrCorruptChunk) {
+			// A payload that fails its integrity checks is wire or
+			// storage corruption, not a protocol failure: reject the
+			// bytes and refetch the chunk once by its content hash.
+			f.rejectCorrupt(report)
+			if sp != nil {
+				sp.Event("corrupt-reject", telemetry.Attr{Key: "chunk", Value: i})
+			}
+			level := int(choice.Level)
+			if choice.Text {
+				level = storage.TextLevel
+			}
+			if hash, herr := man.ChunkHash(level, i); herr == nil {
+				refetchStart := time.Now()
+				if payload, ferr := f.Source.GetChunkData(fctx, hash); ferr == nil {
+					// The refetch is transfer time and payload bytes like
+					// any other: it must not vanish from the attribution.
+					var attrs []telemetry.Attr
+					if sp != nil {
+						attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "refetch", Value: true}, {Key: "bytes", Value: len(payload)}}
+					}
+					tl.add(sp, phaseTransfer, "transfer", refetchStart, time.Now(), attrs)
+					xfer.Lock()
+					xfer.bytes += int64(len(payload))
+					xfer.Unlock()
+					dur, lanes, err = f.decodeInto(dest, offsets[si], i, suffixInfos[si].Tokens, choice, payload)
+				}
+			}
+		}
+		if err != nil {
+			fail(fmt.Errorf("streamer: chunk %d: %w", i, err))
+			return
+		}
+		decisions[si].Compute = dur
+		kind, name := phaseDecode, "decode"
+		if choice.Text {
+			kind, name = phaseRecompute, "recompute"
+		}
+		decodeEnd := time.Now()
+		var attrs []telemetry.Attr
+		if sp != nil {
+			attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "level", Value: choice.String()}}
+			if !choice.Text {
+				attrs = append(attrs, telemetry.Attr{Key: "lanes", Value: lanes})
+			}
+		}
+		tl.add(sp, kind, name, decodeEnd.Add(-dur), decodeEnd, attrs)
+		close(assembled[si])
+	}
 
 	// Issue loop: sequential planner decisions, up to `depth` transfers
-	// in flight. On failure at position si, the error is delivered into
-	// results[si]: the in-order worker reaches it after the chunks
-	// already in flight and relays the first error in chunk order.
+	// in flight. The slot is released the moment the wire is done — the
+	// decode rides the same goroutine but does not hold up later
+	// transfers.
+	var wg sync.WaitGroup
 	inflight := make(chan struct{}, depth)
 	issue := func(si int) error {
 		select {
@@ -401,12 +445,14 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		if sp != nil {
 			sp.Event("plan", telemetry.Attr{Key: "chunk", Value: i}, telemetry.Attr{Key: "level", Value: choice.String()})
 		}
+		wg.Add(1)
 		go func() {
-			defer func() { <-inflight }()
+			defer wg.Done()
 			reqStart := time.Now()
 			payload, err := f.Source.GetChunkData(fctx, hash)
+			<-inflight
 			if err != nil {
-				results[si] <- transferResult{err: fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err)}
+				fail(fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err))
 				return
 			}
 			done := time.Now()
@@ -427,19 +473,21 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 			}
 			xfer.bytes += int64(len(payload))
 			xfer.Unlock()
-			results[si] <- transferResult{payload: payload}
+			finishChunk(si, payload)
 		}()
 		return nil
 	}
 	for si := range suffixInfos {
 		if err := issue(si); err != nil {
-			// Hand the failure to the worker at the position it will
-			// reach; it relays the first error in chunk order.
-			results[si] <- transferResult{err: err}
+			fail(err)
 			break
 		}
 	}
-	if err := <-decodeErr; err != nil {
+	wg.Wait()
+	firstErr.Lock()
+	err = firstErr.err
+	firstErr.Unlock()
+	if err != nil {
 		return nil, nil, err
 	}
 
@@ -457,40 +505,49 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 }
 
 // decodeInto turns one fetched payload into dest's token range
-// [offset, offset+tokens), returning the decode/recompute duration.
-func (f *Fetcher) decodeInto(dest *tensor.KV, offset, idx, tokens int, choice Choice, payload []byte) (time.Duration, error) {
+// [offset, offset+tokens), returning the decode/recompute duration and
+// how many coder lanes the container carried (0 on the text path). The
+// lane count is reflected in LanesGauge for the duration of the decode.
+func (f *Fetcher) decodeInto(dest *tensor.KV, offset, idx, tokens int, choice Choice, payload []byte) (time.Duration, int, error) {
 	begin := time.Now()
 	if choice.Text {
 		toks, err := llm.DecodeTokens(payload)
 		if err != nil {
 			// A text payload that does not parse is corrupt in transit or
 			// at rest; classify it so callers can refetch.
-			return 0, fmt.Errorf("%w: text payload: %v", core.ErrCorruptChunk, err)
+			return 0, 0, fmt.Errorf("%w: text payload: %v", core.ErrCorruptChunk, err)
 		}
 		if len(toks) != tokens {
-			return 0, fmt.Errorf("%w: text payload has %d tokens, meta says %d", core.ErrCorruptChunk, len(toks), tokens)
+			return 0, 0, fmt.Errorf("%w: text payload has %d tokens, meta says %d", core.ErrCorruptChunk, len(toks), tokens)
 		}
 		// The assembled prefix lives in dest's first `offset` tokens;
 		// ExtendKV resumes the model state from there.
 		part, err := f.Model.ExtendKV(dest, offset, toks)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if err := dest.CopyTokensAt(offset, part, 0, part.Tokens); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return time.Since(begin), nil
+		return time.Since(begin), 0, nil
 	}
-	hdr, err := f.Codec.DecodeChunkInto(dest, offset, payload)
+	p, err := f.Codec.ParseChunk(payload)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
+	hdr := p.Header
 	if hdr.Index != idx || hdr.TokenOffset != offset {
-		return 0, fmt.Errorf("chunk metadata mismatch: got (%d,%d), want (%d,%d)",
+		return 0, 0, fmt.Errorf("chunk metadata mismatch: got (%d,%d), want (%d,%d)",
 			hdr.Index, hdr.TokenOffset, idx, offset)
 	}
 	if hdr.Tokens != tokens {
-		return 0, fmt.Errorf("chunk has %d tokens, meta says %d", hdr.Tokens, tokens)
+		return 0, 0, fmt.Errorf("chunk has %d tokens, meta says %d", hdr.Tokens, tokens)
 	}
-	return time.Since(begin), nil
+	lanes := p.Lanes()
+	f.laneGaugeAdd(float64(lanes))
+	defer f.laneGaugeAdd(-float64(lanes))
+	if err := f.Codec.DecodeParsedInto(dest, offset, p, payload); err != nil {
+		return 0, lanes, err
+	}
+	return time.Since(begin), lanes, nil
 }

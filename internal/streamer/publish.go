@@ -198,6 +198,7 @@ func (f *chunkFragments) manifest(contextID, modelName string, total, levels int
 		ChunkTokens: f.chunkTokens,
 		Levels:      levels,
 		TextBytes:   f.sizes[storage.TextLevel],
+		Format:      core.FormatV2,
 	}
 	meta.SizesBytes = make([][]int64, meta.Levels)
 	for lv := 0; lv < meta.Levels; lv++ {

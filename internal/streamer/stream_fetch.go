@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -77,11 +78,40 @@ func streamChunks(man storage.Manifest, fromChunk, n int) ([]transport.StreamChu
 	return chunks, nil
 }
 
-// readyChunk is one fully received chunk handed to the decode worker.
-type readyChunk struct {
+// laneAttempt tracks one delivery attempt's out-of-order lane decodes
+// for a chunk. A mid-stream CANCEL abandons the attempt and starts a new
+// one for the same chunk; both write the same destination token rows, so
+// a new attempt's lanes wait for the abandoned chain to drain first.
+type laneAttempt struct {
+	prev     *laneAttempt // abandoned predecessor attempt, if any
+	nextLane int          // receive-loop cursor: lanes [0,nextLane) dispatched
+	wg       sync.WaitGroup
+
+	mu          sync.Mutex
+	err         error // first lane decode error (abandoned attempts' errors are discarded)
+	first, last time.Time
+	busy        time.Duration // summed lane decode time (can exceed last−first)
+}
+
+// waitChain joins this attempt and every abandoned predecessor.
+// Nil-safe.
+func (a *laneAttempt) waitChain() {
+	for ; a != nil; a = a.prev {
+		a.wg.Wait()
+	}
+}
+
+// chunkDone is one fully received chunk handed to the in-order
+// finalizer. For a bitstream chunk the coder lanes are already decoding
+// (or decoded) out of order — the finalizer only joins them and settles
+// the chunk's accounting. A text chunk recomputes in the finalizer
+// itself, which is what keeps recompute strictly behind the assembled
+// prefix.
+type chunkDone struct {
 	si      int
 	level   int
 	payload []byte
+	att     *laneAttempt // nil for a text chunk with no abandoned bitstream attempt
 }
 
 // fetchStreaming is the multiplexed delivery path: one stream open, the
@@ -89,11 +119,15 @@ type readyChunk struct {
 // frame, and the planner consulted at frame-batch decision points — it
 // can re-level chunks that have not started (SWITCH) and abandon the
 // in-flight chunk when resending it at the planner's fresh choice is
-// cheaper than finishing it (CANCEL). Decode stays pipelined: completed
-// chunks decode in order into dest (the PR 4 zero-copy path) on a worker
-// while later frames keep arriving, and the bounded hand-off channel
-// plus the stream's credit window make a slow decoder pause the sender
-// instead of buffering the context.
+// cheaper than finishing it (CANCEL). Decode is out of order at lane
+// granularity: the container header parses from the first frames, and
+// every coder lane whose payload bytes have landed is handed to the
+// codec's worker pool immediately — decode of chunk i's early lanes
+// overlaps the transfer of its later ones and of chunk i+1. An in-order
+// finalizer joins each chunk's lanes (text chunks recompute there, after
+// their prefix is assembled), and the bounded hand-off channel plus the
+// stream's credit window make a slow decoder pause the sender instead of
+// buffering the context.
 func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start time.Time,
 	man storage.Manifest, suffixInfos []ChunkInfo, fromChunk, prefixTokens int,
 	dest *tensor.KV, report *FetchReport) error {
@@ -122,6 +156,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 		Chunks:    chunks,
 		Level:     choiceLevel(initial),
 		FrameSize: f.FrameSize,
+		Format:    man.Meta.Format,
 	})
 	if err != nil {
 		return fmt.Errorf("streamer: opening chunk stream: %w", err)
@@ -134,17 +169,59 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 	}
 
 	decisions := make([]ChunkDecision, n)
+	// offsets[si] is chunk si's destination token offset, precomputed so
+	// lanes dispatched out of order know where their rows land.
+	offsets := make([]int, n)
+	for si, off := 0, prefixTokens; si < n; si++ {
+		offsets[si] = off
+		off += suffixInfos[si].Tokens
+	}
 
-	// In-order decode worker: text recompute depends on the previously
-	// assembled tokens, so chunks decode strictly by index while frames
-	// for later chunks keep arriving.
-	completed := make(chan readyChunk, depth)
+	// dispatch hands every lane whose payload has fully landed to the
+	// codec pool. data is a length-snapshot of the chunk's assembly
+	// buffer: its backing array was allocated at the container's full
+	// size, so later appends extend past the snapshot without moving it.
+	// Lane intervals feed the timeline span-less; the finalizer records
+	// the one chunk-level decode span.
+	dispatch := func(si int, att *laneAttempt, p *core.ParsedChunk, data []byte) {
+		for att.nextLane < p.Lanes() && len(data) >= p.LaneEnd(att.nextLane) {
+			lane := att.nextLane
+			att.nextLane++
+			att.wg.Add(1)
+			f.laneGaugeAdd(1)
+			go func() {
+				defer att.wg.Done()
+				defer f.laneGaugeAdd(-1)
+				att.prev.waitChain()
+				begin := time.Now()
+				err := f.Codec.DecodeLaneInto(dest, offsets[si], p, lane, data)
+				end := time.Now()
+				tl.add(nil, phaseDecode, "decode", begin, end, nil)
+				att.mu.Lock()
+				if err != nil && att.err == nil {
+					att.err = err
+				}
+				if att.first.IsZero() || begin.Before(att.first) {
+					att.first = begin
+				}
+				if end.After(att.last) {
+					att.last = end
+				}
+				att.busy += end.Sub(begin)
+				att.mu.Unlock()
+			}()
+		}
+	}
+
+	// In-order finalizer: joins each chunk's lane decodes by index (text
+	// recompute depends on the previously assembled tokens) while frames
+	// — and other chunks' lanes — keep going.
+	completed := make(chan chunkDone, depth)
 	decodeErr := make(chan error, 1)
 	go func() {
 		defer close(decodeErr)
-		offset := prefixTokens
-		for si := 0; si < n; si++ {
-			var rc readyChunk
+		for range suffixInfos {
+			var rc chunkDone
 			var ok bool
 			select {
 			case rc, ok = <-completed:
@@ -155,31 +232,55 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 				return // receive loop failed; it reports the error
 			}
 			choice := levelChoice(rc.level)
-			dur, err := f.decodeInto(dest, offset, fromChunk+si, suffixInfos[si].Tokens, choice, rc.payload)
+			if choice.Text {
+				// Order behind any abandoned bitstream attempt still
+				// writing this chunk's rows, then recompute in place.
+				rc.att.waitChain()
+				dur, _, err := f.decodeInto(dest, offsets[rc.si], fromChunk+rc.si, suffixInfos[rc.si].Tokens, choice, rc.payload)
+				if err != nil {
+					if errors.Is(err, core.ErrCorruptChunk) {
+						// The corrupt bytes are rejected, never decoded. The
+						// stream's frames for this chunk are already consumed,
+						// so the fetch fails here; the caller may retry on the
+						// request/response path, which refetches by content
+						// hash.
+						f.rejectCorrupt(report)
+					}
+					decodeErr <- fmt.Errorf("streamer: chunk %d: %w", fromChunk+rc.si, err)
+					cancel()
+					return
+				}
+				decisions[rc.si].Compute = dur
+				recEnd := time.Now()
+				var attrs []telemetry.Attr
+				if sp != nil {
+					attrs = []telemetry.Attr{{Key: "chunk", Value: fromChunk + rc.si}, {Key: "level", Value: choice.String()}}
+				}
+				tl.add(sp, phaseRecompute, "recompute", recEnd.Add(-dur), recEnd, attrs)
+				continue
+			}
+			rc.att.waitChain()
+			rc.att.mu.Lock()
+			err, first, last, busy := rc.att.err, rc.att.first, rc.att.last, rc.att.busy
+			rc.att.mu.Unlock()
 			if err != nil {
 				if errors.Is(err, core.ErrCorruptChunk) {
-					// The corrupt bytes are rejected, never decoded. The
-					// stream's frames for this chunk are already consumed, so
-					// the fetch fails here; the caller may retry on the
-					// request/response path, which refetches by content hash.
 					f.rejectCorrupt(report)
 				}
-				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", fromChunk+si, err)
+				decodeErr <- fmt.Errorf("streamer: chunk %d: %w", fromChunk+rc.si, err)
 				cancel()
 				return
 			}
-			decisions[si].Compute = dur
-			kind, name := phaseDecode, "decode"
-			if choice.Text {
-				kind, name = phaseRecompute, "recompute"
-			}
-			decodeEnd := time.Now()
-			var attrs []telemetry.Attr
+			decisions[rc.si].Compute = busy
 			if sp != nil {
-				attrs = []telemetry.Attr{{Key: "chunk", Value: fromChunk + si}, {Key: "level", Value: choice.String()}}
+				// One decode span per chunk, covering first lane start to
+				// last lane end; the exclusive time attribution uses the
+				// per-lane intervals already in the timeline.
+				sp.Record("decode", first, last.Sub(first),
+					telemetry.Attr{Key: "chunk", Value: fromChunk + rc.si},
+					telemetry.Attr{Key: "level", Value: choice.String()},
+					telemetry.Attr{Key: "lanes", Value: rc.att.nextLane})
 			}
-			tl.add(sp, kind, name, decodeEnd.Add(-dur), decodeEnd, attrs)
-			offset += suffixInfos[si].Tokens
 		}
 	}()
 
@@ -200,7 +301,9 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 			buf           []byte
 			asmLevel      int
 			asmTotal      int64
-			chunkFirst    time.Time // first frame of the chunk, any attempt
+			att           *laneAttempt      // current delivery attempt's lane tracker
+			parsed        *core.ParsedChunk // container header, once enough bytes landed
+			chunkFirst    time.Time         // first frame of the chunk, any attempt
 			lastFrame     = time.Now()
 			framesSince   int
 			cancelPending = false // a cancel for the in-flight chunk is in the air
@@ -251,12 +354,57 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 				asmLevel = frame.Level
 				asmTotal = frame.Total
 				cancelPending = false
+				parsed = nil
+				if asmLevel != storage.TextLevel {
+					// A fresh attempt chains behind any abandoned one:
+					// both write the same destination rows. (A text
+					// restart keeps the old chain as-is; the finalizer
+					// orders the recompute behind it.)
+					att = &laneAttempt{prev: att}
+				}
 			}
 			buf = append(buf, frame.Data...)
 			report.BytesReceived += int64(len(frame.Data))
 			report.addLevelBytes(levelChoice(frame.Level).String(), int64(len(frame.Data)))
 
+			// Out-of-order lane decode: parse the container header as soon
+			// as its bytes are here, then hand each lane to the codec pool
+			// the moment its payload range has fully landed.
+			if asmLevel != storage.TextLevel {
+				if parsed == nil {
+					p, perr := f.Codec.ParseChunkPrefix(buf, int(asmTotal))
+					switch {
+					case perr == nil:
+						hdr := p.Header
+						if hdr.Index != fromChunk+si || hdr.TokenOffset != offsets[si] {
+							return fmt.Errorf("streamer: chunk %d: chunk metadata mismatch: got (%d,%d), want (%d,%d)",
+								fromChunk+si, hdr.Index, hdr.TokenOffset, fromChunk+si, offsets[si])
+						}
+						if hdr.Tokens != suffixInfos[si].Tokens {
+							return fmt.Errorf("streamer: chunk %d: chunk has %d tokens, meta says %d",
+								fromChunk+si, hdr.Tokens, suffixInfos[si].Tokens)
+						}
+						parsed = p
+					case errors.Is(perr, core.ErrShortChunk):
+						// Header still arriving; try again next frame.
+					default:
+						f.rejectCorrupt(report)
+						return fmt.Errorf("streamer: chunk %d: %w", fromChunk+si, perr)
+					}
+				}
+				if parsed != nil {
+					dispatch(si, att, parsed, buf)
+				}
+			}
+
 			if frame.Last {
+				if asmLevel != storage.TextLevel && parsed == nil {
+					// Every frame landed yet the container never parsed:
+					// the wire total overstated the payload.
+					f.rejectCorrupt(report)
+					return fmt.Errorf("streamer: chunk %d: %w: container shorter than its advertised %d bytes",
+						fromChunk+si, core.ErrCorruptChunk, asmTotal)
+				}
 				transfer := now.Sub(chunkFirst) - chunkStall
 				if transfer < 0 {
 					transfer = 0
@@ -285,13 +433,15 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 				tl.add(sp, phaseTransfer, "transfer", chunkFirst, now, attrs)
 				pushStart := time.Now()
 				select {
-				case completed <- readyChunk{si: si, level: asmLevel, payload: buf}:
+				case completed <- chunkDone{si: si, level: asmLevel, payload: buf, att: att}:
 				case <-fctx.Done():
 					return fmt.Errorf("streamer: %w", fctx.Err())
 				}
 				stall += time.Since(pushStart)
 				si++
 				buf = nil
+				att = nil
+				parsed = nil
 				abandoned = 0
 				framesSince = 0
 				continue

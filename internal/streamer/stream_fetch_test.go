@@ -308,6 +308,142 @@ func TestStreamChunksSkipsMissingText(t *testing.T) {
 	}
 }
 
+// TestFetchStreamedSmallFramesLaneIdentity: with DATA frames far smaller
+// than a chunk, the container header parses mid-transfer and coder lanes
+// dispatch to the codec pool across many frames, out of order with later
+// chunks' transfers. The assembled KV must still be bit-for-bit the
+// request/response baseline's.
+func TestFetchStreamedSmallFramesLaneIdentity(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	mk := func(disable bool) *Fetcher {
+		return &Fetcher{
+			Source: s.client, Codec: s.codec, Model: s.model, Device: llm.A40x4(),
+			Planner:          Planner{Adapt: false, DefaultLevel: 1},
+			DisableStreaming: disable,
+			FrameSize:        256, // dozens of frames per chunk
+			PipelineDepth:    3,
+		}
+	}
+	streamed, rep, err := mk(false).Fetch(ctx, "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Streamed {
+		t.Fatal("small-frame fetch did not stream")
+	}
+	legacy, _, err := mk(true).Fetch(ctx, "ctx-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := streamed.MaxAbsDiff(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff != 0 {
+		t.Errorf("lane-decoded streamed KV differs from baseline: max |Δ| = %g", diff)
+	}
+	for _, d := range rep.Decisions {
+		if d.Compute <= 0 {
+			t.Errorf("chunk %d reports no decode compute", d.Chunk)
+		}
+	}
+}
+
+// TestFetchMixedFormatContext: a store holding both container formats —
+// v1 chunks published before the lane-interleaved v2 shipped next to v2
+// chunks — must fetch transparently on both paths. The manifest is
+// format-agnostic (content addresses only); each payload declares its
+// own format.
+func TestFetchMixedFormatContext(t *testing.T) {
+	s := newStack(t)
+	ctx := context.Background()
+	ref := mustDecodeReference(t, s) // direct decode, all chunks at L1
+
+	// Re-encode chunks 1 and 3 (level 1) as legacy v1 containers and
+	// splice them in under the original content addresses (PutChunk
+	// ignores writes to existing hashes, so the replacements go first
+	// into a fresh store).
+	mixed := storage.NewMemStore()
+	replaced := map[string]bool{}
+	for _, si := range []int{1, 3} {
+		lo := si * 80
+		hi := lo + 80
+		if hi > s.kv.Tokens {
+			hi = s.kv.Tokens
+		}
+		part, err := s.kv.SliceTokens(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := s.codec.EncodeChunkV1(part, si, lo, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.man.ChunkHash(1, si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mixed.PutChunk(ctx, h, v1); err != nil {
+			t.Fatal(err)
+		}
+		replaced[h] = true
+	}
+	for _, row := range s.man.Hashes {
+		for _, h := range row {
+			if replaced[h] {
+				continue
+			}
+			data, err := s.store.GetChunk(ctx, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mixed.PutChunk(ctx, h, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := mixed.PutManifest(ctx, s.man); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := transport.NewServer(mixed)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	client, err := transport.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	for _, disable := range []bool{false, true} {
+		f := &Fetcher{
+			Source: client, Codec: s.codec, Model: s.model, Device: llm.A40x4(),
+			Planner:          Planner{Adapt: false, DefaultLevel: 1},
+			DisableStreaming: disable,
+			FrameSize:        1 << 10,
+		}
+		kv, rep, err := f.Fetch(ctx, "ctx-1")
+		if err != nil {
+			t.Fatalf("disable=%v: %v", disable, err)
+		}
+		if rep.Streamed == disable {
+			t.Errorf("disable=%v: streamed=%v", disable, rep.Streamed)
+		}
+		diff, err := kv.MaxAbsDiff(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff != 0 {
+			t.Errorf("disable=%v: mixed-format fetch differs from reference: max |Δ| = %g", disable, diff)
+		}
+	}
+}
+
 // TestFetchStreamedDecodeErrorSurfaces: a corrupt chunk payload must
 // surface as the decode failure, not as the context cancellation the
 // failing worker triggers to stop the stream.

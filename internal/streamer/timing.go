@@ -11,17 +11,19 @@ import (
 // The fetch timeline is the single source of truth for a FetchReport's
 // time attribution and for the spans the tracer records: every
 // transfer, decode, and recompute phase is captured once as a wall-
-// clock interval, mirrored verbatim into the request's trace, and
-// reduced at fetch end into the report's components. The reduction
-// attributes each wall-clock instant to at most one component —
-// DecodeTime and RecomputeTime are the (serial, disjoint) compute
-// intervals, and TransferTime is the transfer intervals' union minus
-// the instants compute was running — so
+// clock interval and reduced at fetch end into the report's components.
+// The reduction attributes each wall-clock instant to at most one
+// component — DecodeTime is the union of the decode intervals (coder
+// lanes decode in parallel, so summing them would double-charge
+// overlapped instants), RecomputeTime is the recompute union minus any
+// decode overlap, and TransferTime is the transfer union minus the
+// instants compute was running — so
 //
 //	TransferTime + DecodeTime + RecomputeTime ≤ LoadTime
 //
-// holds by construction at any pipeline depth, where the old
-// accumulate-every-transfer accounting could sum past the wall clock.
+// holds by construction at any pipeline depth and any decode
+// parallelism, where accumulate-every-interval accounting could sum
+// past the wall clock.
 
 type phaseKind uint8
 
@@ -117,21 +119,27 @@ func overlap(a, b []phaseInterval) time.Duration {
 func (tl *fetchTimeline) apply(report *FetchReport) {
 	tl.mu.Lock()
 	defer tl.mu.Unlock()
-	var transfers, busy []phaseInterval
+	var transfers, decodes, recomputes []phaseInterval
 	for _, iv := range tl.ivals {
 		switch iv.kind {
 		case phaseTransfer:
 			transfers = append(transfers, iv)
 		case phaseDecode:
-			report.DecodeTime += iv.end.Sub(iv.start)
-			busy = append(busy, iv)
+			decodes = append(decodes, iv)
 		case phaseRecompute:
-			report.RecomputeTime += iv.end.Sub(iv.start)
-			busy = append(busy, iv)
+			recomputes = append(recomputes, iv)
 		}
 	}
-	tu := unionIntervals(transfers)
+	du := unionIntervals(decodes)
+	ru := unionIntervals(recomputes)
+	report.DecodeTime = sumIntervals(du)
+	report.RecomputeTime = sumIntervals(ru) - overlap(ru, du)
+	if report.RecomputeTime < 0 {
+		report.RecomputeTime = 0
+	}
+	busy := append(append(make([]phaseInterval, 0, len(du)+len(ru)), du...), ru...)
 	bu := unionIntervals(busy)
+	tu := unionIntervals(transfers)
 	report.TransferTime = sumIntervals(tu) - overlap(tu, bu)
 	if report.TransferTime < 0 {
 		report.TransferTime = 0
