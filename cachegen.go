@@ -35,6 +35,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/resilience"
 	"repro/internal/storage"
 	"repro/internal/streamer"
 	"repro/internal/telemetry"
@@ -294,6 +295,57 @@ func WithRequestTimeout(d time.Duration) PoolOption { return cluster.WithRequest
 func NewShardedStore(ring *Ring, stores map[string]Store) (*ShardedStore, error) {
 	return cluster.NewShardedStore(ring, stores)
 }
+
+// Resilience re-exports: the fleet's unified failure domain — per-node
+// health states driven by an active prober, circuit breakers, hedged
+// chunk fetches under a token-bucket retry budget, and deadline-budget
+// propagation from the gateway into per-attempt timeouts.
+type (
+	// ResilienceConfig tunes a Pool's failure domain (probe cadence,
+	// breaker cooldown, retry budget, hedge clamps). Zero fields default.
+	ResilienceConfig = resilience.Config
+	// ResilienceManager tracks node health, breakers, latency and the
+	// retry budget; reach it through Pool.Resilience.
+	ResilienceManager = resilience.Manager
+	// ResilienceStats snapshots the failure domain's accounting.
+	ResilienceStats = resilience.Stats
+	// NodeState is one node's position in the health state machine.
+	NodeState = resilience.NodeState
+)
+
+// Health states (see ResilienceManager.State).
+const (
+	NodeHealthy    = resilience.Healthy
+	NodeSuspect    = resilience.Suspect
+	NodeDead       = resilience.Dead
+	NodeRecovering = resilience.Recovering
+)
+
+// ErrFleetUnavailable is returned (match with errors.Is) when a Pool
+// fails fast because every replica for a fetch is marked failed.
+var ErrFleetUnavailable = cluster.ErrFleetUnavailable
+
+// WithResilience tunes a Pool's failure domain.
+func WithResilience(cfg ResilienceConfig) PoolOption { return cluster.WithResilience(cfg) }
+
+// WithHedging enables or disables a Pool's hedged chunk fetches
+// (default on): a request unanswered past the serving node's adaptive
+// P99 latency is duplicated to the next replica, first answer wins.
+func WithHedging(enabled bool) PoolOption { return cluster.WithHedging(enabled) }
+
+// WithDeadlineBudget stamps a soft completion budget on the context;
+// the Pool shrinks its per-attempt timeouts as the budget burns, and
+// the gateway's degradation ladder steps quality down when little
+// remains. The gateway applies this automatically to requests carrying
+// an SLO.
+func WithDeadlineBudget(ctx context.Context, d time.Duration) context.Context {
+	return resilience.WithBudget(ctx, d)
+}
+
+// RemainingBudget reports how much of the context's deadline budget is
+// left (falling back to the context's own deadline), and whether any
+// bound exists.
+func RemainingBudget(ctx context.Context) (time.Duration, bool) { return resilience.Remaining(ctx) }
 
 // NewServer serves a store over the frame protocol.
 func NewServer(st Store, opts ...ServerOption) *Server { return transport.NewServer(st, opts...) }

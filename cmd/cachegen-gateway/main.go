@@ -79,6 +79,9 @@ func main() {
 	prefetch := flag.Bool("prefetch", true, "stream KV chunks while requests wait in the queue")
 	maxPrefetch := flag.Int("max-prefetch", 0, "concurrent background prefetch bound (0 = 4x slots, <0 = unbounded)")
 	pipelineDepth := flag.Int("pipeline-depth", 4, "chunk transfers in flight per request while decode proceeds in order")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "active health-probe cycle for suspect/dead nodes (<0 = probing disabled)")
+	hedge := flag.Bool("hedge", true, "hedge chunk fetches to the next replica past the serving node's adaptive P99 latency")
+	degrade := flag.Bool("degrade", true, "step requests down quality levels (to text at the floor) under queue or SLO-budget pressure instead of shedding")
 	tenantsFlag := flag.String("tenants", "gold:4,silver:2,bronze:1", "tenant list as name:weight,... (weight = WRR share and traffic share)")
 	bwTrace := flag.String("bandwidth-trace", "", "per-node egress bandwidth trace as RATE[:DUR],... (e.g. 200Mbps:1s,40Mbps); exercises mid-stream adaptation")
 	rate := flag.Float64("rate", 200, "offered load in requests/second (open-loop Poisson)")
@@ -268,7 +271,10 @@ func main() {
 	// Gateway over the fleet.
 	counters := &cachegen.ChaosCounters{}
 	cachegen.RegisterChaos(reg, counters)
-	pool := cachegen.NewPool(ring, cachegen.WithPoolTelemetry(reg))
+	pool := cachegen.NewPool(ring,
+		cachegen.WithPoolTelemetry(reg),
+		cachegen.WithResilience(cachegen.ResilienceConfig{ProbeInterval: *probeInterval}),
+		cachegen.WithHedging(*hedge))
 	defer pool.Close()
 	fl.OnHeal = func(node string) { pool.Invalidate(node) }
 	gw, err := cachegen.NewGateway(cachegen.GatewayConfig{
@@ -279,6 +285,7 @@ func main() {
 		MaxPrefetch: *maxPrefetch,
 
 		PipelineDepth: *pipelineDepth,
+		Degrade:       *degrade,
 		Source:        pool,
 		Codec:         codec,
 		Model:         model,
@@ -375,7 +382,19 @@ func main() {
 			agg.Hits, agg.Misses, 100*agg.HitRate(), agg.Evictions, metrics.FormatBytes(agg.Bytes))
 	}
 	ps := pool.Stats()
-	log.Printf("pool: %d dials, %d failovers, %d open connections", ps.Dials, ps.Failovers, ps.OpenConns)
+	amp := "-"
+	if ps.Requests > 0 {
+		amp = fmt.Sprintf("%.3f", float64(ps.Attempts)/float64(ps.Requests))
+	}
+	log.Printf("pool: %d dials, %d failovers, %d open connections, %d requests / %d attempts (amplification %s)",
+		ps.Dials, ps.Failovers, ps.OpenConns, ps.Requests, ps.Attempts, amp)
+	rs := pool.Resilience().Stats()
+	log.Printf("resilience: %d probes (%d failed), %d recoveries, %d breaker opens, %d hedges (%d wins), retry tokens %.1f (%d spent, %d denied)",
+		rs.Probes, rs.ProbeFailures, rs.Recoveries, rs.BreakerOpens, rs.Hedges, rs.HedgeWins,
+		rs.RetryTokens, rs.RetriesSpent, rs.RetriesDenied)
+	if st.Degraded > 0 {
+		log.Printf("degradation ladder: %d requests served at reduced quality under pressure", st.Degraded)
+	}
 	if snap := counters.Snapshot(); !snap.Zero() {
 		log.Printf("chaos: %s", snap.String())
 	}

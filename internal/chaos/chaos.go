@@ -1,6 +1,7 @@
 // Package chaos schedules timed, composable fault injections against a
 // running fleet: node kill/restart, network partition, slow disks,
-// bandwidth cliffs, and wire corruption. Faults are plain data (Event,
+// bandwidth cliffs, wire corruption, and flaky nodes. Faults are plain
+// data (Event,
 // Schedule — parseable from a compact spec string, see ParseSchedule),
 // applied through the Target interface over the production fault hooks
 // (transport.Server.SetPartitioned/SetEgressTrace/SetCorruption,
@@ -42,10 +43,15 @@ const (
 	// Corrupt flips one byte per affected payload on the wire, at a
 	// seeded rate — exercising CRC detection end to end.
 	Corrupt Class = "corrupt"
+	// Flaky makes a node probabilistically pathological per request: a
+	// seeded fraction of requests stall by a delay or sever the
+	// connection mid-request — the brown-out that hedged fetches,
+	// breakers and retry budgets exist for.
+	Flaky Class = "flaky"
 )
 
 // Classes lists every fault class, for CLI help and matrices.
-func Classes() []Class { return []Class{Kill, Partition, SlowDisk, Cliff, Corrupt} }
+func Classes() []Class { return []Class{Kill, Partition, SlowDisk, Cliff, Corrupt, Flaky} }
 
 // Event is one scheduled fault: impose the fault At after Start, lift
 // it Heal later (Heal 0 = the fault holds until Finish).
@@ -71,8 +77,12 @@ type Event struct {
 	Latency time.Duration
 	// Trace is the egress bandwidth during the fault (Cliff).
 	Trace netsim.Trace
-	// Rate is the per-payload corruption probability in (0, 1] (Corrupt).
+	// Rate is the per-payload corruption probability in (0, 1]
+	// (Corrupt), or the per-request strike probability (Flaky).
 	Rate float64
+	// ErrFrac is the fraction of Flaky strikes that sever the
+	// connection instead of stalling it, in [0, 1].
+	ErrFrac float64
 }
 
 func (e Event) String() string {
@@ -119,6 +129,16 @@ func (e Event) validate() error {
 	case Corrupt:
 		if e.Rate <= 0 || e.Rate > 1 {
 			return fmt.Errorf("chaos: %s rate %v outside (0, 1]", e.Class, e.Rate)
+		}
+	case Flaky:
+		if e.Rate <= 0 || e.Rate > 1 {
+			return fmt.Errorf("chaos: %s strike probability %v outside (0, 1] (e.g. \"flaky@0s:p=0.3\")", e.Class, e.Rate)
+		}
+		if e.Latency <= 0 {
+			return fmt.Errorf("chaos: %s needs a positive stall delay", e.Class)
+		}
+		if e.ErrFrac < 0 || e.ErrFrac >= 1 {
+			return fmt.Errorf("chaos: %s sever fraction %v outside [0, 1)", e.Class, e.ErrFrac)
 		}
 	default:
 		return fmt.Errorf("chaos: unknown fault class %q", e.Class)
@@ -183,6 +203,20 @@ type RegionTarget interface {
 	Region(node string) string
 }
 
+// FlakyTarget is the optional extension a Target implements to support
+// the Flaky fault class (per-request probabilistic stall/sever on a
+// victim node).
+type FlakyTarget interface {
+	Target
+	// SetFlaky makes the node strike a fraction rate of requests: a
+	// strike stalls by delay, or with probability errFrac severs the
+	// connection, using a deterministic rng seeded with seed. Rate ≤0
+	// heals.
+	SetFlaky(node string, rate float64, delay time.Duration, errFrac float64, seed int64) error
+	// FlakyInjected returns the node's cumulative strike count.
+	FlakyInjected(node string) uint64
+}
+
 // action is one timed step: impose or lift one event on its victims.
 type action struct {
 	at   time.Duration
@@ -198,9 +232,10 @@ type Injector struct {
 	target   Target
 	counters *metrics.ChaosCounters
 
-	mu       sync.Mutex
-	errs     []error
-	baseline map[string]uint64 // corruption counts at injection, per node
+	mu        sync.Mutex
+	errs      []error
+	baseline  map[string]uint64 // corruption counts at injection, per node
+	flakyBase map[string]uint64 // flaky strike counts at injection, per node
 
 	timers  []*time.Timer
 	wg      sync.WaitGroup
@@ -211,7 +246,7 @@ type Injector struct {
 // New returns an injector over the target. counters may be nil (no
 // accounting).
 func New(target Target, counters *metrics.ChaosCounters) *Injector {
-	return &Injector{target: target, counters: counters, baseline: map[string]uint64{}}
+	return &Injector{target: target, counters: counters, baseline: map[string]uint64{}, flakyBase: map[string]uint64{}}
 }
 
 // Start validates the schedule, resolves every event's victims with the
@@ -262,13 +297,24 @@ func (in *Injector) Start(s Schedule) error {
 		return !acts[i].heal && acts[j].heal
 	})
 	in.started = true
-	for _, a := range acts {
-		a := a
+	// One timer per distinct offset, running that offset's actions in
+	// the sorted order: simultaneous events would otherwise fire from
+	// concurrent timer goroutines in whatever order the scheduler
+	// picks, breaking same-seed replay determinism.
+	for i := 0; i < len(acts); {
+		j := i
+		for j < len(acts) && acts[j].at == acts[i].at {
+			j++
+		}
+		group := acts[i:j]
 		in.wg.Add(1)
-		in.timers = append(in.timers, time.AfterFunc(a.at, func() {
+		in.timers = append(in.timers, time.AfterFunc(acts[i].at, func() {
 			defer in.wg.Done()
-			a.run()
+			for _, a := range group {
+				a.run()
+			}
 		}))
+		i = j
 	}
 	return nil
 }
@@ -335,6 +381,19 @@ func (in *Injector) impose(e Event, victims []string, seeds map[string]int64) {
 				in.baseline[node] = before
 				in.mu.Unlock()
 			}
+		case Flaky:
+			ft, ok := in.target.(FlakyTarget)
+			if !ok {
+				err = fmt.Errorf("target does not support %s faults", e.Class)
+				break
+			}
+			before := ft.FlakyInjected(node)
+			if err = ft.SetFlaky(node, e.Rate, e.Latency, e.ErrFrac, seeds[node]); err == nil {
+				in.mu.Lock()
+				in.flakyBase[node] = before
+				in.mu.Unlock()
+				in.count(func(c *metrics.ChaosCounters) { c.FlakyNodes.Add(1) })
+			}
 		}
 		in.fail(err, "imposing %s on %s", e.Class, node)
 	}
@@ -368,6 +427,22 @@ func (in *Injector) lift(e Event, victims []string) {
 				delta := injected - in.baseline[node]
 				in.mu.Unlock()
 				in.count(func(c *metrics.ChaosCounters) { c.CorruptFramesInjected.Add(delta) })
+			}
+		case Flaky:
+			ft, ok := in.target.(FlakyTarget)
+			if !ok {
+				err = fmt.Errorf("target does not support %s faults", e.Class)
+				break
+			}
+			if err = ft.SetFlaky(node, 0, 0, 0, 0); err == nil {
+				struck := ft.FlakyInjected(node)
+				in.mu.Lock()
+				delta := struck - in.flakyBase[node]
+				in.mu.Unlock()
+				in.count(func(c *metrics.ChaosCounters) {
+					c.FlakyStrikes.Add(delta)
+					c.FlakyHealed.Add(1)
+				})
 			}
 		}
 		in.fail(err, "lifting %s from %s", e.Class, node)

@@ -188,4 +188,26 @@ func (f *LocalFleet) CorruptionInjected(node string) uint64 {
 	return srv.CorruptionInjected()
 }
 
-var _ Target = (*LocalFleet)(nil)
+// SetFlaky implements FlakyTarget.
+func (f *LocalFleet) SetFlaky(node string, rate float64, delay time.Duration, errFrac float64, seed int64) error {
+	srv, err := f.server(node)
+	if err != nil {
+		return err
+	}
+	srv.SetFlaky(rate, delay, errFrac, seed)
+	return nil
+}
+
+// FlakyInjected implements FlakyTarget.
+func (f *LocalFleet) FlakyInjected(node string) uint64 {
+	srv, err := f.server(node)
+	if err != nil {
+		return 0
+	}
+	return srv.FlakyInjected()
+}
+
+var (
+	_ Target      = (*LocalFleet)(nil)
+	_ FlakyTarget = (*LocalFleet)(nil)
+)

@@ -18,7 +18,8 @@ import (
 // class-specific parameter — a latency for slow-disk ("5ms"), a netsim
 // bandwidth trace for cliff ("0.05Gbps" or "0s:1Gbps,300ms:0.05Gbps"),
 // a corruption rate for corrupt ("0.25"), a region scope for partition
-// ("region=eu"). Examples:
+// ("region=eu"), a strike spec for flaky
+// ("p=0.3[,delay=50ms][,err=0.25]"). Examples:
 //
 //	kill@300ms+500ms            kill a seeded victim at 300ms, restart 500ms later
 //	partition@100ms             partition a victim until the run ends
@@ -26,6 +27,8 @@ import (
 //	slow-disk@0s+1s:5ms         5ms per store op on a victim for 1s
 //	cliff@250ms+1s:0.05Gbps     fleet-wide bandwidth cliff
 //	corrupt@0s:0.25             corrupt 25% of served payloads all run
+//	flaky@2s+8s:p=0.3           victim strikes 30% of requests for 8s
+//	flaky@0s:p=0.5,delay=80ms,err=0  strikes always stall 80ms, never sever
 //
 // The first ':' after the timing part starts the param, so cliff traces
 // containing ':' and ',' pass through intact.
@@ -116,8 +119,49 @@ func parseEvent(part string) (Event, error) {
 			return Event{}, fmt.Errorf("chaos: event %q: bad rate %q: %v", part, param, err)
 		}
 		e.Rate = rate
+	case Flaky:
+		if !hasParam {
+			return Event{}, fmt.Errorf("chaos: event %q: flaky needs a strike probability, e.g. \"flaky@2s+8s:p=0.3\"", part)
+		}
+		// Defaults: mostly stall, occasionally sever — a browning-out
+		// node, not a dead one.
+		e.Latency = 50 * time.Millisecond
+		e.ErrFrac = 0.25
+		seenP := false
+		for _, kv := range strings.Split(param, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return Event{}, fmt.Errorf("chaos: event %q: flaky parameter %q: want key=value", part, kv)
+			}
+			switch key {
+			case "p":
+				rate, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Event{}, fmt.Errorf("chaos: event %q: bad strike probability %q: %v", part, val, err)
+				}
+				e.Rate = rate
+				seenP = true
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return Event{}, fmt.Errorf("chaos: event %q: bad stall delay %q: %v", part, val, err)
+				}
+				e.Latency = d
+			case "err":
+				frac, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Event{}, fmt.Errorf("chaos: event %q: bad sever fraction %q: %v", part, val, err)
+				}
+				e.ErrFrac = frac
+			default:
+				return Event{}, fmt.Errorf("chaos: event %q: unknown flaky parameter %q (have p, delay, err)", part, key)
+			}
+		}
+		if !seenP {
+			return Event{}, fmt.Errorf("chaos: event %q: flaky needs p=<probability>", part)
+		}
 	default:
-		return Event{}, fmt.Errorf("chaos: event %q: unknown fault class %q (have kill, partition, slow-disk, cliff, corrupt)", part, class)
+		return Event{}, fmt.Errorf("chaos: event %q: unknown fault class %q (have kill, partition, slow-disk, cliff, corrupt, flaky)", part, class)
 	}
 	if err := e.validate(); err != nil {
 		return Event{}, fmt.Errorf("%w (event %q)", err, part)

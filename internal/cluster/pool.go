@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -24,10 +25,11 @@ type DialFunc func(ctx context.Context, addr string) (*transport.Client, error)
 // hostage to the OS connect timeout.
 const dialTimeout = 5 * time.Second
 
-// dialBackoff is the negative-cache window after a failed dial: within
-// it, requests fail over immediately instead of re-dialing the dead
-// node once per chunk.
-const dialBackoff = time.Second
+// ErrFleetUnavailable distinguishes "every replica is marked failed"
+// from an ordinary fetch error: the pool failed fast instead of
+// spinning through an attempt list it knows is dead. Callers match it
+// with errors.Is.
+var ErrFleetUnavailable = errors.New("every replica marked failed")
 
 func defaultDial(ctx context.Context, addr string) (*transport.Client, error) {
 	d := net.Dialer{Timeout: dialTimeout}
@@ -44,12 +46,25 @@ func defaultDial(ctx context.Context, addr string) (*transport.Client, error) {
 // nodes in parallel. It satisfies streamer.ChunkSource, so a Fetcher
 // streams from a fleet exactly as it would from one server. Safe for
 // concurrent use.
+//
+// Failure handling routes through a resilience.Manager: request and
+// dial outcomes feed a per-node health state machine whose circuit
+// breakers gate attempts (subsuming the old dial-backoff negative
+// cache), an active prober fast-paths healed nodes back into rotation,
+// chunk fetches hedge to a replica after the node's adaptive P99
+// delay, and all retries and hedges draw from one token-bucket retry
+// budget so the pool cannot storm a browning-out fleet.
 type Pool struct {
 	ring *Ring
 	dial DialFunc
 	// reqTimeout bounds each per-node attempt (dial + round trip). 0 =
-	// only the caller's ctx bounds it.
+	// only the caller's ctx (or its deadline budget) bounds it.
 	reqTimeout time.Duration
+
+	res    *resilience.Manager
+	resCfg resilience.Config
+	hedge  bool
+	reg    *telemetry.Registry
 
 	// mu guards the node map and the closed flag only; dialing happens
 	// under the per-node lock, so a slow connect to one node never
@@ -60,13 +75,15 @@ type Pool struct {
 
 	dials     atomic.Uint64
 	failovers atomic.Uint64
+	requests  atomic.Uint64 // logical operations (one per tryNodes/hedged fetch)
+	attempts  atomic.Uint64 // network attempts, including retries and hedges
 }
 
-// poolNode is the per-node connection slot.
+// poolNode is the per-node connection slot. Health bookkeeping lives in
+// the resilience manager; this is just the reused transport.
 type poolNode struct {
-	mu       sync.Mutex
-	client   *transport.Client
-	failedAt time.Time // last dial failure, for the negative cache
+	mu     sync.Mutex
+	client *transport.Client
 }
 
 // PoolOption configures a Pool.
@@ -81,20 +98,56 @@ func WithDialFunc(d DialFunc) PoolOption {
 // trip) so failover moves past a node that accepts connections but
 // never answers — a hung process, a half-dead kernel — instead of
 // pinning the request until the caller's deadline. 0 disables the
-// per-attempt bound.
+// per-attempt bound. When the request carries a deadline budget, the
+// effective attempt timeout is the smaller of this and the remaining
+// budget split across the attempts left.
 func WithRequestTimeout(d time.Duration) PoolOption {
 	return func(p *Pool) { p.reqTimeout = d }
 }
 
+// WithResilience tunes the pool's failure domain (probe cadence,
+// breaker cooldown, retry budget, hedge clamps). Zero fields default.
+func WithResilience(cfg resilience.Config) PoolOption {
+	return func(p *Pool) { p.resCfg = cfg }
+}
+
+// WithHedging enables or disables hedged chunk fetches (default on):
+// a chunk request still unanswered past the serving node's adaptive
+// P99 latency is duplicated to the next replica, first answer wins.
+func WithHedging(enabled bool) PoolOption {
+	return func(p *Pool) { p.hedge = enabled }
+}
+
 // WithTelemetry mirrors the pool's counters (dials, failovers, open
-// connections) into a live metrics registry as function gauges over the
-// same atomics Stats() reads — one accounting, two exposures. Nil reg
-// is a no-op.
+// connections, attempts) and its resilience state (node health,
+// breakers, hedges, retry budget) into a live metrics registry as
+// function gauges over the same atomics Stats() reads — one
+// accounting, two exposures. Nil reg is a no-op.
 func WithTelemetry(reg *telemetry.Registry) PoolOption {
-	return func(p *Pool) {
-		if reg == nil {
-			return
-		}
+	return func(p *Pool) { p.reg = reg }
+}
+
+// attemptCtx derives the per-attempt context: the configured request
+// timeout, shrunk to the remaining deadline budget split across the
+// attempts still available when the request carries one.
+func (p *Pool) attemptCtx(ctx context.Context, attemptsLeft int) (context.Context, context.CancelFunc) {
+	if t := resilience.AttemptTimeout(ctx, p.reqTimeout, attemptsLeft); t > 0 {
+		return context.WithTimeout(ctx, t)
+	}
+	return context.WithCancel(ctx)
+}
+
+// NewPool returns a pool over the ring's nodes and starts its health
+// prober (disable by setting a negative ProbeInterval via
+// WithResilience). Close stops the prober.
+func NewPool(ring *Ring, opts ...PoolOption) *Pool {
+	p := &Pool{ring: ring, dial: defaultDial, nodes: map[string]*poolNode{}, hedge: true}
+	for _, o := range opts {
+		o(p)
+	}
+	p.res = resilience.New(p.resCfg)
+	if p.reg != nil {
+		reg := p.reg
 		reg.GaugeFunc("cachegen_cluster_dials_total", "connections opened (reconnects included)", func() float64 {
 			return float64(p.dials.Load())
 		})
@@ -104,25 +157,34 @@ func WithTelemetry(reg *telemetry.Registry) PoolOption {
 		reg.GaugeFunc("cachegen_cluster_open_conns", "live per-node connections", func() float64 {
 			return float64(p.Stats().OpenConns)
 		})
+		reg.GaugeFunc("cachegen_cluster_attempts_total", "network attempts (retries and hedges included)", func() float64 {
+			return float64(p.attempts.Load())
+		})
+		reg.GaugeFunc("cachegen_cluster_requests_total", "logical fetch operations", func() float64 {
+			return float64(p.requests.Load())
+		})
+		p.res.Register(reg)
 	}
-}
-
-// attemptCtx derives the per-attempt context.
-func (p *Pool) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if p.reqTimeout > 0 {
-		return context.WithTimeout(ctx, p.reqTimeout)
-	}
-	return context.WithCancel(ctx)
-}
-
-// NewPool returns a pool over the ring's nodes.
-func NewPool(ring *Ring, opts ...PoolOption) *Pool {
-	p := &Pool{ring: ring, dial: defaultDial, nodes: map[string]*poolNode{}}
-	for _, o := range opts {
-		o(p)
-	}
+	p.res.StartProber(p.probe)
 	return p
 }
+
+// probe is the active health check: a fresh dial plus the cheapest
+// round trip, off the cached connection path so a probe never fights a
+// request for the per-node slot.
+func (p *Pool) probe(ctx context.Context, node string) error {
+	c, err := p.dial(ctx, node)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Usage(ctx)
+	return err
+}
+
+// Resilience exposes the pool's failure domain (health states, breaker
+// and budget accounting) for harnesses and debug endpoints.
+func (p *Pool) Resilience() *resilience.Manager { return p.res }
 
 // PoolStats snapshots the pool's counters.
 type PoolStats struct {
@@ -133,6 +195,11 @@ type PoolStats struct {
 	Failovers uint64
 	// OpenConns is the number of live per-node connections.
 	OpenConns int
+	// Requests counts logical fetch operations; Attempts counts network
+	// attempts including retries and hedges, so Attempts/Requests is
+	// the fleet's request amplification.
+	Requests uint64
+	Attempts uint64
 }
 
 // Stats returns the pool's counters.
@@ -151,11 +218,19 @@ func (p *Pool) Stats() PoolStats {
 		}
 		n.mu.Unlock()
 	}
-	return PoolStats{Dials: p.dials.Load(), Failovers: p.failovers.Load(), OpenConns: open}
+	return PoolStats{
+		Dials:     p.dials.Load(),
+		Failovers: p.failovers.Load(),
+		OpenConns: open,
+		Requests:  p.requests.Load(),
+		Attempts:  p.attempts.Load(),
+	}
 }
 
-// Close closes every node connection. Subsequent fetches fail.
+// Close stops the prober and closes every node connection. Subsequent
+// fetches fail.
 func (p *Pool) Close() error {
+	p.res.Close()
 	p.mu.Lock()
 	p.closed = true
 	slots := make([]*poolNode, 0, len(p.nodes))
@@ -193,12 +268,11 @@ func (p *Pool) slot(node string) (*poolNode, error) {
 }
 
 // client returns the reused connection to a node, dialing if needed.
-// Dials run under the node's own lock, concurrently across nodes, and a
-// recent dial failure is returned from cache instead of re-dialed, so a
-// dead primary costs one connect attempt per backoff window rather than
-// one per chunk. The dial honors ctx, so an abandoned request (a
-// gateway deadline, say) is not pinned for the full connect timeout by
-// a node that blackholes packets.
+// Dials run under the node's own lock, concurrently across nodes. The
+// dial honors ctx, so an abandoned request (a gateway deadline, say)
+// is not pinned for the full connect timeout by a node that blackholes
+// packets. Repeated dials to a dead node are prevented one level up:
+// its circuit breaker stops requests being routed here at all.
 func (p *Pool) client(ctx context.Context, node string) (*transport.Client, error) {
 	n, err := p.slot(node)
 	if err != nil {
@@ -209,15 +283,12 @@ func (p *Pool) client(ctx context.Context, node string) (*transport.Client, erro
 	if n.client != nil {
 		return n.client, nil
 	}
-	if since := time.Since(n.failedAt); since < dialBackoff {
-		return nil, fmt.Errorf("cluster: node %s marked down %v ago", node, since.Round(time.Millisecond))
-	}
 	c, err := p.dial(ctx, node)
 	if err != nil {
 		if ctx.Err() == nil {
 			// A cancelled dial says nothing about the node's health;
-			// only genuine failures enter the negative cache.
-			n.failedAt = time.Now()
+			// only genuine failures feed the state machine.
+			p.res.ReportFailure(node)
 		}
 		return nil, err
 	}
@@ -226,12 +297,13 @@ func (p *Pool) client(ctx context.Context, node string) (*transport.Client, erro
 	return c, nil
 }
 
-// Invalidate drops a node's cached connection and clears its
-// negative-cache entry, so the next request redials immediately instead
-// of waiting out the backoff window. Chaos healing calls this when a
-// killed node restarts or a partition lifts, mirroring how an operator's
-// health prober would fast-path a recovered node back into rotation.
+// Invalidate drops a node's cached connection and fast-paths it back
+// into rotation (breaker closed, state recovering), so the next
+// request redials immediately. Chaos healing calls this when a killed
+// node restarts or a partition lifts — the same shortcut the health
+// prober takes on its own when a probe to a dead node succeeds.
 func (p *Pool) Invalidate(node string) {
+	p.res.MarkRecovered(node)
 	p.mu.Lock()
 	n := p.nodes[node]
 	p.mu.Unlock()
@@ -241,7 +313,6 @@ func (p *Pool) Invalidate(node string) {
 	n.mu.Lock()
 	c := n.client
 	n.client = nil
-	n.failedAt = time.Time{}
 	n.mu.Unlock()
 	if c != nil {
 		c.Close()
@@ -272,8 +343,17 @@ func keepConn(err error) bool {
 	return errors.As(err, &remote) || errors.Is(err, storage.ErrNotFound)
 }
 
-// tryNodes runs op against each candidate node until one succeeds,
-// discarding dead connections and counting failovers past the primary.
+// tryNodes runs op against candidate nodes until one succeeds, routing
+// by health (healthy and recovering first, dead last), skipping nodes
+// whose breaker is open, discarding dead connections, and counting
+// failovers past the first attempt. Failing over past a transport
+// failure spends a retry-budget token; moving past a clean not-found
+// or a remote application error is free (the node answered — that is
+// replica semantics, not a retry). When every candidate is skipped the
+// call fails fast with ErrFleetUnavailable instead of burning the
+// attempt list, as it does when all candidates are dead and the
+// remaining deadline budget cannot fund even one attempt.
+//
 // When notFoundIsFinal is set, a clean storage.ErrNotFound from a live
 // node is treated as authoritative and returned immediately instead of
 // burning a round trip per replica (used for metadata, which is on
@@ -283,26 +363,47 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 	if len(nodes) == 0 {
 		return fmt.Errorf("cluster: no nodes in ring for %s", what)
 	}
+	p.requests.Add(1)
+	p.res.OnRequest()
+	ordered, allDead := p.res.Order(nodes)
+	if allDead {
+		if rem, ok := resilience.Remaining(ctx); ok && rem < 2*resilience.AttemptFloor {
+			// Nothing is routable and the budget cannot fund a
+			// half-open trial: fail fast, distinguishably.
+			p.res.OnFastFail()
+			return fmt.Errorf("cluster: %s: %w", what, ErrFleetUnavailable)
+		}
+	}
 	var lastErr error
-	for i, node := range nodes {
+	attempted := 0
+	lastWasFailure := false
+	for i, node := range ordered {
 		// A cancelled or expired request must not sweep the replica set:
 		// each attempt costs a dial or a round trip the caller no longer
 		// wants.
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("cluster: %s: %w", what, err)
 		}
-		if i > 0 {
+		if !p.res.Allow(node) {
+			continue
+		}
+		if attempted > 0 {
+			if lastWasFailure && !p.res.TryRetry() {
+				return fmt.Errorf("cluster: %s: retry budget exhausted after %d attempts: %w", what, attempted, lastErr)
+			}
 			p.failovers.Add(1)
 			telemetry.Event(ctx, "failover",
 				telemetry.Attr{Key: "what", Value: what},
 				telemetry.Attr{Key: "node", Value: node})
 		}
-		err := p.withNode(ctx, node, op)
+		attempted++
+		err := p.withNode(ctx, node, len(ordered)-i, op)
 		if err != nil {
 			if notFoundIsFinal && errors.Is(err, storage.ErrNotFound) {
 				return fmt.Errorf("cluster: %s: %w", what, err)
 			}
 			lastErr = fmt.Errorf("node %s: %w", node, err)
+			lastWasFailure = !keepConn(err)
 			if ctx.Err() != nil {
 				return lastErr
 			}
@@ -313,24 +414,42 @@ func (p *Pool) tryNodes(ctx context.Context, nodes []string, what string, notFou
 		telemetry.Annotate(ctx, "node", node)
 		return nil
 	}
-	return fmt.Errorf("cluster: %s failed on all %d replicas: %w", what, len(nodes), lastErr)
+	if attempted == 0 {
+		p.res.OnFastFail()
+		return fmt.Errorf("cluster: %s: %w", what, ErrFleetUnavailable)
+	}
+	return fmt.Errorf("cluster: %s failed on all %d replicas tried: %w", what, attempted, lastErr)
 }
 
 // withNode runs one attempt against one node under the per-attempt
-// timeout, discarding the connection on transport failures.
-func (p *Pool) withNode(ctx context.Context, node string, op func(ctx context.Context, c *transport.Client) error) error {
-	attempt, cancel := p.attemptCtx(ctx)
+// timeout, feeding the outcome to the health state machine and
+// discarding the connection on transport failures.
+func (p *Pool) withNode(ctx context.Context, node string, attemptsLeft int, op func(ctx context.Context, c *transport.Client) error) error {
+	p.attempts.Add(1)
+	attempt, cancel := p.attemptCtx(ctx, attemptsLeft)
 	defer cancel()
+	start := time.Now()
 	c, err := p.client(attempt, node)
 	if err != nil {
 		return err
 	}
 	if err := op(attempt, c); err != nil {
-		if !keepConn(err) {
+		if keepConn(err) {
+			// The node answered; the application-level error is not a
+			// health signal.
+			p.res.ReportSuccess(node, time.Since(start))
+		} else {
 			p.discard(node, c)
+			if ctx.Err() == nil {
+				// The caller abandoning the request (parent ctx dead)
+				// says nothing about the node; a per-attempt timeout
+				// with a live parent does.
+				p.res.ReportFailure(node)
+			}
 		}
 		return err
 	}
+	p.res.ReportSuccess(node, time.Since(start))
 	return nil
 }
 
@@ -353,10 +472,18 @@ func (p *Pool) GetManifest(ctx context.Context, contextID string) (storage.Manif
 // GetChunkData fetches one chunk payload by content hash, trying the
 // hash's primary node first and failing over to its replicas. A replica
 // is also tried on not-found (the primary may have joined after
-// publish).
+// publish). With hedging on and the primary's latency histogram warm,
+// a request unanswered past the primary's P99 is duplicated to the
+// next replica under the retry budget — first answer wins, the loser
+// is cancelled.
 func (p *Pool) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
-	var data []byte
 	nodes := p.ring.ChunkNodes(hash)
+	if p.hedge && len(nodes) > 1 {
+		if data, handled, err := p.getChunkHedged(ctx, hash, nodes); handled {
+			return data, err
+		}
+	}
+	var data []byte
 	err := p.tryNodes(ctx, nodes, fmt.Sprintf("chunk %.12s…", hash), false, func(ctx context.Context, c *transport.Client) error {
 		d, err := c.GetChunkData(ctx, hash)
 		if err == nil {
@@ -365,6 +492,105 @@ func (p *Pool) GetChunkData(ctx context.Context, hash string) ([]byte, error) {
 		return err
 	})
 	return data, err
+}
+
+// getChunkHedged is the first-wins duplicate fetch: the primary gets a
+// head start of its adaptive hedge delay; if it has not answered by
+// then (or fails outright), the same chunk-by-hash request goes to the
+// next live replica, and whichever answers first wins while the loser
+// is cancelled. handled=false falls back to the sequential path (cold
+// latency histogram, no live secondary, blocked primary).
+func (p *Pool) getChunkHedged(parent context.Context, hash string, nodes []string) (data []byte, handled bool, err error) {
+	if parent.Err() != nil {
+		return nil, false, nil
+	}
+	ordered, _ := p.res.Order(nodes)
+	primary := ordered[0]
+	delay, warm := p.res.HedgeDelay(primary)
+	if !warm {
+		return nil, false, nil
+	}
+	var secondary string
+	for _, n := range ordered[1:] {
+		if p.res.State(n) != resilience.Dead {
+			secondary = n
+			break
+		}
+	}
+	if secondary == "" || !p.res.Allow(primary) {
+		return nil, false, nil
+	}
+	p.requests.Add(1)
+	p.res.OnRequest()
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel() // loser cancellation: first answer wins below
+	type result struct {
+		data   []byte
+		err    error
+		node   string
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	fetch := func(node string, hedged bool) {
+		var d []byte
+		err := p.withNode(ctx, node, 1, func(ctx context.Context, c *transport.Client) error {
+			b, err := c.GetChunkData(ctx, hash)
+			if err == nil {
+				d = b
+			}
+			return err
+		})
+		ch <- result{d, err, node, hedged}
+	}
+	go fetch(primary, false)
+	launched := 1
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for done := 0; done < launched; {
+		select {
+		case r := <-ch:
+			done++
+			if r.err == nil {
+				if r.hedged {
+					p.res.OnHedgeWin()
+				}
+				telemetry.Annotate(parent, "node", r.node)
+				return r.data, true, nil
+			}
+			if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+				firstErr = r.err
+			}
+			if launched == 1 && parent.Err() == nil {
+				// The primary failed before the hedge fired: fail over
+				// now. Moving past an answer (not-found, remote error)
+				// is free; past a transport failure it spends a token.
+				if keepConn(r.err) || p.res.TryRetry() {
+					p.failovers.Add(1)
+					telemetry.Event(parent, "failover",
+						telemetry.Attr{Key: "what", Value: fmt.Sprintf("chunk %.12s…", hash)},
+						telemetry.Attr{Key: "node", Value: secondary})
+					launched++
+					go fetch(secondary, true)
+				}
+			}
+		case <-timer.C:
+			if launched == 1 && p.res.Allow(secondary) && p.res.TryRetry() {
+				p.res.OnHedge()
+				telemetry.Event(parent, "hedge",
+					telemetry.Attr{Key: "what", Value: fmt.Sprintf("chunk %.12s…", hash)},
+					telemetry.Attr{Key: "node", Value: secondary})
+				launched++
+				go fetch(secondary, true)
+			}
+		case <-parent.Done():
+			// Outstanding fetches unwind via ctx; their sends land in
+			// the buffered channel.
+			return nil, true, fmt.Errorf("cluster: chunk %.12s…: %w", hash, parent.Err())
+		}
+	}
+	return nil, true, fmt.Errorf("cluster: chunk %.12s… failed on %d replicas tried: %w", hash, launched, firstErr)
 }
 
 // eachNode runs op against every ring node in parallel (one goroutine
@@ -384,7 +610,7 @@ func (p *Pool) eachNode(ctx context.Context, op func(ctx context.Context, c *tra
 		wg.Add(1)
 		go func(i int, node string) {
 			defer wg.Done()
-			errs[i] = p.withNode(ctx, node, op)
+			errs[i] = p.withNode(ctx, node, 1, op)
 		}(i, node)
 	}
 	wg.Wait()
@@ -486,7 +712,8 @@ func (p *Pool) GetBank(ctx context.Context) ([]byte, error) {
 // across the fleet: hashes are grouped by primary node and each group
 // runs on its own goroutine over that node's reused connection, so
 // wall-clock approaches the slowest shard rather than the sum of all
-// transfers. Per-chunk replica failover still applies. The result is
+// transfers. Per-chunk replica failover, hedging, and the fleet-
+// unavailable fast-fail still apply chunk by chunk. The result is
 // indexed like hashes.
 func (p *Pool) GetChunkBatch(ctx context.Context, hashes []string) ([][]byte, error) {
 	byNode := map[string][]int{} // primary node → positions in hashes

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/transport"
+)
+
+// restartNode brings a closed node back up on its old address over the
+// same store, as a chaos heal does.
+func restartNode(t *testing.T, n *clusterNode) {
+	t.Helper()
+	srv := transport.NewServer(n.cache)
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	n.srv = srv
+	t.Cleanup(func() { srv.Close() })
+}
+
+// TestPoolFleetUnavailableFastFail is the fully-partitioned fleet
+// scenario: once every replica is marked dead, fetches fail fast with
+// the distinguishable ErrFleetUnavailable instead of spinning through
+// the whole attempt list, and batch fetches propagate it.
+func TestPoolFleetUnavailableFastFail(t *testing.T) {
+	s := newClusterStack(t, 3, 2)
+	pool := NewPool(s.ring,
+		WithRequestTimeout(time.Second),
+		// One failure condemns a node, the breaker stays open for the
+		// whole test, and the prober is off so nothing resurrects them.
+		WithResilience(resilience.Config{
+			DeadAfter:       1,
+			BreakerCooldown: time.Hour,
+			ProbeInterval:   -1,
+		}))
+	defer pool.Close()
+	ctx := context.Background()
+	hash := s.chunkHash(t, 0, 0)
+
+	// Partition the whole fleet.
+	for _, n := range s.nodes {
+		n.srv.Close()
+	}
+
+	// The first fetch sweeps the replicas, fails, and condemns them.
+	if _, err := pool.GetManifest(ctx, testContextID); err == nil {
+		t.Fatal("manifest fetch succeeded on a fully-partitioned fleet")
+	}
+	if _, err := pool.GetBank(ctx); err == nil {
+		t.Fatal("bank fetch succeeded on a fully-partitioned fleet")
+	}
+	for _, n := range s.nodes {
+		if st := pool.Resilience().State(n.addr); st != resilience.Dead {
+			t.Fatalf("node %s = %v after fleet partition, want dead", n.addr, st)
+		}
+	}
+
+	// Now every replica is marked failed: requests fail fast and
+	// distinguishably, without burning a per-node attempt list.
+	start := time.Now()
+	_, err := pool.GetChunkData(ctx, hash)
+	if !errors.Is(err, ErrFleetUnavailable) {
+		t.Fatalf("chunk fetch on dead fleet = %v, want ErrFleetUnavailable", err)
+	}
+	if took := time.Since(start); took > 200*time.Millisecond {
+		t.Errorf("fleet-unavailable fast fail took %v", took)
+	}
+	if _, err := pool.GetManifest(ctx, testContextID); !errors.Is(err, ErrFleetUnavailable) {
+		t.Errorf("manifest fetch on dead fleet = %v, want ErrFleetUnavailable", err)
+	}
+	if _, err := pool.GetChunkBatch(ctx, []string{hash, s.chunkHash(t, 0, 1)}); !errors.Is(err, ErrFleetUnavailable) {
+		t.Errorf("batch fetch on dead fleet = %v, want ErrFleetUnavailable", err)
+	}
+	if st := pool.Resilience().Stats(); st.FastFails == 0 {
+		t.Errorf("fast fails not accounted: %+v", st)
+	}
+
+	// A near-exhausted deadline budget takes the same fast path even
+	// when a breaker trial would otherwise be admitted.
+	tight := resilience.WithBudget(ctx, time.Millisecond)
+	if _, err := pool.GetChunkData(tight, hash); !errors.Is(err, ErrFleetUnavailable) {
+		t.Errorf("tight-budget fetch on dead fleet = %v, want ErrFleetUnavailable", err)
+	}
+}
+
+// TestPoolRecoversThroughInvalidate: the chaos-heal fast path still
+// works with breakers in front — Invalidate reopens routing to a node
+// whose breaker would otherwise stay open for the full cooldown.
+func TestPoolRecoversThroughInvalidate(t *testing.T) {
+	s := newClusterStack(t, 3, 2)
+	pool := NewPool(s.ring,
+		WithRequestTimeout(time.Second),
+		WithResilience(resilience.Config{
+			DeadAfter:       1,
+			BreakerCooldown: time.Hour,
+			ProbeInterval:   -1,
+		}))
+	defer pool.Close()
+	ctx := context.Background()
+
+	for _, n := range s.nodes {
+		n.srv.Close()
+	}
+	if _, err := pool.GetManifest(ctx, testContextID); err == nil {
+		t.Fatal("manifest fetch succeeded on a dead fleet")
+	}
+
+	// Heal: restart the servers on their old addresses and fast-path
+	// them back in, as chaos heals (and the prober) do.
+	for _, n := range s.nodes {
+		restartNode(t, n)
+		pool.Invalidate(n.addr)
+	}
+	man, err := pool.GetManifest(ctx, testContextID)
+	if err != nil {
+		t.Fatalf("manifest fetch after heal: %v", err)
+	}
+	if man.Meta.TokenCount != len(s.tokens) {
+		t.Errorf("healed manifest says %d tokens, want %d", man.Meta.TokenCount, len(s.tokens))
+	}
+	for _, n := range s.nodes {
+		if st := pool.Resilience().State(n.addr); st == resilience.Dead {
+			t.Errorf("node %s still dead after heal + success", n.addr)
+		}
+	}
+}

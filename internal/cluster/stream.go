@@ -135,6 +135,7 @@ func (s *poolStream) Recv(ctx context.Context) (transport.StreamFrame, error) {
 			// node burns an attempt on a known-dead socket.
 			if subClient != nil && !keepConn(err) {
 				s.p.discard(node, subClient)
+				s.p.res.ReportFailure(node)
 			}
 			s.markFailed(pos, node)
 			// A clean not-found is usually a mid-run level switch landing
@@ -215,13 +216,25 @@ func (s *poolStream) openRun(ctx context.Context) (transport.ChunkStream, int, e
 		return nil, 0, fmt.Errorf("cluster: chunk %d has no payload at level %d", start, firstLevel)
 	}
 	// Candidate nodes for the first chunk, minus those that already
-	// failed serving this position.
-	var primary string
-	for _, n := range s.p.ring.ChunkNodes(firstHash) {
-		if !failed[n] {
+	// failed serving this position, routed by health: a breaker-open
+	// node is only attempted when no live candidate remains (its
+	// half-open trial may still admit it).
+	candidates, _ := s.p.res.Order(s.p.ring.ChunkNodes(firstHash))
+	var primary, fallback string
+	for _, n := range candidates {
+		if failed[n] {
+			continue
+		}
+		if fallback == "" {
+			fallback = n
+		}
+		if s.p.res.Allow(n) {
 			primary = n
 			break
 		}
+	}
+	if primary == "" {
+		primary = fallback
 	}
 	if primary == "" {
 		return nil, 0, fmt.Errorf("cluster: no replicas left for chunk stream position %d", start)
@@ -283,6 +296,9 @@ func (s *poolStream) openRun(ctx context.Context) (transport.ChunkStream, int, e
 	})
 	if err != nil {
 		s.p.discard(primary, client)
+		if ctx.Err() == nil {
+			s.p.res.ReportFailure(primary)
+		}
 		s.markFailed(start, primary)
 		if ctx.Err() == nil && !s.exhausted(start) {
 			return s.openRun(ctx)

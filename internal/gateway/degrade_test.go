@@ -1,0 +1,103 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// TestDegradeLadderSteps exercises the ladder's pressure arithmetic and
+// its application to the per-request planner: queue pressure and burned
+// SLO budget each contribute rungs, rungs coarsen the default level, and
+// past the coarsest level the planner is pinned to text.
+func TestDegradeLadderSteps(t *testing.T) {
+	r := newTestRing(t, 1)
+	cfg := r.config(1, false)
+	cfg.Degrade = true
+	cfg.QueueLimit = 10
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(ctx context.Context, slo time.Duration) *pending {
+		return &pending{req: Request{Tenant: "t", ContextID: r.contexts[0], SLO: slo}, ctx: ctx}
+	}
+
+	// Calm gateway, no SLO: no degradation.
+	f := g.fetcher(mk(context.Background(), 0))
+	if f.Planner.DefaultLevel != 0 || f.Planner.ForceText {
+		t.Fatalf("calm fetcher degraded: level %v forceText %v", f.Planner.DefaultLevel, f.Planner.ForceText)
+	}
+
+	// Queue at 90% of the admission bound: two rungs, L0 → L2.
+	g.mu.Lock()
+	g.queued = 9
+	g.mu.Unlock()
+	p := mk(context.Background(), 0)
+	f = g.fetcher(p)
+	if p.degrade != 2 || f.Planner.DefaultLevel != core.Level(2) || f.Planner.ForceText {
+		t.Fatalf("queue pressure: step %d level %v forceText %v, want 2/L2/false",
+			p.degrade, f.Planner.DefaultLevel, f.Planner.ForceText)
+	}
+
+	// Add a nearly-exhausted SLO budget: two more rungs walk past the
+	// coarsest level (L3) onto the text floor.
+	ctx := resilience.WithBudget(context.Background(), time.Millisecond)
+	p = mk(ctx, time.Second)
+	f = g.fetcher(p)
+	if p.degrade != 4 || !f.Planner.ForceText {
+		t.Fatalf("severe pressure: step %d forceText %v, want 4/true", p.degrade, f.Planner.ForceText)
+	}
+
+	if got := g.Stats().Degraded; got != 2 {
+		t.Fatalf("Degraded = %d, want 2", got)
+	}
+
+	// Ladder off: the same pressure leaves quality alone.
+	g.mu.Lock()
+	g.queued = 0
+	g.mu.Unlock()
+	cfg.Degrade = false
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = mk(ctx, time.Second)
+	if f := g2.fetcher(p); p.degrade != 0 || f.Planner.ForceText {
+		t.Fatalf("Degrade=false still degraded: step %d", p.degrade)
+	}
+}
+
+// TestGatewayDegradeEndToEnd: a request whose SLO budget is gone by
+// fetch time is served coarser (two rungs down) and says so in the
+// Result; the payload actually moved at the degraded level.
+func TestGatewayDegradeEndToEnd(t *testing.T) {
+	r := newTestRing(t, 1)
+	cfg := r.config(1, false)
+	cfg.Degrade = true
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Submit(context.Background(), Request{
+		Tenant:    "t",
+		ContextID: r.contexts[0],
+		SLO:       time.Nanosecond, // burned before the fetch can start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradeStep != 2 {
+		t.Fatalf("DegradeStep = %d, want 2", res.DegradeStep)
+	}
+	if res.Report == nil || res.Report.LevelBytes["L2"] == 0 {
+		t.Fatalf("degraded request did not stream at L2: %+v", res.Report.LevelBytes)
+	}
+	if g.Stats().Degraded != 1 {
+		t.Fatalf("Degraded = %d, want 1", g.Stats().Degraded)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/streamer"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -99,6 +100,11 @@ type Result struct {
 	// Report is the streamer's per-chunk account of the fetch. Its
 	// LoadTime is anchored at admission, not at fetch start.
 	Report *streamer.FetchReport
+	// DegradeStep is the degradation-ladder rung this request was served
+	// at: 0 = configured quality, each step one encoding level coarser,
+	// with the final rung the forced text fallback. Always 0 with
+	// Config.Degrade off.
+	DegradeStep int
 }
 
 // Config assembles a Gateway.
@@ -119,6 +125,14 @@ type Config struct {
 	// negative = unbounded. A request granted a slot bypasses the bound
 	// (its fetch is foreground work from then on).
 	MaxPrefetch int
+	// Degrade enables the graceful-degradation ladder: under pressure
+	// (queue depth approaching QueueLimit, SLO budget mostly burned) a
+	// request's planner is stepped toward coarser encoding levels, and
+	// at the last rung pinned to the text-recompute fallback — shifting
+	// load from the degraded fleet onto the local GPU — before admission
+	// control ever starts shedding. Off, requests stream at the
+	// configured quality regardless of pressure.
+	Degrade bool
 
 	// Source serves metadata and chunks: a transport.Client or a
 	// cluster.Pool over the ring.
@@ -185,6 +199,7 @@ type pending struct {
 	granted     chan struct{} // closed when a decode slot is granted
 	fetched     chan fetchOutcome
 	prefetching bool
+	degrade     int // ladder rung, set at fetch start (before p.fetched)
 }
 
 // tenantQueue is one tenant's FIFO plus its smooth-WRR state.
@@ -240,6 +255,7 @@ type Gateway struct {
 	completed    atomic.Uint64
 	failed       atomic.Uint64
 	prefetchHits atomic.Uint64
+	degraded     atomic.Uint64
 
 	statsMu sync.Mutex
 	tenants map[string]*tenantAccum
@@ -259,6 +275,7 @@ type gwInstruments struct {
 	completed *telemetry.Counter
 	failed    *telemetry.Counter
 	hits      *telemetry.Counter
+	degraded  *telemetry.Counter
 	ttft      *telemetry.Histogram
 	queueWait *telemetry.Histogram
 	bandwidth *telemetry.Gauge
@@ -277,6 +294,7 @@ func (g *Gateway) register(reg *telemetry.Registry) {
 		completed: reg.Counter("cachegen_gateway_completed_total", "requests served to first token"),
 		failed:    reg.Counter("cachegen_gateway_failed_total", "requests whose fetch errored"),
 		hits:      reg.Counter("cachegen_gateway_prefetch_hits_total", "completions whose KV was resident at slot grant"),
+		degraded:  reg.Counter("cachegen_gateway_degraded_total", "requests served below configured quality by the degradation ladder"),
 		ttft:      reg.Histogram("cachegen_gateway_ttft_seconds", "admission to first output token"),
 		queueWait: reg.Histogram("cachegen_gateway_queue_wait_seconds", "admission to decode-slot grant"),
 		bandwidth: reg.Gauge("cachegen_gateway_bandwidth_bps", "live estimate from the most recent fetch frames"),
@@ -459,8 +477,15 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
 	return g.serve(p)
 }
 
-// requestContext derives the per-request context carrying the deadline.
+// requestContext derives the per-request context carrying the deadline
+// and the soft SLO budget. The budget rides the context all the way into
+// cluster.Pool, where it shrinks per-attempt timeouts as it burns — a
+// request with 80ms of SLO left no longer grants one replica a full
+// fixed timeout.
 func (g *Gateway) requestContext(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	if req.SLO > 0 {
+		ctx = resilience.WithBudget(ctx, req.SLO)
+	}
 	if req.Deadline > 0 {
 		return context.WithTimeout(ctx, req.Deadline)
 	}
@@ -563,12 +588,69 @@ func (g *Gateway) releaseSlot() {
 	g.mu.Unlock()
 }
 
+// degradeStep computes the ladder rung for one request at fetch start:
+// how many encoding levels below configured quality it should stream at.
+// Pressure comes from two independent signals — the queue filling toward
+// the admission bound (the fleet is not keeping up) and the request's
+// own SLO budget already mostly burned (this request is not keeping up).
+// Each contributes up to two rungs, so sustained pressure walks quality
+// down gradually instead of jumping straight to the floor.
+func (g *Gateway) degradeStep(p *pending) int {
+	if !g.cfg.Degrade {
+		return 0
+	}
+	step := 0
+	g.mu.Lock()
+	queued, free := g.queued, g.freeSlots
+	g.mu.Unlock()
+	if g.cfg.QueueLimit > 0 {
+		qfrac := float64(queued) / float64(g.cfg.QueueLimit)
+		if qfrac >= 0.5 {
+			step++
+		}
+		if qfrac >= 0.9 {
+			step++
+		}
+	} else if free == 0 && queued > g.cfg.Slots {
+		// No admission bound to measure against: a backlog deeper than
+		// the slot pool with nothing idle is the coarse equivalent.
+		step++
+	}
+	if p.req.SLO > 0 {
+		if rem, ok := resilience.Remaining(p.ctx); ok {
+			frac := float64(rem) / float64(p.req.SLO)
+			if frac < 0.5 {
+				step++
+			}
+			if frac < 0.2 {
+				step++
+			}
+		}
+	}
+	return step
+}
+
 // fetcher builds the per-request streamer, anchored at admission time so
 // the planner sees queueing delay as budget already spent.
 func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 	pl := g.cfg.Planner
 	if p.req.SLO > 0 {
 		pl.SLO = p.req.SLO
+	}
+	if step := g.degradeStep(p); step > 0 {
+		p.degrade = step
+		g.degraded.Add(1)
+		g.tele.degraded.Inc()
+		// Walk the ladder: each rung one level coarser than configured;
+		// past the coarsest level, pin the text fallback (recompute on
+		// the local GPU instead of leaning on a degraded fleet).
+		coarsest := g.cfg.Codec.Config().Levels() - 1
+		if lv := int(pl.DefaultLevel) + step; lv <= coarsest {
+			pl.DefaultLevel = core.Level(lv)
+		} else {
+			pl.ForceText = true
+		}
+		p.span.SetAttr("degrade_step", step)
 	}
 	return &streamer.Fetcher{
 		Source:         g.cfg.Source,
@@ -727,6 +809,7 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 		Seq:         p.seq,
 		SLOMet:      sloMet,
 		Report:      out.report,
+		DegradeStep: p.degrade,
 	}, nil
 }
 
@@ -828,6 +911,9 @@ type Stats struct {
 	// PrefetchHits counts completions whose KV was fully resident when
 	// their slot was granted (the fetch hid entirely in the queue wait).
 	PrefetchHits uint64
+	// Degraded counts requests the degradation ladder served below
+	// configured quality (always 0 with Config.Degrade off).
+	Degraded uint64
 	// QueueDepth is the current queued-request count; MaxQueueDepth its
 	// high-water mark.
 	QueueDepth, MaxQueueDepth int
@@ -849,6 +935,7 @@ func (g *Gateway) Stats() Stats {
 		Completed:     g.completed.Load(),
 		Failed:        g.failed.Load(),
 		PrefetchHits:  g.prefetchHits.Load(),
+		Degraded:      g.degraded.Load(),
 		QueueDepth:    depth,
 		MaxQueueDepth: maxDepth,
 		FreeSlots:     free,

@@ -1,0 +1,66 @@
+package harness
+
+import "testing"
+
+// The three X12 cells, each enforced on its own so a regression names
+// the claim it broke, not just "X12 failed".
+
+func TestX12ProberBeatsBackoffAfterHeal(t *testing.T) {
+	st, err := newX5Stack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := x12RecoveryCell(st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := x12RecoveryCell(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x12CheckRecovery(prober, baseline); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("prober re-admitted the healed node in %v (%d probes); baseline window %v expired",
+		prober.elapsed, prober.probes, x12RecoveryWindow)
+}
+
+func TestX12HedgingCutsTailUnderFlakyNode(t *testing.T) {
+	st, err := newX5Stack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, err := x12HedgeCell(st, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unhedged, err := x12HedgeCell(st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x12CheckHedge(hedged, unhedged); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("P99 %.1f ms hedged vs %.1f ms unhedged under a %v stall (%d hedges, %d wins)",
+		hedged.p99*1e3, unhedged.p99*1e3, x12Stall, hedged.hedges, hedged.wins)
+}
+
+func TestX12RetryBudgetContainsAmplification(t *testing.T) {
+	st, err := newX5Stack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := x12ContainmentCell(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x12CheckContainment(out); err != nil {
+		t.Fatal(err)
+	}
+	amp := float64(out.attempts) / float64(out.requests)
+	if amp > 1+x12ContainFraction+float64(x12ContainBurst)/float64(out.requests)+0.01 {
+		t.Fatalf("amplification %.3f above the long-run bound", amp)
+	}
+	t.Logf("%d requests, %d attempts (amplification %.3f, bound %.0f), %d tokens spent, %d denied, %d served / %d failed fast",
+		out.requests, out.attempts, amp, out.bound, out.spent, out.denied, out.served, out.failed)
+}

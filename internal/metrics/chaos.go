@@ -23,6 +23,9 @@ type ChaosCounters struct {
 	BandwidthCliffsHealed atomic.Uint64 // bandwidth cliffs lifted
 	CorruptFramesInjected atomic.Uint64 // payloads corrupted on the wire
 	CorruptFramesRejected atomic.Uint64 // corrupt payloads caught by CRC
+	FlakyNodes            atomic.Uint64 // flaky faults imposed
+	FlakyHealed           atomic.Uint64 // flaky faults lifted
+	FlakyStrikes          atomic.Uint64 // requests struck (stalled or severed)
 }
 
 // ChaosSnapshot is a point-in-time copy of ChaosCounters, for reports.
@@ -37,6 +40,9 @@ type ChaosSnapshot struct {
 	BandwidthCliffsHealed uint64
 	CorruptFramesInjected uint64
 	CorruptFramesRejected uint64
+	FlakyNodes            uint64
+	FlakyHealed           uint64
+	FlakyStrikes          uint64
 }
 
 // Snapshot copies the current counter values.
@@ -52,6 +58,9 @@ func (c *ChaosCounters) Snapshot() ChaosSnapshot {
 		BandwidthCliffsHealed: c.BandwidthCliffsHealed.Load(),
 		CorruptFramesInjected: c.CorruptFramesInjected.Load(),
 		CorruptFramesRejected: c.CorruptFramesRejected.Load(),
+		FlakyNodes:            c.FlakyNodes.Load(),
+		FlakyHealed:           c.FlakyHealed.Load(),
+		FlakyStrikes:          c.FlakyStrikes.Load(),
 	}
 }
 
@@ -76,6 +85,9 @@ func (s ChaosSnapshot) String() string {
 	}
 	if s.CorruptFramesInjected > 0 || s.CorruptFramesRejected > 0 {
 		parts = append(parts, fmt.Sprintf("corrupt %d/%d rejected", s.CorruptFramesRejected, s.CorruptFramesInjected))
+	}
+	if s.FlakyNodes > 0 || s.FlakyHealed > 0 || s.FlakyStrikes > 0 {
+		parts = append(parts, fmt.Sprintf("flaky %d (healed %d, %d strikes)", s.FlakyNodes, s.FlakyHealed, s.FlakyStrikes))
 	}
 	if len(parts) == 0 {
 		return "no faults"

@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes all attempts.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen blocks attempts until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets one trial attempt through per cooldown; a
+	// success closes the breaker, a failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-node circuit breaker unifying dial and request
+// failures: Trip opens it, Allow blocks attempts while open, and after
+// the cooldown one half-open trial decides whether it closes again.
+// The zero value is a closed breaker with a zero cooldown; Manager
+// sets the cooldown from its Config. Safe for concurrent use.
+type Breaker struct {
+	cooldown time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	openedAt time.Time
+	trialAt  time.Time
+}
+
+// NewBreaker returns a closed breaker with the given cooldown.
+func NewBreaker(cooldown time.Duration) *Breaker {
+	return &Breaker{cooldown: cooldown}
+}
+
+// State returns the breaker's current state (an open breaker past its
+// cooldown reads as half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether an attempt may proceed. While open, attempts
+// are blocked until the cooldown elapses; then one trial per cooldown
+// window is admitted (half-open), so a dead node costs the fleet one
+// probe-priced attempt per window instead of one per chunk.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trialAt = time.Now()
+		return true
+	case BreakerHalfOpen:
+		// One trial in flight per cooldown window: admit another only
+		// if the outstanding one has gone unanswered a full window.
+		if time.Since(b.trialAt) < b.cooldown {
+			return false
+		}
+		b.trialAt = time.Now()
+		return true
+	}
+	return true
+}
+
+// Success closes the breaker (the half-open trial, or any attempt,
+// reached the node).
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+}
+
+// Failure records a failed attempt: it re-opens a half-open breaker
+// (the trial failed) but does not by itself trip a closed one — the
+// caller's failure threshold decides that via Trip.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen || b.state == BreakerOpen {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// Trip opens the breaker now.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerOpen
+	b.openedAt = time.Now()
+}
+
+// Reset closes the breaker and forgets its history (external heal
+// evidence or a successful active probe).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.openedAt = time.Time{}
+	b.trialAt = time.Time{}
+}

@@ -1,0 +1,129 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// RetryBudget is the SRE-style token bucket that bounds request
+// amplification: each logical request earns fraction tokens (capped at
+// burst), and every extra attempt — a failover retry after a transport
+// failure, a hedged duplicate — spends one. When the bucket is empty
+// the fleet stops multiplying work onto itself, which is exactly when
+// it is browning out. Long-run amplification is thus bounded by
+// 1+fraction, plus the one-time burst. Safe for concurrent use; a nil
+// budget grants everything.
+type RetryBudget struct {
+	mu       sync.Mutex
+	tokens   float64
+	burst    float64
+	fraction float64
+}
+
+// NewRetryBudget returns a full bucket earning fraction tokens per
+// request, capped at burst.
+func NewRetryBudget(fraction, burst float64) *RetryBudget {
+	return &RetryBudget{tokens: burst, burst: burst, fraction: fraction}
+}
+
+// OnRequest credits the bucket for one logical request.
+func (b *RetryBudget) OnRequest() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.fraction
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Try spends one token if available.
+func (b *RetryBudget) Try() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current balance.
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// ---- deadline-budget propagation ----
+//
+// A request's SLO is a budget that burns as the request moves through
+// queueing, fetching, and decode. WithBudget stamps the budget's
+// expiry on the context at the gateway; Remaining reads what is left
+// anywhere downstream; AttemptTimeout converts it into a per-attempt
+// timeout that shrinks as the budget burns, so a request with 80ms
+// left does not grant one node a fixed 10s attempt.
+
+type budgetKey struct{}
+
+// WithBudget returns ctx carrying a soft deadline budget of d from
+// now. Unlike context.WithTimeout it does not cancel anything by
+// itself — it only informs downstream timeout choices, so work that
+// overruns the SLO still completes (late) rather than failing.
+func WithBudget(ctx context.Context, d time.Duration) context.Context {
+	if d <= 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, budgetKey{}, time.Now().Add(d))
+}
+
+// Remaining returns the unspent deadline budget: the explicit budget
+// stamped by WithBudget if present, else the context's own deadline,
+// else ok=false.
+func Remaining(ctx context.Context) (time.Duration, bool) {
+	if t, ok := ctx.Value(budgetKey{}).(time.Time); ok {
+		return time.Until(t), true
+	}
+	if t, ok := ctx.Deadline(); ok {
+		return time.Until(t), true
+	}
+	return 0, false
+}
+
+// AttemptFloor keeps per-attempt timeouts from collapsing to nothing
+// when the budget is nearly gone: an attempt that cannot possibly
+// complete is worse than none. Callers also use it as the threshold
+// below which a request is not worth starting at all.
+const AttemptFloor = 5 * time.Millisecond
+
+// AttemptTimeout derives the timeout for the next attempt: the
+// remaining budget split across the attempts still available, clamped
+// below by attemptFloor and above by base (the configured per-attempt
+// timeout; base <= 0 means unbounded). With no budget on ctx it
+// returns base unchanged.
+func AttemptTimeout(ctx context.Context, base time.Duration, attemptsLeft int) time.Duration {
+	rem, ok := Remaining(ctx)
+	if !ok {
+		return base
+	}
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
+	per := rem / time.Duration(attemptsLeft)
+	if per < AttemptFloor {
+		per = AttemptFloor
+	}
+	if base > 0 && base < per {
+		return base
+	}
+	return per
+}

@@ -1,0 +1,483 @@
+// Package resilience is the fleet's unified failure domain: one place
+// that learns, per node, whether the node is worth talking to, how long
+// a request to it should be given, and how much extra work (retries,
+// hedges, probes) the fleet can afford to spend routing around it.
+//
+// It generalizes CacheGen's core adaptation idea — spend quality
+// deliberately under bandwidth variation — to node health and overload:
+// the same request that steps down a quality level under a thin link
+// steps around a suspect node, hedges a flaky one, and shrinks its
+// per-attempt timeouts as its SLO budget burns.
+//
+// The pieces, consumed by cluster.Pool, streamer.Fetcher, and the
+// gateway:
+//
+//   - a per-node health state machine (healthy → suspect → dead →
+//     recovering → healthy) fed by request outcomes and driven forward
+//     by an active prober that fast-paths healed nodes back into
+//     rotation (subsuming the pool's old dial-backoff negative cache);
+//   - a per-node circuit breaker (closed/open/half-open) unifying dial
+//     and request failures;
+//   - a token-bucket retry budget bounding total request amplification;
+//   - per-node latency histograms whose upper quantile sets the
+//     adaptive hedge delay for first-wins duplicate chunk fetches;
+//   - deadline-budget propagation helpers (WithBudget / Remaining /
+//     AttemptTimeout) threading a request's remaining SLO budget from
+//     the gateway through the fetch pipeline into per-attempt timeouts.
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// NodeState is one node's position in the health state machine.
+type NodeState int32
+
+const (
+	// Healthy nodes take traffic in ring order.
+	Healthy NodeState = iota
+	// Suspect nodes have failed recently but not enough to be written
+	// off; they are tried after healthy candidates.
+	Suspect
+	// Dead nodes failed past the threshold; their breaker is open and
+	// routing skips them until a probe (or breaker half-open trial)
+	// succeeds.
+	Dead
+	// Recovering nodes passed a probe after being dead; they take
+	// traffic again, and one real success promotes them to Healthy.
+	Recovering
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Recovering:
+		return "recovering"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the failure domain. The zero value means defaults.
+type Config struct {
+	// SuspectAfter consecutive failures demote Healthy → Suspect.
+	// Default 1.
+	SuspectAfter int
+	// DeadAfter consecutive failures demote → Dead and open the node's
+	// breaker. Default 3.
+	DeadAfter int
+	// ProbeInterval is the active prober's cycle; each cycle it probes
+	// every suspect and dead node. Default 250ms. Negative disables
+	// probing even if StartProber is called.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe. Default 1s.
+	ProbeTimeout time.Duration
+	// BreakerCooldown is how long an open breaker blocks attempts
+	// before letting one half-open trial through. Default 1s (the old
+	// dial-backoff window).
+	BreakerCooldown time.Duration
+	// RetryFraction is how many retry-budget tokens each logical
+	// request earns; a retry or hedge spends one. Long-run request
+	// amplification is thus bounded by 1+RetryFraction. Default 0.25.
+	RetryFraction float64
+	// RetryBurst caps the retry-budget bucket (and is its starting
+	// balance). Default 16.
+	RetryBurst float64
+	// HedgeQuantile is the per-node latency quantile used as the hedge
+	// delay: a request still unanswered past it is probably stuck, so a
+	// duplicate goes to the next replica. Default 0.99.
+	HedgeQuantile float64
+	// MinHedgeDelay / MaxHedgeDelay clamp the adaptive hedge delay.
+	// Defaults 1ms / 250ms.
+	MinHedgeDelay time.Duration
+	MaxHedgeDelay time.Duration
+	// HedgeWarmup is how many latency samples a node needs before its
+	// quantile is trusted to set a hedge delay. Default 16.
+	HedgeWarmup int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.RetryFraction <= 0 {
+		c.RetryFraction = 0.25
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 16
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile > 1 {
+		c.HedgeQuantile = 0.99
+	}
+	if c.MinHedgeDelay <= 0 {
+		c.MinHedgeDelay = time.Millisecond
+	}
+	if c.MaxHedgeDelay <= 0 {
+		c.MaxHedgeDelay = 250 * time.Millisecond
+	}
+	if c.HedgeWarmup <= 0 {
+		c.HedgeWarmup = 16
+	}
+	return c
+}
+
+// node is one node's health record.
+type node struct {
+	mu    sync.Mutex
+	state NodeState
+	fails int // consecutive failures
+	br    Breaker
+	lat   telemetry.Histogram // request latency, feeds the hedge delay
+}
+
+// Manager tracks every node's health, breaker, and latency, and owns
+// the shared retry budget and the active prober. Safe for concurrent
+// use; the zero value is not usable — call New.
+type Manager struct {
+	cfg    Config
+	budget *RetryBudget
+
+	mu    sync.Mutex
+	nodes map[string]*node
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+
+	probes        atomic.Uint64
+	probeFailures atomic.Uint64
+	recoveries    atomic.Uint64
+	breakerOpens  atomic.Uint64
+	hedges        atomic.Uint64
+	hedgeWins     atomic.Uint64
+	retriesSpent  atomic.Uint64
+	retriesDenied atomic.Uint64
+	fastFails     atomic.Uint64
+}
+
+// New returns a Manager with cfg's zero fields defaulted.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:    cfg,
+		budget: NewRetryBudget(cfg.RetryFraction, cfg.RetryBurst),
+		nodes:  map[string]*node{},
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// node returns the record for id, creating it Healthy if new.
+func (m *Manager) node(id string) *node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.nodes[id]
+	if !ok {
+		n = &node{}
+		n.br.cooldown = m.cfg.BreakerCooldown
+		m.nodes[id] = n
+	}
+	return n
+}
+
+// State returns id's current health state (Healthy if never seen).
+func (m *Manager) State(id string) NodeState {
+	n := m.node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// ReportSuccess records a successful attempt against id with its
+// latency. Any answer from the node — including a clean not-found or a
+// remote application error — counts: the transport is alive.
+func (m *Manager) ReportSuccess(id string, d time.Duration) {
+	n := m.node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d > 0 {
+		n.lat.ObserveDuration(d)
+	}
+	n.fails = 0
+	n.br.Success()
+	switch n.state {
+	case Suspect:
+		n.state = Healthy
+	case Dead, Recovering:
+		n.state = Healthy
+		m.recoveries.Add(1)
+	}
+}
+
+// ReportFailure records a failed attempt (dial error or dead
+// transport) against id, advancing the state machine and opening the
+// breaker past the dead threshold.
+func (m *Manager) ReportFailure(id string) {
+	n := m.node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails++
+	wasOpen := n.br.State() == BreakerOpen
+	n.br.Failure()
+	switch {
+	case n.state == Recovering || n.fails >= m.cfg.DeadAfter:
+		// A recovering node that fails again goes straight back to
+		// dead: the probe's good news was premature.
+		n.state = Dead
+		n.br.Trip()
+		if !wasOpen {
+			m.breakerOpens.Add(1)
+		}
+	case n.fails >= m.cfg.SuspectAfter && n.state == Healthy:
+		n.state = Suspect
+	}
+}
+
+// Allow reports whether routing may attempt id now: true for closed
+// breakers and for one half-open trial per cooldown on open ones.
+func (m *Manager) Allow(id string) bool {
+	n := m.node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.br.Allow()
+}
+
+// MarkRecovered fast-paths id back into rotation on external heal
+// evidence (an operator action, a chaos heal hook): breaker closed,
+// state Recovering, so the next request tries it immediately.
+func (m *Manager) MarkRecovered(id string) {
+	n := m.node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails = 0
+	n.br.Reset()
+	if n.state != Healthy {
+		n.state = Recovering
+	}
+}
+
+// probeSuccess records a successful active probe: a dead node becomes
+// recovering (routable again) with its breaker closed; a suspect node
+// is confirmed healthy.
+func (m *Manager) probeSuccess(id string, d time.Duration) {
+	n := m.node(id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d > 0 {
+		n.lat.ObserveDuration(d)
+	}
+	n.fails = 0
+	n.br.Reset()
+	switch n.state {
+	case Dead:
+		n.state = Recovering
+		m.recoveries.Add(1)
+	case Suspect:
+		n.state = Healthy
+	}
+}
+
+// Order returns nodes reordered for routing — healthy and recovering
+// first (original order preserved within a class), suspect next, dead
+// last — plus whether every candidate is dead.
+func (m *Manager) Order(nodes []string) (ordered []string, allDead bool) {
+	if len(nodes) < 2 {
+		if len(nodes) == 1 {
+			return nodes, m.State(nodes[0]) == Dead
+		}
+		return nodes, false
+	}
+	ordered = make([]string, 0, len(nodes))
+	var suspect, dead []string
+	for _, id := range nodes {
+		switch m.State(id) {
+		case Suspect:
+			suspect = append(suspect, id)
+		case Dead:
+			dead = append(dead, id)
+		default:
+			ordered = append(ordered, id)
+		}
+	}
+	allDead = len(dead) == len(nodes)
+	ordered = append(ordered, suspect...)
+	ordered = append(ordered, dead...)
+	return ordered, allDead
+}
+
+// HedgeDelay returns the adaptive hedge delay for id — its latency
+// histogram's HedgeQuantile, clamped to [MinHedgeDelay, MaxHedgeDelay]
+// — and whether enough samples exist to trust it.
+func (m *Manager) HedgeDelay(id string) (time.Duration, bool) {
+	n := m.node(id)
+	if n.lat.Count() < uint64(m.cfg.HedgeWarmup) {
+		return 0, false
+	}
+	d := time.Duration(n.lat.Quantile(m.cfg.HedgeQuantile) * float64(time.Second))
+	if d < m.cfg.MinHedgeDelay {
+		d = m.cfg.MinHedgeDelay
+	}
+	if d > m.cfg.MaxHedgeDelay {
+		d = m.cfg.MaxHedgeDelay
+	}
+	return d, true
+}
+
+// OnRequest credits the retry budget for one logical request. Callers
+// invoke it once per logical operation, not per attempt.
+func (m *Manager) OnRequest() { m.budget.OnRequest() }
+
+// TryRetry asks the retry budget for one extra attempt (a failover
+// retry or a hedge). Denials are counted for telemetry.
+func (m *Manager) TryRetry() bool {
+	if m.budget.Try() {
+		m.retriesSpent.Add(1)
+		return true
+	}
+	m.retriesDenied.Add(1)
+	return false
+}
+
+// OnHedge / OnHedgeWin account hedged duplicate fetches.
+func (m *Manager) OnHedge()    { m.hedges.Add(1) }
+func (m *Manager) OnHedgeWin() { m.hedgeWins.Add(1) }
+
+// OnFastFail accounts a request failed fast because every replica was
+// marked dead (the ErrFleetUnavailable path).
+func (m *Manager) OnFastFail() { m.fastFails.Add(1) }
+
+// stateCounts tallies nodes by state.
+func (m *Manager) stateCounts() map[NodeState]int {
+	m.mu.Lock()
+	recs := make([]*node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		recs = append(recs, n)
+	}
+	m.mu.Unlock()
+	counts := map[NodeState]int{}
+	for _, n := range recs {
+		n.mu.Lock()
+		counts[n.state]++
+		n.mu.Unlock()
+	}
+	return counts
+}
+
+// breakersOpen counts nodes whose breaker is currently open.
+func (m *Manager) breakersOpen() int {
+	m.mu.Lock()
+	recs := make([]*node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		recs = append(recs, n)
+	}
+	m.mu.Unlock()
+	open := 0
+	for _, n := range recs {
+		n.mu.Lock()
+		if n.br.State() == BreakerOpen {
+			open++
+		}
+		n.mu.Unlock()
+	}
+	return open
+}
+
+// Stats snapshots the manager's counters.
+type Stats struct {
+	Probes        uint64
+	ProbeFailures uint64
+	Recoveries    uint64
+	BreakerOpens  uint64
+	BreakersOpen  int
+	Hedges        uint64
+	HedgeWins     uint64
+	RetriesSpent  uint64
+	RetriesDenied uint64
+	FastFails     uint64
+	RetryTokens   float64
+}
+
+// Stats returns a snapshot of the failure domain's accounting.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Probes:        m.probes.Load(),
+		ProbeFailures: m.probeFailures.Load(),
+		Recoveries:    m.recoveries.Load(),
+		BreakerOpens:  m.breakerOpens.Load(),
+		BreakersOpen:  m.breakersOpen(),
+		Hedges:        m.hedges.Load(),
+		HedgeWins:     m.hedgeWins.Load(),
+		RetriesSpent:  m.retriesSpent.Load(),
+		RetriesDenied: m.retriesDenied.Load(),
+		FastFails:     m.fastFails.Load(),
+		RetryTokens:   m.budget.Tokens(),
+	}
+}
+
+// Register mirrors the failure domain into a live metrics registry
+// under the cachegen_resilience_* namespace. Nil reg is a no-op.
+func (m *Manager) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, s := range []NodeState{Healthy, Suspect, Dead, Recovering} {
+		s := s
+		reg.GaugeFunc("cachegen_resilience_nodes", "nodes per health state", func() float64 {
+			return float64(m.stateCounts()[s])
+		}, "state", s.String())
+	}
+	reg.GaugeFunc("cachegen_resilience_breakers_open", "nodes with an open circuit breaker", func() float64 {
+		return float64(m.breakersOpen())
+	})
+	reg.GaugeFunc("cachegen_resilience_breaker_opens_total", "circuit breakers tripped open", func() float64 {
+		return float64(m.breakerOpens.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_probes_total", "active health probes issued", func() float64 {
+		return float64(m.probes.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_probe_failures_total", "active health probes failed", func() float64 {
+		return float64(m.probeFailures.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_recoveries_total", "nodes brought back into rotation", func() float64 {
+		return float64(m.recoveries.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_hedges_total", "hedged duplicate chunk fetches issued", func() float64 {
+		return float64(m.hedges.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_hedge_wins_total", "hedged fetches that beat the primary", func() float64 {
+		return float64(m.hedgeWins.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_retries_spent_total", "retry-budget tokens spent on retries and hedges", func() float64 {
+		return float64(m.retriesSpent.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_retries_denied_total", "retries and hedges denied by an empty budget", func() float64 {
+		return float64(m.retriesDenied.Load())
+	})
+	reg.GaugeFunc("cachegen_resilience_retry_tokens", "retry-budget tokens available", func() float64 {
+		return m.budget.Tokens()
+	})
+	reg.GaugeFunc("cachegen_resilience_fleet_unavailable_total", "requests failed fast with every replica dead", func() float64 {
+		return float64(m.fastFails.Load())
+	})
+}

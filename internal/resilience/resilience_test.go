@@ -1,0 +1,248 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStateMachine(t *testing.T) {
+	m := New(Config{SuspectAfter: 1, DeadAfter: 3})
+	if s := m.State("n1"); s != Healthy {
+		t.Fatalf("fresh node = %v, want healthy", s)
+	}
+	m.ReportFailure("n1")
+	if s := m.State("n1"); s != Suspect {
+		t.Fatalf("after 1 failure = %v, want suspect", s)
+	}
+	m.ReportSuccess("n1", time.Millisecond)
+	if s := m.State("n1"); s != Healthy {
+		t.Fatalf("after recovery success = %v, want healthy", s)
+	}
+	for i := 0; i < 3; i++ {
+		m.ReportFailure("n1")
+	}
+	if s := m.State("n1"); s != Dead {
+		t.Fatalf("after 3 failures = %v, want dead", s)
+	}
+	if m.Allow("n1") {
+		t.Fatal("dead node's breaker should block attempts inside the cooldown")
+	}
+	// A probe success makes it routable again but not yet trusted.
+	m.probeSuccess("n1", time.Millisecond)
+	if s := m.State("n1"); s != Recovering {
+		t.Fatalf("after probe success = %v, want recovering", s)
+	}
+	if !m.Allow("n1") {
+		t.Fatal("recovering node should be routable")
+	}
+	// One real success promotes; a failure would demote straight to dead.
+	m.ReportSuccess("n1", time.Millisecond)
+	if s := m.State("n1"); s != Healthy {
+		t.Fatalf("after real success = %v, want healthy", s)
+	}
+	// Recovering → failure → dead without burning the full threshold.
+	for i := 0; i < 3; i++ {
+		m.ReportFailure("n1")
+	}
+	m.probeSuccess("n1", time.Millisecond)
+	m.ReportFailure("n1")
+	if s := m.State("n1"); s != Dead {
+		t.Fatalf("recovering node that failed = %v, want dead", s)
+	}
+}
+
+func TestBreakerHalfOpen(t *testing.T) {
+	b := NewBreaker(30 * time.Millisecond)
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker should be closed")
+	}
+	b.Trip()
+	if b.Allow() {
+		t.Fatal("open breaker inside cooldown should block")
+	}
+	time.Sleep(35 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("past cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open should admit one trial")
+	}
+	if b.Allow() {
+		t.Fatal("second trial inside the window should be blocked")
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("failed trial should re-open the breaker")
+	}
+	time.Sleep(35 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown after failed trial should admit another")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful trial should close the breaker")
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	// Starts full: two tokens.
+	if !b.Try() || !b.Try() {
+		t.Fatal("burst tokens missing")
+	}
+	if b.Try() {
+		t.Fatal("empty bucket granted a token")
+	}
+	// Two requests earn one token.
+	b.OnRequest()
+	if b.Try() {
+		t.Fatal("half a token granted")
+	}
+	b.OnRequest()
+	if !b.Try() {
+		t.Fatal("earned token denied")
+	}
+	// Cap at burst.
+	for i := 0; i < 100; i++ {
+		b.OnRequest()
+	}
+	if got := b.Tokens(); got != 2 {
+		t.Fatalf("tokens = %v, want capped at 2", got)
+	}
+	// Nil budget grants everything.
+	var nilB *RetryBudget
+	if !nilB.Try() {
+		t.Fatal("nil budget denied")
+	}
+	nilB.OnRequest()
+}
+
+func TestOrder(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 3; i++ {
+		m.ReportFailure("dead")
+	}
+	m.ReportFailure("sus")
+	ordered, allDead := m.Order([]string{"dead", "a", "sus", "b"})
+	want := []string{"a", "b", "sus", "dead"}
+	for i := range want {
+		if ordered[i] != want[i] {
+			t.Fatalf("ordered = %v, want %v", ordered, want)
+		}
+	}
+	if allDead {
+		t.Fatal("allDead with live nodes")
+	}
+	if _, allDead := m.Order([]string{"dead"}); !allDead {
+		t.Fatal("single dead node not reported allDead")
+	}
+}
+
+func TestHedgeDelay(t *testing.T) {
+	m := New(Config{HedgeWarmup: 8, MinHedgeDelay: 2 * time.Millisecond, MaxHedgeDelay: 50 * time.Millisecond})
+	if _, ok := m.HedgeDelay("n"); ok {
+		t.Fatal("cold histogram produced a hedge delay")
+	}
+	for i := 0; i < 100; i++ {
+		m.ReportSuccess("n", 10*time.Millisecond)
+	}
+	d, ok := m.HedgeDelay("n")
+	if !ok {
+		t.Fatal("warm histogram produced no hedge delay")
+	}
+	if d < 2*time.Millisecond || d > 50*time.Millisecond {
+		t.Fatalf("hedge delay %v outside clamp", d)
+	}
+	// Slow node clamps at the max.
+	for i := 0; i < 100; i++ {
+		m.ReportSuccess("slow", 3*time.Second)
+	}
+	if d, _ := m.HedgeDelay("slow"); d != 50*time.Millisecond {
+		t.Fatalf("slow node delay %v, want clamped 50ms", d)
+	}
+}
+
+func TestProberRecoversDeadNode(t *testing.T) {
+	m := New(Config{ProbeInterval: 5 * time.Millisecond, DeadAfter: 1})
+	defer m.Close()
+	var healed atomic.Bool
+	m.StartProber(func(ctx context.Context, node string) error {
+		if healed.Load() {
+			return nil
+		}
+		return errors.New("still down")
+	})
+	m.ReportFailure("n1")
+	if s := m.State("n1"); s != Dead {
+		t.Fatalf("state = %v, want dead", s)
+	}
+	// While down, probes fail and the node stays dead.
+	time.Sleep(25 * time.Millisecond)
+	if s := m.State("n1"); s != Dead {
+		t.Fatalf("state while down = %v, want dead", s)
+	}
+	healed.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.State("n1") == Recovering {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s := m.State("n1"); s != Recovering {
+		t.Fatalf("state after heal = %v, want recovering", s)
+	}
+	if !m.Allow("n1") {
+		t.Fatal("recovered node should be routable")
+	}
+	st := m.Stats()
+	if st.Probes == 0 || st.ProbeFailures == 0 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAttemptTimeout(t *testing.T) {
+	// No budget: base passes through.
+	if got := AttemptTimeout(context.Background(), time.Second, 3); got != time.Second {
+		t.Fatalf("no budget = %v", got)
+	}
+	// Budget split across attempts.
+	ctx := WithBudget(context.Background(), 300*time.Millisecond)
+	got := AttemptTimeout(ctx, time.Second, 3)
+	if got < 80*time.Millisecond || got > 100*time.Millisecond {
+		t.Fatalf("split = %v, want ~100ms", got)
+	}
+	// Base still caps when smaller than the split.
+	if got := AttemptTimeout(ctx, 20*time.Millisecond, 3); got != 20*time.Millisecond {
+		t.Fatalf("cap = %v, want 20ms", got)
+	}
+	// Floor when nearly exhausted.
+	tight := WithBudget(context.Background(), time.Millisecond)
+	if got := AttemptTimeout(tight, time.Second, 3); got != AttemptFloor {
+		t.Fatalf("floor = %v, want %v", got, AttemptFloor)
+	}
+	// Context deadlines count as budget too.
+	dctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if rem, ok := Remaining(dctx); !ok || rem <= 0 || rem > 200*time.Millisecond {
+		t.Fatalf("Remaining from deadline = %v %v", rem, ok)
+	}
+}
+
+func TestMarkRecoveredFastPath(t *testing.T) {
+	m := New(Config{DeadAfter: 1, BreakerCooldown: time.Hour})
+	m.ReportFailure("n1")
+	if m.Allow("n1") {
+		t.Fatal("dead node routable inside an hour-long cooldown")
+	}
+	m.MarkRecovered("n1")
+	if !m.Allow("n1") {
+		t.Fatal("MarkRecovered did not fast-path the node")
+	}
+	if s := m.State("n1"); s != Recovering {
+		t.Fatalf("state = %v, want recovering", s)
+	}
+}

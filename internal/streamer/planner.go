@@ -82,6 +82,12 @@ type Planner struct {
 	// MinimizeTTFT, with SLO zero, picks text when its expected completion
 	// beats DefaultLevel's (requires a throughput estimate).
 	MinimizeTTFT bool
+	// ForceText pins every chunk to the text-recompute fallback,
+	// overriding adaptation. The gateway's degradation ladder sets it at
+	// its last rung: text trades GPU recompute for near-zero network
+	// dependence, which is the right trade when the fleet, not the
+	// link, is what's degraded.
+	ForceText bool
 }
 
 // Levels returns how many encoding levels the chunk metadata carries.
@@ -108,6 +114,10 @@ func (p Planner) Choose(idx int, elapsed time.Duration, throughputBPS float64, c
 	}
 	if throughputBPS <= 0 {
 		throughputBPS = p.PriorBandwidth
+	}
+
+	if p.ForceText {
+		return Choice{Text: true}, nil
 	}
 
 	if !p.Adapt {

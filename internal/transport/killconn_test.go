@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestClientKillConnMidStream: when the connection dies under a live
+// stream, every blocked caller — the consumer in Recv, a round-trip
+// waiter pending on the control plane — must fail promptly with the
+// terminal connection error, well inside its own deadline, not at it.
+// A fetcher that learns of a dead node seconds late has already lost
+// the failover race the resilience layer is trying to win.
+func TestClientKillConnMidStream(t *testing.T) {
+	fx := newStreamFixture(t, 4, 400_000, 50_000)
+	srv := NewServer(fx.store)
+	// ~250 KB/s keeps the 1.6 MB stream mid-flight for seconds, so the
+	// kill lands with the consumer genuinely blocked.
+	srv.SetEgressRate(2e6)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	t.Cleanup(func() { srv.Close() })
+
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s, err := client.OpenChunkStream(ctx, StreamRequest{Chunks: fx.chunks, Level: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recv(ctx); err != nil {
+		t.Fatalf("first Recv: %v", err)
+	}
+
+	// Stall the control plane so a round trip is parked server-side when
+	// the connection dies (the flaky fault doubles as a convenient
+	// "server that stopped answering").
+	srv.SetFlaky(1.0, 2*time.Second, 0, 1)
+	rtErr := make(chan error, 1)
+	go func() {
+		_, err := client.Usage(ctx)
+		rtErr <- err
+	}()
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := s.Recv(ctx); err != nil {
+				recvErr <- err
+				return
+			}
+		}
+	}()
+	// Let both waiters park: the round trip inside the server's stall,
+	// the consumer inside the shaped stream.
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	srv.Close()
+	const bound = 500 * time.Millisecond
+	for name, ch := range map[string]chan error{"stream Recv": recvErr, "round trip": rtErr} {
+		select {
+		case err := <-ch:
+			if err == nil {
+				t.Fatalf("%s returned nil after the connection died", name)
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+				t.Fatalf("%s surfaced a deadline (%v), want the connection error", name, err)
+			}
+		case <-time.After(bound):
+			t.Fatalf("%s still blocked %v after the connection died", name, bound)
+		}
+	}
+	if took := time.Since(start); took > bound {
+		t.Errorf("waiters released in %v, want < %v", took, bound)
+	}
+
+	// The client is terminally failed: later calls fail immediately, no
+	// fresh deadline burned.
+	if client.Err() == nil {
+		t.Fatal("client.Err() nil after connection death")
+	}
+	quick, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer qcancel()
+	start = time.Now()
+	if _, err := client.GetManifest(quick, "doc-1"); err == nil {
+		t.Fatal("GetManifest succeeded on a dead connection")
+	}
+	if _, err := s.Recv(quick); err == nil {
+		t.Fatal("Recv succeeded on a dead connection")
+	}
+	if took := time.Since(start); took > bound {
+		t.Errorf("post-mortem calls took %v, want immediate failure", took)
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/storage"
@@ -53,6 +55,17 @@ type Server struct {
 	corruptRate float64
 	corruptRng  *rand.Rand
 	corrupted   atomic.Uint64
+
+	// Flaky fault injection (chaos): a seeded rng makes a fraction of
+	// requests pathological — most strikes stall the request by a fixed
+	// delay (a browning-out node), the rest sever the connection (a
+	// crashing one). The strike counter feeds the chaos accounting.
+	flakyMu      sync.Mutex
+	flakyRate    float64
+	flakyDelay   time.Duration
+	flakyErrFrac float64
+	flakyRng     *rand.Rand
+	flakyStruck  atomic.Uint64
 }
 
 // ServerOption configures a Server.
@@ -185,6 +198,45 @@ func (s *Server) SetCorruption(rate float64, seed int64) {
 // CorruptionInjected reports how many served payloads were corrupted.
 func (s *Server) CorruptionInjected() uint64 { return s.corrupted.Load() }
 
+// SetFlaky makes the server strike a fraction rate (0..1) of requests:
+// a strike either stalls the request by delay (a node browning out) or,
+// with probability errFrac, severs the connection mid-request (a node
+// crashing under it). Strikes are rolled per control-plane request and
+// per stream open with a deterministic rng seeded with seed, so chaos
+// runs replay. Rate ≤0 heals.
+func (s *Server) SetFlaky(rate float64, delay time.Duration, errFrac float64, seed int64) {
+	s.flakyMu.Lock()
+	defer s.flakyMu.Unlock()
+	s.flakyRate = rate
+	s.flakyDelay = delay
+	s.flakyErrFrac = errFrac
+	s.flakyRng = rand.New(rand.NewSource(seed))
+}
+
+// FlakyInjected reports how many requests the flaky fault struck.
+func (s *Server) FlakyInjected() uint64 { return s.flakyStruck.Load() }
+
+// errFlaky is the injected failure a flaky strike surfaces when it
+// decides to sever: dispatch returns it, and the connection dies just
+// as it would under a real mid-request crash.
+var errFlaky = errors.New("flaky fault injected: connection severed")
+
+// flakyStrike rolls the flaky fault for one request. sever means the
+// connection must be dropped; otherwise delay (possibly zero) is how
+// long to stall before answering.
+func (s *Server) flakyStrike() (sever bool, delay time.Duration) {
+	s.flakyMu.Lock()
+	defer s.flakyMu.Unlock()
+	if s.flakyRate <= 0 || s.flakyRng.Float64() >= s.flakyRate {
+		return false, 0
+	}
+	s.flakyStruck.Add(1)
+	if s.flakyErrFrac > 0 && s.flakyRng.Float64() < s.flakyErrFrac {
+		return true, 0
+	}
+	return false, s.flakyDelay
+}
+
 // maybeCorrupt returns payload, or a copy with one byte flipped when the
 // corruption fault decides to strike.
 func (s *Server) maybeCorrupt(payload []byte) []byte {
@@ -207,6 +259,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Close ran before Serve registered the listener; it must not
+		// stay bound (connects would sit in its accept backlog forever,
+		// and a restart on the same address would fail to bind).
+		ln.Close()
 		return net.ErrClosed
 	}
 	s.ln = ln
@@ -361,6 +417,11 @@ func (sc *serverConn) write(typ byte, payload []byte) error {
 func (sc *serverConn) dispatch(typ byte, payload []byte) error {
 	switch typ {
 	case typeStreamOpen:
+		if sever, delay := sc.srv.flakyStrike(); sever {
+			return errFlaky
+		} else if delay > 0 {
+			time.Sleep(delay)
+		}
 		return sc.openStream(payload)
 	case typeStreamCredit:
 		id, n, err := decodeCredit(payload)
@@ -399,6 +460,11 @@ func (sc *serverConn) dispatch(typ byte, payload []byte) error {
 		}
 		return nil
 	default:
+		if sever, delay := sc.srv.flakyStrike(); sever {
+			return errFlaky
+		} else if delay > 0 {
+			time.Sleep(delay)
+		}
 		sc.srv.tele.control.Inc()
 		rtyp, rpayload := sc.srv.respond(typ, payload)
 		return sc.write(rtyp, rpayload)
