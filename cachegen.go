@@ -36,6 +36,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/resilience"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/streamer"
 	"repro/internal/telemetry"
@@ -157,6 +158,23 @@ type (
 	Session = gateway.Session
 	// TurnResult describes one completed Session turn.
 	TurnResult = gateway.TurnResult
+	// TraceRecorder captures a live gateway run as a replayable
+	// workload trace (see GatewayConfig.Recorder).
+	TraceRecorder = gateway.TraceRecorder
+
+	// Scheduler is the fleet-wide min-TTFT chunk scheduler: one cost
+	// model pricing every chunk of a request across the RAM tier,
+	// colocated disk, remote and cross-region fleet nodes, GPU
+	// recompute from text, and peer gateways holding the KV resident.
+	Scheduler = sched.Scheduler
+	// SchedulerOptions configures a Scheduler.
+	SchedulerOptions = sched.Options
+	// SchedulerSignals seeds the scheduler's cost model (zero fields
+	// take defaults).
+	SchedulerSignals = sched.Signals
+	// ResidentIndex is the fleet-wide resident-prefix index behind the
+	// scheduler's peer-transfer tier.
+	ResidentIndex = sched.ResidentIndex
 )
 
 // Gateway submission errors (test with errors.Is).
@@ -170,6 +188,18 @@ var (
 
 // NewGateway validates the configuration and returns a serving gateway.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// NewScheduler builds the unified fetch-vs-recompute chunk scheduler;
+// wire it into GatewayConfig.Sched.
+func NewScheduler(opt SchedulerOptions) *Scheduler { return sched.New(opt) }
+
+// NewResidentIndex returns a fleet resident-prefix index (capBytes 0 =
+// default budget), shared by every gateway that should peer-serve.
+func NewResidentIndex(capBytes int64) *ResidentIndex { return sched.NewResidentIndex(capBytes) }
+
+// NewTraceRecorder returns a recorder that captures live gateway
+// submissions as a replayable workload trace named name.
+func NewTraceRecorder(name string) *TraceRecorder { return gateway.NewTraceRecorder(name) }
 
 // TextLevel is the pseudo-level under which chunk token text is stored.
 const TextLevel = storage.TextLevel

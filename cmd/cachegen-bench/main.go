@@ -1,8 +1,10 @@
-// Command cachegen-bench runs the codec and publish benchmarks
-// programmatically (testing.Benchmark) and writes the results as JSON —
-// the BENCH_codec.json artifact at the repo root that CI regenerates per
-// commit to track the perf trajectory of the encode/decode/publish hot
-// paths.
+// Command cachegen-bench runs the codec, publish and scheduler
+// benchmarks programmatically (testing.Benchmark) and writes the results
+// as JSON — the BENCH_codec.json artifact at the repo root that CI
+// regenerates per commit to track the perf trajectory of the
+// encode/decode/publish hot paths and the chunk scheduler's decision
+// cost (sched_decide_steady must stay allocation-free: a baseline at 0
+// allocs/op gates any regression off zero).
 //
 // The committed artifact's headline numbers are single-core
 // (GOMAXPROCS=1): they measure the per-symbol and per-row cost of the
@@ -42,8 +44,11 @@ import (
 	"runtime/pprof"
 	"sort"
 	"testing"
+	"time"
 
 	cachegen "repro"
+	"repro/internal/sched"
+	"repro/internal/streamer"
 )
 
 // result is one benchmark's summary.
@@ -204,7 +209,85 @@ func runSuite() (map[string]result, error) {
 			}
 		}
 	})
+
+	// Scheduler cost model: price a full 16-chunk request across every
+	// (configuration, source) pair. sched_plan_16chunk is the per-request
+	// cycle — open a plan, prime the candidate tables, decide every
+	// chunk, close — the cost a gateway pays per admitted request.
+	// sched_decide_steady is one repeat decision on a primed plan (the
+	// call the streaming path makes at every decision point), which must
+	// stay allocation-free: it runs on the fetcher's issue loop.
+	infos, err := schedInfos(s)
+	if err != nil {
+		return nil, err
+	}
+	schedOpt := sched.Options{Signals: sched.Signals{BandwidthBPS: 1e9, RTT: time.Millisecond}}
+	planReq := sched.Request{ContextID: "bench", SLO: 50 * time.Millisecond, DefaultLevel: 1}
+	bg("sched_plan_16chunk", 0, func(b *testing.B) {
+		sc := sched.New(schedOpt)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := sc.NewPlan(planReq)
+			p.PlanPath(infos)
+			for ci := range infos {
+				if _, err := p.Choose(ci, 0, 0, infos); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sc.FinishPlan(p, nil, nil)
+		}
+	})
+	{
+		sc := sched.New(schedOpt)
+		p := sc.NewPlan(planReq)
+		p.PlanPath(infos)
+		bg("sched_decide_steady", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Choose(i%len(infos), time.Millisecond, 5e8, infos); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sc.FinishPlan(p, nil, nil)
+	}
 	return out, nil
+}
+
+// schedInfos annotates the stack's context the way the fetcher would:
+// real encoded sizes at every level, text-fallback bytes, and a
+// recompute estimate per chunk.
+func schedInfos(s *stack) ([]streamer.ChunkInfo, error) {
+	all, err := s.codec.EncodeAllLevels(s.kv)
+	if err != nil {
+		return nil, err
+	}
+	levels := len(all)
+	if levels == 0 || len(all[0]) == 0 {
+		return nil, fmt.Errorf("bench: empty encode")
+	}
+	n := len(all[0])
+	chunkTok := s.kv.Tokens / n
+	infos := make([]streamer.ChunkInfo, n)
+	for ci := 0; ci < n; ci++ {
+		sizes := make([]int64, levels)
+		hashes := make([]string, levels)
+		for lv := 0; lv < levels; lv++ {
+			sizes[lv] = int64(len(all[lv][ci]))
+			hashes[lv] = fmt.Sprintf("bench-h%d-%d", lv, ci)
+		}
+		infos[ci] = streamer.ChunkInfo{
+			Tokens:       chunkTok,
+			SizesByLevel: sizes,
+			TextBytes:    4 * int64(chunkTok),
+			Recompute:    200 * time.Microsecond,
+			Context:      "bench",
+			Index:        ci,
+			HashByLevel:  hashes,
+			TextHash:     fmt.Sprintf("bench-t-%d", ci),
+		}
+	}
+	return infos, nil
 }
 
 // checkSection compares one section's fresh results against the same
@@ -234,6 +317,11 @@ func checkSection(label string, fresh, base map[string]result, maxDrop, maxAlloc
 		if b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+maxAllocGrowth/100) {
 			log.Printf("FAIL %s%s: %d allocs/op exceeds baseline %d by >%.0f%%",
 				label, name, f.AllocsPerOp, b.AllocsPerOp, maxAllocGrowth)
+			hard++
+		}
+		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
+			log.Printf("FAIL %s%s: %d allocs/op; the baseline holds this path allocation-free",
+				label, name, f.AllocsPerOp)
 			hard++
 		}
 		if b.NsPerOp > 0 && float64(f.NsPerOp) > float64(b.NsPerOp)*1.25 {

@@ -11,7 +11,14 @@
 // scenario ("rag-burst", "agentic", "longdoc-qa", "flash-crowd") or a
 // JSON trace file; -chaos arms a fault schedule (node kills, partitions,
 // slow disks, bandwidth cliffs, wire corruption) against the live fleet
-// while either workload runs.
+// while either workload runs; -capture-trace writes the run back out as
+// a replayable trace file.
+//
+// By default each request is priced by the fleet-wide min-TTFT chunk
+// scheduler (-sched=false reverts to the greedy planner's fallback
+// ladder); -peer-serve additionally registers completed fetches in a
+// resident-prefix index so peer gateways sharing it can serve decoded
+// KV directly.
 //
 // Usage:
 //
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -96,6 +104,9 @@ func main() {
 	channels := flag.Int("channels", 32, "synthesised KV channels")
 	seed := flag.Int64("seed", 1, "workload seed")
 	traceFlag := flag.String("workload-trace", "", "replay a workload trace (scenario name or trace file) instead of the Poisson generator")
+	schedFlag := flag.Bool("sched", true, "price each chunk across all sources with the fleet-wide min-TTFT scheduler (false = greedy planner fallbacks)")
+	peerServe := flag.Bool("peer-serve", false, "register completed fetches in a resident-prefix index so gateways sharing it peer-serve decoded KV (implies -sched)")
+	captureTrace := flag.String("capture-trace", "", "capture the live run as a replayable workload trace file (replay it with -workload-trace)")
 	chaosFlag := flag.String("chaos", "", "fault schedule armed at workload start, as class@offset[+heal][:param];... (e.g. \"kill@500ms+1s; corrupt@0s:0.25\")")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /debug metrics+pprof exposition on this address (e.g. :9100; empty = disabled)")
 	traceOut := flag.String("trace-out", "", "write the request traces here at exit (.jsonl = JSON-lines, else Chrome trace_event JSON for Perfetto)")
@@ -154,6 +165,18 @@ func main() {
 		sched, err = cachegen.ParseChaosSchedule(*chaosFlag, *seed)
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	// -capture-trace records every submission (and the published
+	// contexts) as a replayable workload trace, written at exit.
+	var rec *cachegen.TraceRecorder
+	if *captureTrace != "" {
+		rec = cachegen.NewTraceRecorder(strings.TrimSuffix(filepath.Base(*captureTrace), filepath.Ext(*captureTrace)))
+		if trace != nil {
+			for _, c := range trace.Contexts() {
+				rec.RecordContext(c)
+			}
 		}
 	}
 
@@ -259,6 +282,13 @@ func main() {
 				if _, err := cachegen.Publish(bg, sharded, codec, model, id, ctxs[next].Tokens); err != nil {
 					log.Fatal(err)
 				}
+				// Dataset contexts are not seed-reproducible; the captured
+				// spec preserves each context's id and exact length, so a
+				// replay offers the identical load shape over synthesised
+				// content.
+				rec.RecordContext(cachegen.WorkloadContext{
+					ID: id, Tokens: len(ctxs[next].Tokens), Seed: *seed + int64(next),
+				})
 				next++
 				p.ContextIDs = append(p.ContextIDs, id)
 			}
@@ -277,6 +307,26 @@ func main() {
 		cachegen.WithHedging(*hedge))
 	defer pool.Close()
 	fl.OnHeal = func(node string) { pool.Invalidate(node) }
+
+	// The unified chunk scheduler prices every chunk across all sources,
+	// reading node health from the pool's resilience layer and placement
+	// from the ring. -peer-serve adds the resident-prefix index (in this
+	// single-gateway process it records; a fleet of gateways would share
+	// it to peer-serve each other's decoded KV).
+	var schd *cachegen.Scheduler
+	if *schedFlag || *peerServe {
+		opt := cachegen.SchedulerOptions{
+			ID:         "gateway-0",
+			Locator:    ring,
+			Resilience: pool.Resilience(),
+			Telemetry:  reg,
+		}
+		if *peerServe {
+			opt.Residents = cachegen.NewResidentIndex(0)
+		}
+		schd = cachegen.NewScheduler(opt)
+	}
+
 	gw, err := cachegen.NewGateway(cachegen.GatewayConfig{
 		Slots:       *slots,
 		QueueLimit:  *queueLimit,
@@ -286,6 +336,8 @@ func main() {
 
 		PipelineDepth: *pipelineDepth,
 		Degrade:       *degrade,
+		Sched:         schd,
+		Recorder:      rec,
 		Source:        pool,
 		Codec:         codec,
 		Model:         model,
@@ -395,6 +447,22 @@ func main() {
 	if st.Degraded > 0 {
 		log.Printf("degradation ladder: %d requests served at reduced quality under pressure", st.Degraded)
 	}
+	if schd != nil && len(st.SourceChunks) > 0 {
+		srcs := make([]string, 0, len(st.SourceChunks))
+		for src := range st.SourceChunks {
+			srcs = append(srcs, src)
+		}
+		sort.Strings(srcs)
+		parts := make([]string, 0, len(srcs))
+		for _, src := range srcs {
+			parts = append(parts, fmt.Sprintf("%s %d", src, st.SourceChunks[src]))
+		}
+		extra := ""
+		if r := schd.Residents(); r != nil {
+			extra = fmt.Sprintf("; %d contexts resident for peer serving", r.Len())
+		}
+		log.Printf("scheduler: chunks by source: %s%s", strings.Join(parts, ", "), extra)
+	}
 	if snap := counters.Snapshot(); !snap.Zero() {
 		log.Printf("chaos: %s", snap.String())
 	}
@@ -403,5 +471,13 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("wrote %d span records to %s (dropped %d beyond the ring)", tracer.Len(), *traceOut, tracer.Dropped())
+	}
+	if *captureTrace != "" {
+		ct := rec.Trace()
+		if err := ct.Save(*captureTrace); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("captured %d arrivals and %d contexts to %s (replay with -workload-trace %s)",
+			len(ct.Arrivals()), len(ct.Contexts()), *captureTrace, *captureTrace)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/resilience"
+	"repro/internal/sched"
 	"repro/internal/streamer"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -152,6 +153,19 @@ type Config struct {
 	// order (0 = streamer.DefaultPipelineDepth).
 	PipelineDepth int
 
+	// Sched, when set, replaces the planner's fallback logic with the
+	// fleet-wide min-TTFT chunk scheduler: every request gets a
+	// sched.Plan pricing each chunk across all sources (payload cache,
+	// colocated disk, remote and cross-region fleet nodes, GPU recompute
+	// and peer-resident KV), the decode-slot pool feeds the recompute
+	// cost live, and degradation-ladder rungs become quality caps the
+	// cost model optimises under rather than blind planner overrides.
+	// The Planner template still supplies DefaultLevel and Adapt.
+	Sched *sched.Scheduler
+	// Recorder, when set, captures every submission (admitted or not) as
+	// a replayable workload arrival (cachegen-gateway -capture-trace).
+	Recorder *TraceRecorder
+
 	// DecodeTime overrides the modelled slot-occupancy cost (context
 	// tokens, suffix tokens) → duration. Nil uses the llm cost model's
 	// marginal prefill time on Device. Harness runs inject a scaled cost.
@@ -199,7 +213,8 @@ type pending struct {
 	granted     chan struct{} // closed when a decode slot is granted
 	fetched     chan fetchOutcome
 	prefetching bool
-	degrade     int // ladder rung, set at fetch start (before p.fetched)
+	degrade     int         // ladder rung, set at fetch start (before p.fetched)
+	plan        *sched.Plan // scheduler plan (nil on the greedy path)
 }
 
 // tenantQueue is one tenant's FIFO plus its smooth-WRR state.
@@ -229,6 +244,9 @@ type tenantAccum struct {
 	// corruptRejected counts payloads the tenant's fetches rejected on
 	// integrity grounds (completed fetches; CRC caught them in time).
 	corruptRejected int
+	// sources counts delivered chunks per source class ("ram", "disk",
+	// "remote", "xregion", "recompute", "peer") across completed fetches.
+	sources map[string]int64
 }
 
 // Gateway is the serving frontend. Safe for concurrent use; Submit blocks
@@ -236,7 +254,8 @@ type tenantAccum struct {
 // it from one goroutine per in-flight request (Workload.Run does).
 type Gateway struct {
 	cfg         Config
-	prefetchSem chan struct{} // nil = unbounded
+	prefetchSem chan struct{}    // nil = unbounded
+	slots       *llm.SlotTracker // decode-slot occupancy (nil without Sched)
 
 	// mu guards the scheduler state: queues, WRR accumulators, free
 	// slots, and the queued-depth bound admission reads.
@@ -346,6 +365,9 @@ func New(cfg Config) (*Gateway, error) {
 		freeSlots: cfg.Slots,
 	}
 	g.register(cfg.Telemetry)
+	if cfg.Sched != nil {
+		g.slots = cfg.Sched.BindSlots(cfg.Slots)
+	}
 	bound := cfg.MaxPrefetch
 	if bound == 0 {
 		bound = 4 * cfg.Slots
@@ -378,6 +400,9 @@ func (g *Gateway) Submit(ctx context.Context, req Request) (*Result, error) {
 	if req.SuffixTokens <= 0 {
 		req.SuffixTokens = DefaultSuffixTokens
 	}
+	// Capture before admission: a replayable trace reproduces the offered
+	// load, including submissions the queue bound turned away.
+	g.cfg.Recorder.Record(req, time.Now())
 	reqCtx, cancel := g.requestContext(ctx, req)
 	defer cancel()
 
@@ -520,6 +545,9 @@ func (g *Gateway) dispatchLocked() {
 		g.freeSlots--
 		g.grantSeq++
 		p.seq = g.grantSeq
+		if g.slots != nil {
+			g.slots.Acquire()
+		}
 		close(p.granted)
 	}
 }
@@ -582,6 +610,9 @@ func (g *Gateway) pickLocked() *pending {
 
 // releaseSlot returns a decode slot and immediately re-dispatches.
 func (g *Gateway) releaseSlot() {
+	if g.slots != nil {
+		g.slots.Release()
+	}
 	g.mu.Lock()
 	g.freeSlots++
 	g.dispatchLocked()
@@ -637,11 +668,15 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 	if p.req.SLO > 0 {
 		pl.SLO = p.req.SLO
 	}
-	if step := g.degradeStep(p); step > 0 {
+	step := g.degradeStep(p)
+	if step > 0 {
 		p.degrade = step
 		g.degraded.Add(1)
 		g.tele.degraded.Inc()
-		// Walk the ladder: each rung one level coarser than configured;
+		p.span.SetAttr("degrade_step", step)
+	}
+	if g.cfg.Sched == nil && step > 0 {
+		// Greedy ladder: each rung one level coarser than configured;
 		// past the coarsest level, pin the text fallback (recompute on
 		// the local GPU instead of leaning on a degraded fleet).
 		coarsest := g.cfg.Codec.Config().Levels() - 1
@@ -650,9 +685,8 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 		} else {
 			pl.ForceText = true
 		}
-		p.span.SetAttr("degrade_step", step)
 	}
-	return &streamer.Fetcher{
+	f := &streamer.Fetcher{
 		Source:         g.cfg.Source,
 		Codec:          g.cfg.Codec,
 		Model:          g.cfg.Model,
@@ -664,6 +698,27 @@ func (g *Gateway) fetcher(p *pending) *streamer.Fetcher {
 		BandwidthGauge: g.tele.bandwidth,
 		LanesGauge:     g.tele.decodeLanes,
 	}
+	if g.cfg.Sched != nil {
+		// The scheduler subsumes the ladder: the rung becomes a quality
+		// cap the cost model optimises under (a forced-down request still
+		// picks the cheapest source; past the coarsest level, text
+		// recompute wins only when it actually prices cheaper).
+		slo := pl.SLO
+		if !pl.Adapt {
+			slo = 0 // pinned quality, only the source floats
+		}
+		p.plan = g.cfg.Sched.NewPlan(sched.Request{
+			ContextID:    p.req.ContextID,
+			SLO:          slo,
+			DefaultLevel: pl.DefaultLevel,
+			Rung:         step,
+		})
+		f.Policy = p.plan
+		f.Local = g.cfg.Sched.Cache()
+		f.LocalStore = g.cfg.Sched.DiskReader()
+		f.Peers = g.cfg.Sched.PeerSource()
+	}
+	return f
 }
 
 // runFetch streams the request's KV and delivers the outcome. Background
@@ -704,6 +759,12 @@ func (g *Gateway) runFetch(p *pending, background bool) {
 	}
 	kv, report, err := g.fetcher(p).FetchFrom(ctx, p.req.ContextID, p.req.Resident)
 	fsp.End()
+	if p.plan != nil {
+		// Close the plan: per-source delivery counters, the closing
+		// bandwidth estimate, and — on success — resident-index
+		// registration so peer gateways can serve this context's KV.
+		g.cfg.Sched.FinishPlan(p.plan, kv, report)
+	}
 	p.fetched <- fetchOutcome{kv: kv, report: report, err: err}
 }
 
@@ -798,6 +859,12 @@ func (g *Gateway) serve(p *pending) (*Result, error) {
 				}
 				a.levelBytes[lv] += n
 			}
+			for i := range out.report.Decisions {
+				if a.sources == nil {
+					a.sources = map[string]int64{}
+				}
+				a.sources[streamer.DecisionSource(out.report.Decisions[i])]++
+			}
 		}
 	})
 	return &Result{
@@ -881,6 +948,11 @@ type TenantStats struct {
 	// (CRC/header validation) across the tenant's completed fetches —
 	// nonzero under wire-corruption chaos, always zero silently decoded.
 	CorruptRejected int
+	// SourceChunks counts delivered chunks per source class ("ram",
+	// "disk", "remote", "xregion", "recompute", "peer") across the
+	// tenant's completed fetches. Nil without a scheduler only in the
+	// sense that greedy fetches label everything remote or recompute.
+	SourceChunks map[string]int64
 }
 
 // EffectiveBandwidth is the tenant's byte-weighted average delivery
@@ -917,6 +989,9 @@ type Stats struct {
 	// QueueDepth is the current queued-request count; MaxQueueDepth its
 	// high-water mark.
 	QueueDepth, MaxQueueDepth int
+	// SourceChunks aggregates delivered chunks per source class across
+	// all tenants (see TenantStats.SourceChunks).
+	SourceChunks map[string]int64
 	// FreeSlots is the current free decode-slot count.
 	FreeSlots int
 	// Tenants holds per-tenant counters and TTFT histograms.
@@ -948,6 +1023,17 @@ func (g *Gateway) Stats() Stats {
 		for lv, n := range a.levelBytes {
 			levels[lv] = n
 		}
+		var sources map[string]int64
+		if len(a.sources) > 0 {
+			sources = make(map[string]int64, len(a.sources))
+			for src, n := range a.sources {
+				sources[src] = n
+				if s.SourceChunks == nil {
+					s.SourceChunks = map[string]int64{}
+				}
+				s.SourceChunks[src] += n
+			}
+		}
 		s.Tenants[name] = TenantStats{
 			Submitted: a.submitted, Completed: a.completed, Rejected: a.rejected,
 			TimedOut: a.timedOut, Failed: a.failed, SLOMet: a.sloMet,
@@ -956,6 +1042,7 @@ func (g *Gateway) Stats() Stats {
 			Bytes: a.bytes, LevelBytes: levels, Bandwidth: a.bandwidth,
 			Switches: a.switches, Cancels: a.cancels,
 			CorruptRejected: a.corruptRejected,
+			SourceChunks:    sources,
 		}
 	}
 	return s

@@ -1,0 +1,110 @@
+package gateway
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TraceRecorder captures a live gateway run as a replayable
+// internal/workload trace: every Submit becomes an arrival stamped with
+// its offset from the first capture, and the contexts the run served can
+// be registered so the trace republishes them before replay. The
+// resulting trace round-trips through workload.Trace.Save / Load and
+// gateway.Replay.
+//
+// Multi-turn sessions arrive at the recorder as the individual Submits
+// they decompose into, so a captured trace replays them as single-turn
+// arrivals at their observed times — the offered load the gateway
+// actually saw, not the session structure behind it.
+//
+// All methods are nil-safe, so wiring a recorder costs one nil check on
+// the submit path.
+type TraceRecorder struct {
+	name string
+
+	mu       sync.Mutex
+	start    time.Time
+	contexts []workload.ContextSpec
+	seen     map[string]bool
+	arrivals []workload.Arrival
+}
+
+// NewTraceRecorder returns a recorder whose trace carries the name.
+func NewTraceRecorder(name string) *TraceRecorder {
+	if name == "" {
+		name = "captured"
+	}
+	return &TraceRecorder{name: name, seen: map[string]bool{}}
+}
+
+// RecordContext registers a context spec the trace should republish
+// before replay. Duplicate ids are kept once (first registration wins).
+func (r *TraceRecorder) RecordContext(spec workload.ContextSpec) {
+	if r == nil || spec.ID == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[spec.ID] {
+		return
+	}
+	r.seen[spec.ID] = true
+	r.contexts = append(r.contexts, spec)
+}
+
+// Record captures one submission at time at. The first capture anchors
+// the trace's t=0.
+func (r *TraceRecorder) Record(req Request, at time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.start.IsZero() {
+		r.start = at
+	}
+	off := at.Sub(r.start)
+	if off < 0 {
+		off = 0
+	}
+	r.arrivals = append(r.arrivals, workload.Arrival{
+		At:           workload.Duration(off),
+		Tenant:       req.Tenant,
+		ContextID:    req.ContextID,
+		SuffixTokens: req.SuffixTokens,
+		SLO:          workload.Duration(req.SLO),
+		Deadline:     workload.Duration(req.Deadline),
+	})
+}
+
+// Len returns the number of captured arrivals.
+func (r *TraceRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.arrivals)
+}
+
+// Trace assembles the captured run as a replayable trace. Arrivals are
+// sorted by offset (stable, so simultaneous submissions keep capture
+// order). The recorder keeps accumulating; each call snapshots.
+func (r *TraceRecorder) Trace() *workload.Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	arrivals := append([]workload.Arrival(nil), r.arrivals...)
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].At < arrivals[j].At })
+	return &workload.Trace{
+		TraceName:   r.name,
+		Description: "captured from a live cachegen-gateway run",
+		ContextList: append([]workload.ContextSpec(nil), r.contexts...),
+		ArrivalList: arrivals,
+	}
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"container/list"
+	"sync"
+)
+
+// payloadLRU is the scheduler's RAM tier: a byte-capped LRU of encoded
+// chunk payloads keyed by content hash. The fetcher writes through on
+// every network fetch and reads when the cost model routes a chunk to
+// the "ram" source; because payloads are content-addressed, a hit is
+// always the exact bytes the manifest asked for, across requests and
+// across contexts sharing chunks.
+type payloadLRU struct {
+	mu    sync.Mutex
+	cap   int64
+	used  int64
+	ll    *list.List               // front = most recent
+	items map[string]*list.Element // hash → element
+}
+
+type cacheEntry struct {
+	hash string
+	data []byte
+}
+
+func newPayloadLRU(capBytes int64) *payloadLRU {
+	if capBytes <= 0 {
+		capBytes = 64 << 20
+	}
+	return &payloadLRU{cap: capBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached payload and promotes it.
+func (c *payloadLRU) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Has reports residency without returning the payload (used by the cost
+// model at plan time; it still promotes, since pricing a chunk at the
+// RAM tier is a strong signal it is about to be read).
+func (c *payloadLRU) Has(hash string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	return ok
+}
+
+// Put inserts a payload, evicting least-recent entries past the cap.
+// Payloads larger than the whole cap are not cached.
+func (c *payloadLRU) Put(hash string, data []byte) {
+	n := int64(len(data))
+	if n == 0 || n > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		c.ll.MoveToFront(el)
+		c.used += n - int64(len(el.Value.(*cacheEntry).data))
+		el.Value.(*cacheEntry).data = data
+	} else {
+		c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, data: data})
+		c.used += n
+	}
+	for c.used > c.cap {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		c.evict(el)
+	}
+}
+
+// Drop removes a payload (the fetcher calls it when a cached chunk fails
+// integrity verification, so the refetch cannot hit the same bytes).
+func (c *payloadLRU) Drop(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		c.evict(el)
+	}
+}
+
+func (c *payloadLRU) evict(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.hash)
+	c.used -= int64(len(ent.data))
+}
+
+// Len returns the number of resident payloads.
+func (c *payloadLRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the resident byte total.
+func (c *payloadLRU) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,442 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/streamer"
+)
+
+// Request describes one fetch the scheduler is planning for.
+type Request struct {
+	// ContextID is the context being fetched (keys the resident index).
+	ContextID string
+	// SLO is the tenant's TTFT objective; zero pins quality at
+	// DefaultLevel (+Rung) and only the source choice floats.
+	SLO time.Duration
+	// DefaultLevel is the configured encoding level.
+	DefaultLevel core.Level
+	// Rung is the degradation-ladder rung: quality is capped at
+	// DefaultLevel+Rung. A rung past the coarsest level — the old
+	// ForceText regime — becomes a cost comparison between the coarsest
+	// level at its cheapest source and text recompute, so a forced-down
+	// request still takes the cheaper path instead of always burning GPU.
+	Rung int
+	// Concurrency overrides the link-sharing factor N_c; zero uses the
+	// scheduler's live count of in-flight plans.
+	Concurrency int
+}
+
+// Plan prices every chunk of one request across all sources and picks
+// the minimum-TTFT mix. It implements streamer.PathPolicy: the Fetcher
+// consults PlanPath once to learn whether any chunk needs per-chunk
+// delivery (a local or peer source), then Choose per chunk — repeatedly
+// at streaming decision points, where the hysteresis band suppresses
+// re-plans until an estimate drifts.
+//
+// A Plan is not safe for concurrent use; the Fetcher calls it from a
+// single goroutine. Choose is allocation-free after the first call
+// primes the candidate tables.
+type Plan struct {
+	s   *Scheduler
+	req Request
+
+	primed bool
+	n      int // chunks
+	levels int
+
+	// Candidate tables, primed once per plan. Flat [chunk*levels+lv]
+	// layouts; unreachable marks an absent candidate. Fixed-shape tiers
+	// (ram, disk, peer) are priced fully at prime time; network tiers
+	// keep the per-node latency and are re-priced per decision against
+	// the live bandwidth estimate and concurrency.
+	ramCost  []time.Duration
+	diskCost []time.Duration
+	peerCost []time.Duration
+	remLat   []time.Duration
+	remX     []bool          // remLat candidate is cross-region
+	textLat  []time.Duration // [chunk] text-payload node latency
+	tokens   []int           // [chunk] token counts, for residency registration
+
+	last     []streamer.Choice // [chunk] previous decision
+	lastSet  []bool
+	counted  []bool // [chunk] first decision already counted
+	anyLocal bool
+	done     bool
+}
+
+var _ streamer.PathPolicy = (*Plan)(nil)
+
+// sourceLabels maps the Source enum onto the streamer's source-class
+// strings (constants, so routing a Choice never allocates).
+var sourceLabels = [numSources]string{
+	Remote:    streamer.SourceRemote,
+	RAM:       streamer.SourceRAM,
+	Disk:      streamer.SourceDisk,
+	XRegion:   streamer.SourceXRegion,
+	Recompute: streamer.SourceRecompute,
+	Peer:      streamer.SourcePeer,
+}
+
+// PlanPath primes the candidate tables and tells the Fetcher whether the
+// streaming fast path is still usable: it is, unless some chunk has a
+// local or peer candidate that the one-stream fleet path couldn't serve.
+func (p *Plan) PlanPath(chunks []streamer.ChunkInfo) streamer.PathHint {
+	if !p.primed {
+		p.prime(chunks)
+	}
+	if p.anyLocal {
+		return streamer.PathChunks
+	}
+	return streamer.PathAuto
+}
+
+// prime builds the per-chunk candidate tables from the annotated chunk
+// metadata, the payload cache, the colocated store, the resident index,
+// placement and the resilience manager's health view.
+func (p *Plan) prime(chunks []streamer.ChunkInfo) {
+	n := len(chunks)
+	nl := 0
+	if n > 0 {
+		nl = len(chunks[0].SizesByLevel)
+	}
+	p.n, p.levels = n, nl
+	p.ramCost = make([]time.Duration, n*nl)
+	p.diskCost = make([]time.Duration, n*nl)
+	p.peerCost = make([]time.Duration, n*nl)
+	p.remLat = make([]time.Duration, n*nl)
+	p.remX = make([]bool, n*nl)
+	p.textLat = make([]time.Duration, n)
+	p.tokens = make([]int, n)
+	p.last = make([]streamer.Choice, n)
+	p.lastSet = make([]bool, n)
+	p.counted = make([]bool, n)
+	p.primed = true
+
+	s := p.s
+	sig := s.sig
+	ctx := context.Background()
+	for ci := 0; ci < n; ci++ {
+		info := &chunks[ci]
+		p.tokens[ci] = info.Tokens
+
+		// Peer: a gateway with the decoded KV resident can ship finished
+		// FP16 rows. Quality never degrades — the resident copy serves a
+		// level only if its decode origin was that level or finer (text
+		// is lossless, finer than any level).
+		peerLevel, peerOK := -2, false
+		if s.opt.Residents != nil && info.Context != "" {
+			peerLevel, peerOK = s.opt.Residents.Lookup(info.Context, info.Index, s.opt.ID)
+		}
+		peerPrice := unreachable
+		if peerOK {
+			peerPrice = sig.PeerRTT + netsim.TransferTime(info.KVBytes, sig.PeerBandwidthBPS)
+		}
+
+		for lv := 0; lv < nl; lv++ {
+			k := ci*nl + lv
+			p.ramCost[k] = unreachable
+			p.diskCost[k] = unreachable
+			p.peerCost[k] = unreachable
+
+			var hash string
+			if lv < len(info.HashByLevel) {
+				hash = info.HashByLevel[lv]
+			}
+			if hash != "" {
+				if s.cache.Has(hash) {
+					p.ramCost[k] = netsim.TransferTime(info.SizesByLevel[lv], sig.RAMBandwidthBPS)
+					p.anyLocal = true
+				}
+				if s.opt.DiskStore != nil {
+					if ok, err := s.opt.DiskStore.TouchChunk(ctx, hash); err == nil && ok {
+						p.diskCost[k] = sig.DiskRTT + netsim.TransferTime(info.SizesByLevel[lv], sig.DiskBandwidthBPS)
+						p.anyLocal = true
+					}
+				}
+			}
+			if peerOK && (peerLevel == LevelText || peerLevel <= lv) {
+				p.peerCost[k] = peerPrice
+				p.anyLocal = true
+			}
+			p.remLat[k], p.remX[k] = p.nodeLatency(hash)
+		}
+		p.textLat[ci], _ = p.nodeLatency(info.TextHash)
+		if info.TextHash == "" && info.Context != "" {
+			// Annotated chunk published without a text payload: the
+			// recompute fallback has nothing to fetch.
+			p.textLat[ci] = unreachable
+		}
+	}
+}
+
+// nodeLatency estimates the round-trip to the healthiest node serving a
+// hash, and whether that node is in another region. An empty hash (bare
+// chunk metadata, e.g. simulation) prices at the same-region prior; a
+// hash whose every replica is dead or breaker-open is unreachable.
+func (p *Plan) nodeLatency(hash string) (time.Duration, bool) {
+	sig := p.s.sig
+	if hash == "" || p.s.opt.Locator == nil {
+		return sig.RTT, false
+	}
+	nodes := p.s.opt.Locator.ChunkNodes(hash)
+	if len(nodes) == 0 {
+		return sig.RTT, false
+	}
+	res := p.s.opt.Resilience
+	if res != nil {
+		ordered, allDead := res.Order(nodes)
+		if allDead {
+			return unreachable, false
+		}
+		nodes = ordered
+	}
+	for _, nd := range nodes {
+		if res != nil && !res.Allow(nd) {
+			continue
+		}
+		lat := sig.RTT
+		if res != nil {
+			if hd, ok := res.HedgeDelay(nd); ok && hd > lat {
+				lat = hd
+			}
+		}
+		if reg, ok := p.s.opt.Regions[nd]; ok && p.s.opt.LocalRegion != "" && reg != p.s.opt.LocalRegion {
+			return lat + sig.XRegionRTT, true
+		}
+		return lat, false
+	}
+	return unreachable, false
+}
+
+// Choose prices chunk idx across every (configuration, source) pair and
+// returns the one minimising expected TTFT under the request's SLO and
+// rung. Repeat calls for the same chunk pass through the hysteresis
+// band: the previous decision is kept unless the fresh best improves on
+// its re-priced cost by more than the band (or the previous decision
+// became unreachable).
+func (p *Plan) Choose(idx int, elapsed time.Duration, throughputBPS float64, chunks []streamer.ChunkInfo) (streamer.Choice, error) {
+	if !p.primed {
+		p.prime(chunks)
+	}
+	if idx < 0 || idx >= p.n || len(chunks) != p.n {
+		return streamer.Choice{}, fmt.Errorf("sched: chunk index %d outside plan of %d chunks (%d given)", idx, p.n, len(chunks))
+	}
+	if p.levels == 0 {
+		return streamer.Choice{}, fmt.Errorf("sched: chunk metadata carries no levels")
+	}
+
+	bw := throughputBPS
+	if bw <= 0 {
+		bw = p.s.Bandwidth()
+	}
+	if bw <= 0 {
+		bw = p.s.sig.BandwidthBPS
+	}
+	conc := p.req.Concurrency
+	if conc < 1 {
+		conc = int(p.s.active.Load())
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	busy := 0
+	if p.s.slots != nil {
+		// The plan's own request already holds a slot (the gateway grants
+		// before fetching); price recompute against the others.
+		if b := p.s.slots.Busy(); b > 1 {
+			busy = b - 1
+		}
+	}
+
+	choice, cost := p.decide(idx, elapsed, bw, conc, busy, chunks)
+
+	if p.lastSet[idx] && choice != p.last[idx] {
+		prev := p.configCost(idx, p.last[idx], bw, conc, busy, chunks)
+		if prev != unreachable && cost != unreachable &&
+			float64(prev-cost) <= p.s.hyst*float64(prev) {
+			choice = p.last[idx]
+			if p.s.tele != nil {
+				p.s.tele.holds.Inc()
+			}
+		} else if p.s.tele != nil {
+			p.s.tele.replans.Inc()
+		}
+	}
+	p.last[idx] = choice
+	p.lastSet[idx] = true
+	if !p.counted[idx] {
+		p.counted[idx] = true
+		if p.s.tele != nil {
+			p.s.tele.decisions.Inc()
+		}
+	}
+	return choice, nil
+}
+
+// decide runs the generalised Algorithm 1 over (configuration, source)
+// pairs and returns the pick plus its per-chunk delivery cost.
+func (p *Plan) decide(idx int, elapsed time.Duration, bw float64, conc, busy int, chunks []streamer.ChunkInfo) (streamer.Choice, time.Duration) {
+	coarsest := p.levels - 1
+	base := int(p.req.DefaultLevel)
+	if base > coarsest {
+		base = coarsest
+	}
+	floor := base + p.req.Rung
+
+	if floor > coarsest {
+		// Rung overflow — the regime that used to mean ForceText. Pick
+		// the cheaper of the coarsest level (at its best source) and
+		// text recompute.
+		lc, lsrc := p.chunkLevelBest(idx, coarsest, bw, conc, chunks)
+		tc := p.chunkTextCost(idx, bw, conc, busy, chunks)
+		if tc < lc {
+			return streamer.Choice{Text: true, Source: sourceLabels[Recompute]}, tc
+		}
+		return streamer.Choice{Level: core.Level(coarsest), Source: sourceLabels[lsrc]}, lc
+	}
+
+	if p.req.SLO <= 0 {
+		// Pinned quality: only the source floats.
+		return p.pickLevel(idx, floor, bw, conc, busy, chunks)
+	}
+
+	remaining := p.req.SLO - elapsed
+
+	// Quality-first over allowed configurations: text (lossless) only at
+	// rung zero, then levels from the finest allowed down. The first
+	// whose expected completion of all remaining chunks — each at its
+	// cheapest source — fits the remaining budget wins.
+	if p.req.Rung == 0 {
+		if p.textCompletion(idx, bw, conc, busy, chunks) <= remaining {
+			return streamer.Choice{Text: true, Source: sourceLabels[Recompute]},
+				p.chunkTextCost(idx, bw, conc, busy, chunks)
+		}
+	}
+	start := 0
+	if p.req.Rung > 0 {
+		start = floor
+	}
+	for lv := start; lv <= coarsest; lv++ {
+		if p.levelCompletion(idx, lv, bw, conc, chunks) <= remaining {
+			c, src := p.chunkLevelBest(idx, lv, bw, conc, chunks)
+			if c == unreachable {
+				continue
+			}
+			return streamer.Choice{Level: core.Level(lv), Source: sourceLabels[src]}, c
+		}
+	}
+
+	// Nothing fits: minimise the damage — coarsest level vs text.
+	lc, lsrc := p.chunkLevelBest(idx, coarsest, bw, conc, chunks)
+	tc := p.chunkTextCost(idx, bw, conc, busy, chunks)
+	if tc < lc {
+		return streamer.Choice{Text: true, Source: sourceLabels[Recompute]}, tc
+	}
+	return streamer.Choice{Level: core.Level(coarsest), Source: sourceLabels[lsrc]}, lc
+}
+
+// pickLevel returns level lv at its cheapest source, falling back to
+// text and then to a blind fleet fetch when nothing can deliver it.
+func (p *Plan) pickLevel(idx, lv int, bw float64, conc, busy int, chunks []streamer.ChunkInfo) (streamer.Choice, time.Duration) {
+	c, src := p.chunkLevelBest(idx, lv, bw, conc, chunks)
+	if c != unreachable {
+		return streamer.Choice{Level: core.Level(lv), Source: sourceLabels[src]}, c
+	}
+	if tc := p.chunkTextCost(idx, bw, conc, busy, chunks); tc != unreachable {
+		return streamer.Choice{Text: true, Source: sourceLabels[Recompute]}, tc
+	}
+	return streamer.Choice{Level: core.Level(lv), Source: sourceLabels[Remote]}, unreachable
+}
+
+// chunkLevelBest is the cheapest way to deliver chunk ci at level lv.
+func (p *Plan) chunkLevelBest(ci, lv int, bw float64, conc int, chunks []streamer.ChunkInfo) (time.Duration, Source) {
+	k := ci*p.levels + lv
+	best, src := p.ramCost[k], RAM
+	if c := p.diskCost[k]; c < best {
+		best, src = c, Disk
+	}
+	if c := p.peerCost[k]; c < best {
+		best, src = c, Peer
+	}
+	if lat := p.remLat[k]; lat != unreachable {
+		c := addCost(lat, scaleCost(netsim.TransferTime(chunks[ci].SizesByLevel[lv], bw), conc))
+		if c < best {
+			best = c
+			if p.remX[k] {
+				src = XRegion
+			} else {
+				src = Remote
+			}
+		}
+	}
+	if best == unreachable {
+		src = Remote
+	}
+	return best, src
+}
+
+// chunkTextCost prices delivering chunk ci as text plus GPU recompute,
+// scaled by decode-slot contention: each busy slot elsewhere stretches
+// the prefill by one GPU-share.
+func (p *Plan) chunkTextCost(ci int, bw float64, conc, busy int, chunks []streamer.ChunkInfo) time.Duration {
+	if p.textLat[ci] == unreachable {
+		return unreachable
+	}
+	net := addCost(p.textLat[ci], scaleCost(netsim.TransferTime(chunks[ci].TextBytes, bw), conc))
+	return addCost(net, scaleCost(chunks[ci].Recompute, 1+busy))
+}
+
+// levelCompletion estimates finishing chunks idx.. at level lv, each via
+// its cheapest source.
+func (p *Plan) levelCompletion(idx, lv int, bw float64, conc int, chunks []streamer.ChunkInfo) time.Duration {
+	var total time.Duration
+	for ci := idx; ci < p.n; ci++ {
+		c, _ := p.chunkLevelBest(ci, lv, bw, conc, chunks)
+		total = addCost(total, c)
+		if total == unreachable {
+			return total
+		}
+	}
+	return total
+}
+
+// textCompletion estimates finishing chunks idx.. via text recompute.
+func (p *Plan) textCompletion(idx int, bw float64, conc, busy int, chunks []streamer.ChunkInfo) time.Duration {
+	var total time.Duration
+	for ci := idx; ci < p.n; ci++ {
+		total = addCost(total, p.chunkTextCost(ci, bw, conc, busy, chunks))
+		if total == unreachable {
+			return total
+		}
+	}
+	return total
+}
+
+// configCost re-prices a previously returned choice at current signals.
+func (p *Plan) configCost(idx int, c streamer.Choice, bw float64, conc, busy int, chunks []streamer.ChunkInfo) time.Duration {
+	if c.Text {
+		return p.chunkTextCost(idx, bw, conc, busy, chunks)
+	}
+	lv := int(c.Level)
+	if lv < 0 || lv >= p.levels {
+		return unreachable
+	}
+	k := idx*p.levels + lv
+	switch c.Source {
+	case streamer.SourceRAM:
+		return p.ramCost[k]
+	case streamer.SourceDisk:
+		return p.diskCost[k]
+	case streamer.SourcePeer:
+		return p.peerCost[k]
+	default:
+		if lat := p.remLat[k]; lat != unreachable {
+			return addCost(lat, scaleCost(netsim.TransferTime(chunks[idx].SizesByLevel[lv], bw), conc))
+		}
+		return unreachable
+	}
+}

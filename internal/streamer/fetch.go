@@ -51,6 +51,24 @@ type Fetcher struct {
 	Device llm.Device
 	// Planner holds the adaptation policy.
 	Planner Planner
+	// Policy, when set, replaces Planner as the per-chunk decision
+	// engine (sched.Plan is one). The Fetcher then annotates chunk
+	// metadata with hashes and indices before planning, and honors the
+	// policy's per-chunk Choice.Source routing: "ram" via Local, "disk"
+	// via LocalStore, "peer" via Peers, anything else via Source. A
+	// PathPolicy additionally decides between the streaming and
+	// request/response paths.
+	Policy Policy
+	// Local is the gateway-local payload cache ("ram" source). When set,
+	// every payload pulled over the network is written through it. Nil
+	// disables the tier.
+	Local PayloadCache
+	// LocalStore is a colocated store replica readable without the
+	// network ("disk" source). Nil disables the tier.
+	LocalStore ChunkReader
+	// Peers serves decoded KV from gateways holding the context resident
+	// ("peer" source). Nil disables the tier.
+	Peers PeerSource
 	// Start, if set, anchors the planner's elapsed-time budget (and the
 	// report's LoadTime) to an earlier instant than the Fetch call — a
 	// serving gateway sets it to the request's admission time so queueing
@@ -94,6 +112,38 @@ type Fetcher struct {
 	// chunk's lanes are handed to the codec pool, decremented as they
 	// finish — the waterfall's view of decode parallelism. Nil is fine.
 	LanesGauge *telemetry.Gauge
+}
+
+// policy returns the decision engine for this fetch: the installed
+// Policy, or the Planner.
+func (f *Fetcher) policy() Policy {
+	if f.Policy != nil {
+		return f.Policy
+	}
+	return f.Planner
+}
+
+// annotateChunkInfos fills the delivery-identity fields a scheduling
+// policy prices sources with: per-level content hashes, the text hash,
+// the absolute index, and the raw KV size of each chunk.
+func (f *Fetcher) annotateChunkInfos(man storage.Manifest, contextID string, infos []ChunkInfo) {
+	layers, channels := f.Codec.Bank().Geometry()
+	for i := range infos {
+		infos[i].Context = contextID
+		infos[i].Index = i
+		hashes := make([]string, man.Meta.Levels)
+		for lv := 0; lv < man.Meta.Levels; lv++ {
+			if h, err := man.ChunkHash(lv, i); err == nil {
+				hashes[lv] = h
+			}
+		}
+		infos[i].HashByLevel = hashes
+		if h, err := man.ChunkHash(storage.TextLevel, i); err == nil {
+			infos[i].TextHash = h
+		}
+		// K and V planes, FP16.
+		infos[i].KVBytes = int64(infos[i].Tokens*layers*channels) * 2 * 2
+	}
 }
 
 // laneGaugeAdd moves the in-flight lane gauge by d (nil-safe).
@@ -214,6 +264,9 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 	if err != nil {
 		return nil, nil, fmt.Errorf("streamer: %w", err)
 	}
+	if f.Policy != nil {
+		f.annotateChunkInfos(man, contextID, infos)
+	}
 
 	// Resolve how much of the resident prefix is usable: whole chunks.
 	fromChunk, prefixTokens := 0, 0
@@ -261,9 +314,18 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		}
 	}
 
+	// A path-aware policy is consulted before any transfer: it primes its
+	// per-chunk source assignment from the annotated metadata and forces
+	// the request/response path when it routed chunks at sources the
+	// stream cannot serve (cache, colocated disk, peers).
+	wantChunks := false
+	if pp, ok := f.policy().(PathPolicy); ok {
+		wantChunks = pp.PlanPath(suffixInfos) == PathChunks
+	}
+
 	// The multiplexed server-push path when the source speaks it: one
 	// stream open, frame-fed bandwidth estimation, mid-chunk steering.
-	if src, ok := f.Source.(StreamSource); ok && !f.DisableStreaming {
+	if src, ok := f.Source.(StreamSource); ok && !f.DisableStreaming && !wantChunks {
 		if err := f.fetchStreaming(ctx, src, start, man, suffixInfos, fromChunk, prefixTokens, dest, report); err != nil {
 			return nil, nil, err
 		}
@@ -365,6 +427,11 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 				level = storage.TextLevel
 			}
 			if hash, herr := man.ChunkHash(level, i); herr == nil {
+				if f.Local != nil {
+					// The cached copy may be the corrupt one; never serve
+					// it again.
+					f.Local.Drop(hash)
+				}
 				refetchStart := time.Now()
 				if payload, ferr := f.Source.GetChunkData(fctx, hash); ferr == nil {
 					// The refetch is transfer time and payload bytes like
@@ -426,7 +493,7 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		tp := xfer.throughput
 		xfer.Unlock()
 		elapsed := time.Since(start)
-		choice, err := f.Planner.Choose(si, elapsed, tp, suffixInfos)
+		choice, err := f.policy().Choose(si, elapsed, tp, suffixInfos)
 		if err != nil {
 			<-inflight
 			return fmt.Errorf("streamer: %w", err)
@@ -442,19 +509,59 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 		}
 		decisions[si].Chunk = i
 		decisions[si].Choice = choice
+		decisions[si].Source = sourceLabel(choice)
 		if sp != nil {
-			sp.Event("plan", telemetry.Attr{Key: "chunk", Value: i}, telemetry.Attr{Key: "level", Value: choice.String()})
+			sp.Event("plan", telemetry.Attr{Key: "chunk", Value: i}, telemetry.Attr{Key: "level", Value: choice.String()},
+				telemetry.Attr{Key: "source", Value: decisions[si].Source})
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			reqStart := time.Now()
-			payload, err := f.Source.GetChunkData(fctx, hash)
+			if choice.Source == SourcePeer && f.Peers != nil {
+				part, lvl, perr := f.Peers.FetchResident(fctx, contextID, i)
+				if perr == nil {
+					<-inflight
+					done := time.Now()
+					if part.Tokens != suffixInfos[si].Tokens {
+						fail(fmt.Errorf("streamer: chunk %d: peer served %d tokens, meta says %d",
+							i, part.Tokens, suffixInfos[si].Tokens))
+						return
+					}
+					if err := dest.CopyTokensAt(offsets[si], part, 0, part.Tokens); err != nil {
+						fail(fmt.Errorf("streamer: chunk %d: adopting peer KV: %w", i, err))
+						return
+					}
+					// The decision records what actually moved: the peer's
+					// resident quality (its original decode level) and the
+					// raw KV bytes of the transfer.
+					dc := levelChoice(lvl)
+					dc.Source = SourcePeer
+					bytes := part.SizeBytesFP16()
+					decisions[si].Choice = dc
+					decisions[si].Bytes = bytes
+					decisions[si].Transfer = done.Sub(reqStart)
+					var attrs []telemetry.Attr
+					if sp != nil {
+						attrs = []telemetry.Attr{{Key: "chunk", Value: i}, {Key: "source", Value: SourcePeer}, {Key: "bytes", Value: bytes}}
+					}
+					tl.add(sp, phaseTransfer, "transfer", reqStart, done, attrs)
+					xfer.Lock()
+					xfer.bytes += bytes
+					xfer.Unlock()
+					close(assembled[si])
+					return
+				}
+				// No peer holds the chunk anymore: fall through to the
+				// fleet at the planned level.
+			}
+			payload, from, err := f.fetchPayload(fctx, hash, choice)
 			<-inflight
 			if err != nil {
 				fail(fmt.Errorf("streamer: fetching chunk %d (%s): %w", i, choice, err))
 				return
 			}
+			decisions[si].Source = from
 			done := time.Now()
 			dur := done.Sub(reqStart)
 			tp := netsim.Throughput(int64(len(payload)), dur)
@@ -467,7 +574,9 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 			}
 			tl.add(sp, phaseTransfer, "transfer", reqStart, done, attrs)
 			xfer.Lock()
-			if done.After(xfer.lastDone) {
+			if fromNetwork(from) && done.After(xfer.lastDone) {
+				// Cache and colocated-disk reads say nothing about the
+				// fleet link; only network deliveries feed the estimate.
 				xfer.lastDone = done
 				xfer.throughput = tp
 			}
@@ -502,6 +611,58 @@ func (f *Fetcher) FetchFrom(ctx context.Context, contextID string, resident *ten
 	xfer.Unlock()
 	report.LoadTime = time.Since(start)
 	return dest, report, nil
+}
+
+// fetchPayload delivers one chunk payload honoring the choice's source
+// routing. RAM and disk misses (or failures) fall back to the fleet, so
+// a stale plan degrades to a network fetch instead of failing. Every
+// payload pulled over the network (or read off the colocated disk) is
+// written through the local cache. Returns the payload and the source
+// class that actually served it.
+func (f *Fetcher) fetchPayload(ctx context.Context, hash string, choice Choice) ([]byte, string, error) {
+	switch choice.Source {
+	case SourceRAM:
+		if f.Local != nil {
+			if data, ok := f.Local.Get(hash); ok {
+				return data, SourceRAM, nil
+			}
+		}
+	case SourceDisk:
+		if f.LocalStore != nil {
+			if data, err := f.LocalStore.GetChunkData(ctx, hash); err == nil {
+				if f.Local != nil {
+					f.Local.Put(hash, data)
+				}
+				return data, SourceDisk, nil
+			}
+		}
+	}
+	data, err := f.Source.GetChunkData(ctx, hash)
+	if err != nil {
+		return nil, "", err
+	}
+	if f.Local != nil {
+		f.Local.Put(hash, data)
+	}
+	from := sourceLabel(choice)
+	if !fromNetwork(from) {
+		// A routed local source fell back to the fleet: label the truth.
+		from = SourceRemote
+		if choice.Text {
+			from = SourceRecompute
+		}
+	}
+	return data, from, nil
+}
+
+// fromNetwork reports whether a source class moved bytes over the fleet
+// link (and so informs the bandwidth estimate).
+func fromNetwork(source string) bool {
+	switch source {
+	case SourceRAM, SourceDisk, SourcePeer:
+		return false
+	}
+	return true
 }
 
 // decodeInto turns one fetched payload into dest's token range

@@ -26,6 +26,13 @@ import (
 type Choice struct {
 	Text  bool
 	Level core.Level
+	// Source, when set, routes the chunk's delivery to a specific source
+	// class ("ram", "disk", "peer", …; see the Source* constants). The
+	// Planner never sets it — the fleet serves every chunk — but a
+	// scheduler policy uses it to steer individual chunks at the local
+	// payload cache, a colocated store, or a peer gateway's resident KV.
+	// The Fetcher falls back to the fleet when the routed source misses.
+	Source string
 }
 
 // String renders the choice as the paper's figures label it.
@@ -48,6 +55,25 @@ type ChunkInfo struct {
 	// Recompute is the (estimated) GPU time to recompute this chunk's KV
 	// from text, given all previous chunks resident.
 	Recompute time.Duration
+
+	// The fields below annotate the chunk with its delivery identity, so
+	// a scheduling policy can price alternative sources. The Fetcher
+	// fills them from the manifest when a Policy is installed; they stay
+	// zero in simulation and on the greedy path, and the Planner ignores
+	// them.
+
+	// Context is the context id the chunk belongs to.
+	Context string
+	// Index is the chunk's absolute index within the context.
+	Index int
+	// HashByLevel[lv] is the chunk's content hash at encoding level lv.
+	HashByLevel []string
+	// TextHash is the content hash of the chunk's token-text payload
+	// ("" when the context was published without text).
+	TextHash string
+	// KVBytes is the decoded KV size of the chunk in FP16 — what a peer
+	// transfer of the finished tensor rows would move.
+	KVBytes int64
 }
 
 // Planner implements the adaptation logic of Algorithm 1 (§C.1). The

@@ -60,6 +60,10 @@ type ChunkDecision struct {
 	Transfer   time.Duration // network time for this chunk
 	Compute    time.Duration // decode or recompute time
 	Throughput float64       // measured bits/s
+	// Source is the delivered source class ("ram", "disk", "remote",
+	// "xregion", "recompute", "peer"; see the Source* constants). Live
+	// fetches always fill it; simulation leaves it empty.
+	Source string
 }
 
 // SimResult is the outcome of one simulated request.

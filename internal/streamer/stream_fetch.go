@@ -142,7 +142,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 
 	// The first decision has no measurement; the planner falls back to
 	// its prior or default level.
-	initial, err := f.Planner.Choose(0, time.Since(start), 0, suffixInfos)
+	initial, err := f.policy().Choose(0, time.Since(start), 0, suffixInfos)
 	if err != nil {
 		return fmt.Errorf("streamer: %w", err)
 	}
@@ -409,6 +409,13 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 				if transfer < 0 {
 					transfer = 0
 				}
+				// Write-through to the scheduler's RAM tier: the next plan
+				// for a context sharing this chunk prices it locally.
+				if f.Local != nil && asmLevel != storage.TextLevel {
+					if h, herr := man.ChunkHash(asmLevel, fromChunk+si); herr == nil {
+						f.Local.Put(h, buf)
+					}
+				}
 				decisions[si] = ChunkDecision{
 					Chunk:      fromChunk + si,
 					Choice:     levelChoice(asmLevel),
@@ -416,6 +423,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 					Abandoned:  abandoned,
 					Transfer:   transfer,
 					Throughput: est.Estimate(),
+					Source:     sourceLabel(levelChoice(asmLevel)),
 				}
 				// The timeline takes the chunk's raw wall interval (first to
 				// last frame, stall included): any overlap with the decode
@@ -459,7 +467,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 			elapsed := time.Since(start)
 			// Re-level chunks that have not started.
 			if si+1 < n {
-				next, err := f.Planner.Choose(si+1, elapsed, tput, suffixInfos)
+				next, err := f.policy().Choose(si+1, elapsed, tput, suffixInfos)
 				if err != nil {
 					return fmt.Errorf("streamer: %w", err)
 				}
@@ -478,7 +486,7 @@ func (f *Fetcher) fetchStreaming(ctx context.Context, src StreamSource, start ti
 			// Abandon the in-flight chunk when resending it whole at the
 			// planner's fresh choice is cheaper than finishing it.
 			if !cancelPending && buf != nil {
-				fresh, err := f.Planner.Choose(si, elapsed, tput, suffixInfos)
+				fresh, err := f.policy().Choose(si, elapsed, tput, suffixInfos)
 				if err != nil {
 					return fmt.Errorf("streamer: %w", err)
 				}
